@@ -1,0 +1,89 @@
+// Ablation A2: the reconfiguration-controller interface design space
+// (paper §4.4).  For a fixed reconfigurable architecture, enumerates the
+// option array — serial / 8-bit-parallel, master (PROM) / slave (CPU),
+// 1–10 MHz, dedicated vs daisy-chained — and prints the cost / worst-boot
+// frontier plus which option each boot-time requirement selects.
+#include <cstdio>
+
+#include "core/crusade.hpp"
+#include "resources/resource_library.hpp"
+#include "util/table.hpp"
+
+using namespace crusade;
+
+namespace {
+
+Task hw_task(const ResourceLibrary& lib, const std::string& name,
+             TimeNs base_exec, int pfus, TimeNs deadline) {
+  Task t;
+  t.name = name;
+  t.exec.assign(lib.pe_count(), kNoTime);
+  for (PeTypeId pe = 0; pe < lib.pe_count(); ++pe) {
+    const PeType& type = lib.pe(pe);
+    if (!type.is_hardware()) continue;
+    if (type.is_programmable() && pfus > type.pfus) continue;
+    t.exec[pe] = static_cast<TimeNs>(
+        static_cast<double>(base_exec) / type.speed_factor);
+  }
+  t.pfus = pfus;
+  t.gates = pfus * 12;
+  t.pins = 40;
+  t.deadline = deadline;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const ResourceLibrary lib = telecom_1999();
+
+  // A reconfigurable architecture: three mode-exclusive graph pairs.
+  Specification spec;
+  spec.name = "iface";
+  for (int i = 0; i < 6; ++i) {
+    TaskGraph g("G" + std::to_string(i), 100 * kMillisecond);
+    g.add_task(hw_task(lib, g.name() + ".t", 4 * kMillisecond, 280,
+                       100 * kMillisecond));
+    spec.graphs.push_back(std::move(g));
+  }
+  CompatibilityMatrix compat(6);
+  for (int i = 0; i < 6; i += 2) compat.set_compatible(i, i + 1, true);
+  spec.compatibility = compat;
+
+  CrusadeParams params;
+  params.enable_reconfig = true;
+  const CrusadeResult r = Crusade(spec, lib, params).run();
+  std::printf("architecture: %d PEs, %d modes, cost %s (interface: %s)\n\n",
+              r.pe_count, r.mode_count,
+              cell_money(r.cost.total()).c_str(),
+              r.interface_choice.describe().c_str());
+
+  Table table({"Style", "Clock", "Chained", "Cost($)", "Worst boot",
+               "Meets 200ms req"});
+  for (const InterfaceChoice& c :
+       enumerate_interface_options(r.arch, 200 * kMillisecond)) {
+    table.add_row({to_string(c.option.style),
+                   cell_double(c.option.clock_mhz, 1) + "MHz",
+                   c.option.chained ? "yes" : "no", cell_double(c.cost, 1),
+                   format_time(c.worst_boot),
+                   c.meets_requirement ? "yes" : "no"});
+  }
+  std::printf("%s\n",
+              table.to_string("Ablation A2: reconfiguration option array "
+                              "(ordered by cost, §4.4)")
+                  .c_str());
+
+  // Which option wins as the boot-time requirement tightens?
+  Table picks({"Boot requirement", "Selected option", "Cost($)"});
+  for (TimeNs req : {kSecond, 200 * kMillisecond, 50 * kMillisecond,
+                     10 * kMillisecond, kMillisecond}) {
+    Architecture copy = r.arch;
+    const InterfaceChoice choice = synthesize_reconfig_interface(copy, req);
+    picks.add_row({format_time(req), choice.describe(),
+                   cell_double(choice.cost, 1)});
+  }
+  std::printf("%s\n",
+              picks.to_string("Cheapest option per boot-time requirement")
+                  .c_str());
+  return r.feasible ? 0 : 1;
+}

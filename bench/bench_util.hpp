@@ -1,0 +1,31 @@
+// Shared helpers for the bench harnesses that regenerate the paper's tables
+// and figures.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace crusade::bench {
+
+/// Workload scale factor in (0,1]: 1.0 reproduces the paper's task counts
+/// (hours of synthesis CPU on one core, like the paper's Sparcstation
+/// runs); the default keeps the default bench sweep to minutes.  Override
+/// with CRUSADE_SCALE=0.25 (the scale EXPERIMENTS.md reports) or 1.0.
+inline double workload_scale(double fallback) {
+  if (const char* env = std::getenv("CRUSADE_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0 && v <= 1.0) return v;
+    std::fprintf(stderr, "ignoring CRUSADE_SCALE=%s (want (0,1])\n", env);
+  }
+  return fallback;
+}
+
+/// Restrict a profile sweep to one example: CRUSADE_ONLY=A1TR.
+inline bool profile_selected(const std::string& name) {
+  const char* env = std::getenv("CRUSADE_ONLY");
+  if (!env || !*env) return true;
+  return name == env;
+}
+
+}  // namespace crusade::bench

@@ -1,0 +1,164 @@
+// Cluster allocation (paper §5 synthesis loops, §4.2 mode-aware
+// allocation).
+//
+// Outer loop: clusters in decreasing priority order.  Inner loop: build the
+// allocation array — existing PE instances (for programmable devices, each
+// existing mode plus a possible new mode when the cluster's task graph is
+// compatible with every graph in the device's other modes), and a new
+// instance of every feasible PE type — ordered by incremental dollar cost.
+// Each candidate is evaluated by scheduling and finish-time estimation; the
+// cheapest allocation meeting all deadlines wins.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "alloc/architecture.hpp"
+#include "alloc/cluster.hpp"
+#include "graph/specification.hpp"
+#include "sched/scheduler.hpp"
+
+namespace crusade {
+
+/// Estimate of a programmable device's reconfiguration time given the logic
+/// it must load; provided by interface synthesis (§4.4).  Null = boot-free.
+using BootEstimator = std::function<TimeNs(const PeType&, int pfus_in_mode)>;
+
+struct AllocParams {
+  DelayManagement delay;
+  /// Allocation-array prune: how many cheapest candidates to evaluate.
+  int max_candidates = 10;
+  /// Allow multi-mode placements driven by the specification's
+  /// compatibility vectors during allocation (§4.2).
+  bool use_modes = false;
+  int max_modes_per_device = 8;
+  BootEstimator boot_estimate;
+  /// See make_sched_problem: false when the specification's compatibility
+  /// vectors declare rare mode-exclusive system modes.
+  bool reboots_in_schedule = true;
+  /// Optional power budget in milliwatts (extension; 0 = unconstrained):
+  /// candidates pushing the architecture's typical draw past the cap are
+  /// only taken when nothing under the cap meets the deadlines.
+  double power_cap_mw = 0;
+  /// Field-upgrade mode (§3 motivations 1-2): false forbids buying new PE
+  /// instances, so allocation must fit the workload onto an existing
+  /// architecture by reprogramming alone.  Used by try_field_upgrade().
+  bool allow_new_pes = true;
+};
+
+struct AllocationOutcome {
+  Architecture arch;
+  ScheduleResult schedule;        ///< final schedule of the architecture
+  std::vector<int> task_cluster;  ///< flat task id -> cluster id
+  int clusters_with_misses = 0;   ///< clusters committed despite tardiness
+  int repair_moves = 0;           ///< relocations made by the repair pass
+  /// Field-upgrade mode only: some cluster found no home on the board.
+  bool upgrade_rejected = false;
+  bool feasible = false;          ///< all deadlines met in the final schedule
+};
+
+/// Builds the scheduling problem for an architecture (shared by allocation,
+/// mode merging and final evaluation).
+///
+/// `reboots_in_schedule` selects the reconfiguration-cost semantics: when
+/// compatibility was *derived* from the schedule (Figure 3), modes activate
+/// every hyperperiod and the reboot occupies the device as a periodic
+/// window; when the specification *declares* mode-exclusive families
+/// (protection switching, feature modes), reconfiguration happens at rare
+/// system-mode transitions, so the boot time is charged against the
+/// boot-time requirement (§4.4) instead of the frame schedule.
+SchedProblem make_sched_problem(const Architecture& arch, const FlatSpec& flat,
+                                const std::vector<int>& task_cluster,
+                                const BootEstimator& boot_estimate,
+                                bool reboots_in_schedule = true);
+
+/// Priority levels from the current allocation state: allocated tasks/edges
+/// use actual times, the rest the worst-case defaults (§5).  Drives the
+/// outer loop's cluster ordering.
+PriorityLevels current_priority_levels(const Architecture& arch,
+                                       const FlatSpec& flat,
+                                       const ResourceLibrary& lib,
+                                       const std::vector<int>& task_cluster);
+
+/// Canonical list-scheduling priorities: deadline-based levels from the
+/// worst-case (pre-allocation) time estimates.  Every scheduling call across
+/// allocation, merging and interface synthesis uses these SAME levels so a
+/// given architecture always yields the same schedule — candidate
+/// comparisons stay apples-to-apples and acceptance bars cannot creep
+/// through list-order churn.  (Deviation from the paper noted in DESIGN.md:
+/// stability over adaptivity.)
+PriorityLevels scheduling_levels(const FlatSpec& flat,
+                                 const ResourceLibrary& lib);
+
+class Allocator {
+ public:
+  Allocator(const FlatSpec& flat, const ResourceLibrary& lib,
+            const CompatibilityMatrix* compat, AllocParams params);
+
+  /// Allocates every cluster; returns the architecture and its schedule.
+  /// `seed_arch` (optional) starts allocation from an existing architecture
+  /// instead of an empty one — the field-upgrade entry point.
+  AllocationOutcome run(const std::vector<Cluster>& clusters,
+                        const Architecture* seed_arch = nullptr);
+
+  /// Post-allocation repair: relocate clusters owning failing/tardy tasks
+  /// while the schedule improves.  Also used by the driver after merge and
+  /// interface synthesis, when exact boot times may have perturbed the
+  /// schedule.
+  void repair(AllocationOutcome& outcome,
+              const std::vector<Cluster>& clusters);
+
+  /// Device evacuation: greedily try to empty each live PE by relocating
+  /// its clusters onto the rest of the architecture (same enumeration and
+  /// scheduling checks as allocation); a device whose clusters all find a
+  /// cheaper home dies and its cost is saved.  Recovers the fragmentation
+  /// left by greedy constructive allocation.  Returns devices emptied.
+  int evacuate_devices(AllocationOutcome& outcome,
+                       const std::vector<Cluster>& clusters,
+                       int max_passes = 2);
+
+ private:
+  struct Candidate {
+    Architecture arch;     ///< architecture with the placement applied
+    double delta_cost = 0;
+    double preference = 0;
+    bool created_mode = false;
+    bool new_instance = false;  ///< fresh PE (interference-free escape hatch)
+    /// Number of resident graphs on the target device this cluster's graph
+    /// is compatible with: spatial sharing with compatible graphs squanders
+    /// a temporal-sharing (reconfiguration) opportunity, so candidates with
+    /// less waste order first at equal cost.
+    int compat_waste = 0;
+  };
+
+  std::vector<Candidate> enumerate(const Architecture& arch,
+                                   const Cluster& cluster,
+                                   const std::vector<int>& task_cluster,
+                                   const std::vector<Cluster>& clusters) const;
+  /// Applies placement + link wiring on a copy; returns false if wiring is
+  /// impossible (link library exhausted for the topology).
+  bool apply(Architecture& arch, const Cluster& cluster, int pe, int mode,
+             const std::vector<int>& task_cluster) const;
+  bool exclusion_clash(const Architecture& arch, const Cluster& cluster,
+                       int pe, const std::vector<int>& task_cluster,
+                       const std::vector<Cluster>& clusters) const;
+  /// Reverses a placement (capacity bookkeeping + boundary edge links).
+  void unplace(Architecture& arch, const Cluster& cluster,
+               const std::vector<Cluster>& clusters) const;
+
+  const FlatSpec& flat_;
+  const ResourceLibrary& lib_;
+  const CompatibilityMatrix* compat_;
+  AllocParams params_;
+  /// Minimum feasible execution time per task — the admissible estimate fed
+  /// to the scheduler's finish-time estimation pass.
+  std::vector<TimeNs> optimistic_exec_;
+  /// Canonical list-scheduling priorities (see scheduling_levels()).
+  PriorityLevels sched_levels_;
+  /// Per-graph FPGA purity (§4.1) applies while modes are being formed
+  /// during allocation; post-allocation moves (repair, evacuation) may pack
+  /// freely — contamination can no longer block a future mode.
+  bool relax_fpga_purity_ = false;
+};
+
+}  // namespace crusade

@@ -1,0 +1,167 @@
+#include "alloc/architecture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+bool Mode::has_graph(int g) const {
+  return std::find(graphs.begin(), graphs.end(), g) != graphs.end();
+}
+
+void Mode::add_graph(int g) {
+  if (!has_graph(g)) {
+    graphs.push_back(g);
+    std::sort(graphs.begin(), graphs.end());
+  }
+}
+
+bool PeInstance::alive() const { return cluster_count() > 0; }
+
+int PeInstance::cluster_count() const {
+  int n = 0;
+  for (const auto& m : modes) n += static_cast<int>(m.clusters.size());
+  return n;
+}
+
+bool LinkInstance::is_attached(int pe) const {
+  return std::find(attached.begin(), attached.end(), pe) != attached.end();
+}
+
+Architecture::Architecture(const ResourceLibrary* lib, int cluster_count,
+                           int edge_count)
+    : cluster_pe(cluster_count, -1),
+      cluster_mode(cluster_count, -1),
+      edge_link(edge_count, -1),
+      lib_(lib) {
+  CRUSADE_REQUIRE(lib != nullptr, "architecture needs a resource library");
+}
+
+int Architecture::add_pe(PeTypeId type) {
+  CRUSADE_REQUIRE(type >= 0 && type < lib_->pe_count(), "unknown PE type");
+  PeInstance pe;
+  pe.type = type;
+  pe.modes.resize(1);
+  pes.push_back(std::move(pe));
+  return static_cast<int>(pes.size()) - 1;
+}
+
+int Architecture::add_link(LinkTypeId type) {
+  CRUSADE_REQUIRE(type >= 0 && type < lib_->link_count(),
+                  "unknown link type");
+  LinkInstance link;
+  link.type = type;
+  links.push_back(std::move(link));
+  link_total_comm.push_back(0);
+  link_min_period.push_back(INT64_MAX);
+  return static_cast<int>(links.size()) - 1;
+}
+
+void Architecture::attach(int link, int pe) {
+  CRUSADE_REQUIRE(link >= 0 && link < static_cast<int>(links.size()),
+                  "unknown link instance");
+  CRUSADE_REQUIRE(pe >= 0 && pe < static_cast<int>(pes.size()),
+                  "unknown PE instance");
+  LinkInstance& l = links[link];
+  if (l.is_attached(pe)) return;
+  CRUSADE_REQUIRE(l.ports() < lib_->link(l.type).max_ports,
+                  "link out of ports");
+  l.attached.push_back(pe);
+}
+
+void Architecture::place_cluster(int cluster, int pe, int mode, int graph,
+                                 std::int64_t memory, int gates, int pfus,
+                                 int pins) {
+  CRUSADE_REQUIRE(pe >= 0 && pe < static_cast<int>(pes.size()),
+                  "unknown PE instance");
+  PeInstance& inst = pes[pe];
+  CRUSADE_REQUIRE(mode >= 0 && mode <= static_cast<int>(inst.modes.size()),
+                  "bad mode index");
+  if (mode == static_cast<int>(inst.modes.size())) {
+    CRUSADE_REQUIRE(lib_->pe(inst.type).is_programmable(),
+                    "only programmable PEs grow modes");
+    inst.modes.emplace_back();
+  }
+  Mode& m = inst.modes[mode];
+  m.clusters.push_back(cluster);
+  m.add_graph(graph);
+  m.gates_used += gates;
+  m.pfus_used += pfus;
+  m.pins_used += pins;
+  inst.memory_used += memory;
+  cluster_pe[cluster] = pe;
+  cluster_mode[cluster] = mode;
+}
+
+int Architecture::link_between(int pe_a, int pe_b) const {
+  for (int l = 0; l < static_cast<int>(links.size()); ++l)
+    if (links[l].is_attached(pe_a) && links[l].is_attached(pe_b)) return l;
+  return -1;
+}
+
+int Architecture::live_pe_count() const {
+  int n = 0;
+  for (const auto& pe : pes)
+    if (pe.alive()) ++n;
+  return n;
+}
+
+int Architecture::live_link_count() const {
+  int n = 0;
+  for (const auto& link : links)
+    if (link.ports() >= 2) ++n;
+  return n;
+}
+
+int Architecture::ppe_count() const {
+  int n = 0;
+  for (const auto& pe : pes)
+    if (pe.alive() && lib_->pe(pe.type).is_programmable()) ++n;
+  return n;
+}
+
+int Architecture::total_modes() const {
+  int n = 0;
+  for (const auto& pe : pes)
+    if (pe.alive()) n += static_cast<int>(pe.modes.size());
+  return n;
+}
+
+double Architecture::power_mw() const {
+  double power = 0;
+  for (const auto& pe : pes) {
+    if (!pe.alive()) continue;
+    power += lib_->pe(pe.type).power_mw;
+    // 60ns DRAM draws roughly 1 mW per 4MB of active array.
+    power += static_cast<double>(pe.memory_used) / (4.0 * 1024 * 1024);
+  }
+  return power;
+}
+
+CostBreakdown Architecture::cost() const {
+  CostBreakdown cost;
+  for (const auto& pe : pes) {
+    if (!pe.alive()) continue;
+    const PeType& type = lib_->pe(pe.type);
+    cost.pes += type.cost;
+    if (type.kind == PeKind::Cpu && pe.memory_used > 0) {
+      // DRAM in 4MB bank granularity (§7: four banks up to 64MB).
+      const double mb = std::ceil(static_cast<double>(pe.memory_used) /
+                                  (4.0 * 1024 * 1024)) *
+                        4.0;
+      cost.memory += mb * type.memory_cost_per_mb;
+    }
+  }
+  for (const auto& link : links) {
+    if (link.ports() < 2) continue;
+    const LinkType& type = lib_->link(link.type);
+    cost.links += type.cost + type.cost_per_port * link.ports();
+  }
+  cost.reconfig_interface = interface_cost;
+  cost.spares = spares_cost;
+  return cost;
+}
+
+}  // namespace crusade

@@ -1,0 +1,111 @@
+// The synthesized architecture: PE and link instances, the cluster→PE(mode)
+// allocation and the edge→link assignment, plus dollar-cost accounting.
+//
+// Programmable PE instances carry one or more *modes* (§4.2): different
+// configurations time-shared via dynamic reconfiguration.  CPUs and ASICs
+// always have exactly one mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resources/resource_library.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+/// One configuration of a programmable device (or the single "mode" of a
+/// CPU/ASIC).
+struct Mode {
+  std::vector<int> clusters;  ///< cluster ids resident in this configuration
+  std::vector<int> graphs;    ///< distinct task graphs present (sorted)
+  int pfus_used = 0;
+  int gates_used = 0;
+  int pins_used = 0;
+  TimeNs boot_time = 0;  ///< reconfiguration time (set by interface synth)
+
+  bool has_graph(int g) const;
+  void add_graph(int g);
+};
+
+struct PeInstance {
+  PeTypeId type = -1;
+  std::vector<Mode> modes;        ///< >= 1; size > 1 only on PPEs
+  std::int64_t memory_used = 0;   ///< CPU storage demand of resident tasks
+
+  bool alive() const;
+  int cluster_count() const;
+};
+
+struct LinkInstance {
+  LinkTypeId type = -1;
+  std::vector<int> attached;  ///< PE instance ids (ports in use)
+
+  int ports() const { return static_cast<int>(attached.size()); }
+  bool is_attached(int pe) const;
+};
+
+struct CostBreakdown {
+  double pes = 0;
+  double memory = 0;
+  double links = 0;
+  double reconfig_interface = 0;
+  double spares = 0;  ///< fault-tolerance standby modules (§6)
+  double total() const {
+    return pes + memory + links + reconfig_interface + spares;
+  }
+};
+
+class Architecture {
+ public:
+  Architecture() = default;
+  Architecture(const ResourceLibrary* lib, int cluster_count, int edge_count);
+
+  const ResourceLibrary& lib() const { return *lib_; }
+
+  std::vector<PeInstance> pes;
+  std::vector<LinkInstance> links;
+  std::vector<int> cluster_pe;    ///< per cluster: PE instance id or -1
+  std::vector<int> cluster_mode;  ///< per cluster: mode index or -1
+  std::vector<int> edge_link;     ///< per flat edge: link instance id or -1
+  /// Admission bookkeeping per link, maintained by the allocator's wiring.
+  /// With (near-)harmonic periods every committed transfer occupies the
+  /// gcd-ring of the link's periods once, so schedulability requires the
+  /// SUM of all transfer times to stay below the fastest period on the
+  /// link; per-period utilization would drastically under-count slow-period
+  /// transfers mixed with fast traffic.
+  std::vector<TimeNs> link_total_comm;
+  std::vector<TimeNs> link_min_period;
+
+  /// Costs attached by later synthesis stages.
+  double interface_cost = 0;  ///< reconfiguration controller + PROMs (§4.4)
+  double spares_cost = 0;     ///< CRUSADE-FT standby service modules (§6)
+
+  // --- construction helpers ---
+  int add_pe(PeTypeId type);
+  int add_link(LinkTypeId type);
+  void attach(int link, int pe);
+
+  /// Places a cluster into (pe, mode); mode == size() appends a new mode.
+  void place_cluster(int cluster, int pe, int mode, int graph,
+                     std::int64_t memory, int gates, int pfus, int pins);
+
+  // --- queries ---
+  /// Link instance connecting both PEs, or -1.
+  int link_between(int pe_a, int pe_b) const;
+  /// Live = carries at least one cluster.
+  int live_pe_count() const;
+  int live_link_count() const;
+  int ppe_count() const;  ///< live programmable PEs
+  int total_modes() const;
+
+  CostBreakdown cost() const;
+
+  /// Total typical power draw (mW) of live PEs plus DRAM (extension).
+  double power_mw() const;
+
+ private:
+  const ResourceLibrary* lib_ = nullptr;
+};
+
+}  // namespace crusade

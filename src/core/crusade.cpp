@@ -1,0 +1,187 @@
+#include "core/crusade.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+Crusade::Crusade(const Specification& spec, const ResourceLibrary& lib,
+                 CrusadeParams params)
+    : spec_(spec), lib_(lib), params_(std::move(params)) {
+  lib_.validate();
+  spec_.validate(lib_.pe_count());
+}
+
+CrusadeResult Crusade::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  CrusadeResult result;
+
+  FlatSpec flat(spec_);
+
+  // --- pre-processing: clustering (§5) ---
+  result.clusters = cluster_tasks(flat, lib_, params_.clustering);
+  result.task_cluster =
+      task_to_cluster(result.clusters, flat.task_count());
+
+  // --- synthesis: cluster allocation (§5) ---
+  AllocParams alloc_params = params_.alloc;
+  if (!alloc_params.boot_estimate)
+    alloc_params.boot_estimate = [](const PeType& type, int pfus) {
+      return estimate_boot_time(type, pfus);
+    };
+  const bool modes_in_allocation = params_.enable_reconfig &&
+                                   params_.use_spec_compatibility &&
+                                   spec_.compatibility.has_value();
+  alloc_params.use_modes = modes_in_allocation;
+  // Spec-declared compatibility = rare mode-exclusive system modes:
+  // reconfiguration is charged to the boot-time requirement, not the frame
+  // schedule (see make_sched_problem).
+  alloc_params.reboots_in_schedule = !modes_in_allocation;
+  Allocator allocator(flat, lib_,
+                      modes_in_allocation ? &*spec_.compatibility : nullptr,
+                      alloc_params);
+  AllocationOutcome outcome = allocator.run(result.clusters);
+  // Constructive greediness leaves under-filled devices behind; evacuation
+  // consolidates them (run for both variants, keeping the comparison fair).
+  allocator.evacuate_devices(outcome, result.clusters);
+  result.arch = std::move(outcome.arch);
+  result.schedule = std::move(outcome.schedule);
+  result.clusters_with_misses = outcome.clusters_with_misses;
+
+  // --- dynamic reconfiguration generation (§4.1–4.4, Figure 3) ---
+  if (params_.enable_reconfig) {
+    if (spec_.compatibility && params_.use_spec_compatibility)
+      result.compat = *spec_.compatibility;
+    else
+      result.compat = derive_compatibility(flat, result.schedule);
+
+    MergeParams merge_params = params_.merge;
+    if (!merge_params.boot_estimate)
+      merge_params.boot_estimate = alloc_params.boot_estimate;
+    merge_params.delay = params_.alloc.delay;
+    merge_params.reboots_in_schedule = alloc_params.reboots_in_schedule;
+    result.merge_report =
+        merge_modes(result.arch, result.schedule, flat, result.compat,
+                    result.task_cluster, merge_params,
+                    params_.merge_validator);
+  } else {
+    result.compat = CompatibilityMatrix(flat.graph_count());
+  }
+
+  // --- reconfiguration controller interface synthesis (§4.4) ---
+  // Walk the option array in cost order until the exact boot times still
+  // schedule; the estimator used during merging is mid-range, so this
+  // usually accepts the first feasible-cost option.
+  {
+    auto apply_choice = [&](const InterfaceChoice& choice, Architecture& a) {
+      a.interface_cost = choice.cost;
+      int ppes = 0;
+      for (const auto& pe : a.pes)
+        if (pe.alive() && lib_.pe(pe.type).is_programmable()) ++ppes;
+      const int chain_len =
+          choice.option.chained ? std::min(4, std::max(1, ppes)) : 1;
+      for (PeInstance& inst : a.pes) {
+        if (!inst.alive()) continue;
+        const PeType& type = lib_.pe(inst.type);
+        if (!type.is_programmable()) continue;
+        for (Mode& m : inst.modes)
+          m.boot_time = inst.modes.size() > 1
+                            ? mode_boot_time(type, m.pfus_used,
+                                             choice.option, chain_len)
+                            : 0;
+      }
+    };
+    const PriorityLevels sched_levels = scheduling_levels(flat, lib_);
+    auto schedule_of = [&](const Architecture& a) {
+      SchedProblem problem =
+          make_sched_problem(a, flat, result.task_cluster,
+                             /*boot_estimate=*/{},
+                             alloc_params.reboots_in_schedule);
+      return run_list_scheduler(problem, sched_levels);
+    };
+
+    const auto choices = enumerate_interface_options(
+        result.arch, spec_.boot_time_requirement);
+    bool has_multimode = false;
+    for (const PeInstance& inst : result.arch.pes)
+      if (inst.alive() && inst.modes.size() > 1) has_multimode = true;
+    bool committed = false;
+    if (!has_multimode) {
+      // Single-mode devices boot only at power-up: the schedule cannot
+      // change, so just take the cheapest option meeting the requirement.
+      for (const auto& choice : choices) {
+        if (!choice.meets_requirement) continue;
+        result.arch.interface_cost = choice.cost;
+        result.interface_choice = choice;
+        committed = true;
+        break;
+      }
+    }
+    Architecture best_arch;
+    ScheduleResult best_schedule;
+    InterfaceChoice best_choice;
+    bool have_best = false;
+    if (!committed) {
+      for (const auto& choice : choices) {
+        if (!choice.meets_requirement) continue;
+        Architecture trial = result.arch;
+        apply_choice(choice, trial);
+        ScheduleResult schedule = schedule_of(trial);
+        if (schedule.feasible) {
+          result.arch = std::move(trial);
+          result.schedule = std::move(schedule);
+          result.interface_choice = choice;
+          committed = true;
+          break;
+        }
+        // Track the least-damaging option in case none is feasible.
+        if (!have_best ||
+            schedule.total_tardiness < best_schedule.total_tardiness) {
+          best_arch = std::move(trial);
+          best_schedule = std::move(schedule);
+          best_choice = choice;
+          have_best = true;
+        }
+      }
+    }
+    if (!committed && have_best) {
+      result.arch = std::move(best_arch);
+      result.schedule = std::move(best_schedule);
+      result.interface_choice = best_choice;
+      committed = true;
+    }
+    if (!committed) {
+      // No option met the boot requirement (or none rescheduled): take the
+      // synthesis helper's fallback — the fastest option — and reschedule.
+      result.interface_choice = synthesize_reconfig_interface(
+          result.arch, spec_.boot_time_requirement);
+      result.schedule = schedule_of(result.arch);
+    }
+  }
+
+  // Final repair: merges and exact boot times may have perturbed the
+  // schedule; relocate offending clusters while it improves.
+  if (!result.schedule.feasible) {
+    AllocationOutcome touchup;
+    touchup.arch = std::move(result.arch);
+    touchup.schedule = std::move(result.schedule);
+    touchup.task_cluster = result.task_cluster;
+    allocator.repair(touchup, result.clusters);
+    result.arch = std::move(touchup.arch);
+    result.schedule = std::move(touchup.schedule);
+  }
+
+  result.cost = result.arch.cost();
+  result.power_mw = result.arch.power_mw();
+  result.feasible = result.schedule.feasible;
+  result.pe_count = result.arch.live_pe_count();
+  result.link_count = result.arch.live_link_count();
+  result.mode_count = result.arch.total_modes();
+  result.synthesis_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace crusade

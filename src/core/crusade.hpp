@@ -1,0 +1,69 @@
+// The CRUSADE co-synthesis driver (paper §5, Figure 5).
+//
+// Pre-processing: validate the specification, flatten it, cluster tasks
+// along deadline-critical paths.  Synthesis: allocate clusters in priority
+// order, evaluating allocation arrays by scheduling + finish-time
+// estimation.  Dynamic reconfiguration generation: derive or adopt the
+// compatibility matrix, explore PPE merges with reboot tasks, and synthesize
+// the cheapest reconfiguration-controller interface meeting the boot-time
+// requirement.
+#pragma once
+
+#include <string>
+
+#include "alloc/allocation.hpp"
+#include "alloc/cluster.hpp"
+#include "graph/specification.hpp"
+#include "reconfig/compatibility.hpp"
+#include "reconfig/interface_synth.hpp"
+#include "reconfig/merge.hpp"
+
+namespace crusade {
+
+struct CrusadeParams {
+  /// Master switch for dynamic reconfiguration (the "without" columns of
+  /// Tables 2–3 set this false: every programmable device keeps one mode).
+  bool enable_reconfig = true;
+  ClusteringParams clustering;
+  AllocParams alloc;
+  MergeParams merge;
+  /// Honour compatibility vectors supplied with the specification during
+  /// allocation (§4.2); when the specification has none, compatibility is
+  /// derived from the schedule (Figure 3) before merging.
+  bool use_spec_compatibility = true;
+  /// Hook consulted on every tentative merge (CRUSADE-FT dependability).
+  MergeValidator merge_validator;
+};
+
+struct CrusadeResult {
+  Architecture arch;
+  ScheduleResult schedule;
+  std::vector<Cluster> clusters;
+  std::vector<int> task_cluster;
+  CompatibilityMatrix compat;      ///< matrix used for reconfiguration
+  InterfaceChoice interface_choice;
+  MergeReport merge_report;
+  CostBreakdown cost;
+  bool feasible = false;           ///< final schedule meets every deadline
+  int pe_count = 0;
+  int link_count = 0;
+  int mode_count = 0;
+  int clusters_with_misses = 0;
+  double power_mw = 0;  ///< typical draw of the final architecture
+  double synthesis_seconds = 0;
+};
+
+class Crusade {
+ public:
+  Crusade(const Specification& spec, const ResourceLibrary& lib,
+          CrusadeParams params = {});
+
+  CrusadeResult run();
+
+ private:
+  const Specification& spec_;
+  const ResourceLibrary& lib_;
+  CrusadeParams params_;
+};
+
+}  // namespace crusade

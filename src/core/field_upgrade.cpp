@@ -1,0 +1,46 @@
+#include "core/field_upgrade.hpp"
+
+namespace crusade {
+
+FieldUpgradeResult try_field_upgrade(const Specification& new_spec,
+                                     const ResourceLibrary& lib,
+                                     const Architecture& deployed,
+                                     CrusadeParams params) {
+  lib.validate();
+  new_spec.validate(lib.pe_count());
+  FieldUpgradeResult result;
+
+  // The flat view and clusters belong to the NEW specification; nothing in
+  // the result keeps references into it, so a local suffices.
+  const FlatSpec flat(new_spec);
+  result.clusters = cluster_tasks(flat, lib, params.clustering);
+  result.task_cluster =
+      task_to_cluster(result.clusters, flat.task_count());
+
+  AllocParams alloc_params = params.alloc;
+  alloc_params.allow_new_pes = false;  // the board is what it is
+  alloc_params.use_modes = params.enable_reconfig &&
+                           new_spec.compatibility.has_value();
+  alloc_params.reboots_in_schedule = !alloc_params.use_modes;
+  if (!alloc_params.boot_estimate)
+    alloc_params.boot_estimate = [](const PeType& type, int pfus) {
+      return estimate_boot_time(type, pfus);
+    };
+
+  Allocator allocator(
+      flat, lib,
+      alloc_params.use_modes ? &*new_spec.compatibility : nullptr,
+      alloc_params);
+  AllocationOutcome outcome = allocator.run(result.clusters, &deployed);
+
+  result.arch = std::move(outcome.arch);
+  result.schedule = std::move(outcome.schedule);
+  for (std::size_t c = 0; c < result.clusters.size(); ++c)
+    if (result.arch.cluster_pe[c] < 0) ++result.unplaceable_clusters;
+  result.accommodated = !outcome.upgrade_rejected &&
+                        result.unplaceable_clusters == 0 &&
+                        result.schedule.feasible;
+  return result;
+}
+
+}  // namespace crusade

@@ -1,0 +1,32 @@
+// Field-upgrade analysis (paper §3, motivations 1–2): can a system already
+// in the field absorb a modified specification — bug-fixed blocks, feature
+// enhancements, new functions — purely by reprogramming its FPGAs/CPLDs and
+// reloading software, with no hardware change?
+//
+// The check re-runs CRUSADE's allocation over the NEW specification with
+// the existing architecture's PE and link instances frozen (no purchases
+// allowed).  If every cluster finds a home and all deadlines hold, the
+// upgrade ships as reconfiguration images.
+#pragma once
+
+#include "core/crusade.hpp"
+
+namespace crusade {
+
+struct FieldUpgradeResult {
+  bool accommodated = false;  ///< new spec fits the existing board
+  Architecture arch;          ///< re-allocated architecture (same devices)
+  ScheduleResult schedule;
+  std::vector<Cluster> clusters;
+  std::vector<int> task_cluster;
+  int unplaceable_clusters = 0;
+};
+
+/// Tries to fit `new_spec` onto the device/link set of `deployed` (an
+/// architecture previously produced by Crusade for any specification).
+FieldUpgradeResult try_field_upgrade(const Specification& new_spec,
+                                     const ResourceLibrary& lib,
+                                     const Architecture& deployed,
+                                     CrusadeParams params = {});
+
+}  // namespace crusade

@@ -1,0 +1,24 @@
+// Human-readable architecture and result reporting used by examples and
+// bench harnesses.
+#pragma once
+
+#include <string>
+
+#include "core/crusade.hpp"
+
+namespace crusade {
+
+/// Multi-line summary: PE histogram by kind/type, modes, links, cost
+/// breakdown, schedule verdict and synthesis time.
+std::string describe_result(const CrusadeResult& result);
+
+/// One-line verdict for logs/tests.
+std::string one_line_verdict(const CrusadeResult& result);
+
+/// Textual Gantt-style dump of the frame schedule: one section per live
+/// resource listing its periodic busy windows ([start, finish) @ period and
+/// the owning task/edge/reboot), capped at `max_rows` windows total.
+std::string dump_schedule(const CrusadeResult& result, const FlatSpec& flat,
+                          int max_rows = 200);
+
+}  // namespace crusade

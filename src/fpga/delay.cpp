@@ -1,0 +1,153 @@
+#include "fpga/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fpga/placer.hpp"
+#include "util/error.hpp"
+
+namespace crusade {
+
+TimeNs critical_path(const Device& device, const Netlist& netlist,
+                     const RouteResult& routes) {
+  if (!routes.routable) return kNoTime;
+  CRUSADE_REQUIRE(routes.sink_delay.size() == netlist.nets().size(),
+                  "route result arity mismatch");
+  // Cells are topologically ordered by index (sinks follow drivers), so a
+  // single forward sweep computes arrival times.
+  std::vector<TimeNs> arrival(netlist.cell_count(), device.cell_delay());
+  TimeNs worst = device.cell_delay();
+  for (int c = 0; c < netlist.cell_count(); ++c) {
+    for (std::size_t n = 0; n < netlist.nets().size(); ++n) {
+      const Net& net = netlist.nets()[n];
+      if (net.driver != c) continue;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        const TimeNs t =
+            arrival[c] + routes.sink_delay[n][s] + device.cell_delay();
+        arrival[net.sinks[s]] = std::max(arrival[net.sinks[s]], t);
+        worst = std::max(worst, arrival[net.sinks[s]]);
+      }
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+/// The shared fabric every Table 1 block maps onto: the delay-management
+/// study is about one function synthesized *together with other functions*
+/// on a production device, so the device is a mid-90s mid-range part, not a
+/// block-sized one.
+Device shared_fabric(int circuit_pfus) {
+  const int cap = std::max(
+      400, static_cast<int>(std::ceil(circuit_pfus / 0.5)));
+  int rows = static_cast<int>(std::ceil(std::sqrt(cap)));
+  int cols = rows;
+  while (rows * cols < cap) ++cols;
+  const int tracks = 4;
+  const int pins = 4 * (rows + cols);
+  return Device(rows, cols, tracks, pins, 4, 1);  // 4ns LUT, 1ns per unit
+}
+
+struct FillState {
+  std::vector<Netlist> blocks;
+  std::vector<std::vector<int>> placements;
+  /// Device-level global interconnect (inter-block control/data nets); one
+  /// endpoint pair per connection.  Grows superlinearly with fill, which is
+  /// what drags every region's channels toward congestion at high ERUF.
+  std::vector<std::pair<int, int>> globals;
+  int cells = 0;
+};
+
+/// Adds filler blocks until `target_cells` sites are occupied in total, and
+/// grows the global interconnect with the square of the fill level.
+void fill_to(const Device& device, std::vector<bool>& occupied,
+             FillState& fill, int circuit_cells, int target_cells, Rng& rng) {
+  while (circuit_cells + fill.cells < target_cells) {
+    NetlistConfig cfg;
+    cfg.cells =
+        std::min(target_cells - circuit_cells - fill.cells,
+                 std::max(8, circuit_cells / 2));
+    cfg.external_pins = 2;
+    Netlist block = Netlist::random("fill", cfg, rng);
+    fill.placements.push_back(Placer::place(device, block, occupied, rng));
+    fill.cells += block.cell_count();
+    fill.blocks.push_back(std::move(block));
+  }
+  const double fill_level =
+      static_cast<double>(target_cells) / device.capacity();
+  const std::size_t global_target = static_cast<std::size_t>(
+      0.25 * target_cells * fill_level * fill_level * fill_level);
+  std::vector<int> sites;
+  for (int i = 0; i < device.capacity(); ++i)
+    if (occupied[i]) sites.push_back(i);
+  while (fill.globals.size() < global_target && sites.size() >= 2) {
+    const int a = sites[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1))];
+    const int b = sites[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1))];
+    if (a == b) continue;
+    fill.globals.emplace_back(a, b);
+  }
+}
+
+DelayMeasurement measure(const Device& device, const Netlist& circuit,
+                         const std::vector<int>& placement,
+                         const FillState& fill, double epuf) {
+  Router router(device);
+  const int pins_used = std::min(
+      device.pins(), static_cast<int>(std::floor(epuf * device.pins())));
+  router.add_pin_load(pins_used);
+  router.route(circuit, placement);
+  for (std::size_t f = 0; f < fill.blocks.size(); ++f)
+    router.route(fill.blocks[f], fill.placements[f]);
+  for (const auto& [a, b] : fill.globals)
+    router.route_connection(device.site_at(a), device.site_at(b));
+
+  const RouteResult routes = router.finalize(circuit, placement);
+  DelayMeasurement m;
+  m.routable = routes.routable;
+  m.peak_channel_load = routes.peak_load;
+  m.delay = routes.routable ? critical_path(device, circuit, routes) : kNoTime;
+  return m;
+}
+
+}  // namespace
+
+std::vector<DelayMeasurement> measure_delay_sweep(
+    const Netlist& circuit, const std::vector<double>& erufs, double epuf,
+    std::uint64_t seed) {
+  CRUSADE_REQUIRE(!erufs.empty(), "empty sweep");
+  CRUSADE_REQUIRE(std::is_sorted(erufs.begin(), erufs.end()),
+                  "ERUF sweep must ascend");
+  CRUSADE_REQUIRE(epuf > 0 && epuf <= 1.0, "EPUF must be in (0,1]");
+  Rng rng(seed);
+  const Device device = shared_fabric(circuit.cell_count());
+
+  std::vector<bool> occupied(device.capacity(), false);
+  const std::vector<int> placement =
+      Placer::place(device, circuit, occupied, rng);
+
+  FillState fill;
+  std::vector<DelayMeasurement> results;
+  results.reserve(erufs.size());
+  for (double eruf : erufs) {
+    CRUSADE_REQUIRE(eruf > 0 && eruf <= 1.0, "ERUF must be in (0,1]");
+    const int target = std::min(
+        device.capacity(),
+        static_cast<int>(std::floor(eruf * device.capacity() + 1e-9)));
+    CRUSADE_REQUIRE(target >= circuit.cell_count(),
+                    "ERUF below the circuit's own utilization");
+    fill_to(device, occupied, fill, circuit.cell_count(), target, rng);
+    results.push_back(measure(device, circuit, placement, fill, epuf));
+  }
+  return results;
+}
+
+DelayMeasurement measure_delay_at_utilization(const Netlist& circuit,
+                                              double eruf, double epuf,
+                                              std::uint64_t seed) {
+  return measure_delay_sweep(circuit, {eruf}, epuf, seed).front();
+}
+
+}  // namespace crusade

@@ -1,0 +1,57 @@
+// Critical-path timing analysis and the ERUF/EPUF delay-management
+// experiment (paper §4.5 and Table 1).
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/netlist.hpp"
+#include "fpga/router.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+/// Longest cell→cell path through the netlist using per-connection routed
+/// delays; kNoTime when the route failed.
+TimeNs critical_path(const Device& device, const Netlist& netlist,
+                     const RouteResult& routes);
+
+struct DelayMeasurement {
+  bool routable = true;
+  TimeNs delay = kNoTime;
+  double peak_channel_load = 0;
+};
+
+/// Places `circuit` on a shared device, fills it with synthetic neighbour
+/// logic up to `eruf` logic utilization and `epuf` pin utilization, routes
+/// everything, and reports the circuit's critical path.
+DelayMeasurement measure_delay_at_utilization(const Netlist& circuit,
+                                              double eruf, double epuf,
+                                              std::uint64_t seed);
+
+/// Monotone sweep: one placement of the circuit on a shared device, filler
+/// blocks added incrementally to hit each ERUF target in ascending order
+/// (the same fill is a prefix of the next), measuring the circuit's critical
+/// path at each point.  This mirrors the paper's delay-management study:
+/// the same function synthesized together with progressively more neighbour
+/// functions on one device.  The Table 1 rows are rows of this sweep.
+std::vector<DelayMeasurement> measure_delay_sweep(
+    const Netlist& circuit, const std::vector<double>& erufs, double epuf,
+    std::uint64_t seed);
+
+/// Delay-management guard used during allocation (§4.5): the defaults the
+/// paper validated experimentally.
+struct DelayManagement {
+  double eruf = 0.70;  ///< effective resource (PFU/CLB/FF) utilization cap
+  double epuf = 0.80;  ///< effective pin utilization cap
+
+  int usable_pfus(int device_pfus) const {
+    return static_cast<int>(device_pfus * eruf);
+  }
+  int usable_pins(int device_pins) const {
+    return static_cast<int>(device_pins * epuf);
+  }
+};
+
+}  // namespace crusade

@@ -1,0 +1,37 @@
+#include "fpga/device.hpp"
+
+#include <cmath>
+
+namespace crusade {
+
+Device::Device(int rows, int cols, int channel_capacity, int pins,
+               TimeNs cell_delay, TimeNs unit_wire_delay)
+    : rows_(rows),
+      cols_(cols),
+      channel_capacity_(channel_capacity),
+      pins_(pins),
+      cell_delay_(cell_delay),
+      unit_wire_delay_(unit_wire_delay) {
+  CRUSADE_REQUIRE(rows > 0 && cols > 0, "device needs a positive grid");
+  CRUSADE_REQUIRE(channel_capacity > 0, "device needs routing tracks");
+  CRUSADE_REQUIRE(pins > 0, "device needs pins");
+  CRUSADE_REQUIRE(cell_delay > 0 && unit_wire_delay > 0,
+                  "device needs positive delays");
+}
+
+Device Device::for_circuit(int pfus) {
+  CRUSADE_REQUIRE(pfus > 0, "circuit must use at least one PFU");
+  // Capacity such that the circuit alone fills 70%: cap >= pfus / 0.7.
+  const int cap_needed = static_cast<int>(std::ceil(pfus / 0.7));
+  int rows = static_cast<int>(std::ceil(std::sqrt(cap_needed)));
+  int cols = rows;
+  while (rows * cols < cap_needed) ++cols;
+  // Track count calibrated so a 70%-utilization placement keeps average
+  // channel load under the congestion onset; delays then degrade only when
+  // utilization pushes past that point (Table 1 shape).
+  const int tracks = 4;
+  const int pins = 4 * (rows + cols);  // perimeter I/O
+  return Device(rows, cols, tracks, pins, 4, 1);  // 4ns LUT, 1ns per unit
+}
+
+}  // namespace crusade

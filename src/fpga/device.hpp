@@ -1,0 +1,62 @@
+// Grid model of a programmable device (FPGA/CPLD fabric).
+//
+// This is the substrate behind the paper's delay-management study (§4.5,
+// Table 1): logic sits in a rows×cols array of programmable functional
+// units (PFUs); routing runs in horizontal and vertical channels between
+// rows/columns, each with a finite track capacity.  As PFU and pin
+// utilization rise, channel congestion grows and net delays degrade
+// super-linearly — exactly the effect ERUF/EPUF caps guard against.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+struct Site {
+  int row = 0;
+  int col = 0;
+};
+
+class Device {
+ public:
+  Device(int rows, int cols, int channel_capacity, int pins,
+         TimeNs cell_delay, TimeNs unit_wire_delay);
+
+  /// Smallest near-square device whose capacity holds `pfus` cells at 70%
+  /// effective resource utilization (the paper's ERUF default), with pins
+  /// scaled to the perimeter.
+  static Device for_circuit(int pfus);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int capacity() const { return rows_ * cols_; }
+  int channel_capacity() const { return channel_capacity_; }
+  int pins() const { return pins_; }
+  TimeNs cell_delay() const { return cell_delay_; }
+  TimeNs unit_wire_delay() const { return unit_wire_delay_; }
+
+  int site_index(Site s) const {
+    CRUSADE_REQUIRE(contains(s), "site outside device");
+    return s.row * cols_ + s.col;
+  }
+  Site site_at(int index) const {
+    CRUSADE_REQUIRE(index >= 0 && index < capacity(), "site index range");
+    return Site{index / cols_, index % cols_};
+  }
+  bool contains(Site s) const {
+    return s.row >= 0 && s.row < rows_ && s.col >= 0 && s.col < cols_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  int channel_capacity_;
+  int pins_;
+  TimeNs cell_delay_;
+  TimeNs unit_wire_delay_;
+};
+
+}  // namespace crusade

@@ -1,0 +1,75 @@
+#include "fpga/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+Netlist::Netlist(std::string name, int cells, std::vector<Net> nets,
+                 int external_pins)
+    : name_(std::move(name)),
+      cells_(cells),
+      nets_(std::move(nets)),
+      external_pins_(external_pins) {
+  CRUSADE_REQUIRE(cells_ > 0, "netlist needs cells");
+  CRUSADE_REQUIRE(external_pins_ >= 0, "negative pin demand");
+  for (const auto& net : nets_) {
+    CRUSADE_REQUIRE(net.driver >= 0 && net.driver < cells_,
+                    "net driver out of range");
+    CRUSADE_REQUIRE(!net.sinks.empty(), "net without sinks");
+    for (int s : net.sinks)
+      CRUSADE_REQUIRE(s > net.driver && s < cells_,
+                      "net sink must follow its driver (acyclic netlist)");
+  }
+}
+
+Netlist Netlist::random(const std::string& name, const NetlistConfig& config,
+                        Rng& rng) {
+  CRUSADE_REQUIRE(config.cells > 0, "netlist needs cells");
+  std::vector<Net> nets;
+  for (int c = 0; c + 1 < config.cells; ++c) {
+    if (!rng.chance(config.net_probability)) continue;
+    Net net;
+    net.driver = c;
+    const int fanout = std::max<int>(
+        1, static_cast<int>(std::lround(
+               rng.uniform_real(0.5, 2.0 * config.avg_fanout - 0.5))));
+    for (int f = 0; f < fanout; ++f) {
+      // Locality bias: sinks cluster a short index distance downstream, but
+      // ~10% of connections are global (clock/control-style nets).
+      int reach = std::max(
+          1, static_cast<int>(std::lround(std::abs(rng.uniform_real(
+                 0, 0.25 * config.cells)))));
+      if (rng.chance(0.05)) reach = config.cells - 1 - c;
+      reach = std::max(1, reach);
+      const int sink =
+          std::min(config.cells - 1, c + 1 + static_cast<int>(rng.uniform_int(
+                                                 0, reach)));
+      if (std::find(net.sinks.begin(), net.sinks.end(), sink) ==
+          net.sinks.end())
+        net.sinks.push_back(sink);
+    }
+    std::sort(net.sinks.begin(), net.sinks.end());
+    nets.push_back(std::move(net));
+  }
+  // Every non-source cell should be reachable: connect orphans to a prior
+  // cell so the critical path spans the block.
+  std::vector<bool> driven(config.cells, false);
+  for (const auto& net : nets)
+    for (int s : net.sinks) driven[s] = true;
+  for (int c = 1; c < config.cells; ++c) {
+    if (driven[c]) continue;
+    Net net;
+    net.driver = static_cast<int>(rng.uniform_int(0, c - 1));
+    net.sinks.push_back(c);
+    nets.push_back(std::move(net));
+  }
+  int pins = config.external_pins;
+  if (pins == 0)
+    pins = std::max(2, static_cast<int>(std::lround(0.35 * config.cells)));
+  return Netlist(name, config.cells, std::move(nets), pins);
+}
+
+}  // namespace crusade

@@ -1,0 +1,50 @@
+// Synthetic gate-level netlist: cells (mapped to PFUs) connected by
+// multi-terminal nets forming a DAG, plus external pin demand.  Used by the
+// delay-management experiments in place of the paper's proprietary circuit
+// blocks (cvs1, xtrs1, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace crusade {
+
+/// One net: a driving cell fanning out to sink cells.  driver < sink for
+/// every sink, so the netlist is acyclic by construction.
+struct Net {
+  int driver = -1;
+  std::vector<int> sinks;
+};
+
+struct NetlistConfig {
+  int cells = 32;
+  double avg_fanout = 2.2;   ///< mean sinks per net
+  double net_probability = 0.9;  ///< chance a cell drives a net at all
+  int external_pins = 0;     ///< 0 = derive as ~35% of cells
+};
+
+class Netlist {
+ public:
+  Netlist(std::string name, int cells, std::vector<Net> nets,
+          int external_pins);
+
+  /// Random DAG netlist with locality-biased connectivity (nearby cell
+  /// indices connect more often, mimicking synthesized datapaths).
+  static Netlist random(const std::string& name, const NetlistConfig& config,
+                        Rng& rng);
+
+  const std::string& name() const { return name_; }
+  int cell_count() const { return cells_; }
+  int external_pins() const { return external_pins_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+ private:
+  std::string name_;
+  int cells_;
+  std::vector<Net> nets_;
+  int external_pins_;
+};
+
+}  // namespace crusade

@@ -1,0 +1,82 @@
+#include "fpga/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+namespace {
+
+/// Nearest free site to `target` by expanding Manhattan rings.
+int nearest_free(const Device& dev, const std::vector<bool>& occupied,
+                 Site target) {
+  const int max_radius = dev.rows() + dev.cols();
+  for (int r = 0; r <= max_radius; ++r) {
+    // Walk the ring at Manhattan radius r in deterministic order.
+    for (int dr = -r; dr <= r; ++dr) {
+      const int dc_mag = r - std::abs(dr);
+      for (int dc : {dc_mag, -dc_mag}) {
+        const Site s{target.row + dr, target.col + dc};
+        if (!dev.contains(s)) continue;
+        const int idx = dev.site_index(s);
+        if (!occupied[idx]) return idx;
+        if (dc_mag == 0) break;  // avoid visiting dc=0 twice
+      }
+    }
+  }
+  throw Error("device is full: no free site for placement");
+}
+
+}  // namespace
+
+std::vector<int> Placer::place(const Device& device, const Netlist& netlist,
+                               std::vector<bool>& occupied, Rng& rng) {
+  CRUSADE_REQUIRE(static_cast<int>(occupied.size()) == device.capacity(),
+                  "occupancy mask size mismatch");
+  int free_sites = 0;
+  for (bool o : occupied)
+    if (!o) ++free_sites;
+  if (free_sites < netlist.cell_count())
+    throw Error("netlist '" + netlist.name() + "' does not fit: needs " +
+                std::to_string(netlist.cell_count()) + " sites, " +
+                std::to_string(free_sites) + " free");
+
+  // Neighbour lists over cells (both net directions).
+  std::vector<std::vector<int>> neighbours(netlist.cell_count());
+  for (const auto& net : netlist.nets()) {
+    for (int s : net.sinks) {
+      neighbours[net.driver].push_back(s);
+      neighbours[s].push_back(net.driver);
+    }
+  }
+
+  std::vector<int> placement(netlist.cell_count(), -1);
+  // Seed the block at a random free site so successive blocks start in
+  // different regions of a shared device.
+  Site seed{static_cast<int>(rng.uniform_int(0, device.rows() - 1)),
+            static_cast<int>(rng.uniform_int(0, device.cols() - 1))};
+
+  for (int c = 0; c < netlist.cell_count(); ++c) {
+    Site target = seed;
+    int placed_neighbours = 0;
+    long sum_row = 0, sum_col = 0;
+    for (int n : neighbours[c]) {
+      if (placement[n] < 0) continue;
+      const Site s = device.site_at(placement[n]);
+      sum_row += s.row;
+      sum_col += s.col;
+      ++placed_neighbours;
+    }
+    if (placed_neighbours > 0)
+      target = Site{static_cast<int>(sum_row / placed_neighbours),
+                    static_cast<int>(sum_col / placed_neighbours)};
+    const int site = nearest_free(device, occupied, target);
+    placement[c] = site;
+    occupied[site] = true;
+  }
+  return placement;
+}
+
+}  // namespace crusade

@@ -1,0 +1,28 @@
+// Greedy connectivity-driven placement.
+//
+// Cells are processed in topological (index) order; each is placed on the
+// free site nearest the centroid of its already-placed neighbours, which
+// keeps connected logic local and reproduces the "good placement at low
+// utilization, forced spread at high utilization" behaviour real placers
+// exhibit as devices fill up.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace crusade {
+
+class Placer {
+ public:
+  /// Places every cell of `netlist` on a free site; `occupied` has one flag
+  /// per device site and is updated in place so multiple blocks can share a
+  /// device.  Returns the site index per cell.  Throws Error when the free
+  /// sites run out.
+  static std::vector<int> place(const Device& device, const Netlist& netlist,
+                                std::vector<bool>& occupied, Rng& rng);
+};
+
+}  // namespace crusade

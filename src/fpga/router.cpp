@@ -1,0 +1,129 @@
+#include "fpga/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+Router::Router(const Device& device, RouterParams params)
+    : device_(device), params_(params) {
+  const int rows = device.rows();
+  const int cols = device.cols();
+  h_use_.assign(static_cast<std::size_t>(rows) * std::max(0, cols - 1), 0.0);
+  v_use_.assign(static_cast<std::size_t>(std::max(0, rows - 1)) * cols, 0.0);
+}
+
+void Router::add_pin_load(int pins_used) {
+  CRUSADE_REQUIRE(pins_used >= 0, "negative pin load");
+  if (pins_used == 0) return;
+  // External connections enter at the periphery and fan inward; model as
+  // extra load on the boundary-adjacent channel segments, spread uniformly.
+  std::vector<std::size_t> boundary;
+  const int rows = device_.rows();
+  const int cols = device_.cols();
+  for (int c = 0; c + 1 < cols; ++c) {
+    boundary.push_back(static_cast<std::size_t>(0) * (cols - 1) + c);
+    boundary.push_back(static_cast<std::size_t>(rows - 1) * (cols - 1) + c);
+  }
+  const std::size_t h_count = boundary.size();
+  for (int r = 0; r + 1 < rows; ++r) {
+    boundary.push_back(h_count + static_cast<std::size_t>(r) * cols + 0);
+    boundary.push_back(h_count + static_cast<std::size_t>(r) * cols +
+                       (cols - 1));
+  }
+  if (boundary.empty()) return;
+  const double per_segment =
+      static_cast<double>(pins_used) / static_cast<double>(boundary.size());
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    if (i < h_count)
+      h_use_[boundary[i]] += per_segment;
+    else
+      v_use_[boundary[i] - h_count] += per_segment;
+  }
+}
+
+template <typename Fn>
+void Router::walk_connection(Site from, Site to, Fn&& per_segment) const {
+  // L route with alternating bend orientation (by endpoint parity) so load
+  // spreads over both channel directions instead of piling on one row.
+  const bool row_first = ((from.row + from.col + to.row + to.col) & 1) == 0;
+  const int h_row = row_first ? from.row : to.row;
+  const int v_col = row_first ? to.col : from.col;
+  const int c_lo = std::min(from.col, to.col);
+  const int c_hi = std::max(from.col, to.col);
+  for (int c = c_lo; c < c_hi; ++c)
+    per_segment(/*horizontal=*/true,
+                static_cast<std::size_t>(h_row) * (device_.cols() - 1) + c);
+  const int r_lo = std::min(from.row, to.row);
+  const int r_hi = std::max(from.row, to.row);
+  for (int r = r_lo; r < r_hi; ++r)
+    per_segment(/*horizontal=*/false,
+                static_cast<std::size_t>(r) * device_.cols() + v_col);
+}
+
+void Router::route(const Netlist& netlist, const std::vector<int>& placement) {
+  CRUSADE_REQUIRE(placement.size() ==
+                      static_cast<std::size_t>(netlist.cell_count()),
+                  "placement arity mismatch");
+  for (const auto& net : netlist.nets()) {
+    const Site from = device_.site_at(placement[net.driver]);
+    for (int sink : net.sinks) {
+      const Site to = device_.site_at(placement[sink]);
+      walk_connection(from, to, [this](bool horizontal, std::size_t idx) {
+        (horizontal ? h_use_ : v_use_)[idx] += 1.0;
+      });
+    }
+  }
+}
+
+void Router::route_connection(Site from, Site to) {
+  walk_connection(from, to, [this](bool horizontal, std::size_t idx) {
+    (horizontal ? h_use_ : v_use_)[idx] += 1.0;
+  });
+}
+
+double Router::segment_multiplier(double load) const {
+  const double cap = device_.channel_capacity();
+  const double fill = load / cap;
+  if (fill <= params_.onset) return 1.0;
+  const double excess = fill - params_.onset;
+  return 1.0 + params_.penalty * excess * excess;
+}
+
+RouteResult Router::finalize(const Netlist& netlist,
+                             const std::vector<int>& placement) const {
+  RouteResult result;
+  const double cap = device_.channel_capacity();
+  double peak = 0;
+  for (double u : h_use_) peak = std::max(peak, u / cap);
+  for (double u : v_use_) peak = std::max(peak, u / cap);
+  result.peak_load = peak;
+  if (peak > params_.overflow_limit) {
+    result.routable = false;
+    return result;
+  }
+  result.sink_delay.reserve(netlist.nets().size());
+  for (const auto& net : netlist.nets()) {
+    std::vector<TimeNs> delays;
+    delays.reserve(net.sinks.size());
+    const Site from = device_.site_at(placement[net.driver]);
+    for (int sink : net.sinks) {
+      const Site to = device_.site_at(placement[sink]);
+      double delay = 0;
+      walk_connection(from, to, [&](bool horizontal, std::size_t idx) {
+        const double load = (horizontal ? h_use_ : v_use_)[idx];
+        delay += static_cast<double>(device_.unit_wire_delay()) *
+                 segment_multiplier(load);
+      });
+      // Even a zero-length connection pays one switch hop.
+      delays.push_back(static_cast<TimeNs>(
+          std::llround(delay + device_.unit_wire_delay())));
+    }
+    result.sink_delay.push_back(std::move(delays));
+  }
+  return result;
+}
+
+}  // namespace crusade

@@ -1,0 +1,70 @@
+// Congestion-tracking channel router.
+//
+// Connections are routed with L-shaped Manhattan paths over horizontal and
+// vertical routing channels of finite track capacity.  After all blocks on
+// a device are routed, per-segment congestion multipliers determine each
+// connection's delay; segments loaded beyond the overflow limit make the
+// device unroutable.  This reproduces the Table 1 phenomenology: delays are
+// nominal below ~70% logic utilization and degrade super-linearly above it.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/netlist.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+struct RouterParams {
+  /// Congestion onset as a fraction of channel capacity: below this load a
+  /// segment runs at nominal delay.
+  double onset = 0.6;
+  /// Quadratic penalty strength above onset.
+  double penalty = 10.0;
+  /// A segment loaded beyond overflow_limit × capacity cannot be routed.
+  double overflow_limit = 3.5;
+};
+
+/// Delay of every routed connection, grouped as sink_delay[net][sink_pos].
+struct RouteResult {
+  bool routable = true;
+  std::vector<std::vector<TimeNs>> sink_delay;
+  double peak_load = 0;  ///< max segment load / capacity
+};
+
+class Router {
+ public:
+  explicit Router(const Device& device, RouterParams params = {});
+
+  /// Adds uniform boundary load representing `pins_used` external pins;
+  /// higher pin utilization (EPUF) squeezes the periphery channels.
+  void add_pin_load(int pins_used);
+
+  /// Routes all nets of a placed block, accumulating channel usage.
+  /// Call once per block sharing the device, then finalize each block.
+  void route(const Netlist& netlist, const std::vector<int>& placement);
+
+  /// Routes a single device-level connection (inter-block / global net),
+  /// accumulating channel usage only.
+  void route_connection(Site from, Site to);
+
+  /// Computes connection delays for one previously routed block from the
+  /// final congestion map.
+  RouteResult finalize(const Netlist& netlist,
+                       const std::vector<int>& placement) const;
+
+ private:
+  double segment_multiplier(double load) const;
+  template <typename Fn>
+  void walk_connection(Site from, Site to, Fn&& per_segment) const;
+
+  const Device& device_;
+  RouterParams params_;
+  // h_use_[row][col]: segment between (row,col) and (row,col+1);
+  // v_use_[row][col]: segment between (row,col) and (row+1,col).
+  std::vector<double> h_use_;
+  std::vector<double> v_use_;
+};
+
+}  // namespace crusade

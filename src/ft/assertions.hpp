@@ -1,0 +1,31 @@
+// Fault-tolerance parameters (paper §6, following COFTA [24]).
+//
+// Each task is checked either by an assertion task (when one is available
+// for it — parity, address-range, checksum, coding checks, ...) or by a
+// duplicate-and-compare pair.  Error-transparent tasks propagate input
+// errors to their outputs, allowing one downstream check to cover a chain of
+// producers and cutting the fault-tolerance overhead.
+#pragma once
+
+#include <cstdint>
+
+namespace crusade {
+
+struct FtParams {
+  /// Assertion execution time as a fraction of the checked task's.
+  double assertion_exec_fraction = 0.15;
+  /// Compare-task execution time as a fraction of the compared task's.
+  double compare_exec_fraction = 0.05;
+  /// Fault coverage of a single assertion; a value below the requirement
+  /// forces a duplicate-and-compare even when an assertion exists.
+  double assertion_coverage = 0.96;
+  double required_coverage = 0.90;
+  /// Error-transparency sharing range: a transparent task may delegate its
+  /// check to one within this many hops downstream (fault-detection latency
+  /// constraint).
+  int max_transparency_hops = 2;
+  /// Payload of the checked-task -> check-task communication edge.
+  std::int64_t check_edge_bytes = 64;
+};
+
+}  // namespace crusade

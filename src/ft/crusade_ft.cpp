@@ -1,0 +1,39 @@
+#include "ft/crusade_ft.hpp"
+
+namespace crusade {
+
+CrusadeFt::CrusadeFt(const Specification& spec, const ResourceLibrary& lib,
+                     CrusadeFtParams params)
+    : spec_(spec), lib_(lib), params_(std::move(params)) {}
+
+CrusadeFtResult CrusadeFt::run() {
+  CrusadeFtResult result;
+  result.ft_spec =
+      add_fault_tolerance(spec_, lib_, params_.ft, &result.transform);
+
+  if (result.ft_spec.unavailability_requirement.empty()) {
+    result.ft_spec.unavailability_requirement.resize(
+        result.ft_spec.graphs.size());
+    for (std::size_t g = 0; g < result.ft_spec.graphs.size(); ++g)
+      result.ft_spec.unavailability_requirement[g] =
+          (g % 3 == 2) ? params_.strict_unavailability
+                       : params_.default_unavailability;
+  }
+
+  // §6: clustering keys on fault-tolerance levels — realized here by running
+  // the priority machinery over the augmented graphs, whose check tasks and
+  // assertion overheads are first-class tasks with deadlines.
+  Crusade crusade(result.ft_spec, lib_, params_.base);
+  result.synthesis = crusade.run();
+
+  // Dependability: service modules, Markov availability, spares (§6).
+  FlatSpec flat(result.ft_spec);
+  result.dependability =
+      provision_spares(result.synthesis.arch, flat,
+                       result.synthesis.task_cluster, params_.dependability);
+  result.synthesis.cost = result.synthesis.arch.cost();
+  result.total_cost = result.synthesis.cost.total();
+  return result;
+}
+
+}  // namespace crusade

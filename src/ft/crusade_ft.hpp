@@ -1,0 +1,49 @@
+// CRUSADE-FT: the fault-tolerant extension (paper §6).
+//
+// The base co-synthesis flow runs on a specification augmented with
+// assertion / duplicate-and-compare tasks (error transparency exploited to
+// share checks).  After synthesis, PE instances are grouped into service
+// modules, availability is evaluated with FIT/MTTR Markov models, and
+// standby spare modules are provisioned until every task graph meets its
+// unavailability requirement.
+#pragma once
+
+#include "core/crusade.hpp"
+#include "ft/dependability.hpp"
+#include "ft/transform.hpp"
+
+namespace crusade {
+
+struct CrusadeFtParams {
+  CrusadeParams base;
+  FtParams ft;
+  DependabilityParams dependability;
+  /// Default unavailability requirement applied to graphs when the
+  /// specification carries none: 12 minutes/year (provisioning-class), with
+  /// every third graph held to 4 minutes/year (transmission-class), per §7.
+  double default_unavailability = 12.0 / (365.25 * 24 * 60);
+  double strict_unavailability = 4.0 / (365.25 * 24 * 60);
+};
+
+struct CrusadeFtResult {
+  Specification ft_spec;  ///< the augmented specification (owned)
+  CrusadeResult synthesis;
+  FtTransformReport transform;
+  DependabilityReport dependability;
+  double total_cost = 0;  ///< architecture + spares
+};
+
+class CrusadeFt {
+ public:
+  CrusadeFt(const Specification& spec, const ResourceLibrary& lib,
+            CrusadeFtParams params = {});
+
+  CrusadeFtResult run();
+
+ private:
+  const Specification& spec_;
+  const ResourceLibrary& lib_;
+  CrusadeFtParams params_;
+};
+
+}  // namespace crusade

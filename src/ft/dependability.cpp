@@ -1,0 +1,193 @@
+#include "ft/dependability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+double module_unavailability(double fit_total, double mttr_hours,
+                             int spares) {
+  CRUSADE_REQUIRE(fit_total >= 0, "negative FIT");
+  CRUSADE_REQUIRE(mttr_hours > 0, "MTTR must be positive");
+  CRUSADE_REQUIRE(spares >= 0, "negative spares");
+  const double lambda = fit_total * 1e-9;  // failures per hour
+  const double mu = 1.0 / mttr_hours;      // repairs per hour
+  if (lambda == 0) return 0;
+  // Birth–death over k failed units, n = 1 + spares hot units, single
+  // repairman: rate k->k+1 is (n-k)·lambda, rate k->k-1 is mu.
+  const int n = 1 + spares;
+  std::vector<double> pi(n + 1, 0);
+  pi[0] = 1;
+  double sum = 1;
+  for (int k = 1; k <= n; ++k) {
+    pi[k] = pi[k - 1] * ((n - (k - 1)) * lambda) / mu;
+    sum += pi[k];
+  }
+  // Down only when every unit (active + spares) has failed.
+  return pi[n] / sum;
+}
+
+std::vector<ServiceModule> form_service_modules(
+    const Architecture& arch, const DependabilityParams& params) {
+  const int n = static_cast<int>(arch.pes.size());
+  std::vector<int> module_of(n, -1);
+  std::vector<ServiceModule> modules;
+
+  // BFS over the link topology so modules are physically replaceable
+  // neighbourhoods; size-capped per params.
+  for (int seed = 0; seed < n; ++seed) {
+    if (!arch.pes[seed].alive() || module_of[seed] >= 0) continue;
+    ServiceModule module;
+    std::vector<int> queue = {seed};
+    module_of[seed] = static_cast<int>(modules.size());
+    while (!queue.empty() &&
+           static_cast<int>(module.pes.size()) < params.max_module_size) {
+      const int pe = queue.back();
+      queue.pop_back();
+      module.pes.push_back(pe);
+      for (const LinkInstance& link : arch.links) {
+        if (!link.is_attached(pe)) continue;
+        for (int peer : link.attached) {
+          if (peer == pe || module_of[peer] >= 0) continue;
+          if (!arch.pes[peer].alive()) continue;
+          if (static_cast<int>(module.pes.size() + queue.size()) >=
+              params.max_module_size)
+            break;
+          module_of[peer] = static_cast<int>(modules.size());
+          queue.push_back(peer);
+        }
+      }
+    }
+    for (int pe : queue) module.pes.push_back(pe);  // drain the remainder
+    modules.push_back(std::move(module));
+  }
+
+  // FIT totals: member PEs plus a share of each link they touch.
+  for (ServiceModule& module : modules) {
+    double fit = 0;
+    for (int pe : module.pes) fit += arch.lib().pe(arch.pes[pe].type).fit_rate;
+    for (const LinkInstance& link : arch.links) {
+      if (link.ports() < 2) continue;
+      int members = 0;
+      for (int pe : module.pes)
+        if (link.is_attached(pe)) ++members;
+      if (members > 0)
+        fit += arch.lib().link(link.type).fit_rate *
+               static_cast<double>(members) /
+               static_cast<double>(link.ports());
+    }
+    module.fit_total = fit;
+  }
+  return modules;
+}
+
+namespace {
+
+double module_cost(const Architecture& arch, const ServiceModule& module) {
+  double cost = 0;
+  for (int pe : module.pes) cost += arch.lib().pe(arch.pes[pe].type).cost;
+  return cost;
+}
+
+}  // namespace
+
+DependabilityReport analyze_dependability(const Architecture& arch,
+                                          const FlatSpec& flat,
+                                          const std::vector<int>& task_cluster,
+                                          const DependabilityParams& params,
+                                          std::vector<ServiceModule> modules) {
+  DependabilityReport report;
+  for (ServiceModule& module : modules) {
+    module.unavailability =
+        module_unavailability(module.fit_total, params.mttr_hours,
+                              module.spares);
+    module.spare_cost = module.spares * module_cost(arch, module);
+    report.total_spare_cost += module.spare_cost;
+  }
+
+  // Map PE -> module.
+  std::vector<int> module_of(arch.pes.size(), -1);
+  for (std::size_t m = 0; m < modules.size(); ++m)
+    for (int pe : modules[m].pes) module_of[pe] = static_cast<int>(m);
+
+  const auto& spec = flat.spec();
+  report.graph_unavailability.assign(flat.graph_count(), 0);
+  report.graph_meets.assign(flat.graph_count(), 1);
+  for (int g = 0; g < flat.graph_count(); ++g) {
+    // Modules this graph's tasks run on.
+    std::vector<char> touched(modules.size(), 0);
+    for (int t = 0; t < spec.graphs[g].task_count(); ++t) {
+      const int tid = flat.task_id(g, t);
+      const int cluster = task_cluster[tid];
+      if (cluster < 0) continue;
+      const int pe = arch.cluster_pe[cluster];
+      if (pe >= 0 && module_of[pe] >= 0) touched[module_of[pe]] = 1;
+    }
+    double up = 1.0;
+    for (std::size_t m = 0; m < modules.size(); ++m)
+      if (touched[m]) up *= 1.0 - modules[m].unavailability;
+    report.graph_unavailability[g] = 1.0 - up;
+    if (!spec.unavailability_requirement.empty()) {
+      const double req = spec.unavailability_requirement[g];
+      if (req > 0 && report.graph_unavailability[g] > req)
+        report.graph_meets[g] = 0;
+    }
+  }
+  report.meets_requirements =
+      std::all_of(report.graph_meets.begin(), report.graph_meets.end(),
+                  [](char c) { return c != 0; });
+  report.modules = std::move(modules);
+  return report;
+}
+
+DependabilityReport provision_spares(Architecture& arch, const FlatSpec& flat,
+                                     const std::vector<int>& task_cluster,
+                                     const DependabilityParams& params) {
+  std::vector<ServiceModule> modules = form_service_modules(arch, params);
+  DependabilityReport report = analyze_dependability(
+      arch, flat, task_cluster, params, modules);
+
+  // Greedy: while some graph misses its requirement, add a spare to the
+  // worst-unavailability module that graph touches.
+  for (int round = 0;
+       round < static_cast<int>(modules.size()) *
+                   params.max_spares_per_module &&
+       !report.meets_requirements;
+       ++round) {
+    int worst_module = -1;
+    double worst_u = -1;
+    // PE -> module map for the current report.
+    std::vector<int> module_of(arch.pes.size(), -1);
+    for (std::size_t m = 0; m < report.modules.size(); ++m)
+      for (int pe : report.modules[m].pes)
+        module_of[pe] = static_cast<int>(m);
+    const auto& spec = flat.spec();
+    for (int g = 0; g < flat.graph_count(); ++g) {
+      if (report.graph_meets[g]) continue;
+      for (int t = 0; t < spec.graphs[g].task_count(); ++t) {
+        const int tid = flat.task_id(g, t);
+        const int cluster = task_cluster[tid];
+        if (cluster < 0) continue;
+        const int pe = arch.cluster_pe[cluster];
+        if (pe < 0 || module_of[pe] < 0) continue;
+        const ServiceModule& module = report.modules[module_of[pe]];
+        if (module.spares >= params.max_spares_per_module) continue;
+        if (module.unavailability > worst_u) {
+          worst_u = module.unavailability;
+          worst_module = module_of[pe];
+        }
+      }
+    }
+    if (worst_module < 0) break;  // every relevant module is at the cap
+    ++report.modules[worst_module].spares;
+    report = analyze_dependability(arch, flat, task_cluster, params,
+                                   report.modules);
+  }
+
+  arch.spares_cost = report.total_spare_cost;
+  return report;
+}
+
+}  // namespace crusade

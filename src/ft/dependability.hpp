@@ -1,0 +1,65 @@
+// Dependability analysis and spare provisioning (paper §6).
+//
+// PE instances are grouped into service modules (the unit of field
+// replacement); each module's steady-state unavailability comes from a
+// birth–death Markov model over its FIT rate, the system MTTR and the
+// number of standby spares.  A task graph's unavailability is the
+// probability that any service module it runs on is down; spares are added
+// to the worst modules until every graph meets its requirement.
+#pragma once
+
+#include <vector>
+
+#include "alloc/architecture.hpp"
+#include "graph/specification.hpp"
+#include "sched/flat.hpp"
+
+namespace crusade {
+
+struct DependabilityParams {
+  double mttr_hours = 2.0;  ///< §7: MTTR assumed two hours
+  int max_module_size = 4;  ///< PEs per service module
+  int max_spares_per_module = 3;
+};
+
+struct ServiceModule {
+  std::vector<int> pes;  ///< PE instance ids
+  int spares = 0;
+  double fit_total = 0;        ///< summed FIT of members (+ their links)
+  double unavailability = 0;   ///< steady state, with current spares
+  double spare_cost = 0;       ///< dollar cost of the standby modules
+};
+
+struct DependabilityReport {
+  std::vector<ServiceModule> modules;
+  std::vector<double> graph_unavailability;  ///< per task graph
+  std::vector<char> graph_meets;             ///< per task graph
+  bool meets_requirements = false;
+  double total_spare_cost = 0;
+};
+
+/// Steady-state unavailability of one active unit backed by `spares` hot
+/// standbys with a single repair facility: a birth–death chain over the
+/// number of failed units; the function is down only when all units failed.
+double module_unavailability(double fit_total, double mttr_hours, int spares);
+
+/// Groups live PEs into service modules by link connectivity.
+std::vector<ServiceModule> form_service_modules(
+    const Architecture& arch, const DependabilityParams& params);
+
+/// Evaluates the architecture against the specification's per-graph
+/// unavailability requirements with the given spare counts.
+DependabilityReport analyze_dependability(const Architecture& arch,
+                                          const FlatSpec& flat,
+                                          const std::vector<int>& task_cluster,
+                                          const DependabilityParams& params,
+                                          std::vector<ServiceModule> modules);
+
+/// Adds spares (greedily, to the worst offending module) until every graph
+/// meets its requirement or the per-module cap is hit; writes the spare cost
+/// into the architecture and returns the final report.
+DependabilityReport provision_spares(Architecture& arch, const FlatSpec& flat,
+                                     const std::vector<int>& task_cluster,
+                                     const DependabilityParams& params);
+
+}  // namespace crusade

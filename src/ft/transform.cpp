@@ -1,0 +1,141 @@
+#include "ft/transform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+namespace {
+
+/// Scaled copy of a task's execution vector (never below 100ns).
+std::vector<TimeNs> scaled_exec(const Task& t, double fraction) {
+  std::vector<TimeNs> exec(t.exec.size(), kNoTime);
+  for (std::size_t pe = 0; pe < t.exec.size(); ++pe)
+    if (t.exec[pe] != kNoTime)
+      exec[pe] = std::max<TimeNs>(
+          100, static_cast<TimeNs>(static_cast<double>(t.exec[pe]) * fraction));
+  return exec;
+}
+
+TimeNs check_deadline(const TaskGraph& graph, int task) {
+  const TimeNs d = graph.effective_deadline(task);
+  if (d != kNoTime) return d;
+  // Interior task: the fault must be flagged by the time the graph's
+  // outputs are due — the latest sink deadline (which includes any
+  // pipelining allowance), not one bare period.
+  TimeNs latest = graph.period();
+  for (int t = 0; t < graph.task_count(); ++t)
+    if (graph.is_sink(t))
+      latest = std::max(latest, graph.effective_deadline(t));
+  return latest;
+}
+
+}  // namespace
+
+Specification add_fault_tolerance(const Specification& spec,
+                                  const ResourceLibrary& lib,
+                                  const FtParams& params,
+                                  FtTransformReport* report) {
+  (void)lib;
+  FtTransformReport local;
+  Specification out;
+  out.name = spec.name + "-ft";
+  out.compatibility = spec.compatibility;
+  out.boot_time_requirement = spec.boot_time_requirement;
+  out.unavailability_requirement = spec.unavailability_requirement;
+  local.tasks_before = spec.total_tasks();
+
+  for (const TaskGraph& graph : spec.graphs) {
+    TaskGraph ft(graph.name() + "-ft", graph.period(), graph.est());
+    // Copy original tasks/edges verbatim (indices preserved).
+    for (int t = 0; t < graph.task_count(); ++t) ft.add_task(graph.task(t));
+    for (int e = 0; e < graph.edge_count(); ++e) {
+      const Edge& edge = graph.edge(e);
+      ft.add_edge(edge.src, edge.dst, edge.bytes);
+    }
+
+    // Decide which tasks carry their own check.  Reverse topological order:
+    // an error-transparent task within max_transparency_hops of a checked
+    // successor shares that check (§6 error transparency).
+    const auto order = graph.topo_order();
+    std::vector<int> hops_to_check(graph.task_count(), 1 << 20);
+    std::vector<char> own_check(graph.task_count(), 0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int t = *it;
+      int best = 1 << 20;
+      for (int eid : graph.out_edges()[t]) {
+        const int dst = graph.edge(eid).dst;
+        const int via = own_check[dst] ? 1 : hops_to_check[dst] + 1;
+        best = std::min(best, via);
+      }
+      if (graph.task(t).error_transparent &&
+          best <= params.max_transparency_hops) {
+        hops_to_check[t] = best;
+        ++local.checks_shared;
+      } else {
+        own_check[t] = 1;
+        hops_to_check[t] = 0;
+      }
+    }
+
+    for (int t = 0; t < graph.task_count(); ++t) {
+      if (!own_check[t]) continue;
+      // By value: add_task below may reallocate the task vector.
+      const Task checked = ft.task(t);
+      const bool use_assertion =
+          checked.has_assertion &&
+          params.assertion_coverage >= params.required_coverage;
+      if (use_assertion) {
+        Task assertion;
+        assertion.name = checked.name + ".assert";
+        assertion.exec = scaled_exec(checked, params.assertion_exec_fraction);
+        assertion.memory = {4 * 1024, 2 * 1024, 1 * 1024};
+        assertion.gates = std::max(1, checked.gates / 8);
+        assertion.pfus = std::max(1, checked.pfus / 8);
+        assertion.pins = std::max(1, checked.pins / 4);
+        assertion.deadline = check_deadline(graph, t);
+        assertion.has_assertion = true;
+        const int aid = ft.add_task(std::move(assertion));
+        ft.add_edge(t, aid, params.check_edge_bytes);
+        ft.add_exclusion(t, aid);  // checker must sit on a different PE
+        ++local.assertions_added;
+      } else {
+        // Duplicate-and-compare: replicate the task with its inputs and
+        // compare both outputs on a small task.
+        Task duplicate = checked;
+        duplicate.name = checked.name + ".dup";
+        // Exclusions are symmetric relations; rebuild them for the copy
+        // rather than inheriting one-directional references.
+        const std::vector<int> inherited = std::move(duplicate.exclusions);
+        duplicate.exclusions.clear();
+        const int did = ft.add_task(std::move(duplicate));
+        for (int peer : inherited) ft.add_exclusion(did, peer);
+        for (int eid : graph.in_edges()[t]) {
+          const Edge& in = graph.edge(eid);
+          ft.add_edge(in.src, did, in.bytes);
+        }
+        Task compare;
+        compare.name = checked.name + ".cmp";
+        compare.exec = scaled_exec(checked, params.compare_exec_fraction);
+        compare.memory = {2 * 1024, 1 * 1024, 1 * 1024};
+        compare.gates = std::max(1, checked.gates / 16);
+        compare.pfus = std::max(1, checked.pfus / 16);
+        compare.pins = std::max(1, checked.pins / 4);
+        compare.deadline = check_deadline(graph, t);
+        const int cid = ft.add_task(std::move(compare));
+        ft.add_edge(t, cid, params.check_edge_bytes);
+        ft.add_edge(did, cid, params.check_edge_bytes);
+        ft.add_exclusion(t, did);  // replicas on distinct PEs
+        ++local.duplicate_compare_added;
+      }
+    }
+    out.graphs.push_back(std::move(ft));
+  }
+
+  local.tasks_after = out.total_tasks();
+  if (report) *report = local;
+  return out;
+}
+
+}  // namespace crusade

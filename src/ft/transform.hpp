@@ -1,0 +1,29 @@
+// Fault-tolerance transformation: augments a specification with assertion
+// and duplicate-and-compare tasks (paper §6).
+#pragma once
+
+#include "ft/assertions.hpp"
+#include "graph/specification.hpp"
+#include "resources/resource_library.hpp"
+
+namespace crusade {
+
+struct FtTransformReport {
+  int assertions_added = 0;
+  int duplicate_compare_added = 0;
+  int checks_shared = 0;  ///< checks avoided through error transparency
+  int tasks_before = 0;
+  int tasks_after = 0;
+};
+
+/// Returns a new specification where every task is covered by a check task
+/// (its own assertion, a duplicate-and-compare pair, or a shared downstream
+/// check over an error-transparent path).  Check tasks carry exclusions
+/// against their checked task so allocation places them on a different PE
+/// (a PE failure must not escape its own checker).
+Specification add_fault_tolerance(const Specification& spec,
+                                  const ResourceLibrary& lib,
+                                  const FtParams& params,
+                                  FtTransformReport* report = nullptr);
+
+}  // namespace crusade

@@ -1,0 +1,280 @@
+#include "graph/spec_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+TimeNs parse_time(const std::string& text) {
+  std::size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw Error("bad time literal '" + text + "'");
+  }
+  const std::string unit = text.substr(pos);
+  double scale = 0;
+  if (unit == "ns")
+    scale = 1;
+  else if (unit == "us")
+    scale = kMicrosecond;
+  else if (unit == "ms")
+    scale = kMillisecond;
+  else if (unit == "s")
+    scale = kSecond;
+  else if (unit == "min")
+    scale = kMinute;
+  else
+    throw Error("bad time unit in '" + text + "' (want ns/us/ms/s/min)");
+  const double ns = value * scale;
+  CRUSADE_REQUIRE(ns >= 0 && ns < 9.2e18, "time out of range: " + text);
+  return static_cast<TimeNs>(std::llround(ns));
+}
+
+std::string time_to_string(TimeNs t) {
+  CRUSADE_REQUIRE(t >= 0, "negative time");
+  if (t % kMinute == 0 && t > 0) return std::to_string(t / kMinute) + "min";
+  if (t % kSecond == 0 && t > 0) return std::to_string(t / kSecond) + "s";
+  if (t % kMillisecond == 0 && t > 0)
+    return std::to_string(t / kMillisecond) + "ms";
+  if (t % kMicrosecond == 0 && t > 0)
+    return std::to_string(t / kMicrosecond) + "us";
+  return std::to_string(t) + "ns";
+}
+
+namespace {
+
+struct Parser {
+  const ResourceLibrary& lib;
+  Specification spec;
+  // task name -> (graph index, task index); task names must be unique per
+  // graph, graph names globally unique.
+  std::map<std::string, int> graph_index;
+  std::map<std::pair<int, std::string>, int> task_index;
+  std::map<std::pair<int, int>, bool> compat_pairs;
+  std::map<int, double> unavailability;
+  int line_no = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("spec line " + std::to_string(line_no) + ": " + msg);
+  }
+
+  int current_graph() const {
+    if (spec.graphs.empty()) fail("directive before any 'graph'");
+    return static_cast<int>(spec.graphs.size()) - 1;
+  }
+
+  int find_task(int graph, const std::string& name) const {
+    const auto it = task_index.find({graph, name});
+    if (it == task_index.end())
+      fail("unknown task '" + name + "' in graph " +
+           spec.graphs[graph].name());
+    return it->second;
+  }
+
+  void handle(const std::string& keyword, std::istringstream& args) {
+    if (keyword == "spec") {
+      args >> spec.name;
+    } else if (keyword == "boot_requirement") {
+      std::string t;
+      args >> t;
+      spec.boot_time_requirement = parse_time(t);
+    } else if (keyword == "graph") {
+      std::string name, kw, value;
+      args >> name >> kw >> value;
+      if (name.empty() || kw != "period") fail("want: graph <name> period <time>");
+      if (graph_index.count(name)) fail("duplicate graph '" + name + "'");
+      TaskGraph g(name, parse_time(value));
+      std::string est_kw, est_val;
+      if (args >> est_kw >> est_val) {
+        if (est_kw != "est") fail("unknown graph attribute '" + est_kw + "'");
+        g.set_est(parse_time(est_val));
+      }
+      graph_index[name] = static_cast<int>(spec.graphs.size());
+      spec.graphs.push_back(std::move(g));
+    } else if (keyword == "task") {
+      const int g = current_graph();
+      Task task;
+      args >> task.name;
+      if (task.name.empty()) fail("task needs a name");
+      task.exec.assign(lib.pe_count(), kNoTime);
+      task.has_assertion = true;
+      std::string kw;
+      bool have_exec = false;
+      while (args >> kw) {
+        if (kw == "deadline") {
+          std::string t;
+          args >> t;
+          task.deadline = parse_time(t);
+        } else if (kw == "mem") {
+          args >> task.memory.program >> task.memory.data >>
+              task.memory.stack;
+        } else if (kw == "hw") {
+          args >> task.pfus >> task.pins;
+          task.gates = task.pfus * 12;
+        } else if (kw == "assertion") {
+          int v;
+          args >> v;
+          task.has_assertion = v != 0;
+        } else if (kw == "transparent") {
+          int v;
+          args >> v;
+          task.error_transparent = v != 0;
+        } else if (kw == "exec") {
+          std::string entry;
+          while (args >> entry) {
+            const auto eq = entry.find('=');
+            if (eq == std::string::npos)
+              fail("want exec <pe>=<time>, got '" + entry + "'");
+            const std::string pe_name = entry.substr(0, eq);
+            const TimeNs t = parse_time(entry.substr(eq + 1));
+            if (pe_name == "*") {
+              for (PeTypeId pe = 0; pe < lib.pe_count(); ++pe)
+                task.exec[pe] = t;
+            } else {
+              task.exec[lib.find_pe(pe_name)] = t;
+            }
+          }
+          have_exec = true;
+        } else {
+          fail("unknown task attribute '" + kw + "'");
+        }
+      }
+      if (!have_exec) fail("task '" + task.name + "' has no exec vector");
+      const auto key = std::make_pair(g, task.name);
+      if (task_index.count(key)) fail("duplicate task '" + task.name + "'");
+      task_index[key] = spec.graphs[g].add_task(std::move(task));
+    } else if (keyword == "edge") {
+      const int g = current_graph();
+      std::string src, dst;
+      std::int64_t bytes = 0;
+      args >> src >> dst >> bytes;
+      spec.graphs[g].add_edge(find_task(g, src), find_task(g, dst), bytes);
+    } else if (keyword == "exclude") {
+      const int g = current_graph();
+      std::string a, b;
+      args >> a >> b;
+      spec.graphs[g].add_exclusion(find_task(g, a), find_task(g, b));
+    } else if (keyword == "compatible") {
+      std::string a, b;
+      args >> a >> b;
+      if (!graph_index.count(a) || !graph_index.count(b))
+        fail("compatible references unknown graph");
+      compat_pairs[{graph_index[a], graph_index[b]}] = true;
+    } else if (keyword == "unavailability") {
+      std::string g;
+      double u = 0;
+      args >> g >> u;
+      if (!graph_index.count(g)) fail("unavailability of unknown graph");
+      unavailability[graph_index[g]] = u;
+    } else {
+      fail("unknown directive '" + keyword + "'");
+    }
+  }
+
+  Specification finish() {
+    if (!compat_pairs.empty()) {
+      CompatibilityMatrix compat(static_cast<int>(spec.graphs.size()));
+      for (const auto& [pair, _] : compat_pairs)
+        compat.set_compatible(pair.first, pair.second, true);
+      spec.compatibility = std::move(compat);
+    }
+    if (!unavailability.empty()) {
+      spec.unavailability_requirement.assign(spec.graphs.size(), 0.0);
+      for (const auto& [g, u] : unavailability)
+        spec.unavailability_requirement[g] = u;
+    }
+    spec.validate(lib.pe_count());
+    return std::move(spec);
+  }
+};
+
+}  // namespace
+
+Specification read_specification(std::istream& in,
+                                 const ResourceLibrary& lib) {
+  Parser parser{lib, {}, {}, {}, {}, {}, 0};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++parser.line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream args(line);
+    std::string keyword;
+    if (!(args >> keyword)) continue;  // blank/comment line
+    parser.handle(keyword, args);
+  }
+  return parser.finish();
+}
+
+Specification read_specification_file(const std::string& path,
+                                      const ResourceLibrary& lib) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open specification file '" + path + "'");
+  return read_specification(in, lib);
+}
+
+void write_specification(std::ostream& out, const Specification& spec,
+                         const ResourceLibrary& lib) {
+  out << "spec " << (spec.name.empty() ? "unnamed" : spec.name) << "\n";
+  out << "boot_requirement " << time_to_string(spec.boot_time_requirement)
+      << "\n";
+  for (const TaskGraph& g : spec.graphs) {
+    out << "\ngraph " << g.name() << " period " << time_to_string(g.period());
+    if (g.est() != 0) out << " est " << time_to_string(g.est());
+    out << "\n";
+    for (int t = 0; t < g.task_count(); ++t) {
+      const Task& task = g.task(t);
+      out << "task " << task.name;
+      if (task.deadline != kNoTime)
+        out << " deadline " << time_to_string(task.deadline);
+      if (task.memory.total() > 0)
+        out << " mem " << task.memory.program << " " << task.memory.data
+            << " " << task.memory.stack;
+      if (task.pfus > 0 || task.pins > 0)
+        out << " hw " << task.pfus << " " << task.pins;
+      if (!task.has_assertion) out << " assertion 0";
+      if (task.error_transparent) out << " transparent 1";
+      out << " exec";
+      for (PeTypeId pe = 0; pe < lib.pe_count(); ++pe)
+        if (task.exec[pe] != kNoTime)
+          out << " " << lib.pe(pe).name << "=" << time_to_string(task.exec[pe]);
+      out << "\n";
+    }
+    for (const Edge& e : g.edges())
+      out << "edge " << g.task(e.src).name << " " << g.task(e.dst).name
+          << " " << e.bytes << "\n";
+    for (int t = 0; t < g.task_count(); ++t)
+      for (int other : g.task(t).exclusions)
+        if (other > t)
+          out << "exclude " << g.task(t).name << " " << g.task(other).name
+              << "\n";
+  }
+  if (spec.compatibility) {
+    out << "\n";
+    for (int i = 0; i < spec.compatibility->graph_count(); ++i)
+      for (int j = i + 1; j < spec.compatibility->graph_count(); ++j)
+        if (spec.compatibility->compatible(i, j))
+          out << "compatible " << spec.graphs[i].name() << " "
+              << spec.graphs[j].name() << "\n";
+  }
+  for (std::size_t g = 0; g < spec.unavailability_requirement.size(); ++g)
+    if (spec.unavailability_requirement[g] > 0)
+      out << "unavailability " << spec.graphs[g].name() << " "
+          << spec.unavailability_requirement[g] << "\n";
+}
+
+void write_specification_file(const std::string& path,
+                              const Specification& spec,
+                              const ResourceLibrary& lib) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write specification file '" + path + "'");
+  write_specification(out, spec, lib);
+}
+
+}  // namespace crusade

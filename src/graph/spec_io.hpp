@@ -1,0 +1,50 @@
+// Text serialization of specifications — a small line-oriented format so
+// workloads can be stored in files, versioned and exchanged (the role
+// TGFF's .tgff files play for the original tool).
+//
+// Format (one directive per line, '#' comments):
+//
+//   spec <name>
+//   boot_requirement <time>
+//   graph <name> period <time> [est <time>]
+//   task <name> [deadline <time>] [mem <prog> <data> <stack>]
+//        [hw <pfus> <pins>] [assertion 0|1] [transparent 0|1]
+//        exec <pe-type>=<time> [<pe-type>=<time> ...]
+//   edge <src-task> <dst-task> <bytes>
+//   exclude <task-a> <task-b>
+//   compatible <graph-a> <graph-b>
+//   unavailability <graph> <fraction>
+//
+// Times accept ns/us/ms/s/min suffixes (e.g. 25us, 1.5ms, 1min).
+// `exec *=<time>` sets every PE type the library declares feasible.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/specification.hpp"
+#include "resources/resource_library.hpp"
+
+namespace crusade {
+
+/// Parses a specification from the text format.  Throws Error with a
+/// line-numbered message on malformed input.
+Specification read_specification(std::istream& in,
+                                 const ResourceLibrary& lib);
+Specification read_specification_file(const std::string& path,
+                                      const ResourceLibrary& lib);
+
+/// Writes a specification in the same format (round-trips through
+/// read_specification).
+void write_specification(std::ostream& out, const Specification& spec,
+                         const ResourceLibrary& lib);
+void write_specification_file(const std::string& path,
+                              const Specification& spec,
+                              const ResourceLibrary& lib);
+
+/// Parses a time with unit suffix ("25us", "1.5ms", "60s", "1min", "80ns").
+TimeNs parse_time(const std::string& text);
+/// Formats a time parseable by parse_time (always integral nanoseconds).
+std::string time_to_string(TimeNs t);
+
+}  // namespace crusade

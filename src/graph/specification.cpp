@@ -1,0 +1,69 @@
+#include "graph/specification.hpp"
+
+#include "util/math.hpp"
+
+namespace crusade {
+
+CompatibilityMatrix::CompatibilityMatrix(int graph_count)
+    : n_(graph_count), delta_(static_cast<std::size_t>(n_) * n_, 1) {
+  CRUSADE_REQUIRE(graph_count >= 0, "negative graph count");
+}
+
+bool CompatibilityMatrix::compatible(int i, int j) const {
+  CRUSADE_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_,
+                  "compatibility index out of range");
+  if (i == j) return false;  // a graph never time-shares with itself
+  return delta_[static_cast<std::size_t>(i) * n_ + j] == 0;
+}
+
+void CompatibilityMatrix::set_compatible(int i, int j, bool compatible) {
+  CRUSADE_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_,
+                  "compatibility index out of range");
+  CRUSADE_REQUIRE(i != j, "diagonal compatibility is fixed");
+  const int v = compatible ? 0 : 1;
+  delta_[static_cast<std::size_t>(i) * n_ + j] = v;
+  delta_[static_cast<std::size_t>(j) * n_ + i] = v;
+}
+
+std::vector<int> CompatibilityMatrix::vector_for(int i) const {
+  CRUSADE_REQUIRE(i >= 0 && i < n_, "compatibility index out of range");
+  return {delta_.begin() + static_cast<std::ptrdiff_t>(i) * n_,
+          delta_.begin() + static_cast<std::ptrdiff_t>(i + 1) * n_};
+}
+
+TimeNs Specification::hyperperiod() const {
+  std::vector<TimeNs> periods;
+  periods.reserve(graphs.size());
+  for (const auto& g : graphs) periods.push_back(g.period());
+  return crusade::hyperperiod(periods);
+}
+
+int Specification::total_tasks() const {
+  int n = 0;
+  for (const auto& g : graphs) n += g.task_count();
+  return n;
+}
+
+int Specification::total_edges() const {
+  int n = 0;
+  for (const auto& g : graphs) n += g.edge_count();
+  return n;
+}
+
+void Specification::validate(int pe_type_count) const {
+  if (graphs.empty()) throw Error("specification has no task graphs");
+  for (const auto& g : graphs) g.validate(pe_type_count);
+  if (compatibility &&
+      compatibility->graph_count() != static_cast<int>(graphs.size()))
+    throw Error("compatibility matrix arity != graph count");
+  if (!unavailability_requirement.empty() &&
+      unavailability_requirement.size() != graphs.size())
+    throw Error("unavailability requirement arity != graph count");
+  for (double u : unavailability_requirement)
+    if (u < 0 || u > 1) throw Error("unavailability requirement out of [0,1]");
+  if (boot_time_requirement <= 0)
+    throw Error("boot time requirement must be positive");
+  hyperperiod();  // throws on overflow / bad periods
+}
+
+}  // namespace crusade

@@ -1,0 +1,62 @@
+// Embedded-system specification: the set of periodic task graphs handed to
+// co-synthesis, plus system-wide constraints (paper §2.1, §4.1, §4.4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+/// Compatibility of task graph pairs (§4.1).  Following the paper's
+/// convention, 0 means *compatible* (executions never overlap, so the graphs
+/// may time-share a programmable device) and 1 means incompatible.
+class CompatibilityMatrix {
+ public:
+  CompatibilityMatrix() = default;
+  explicit CompatibilityMatrix(int graph_count);
+
+  int graph_count() const { return n_; }
+  bool compatible(int i, int j) const;
+  void set_compatible(int i, int j, bool compatible);
+
+  /// Row i as the paper's compatibility vector [Δi1 … Δik] (0 = compatible).
+  std::vector<int> vector_for(int i) const;
+
+ private:
+  int n_ = 0;
+  std::vector<int> delta_;  // n*n, Δij ∈ {0,1}; diagonal fixed at 1
+};
+
+/// Full co-synthesis input.
+struct Specification {
+  std::string name;
+  std::vector<TaskGraph> graphs;
+
+  /// Optional a-priori compatibility vectors (§4.1).  When absent, CRUSADE
+  /// first builds a single-mode architecture and derives compatibility from
+  /// the schedule (Figure 3 procedure).
+  std::optional<CompatibilityMatrix> compatibility;
+
+  /// System boot-time requirement driving reconfiguration-controller
+  /// interface synthesis (§4.4): the worst acceptable per-mode-switch
+  /// reconfiguration latency.
+  TimeNs boot_time_requirement = 200 * kMillisecond;
+
+  /// §6: per-graph unavailability requirement (fraction of time the function
+  /// may be down, e.g. 12 min/year = 12/525600).  Empty when fault tolerance
+  /// is not requested; otherwise one entry per graph (0 = no requirement).
+  std::vector<double> unavailability_requirement;
+
+  TimeNs hyperperiod() const;
+  int total_tasks() const;
+  int total_edges() const;
+
+  /// Validates every graph plus the cross-graph constraints.
+  void validate(int pe_type_count) const;
+};
+
+}  // namespace crusade

@@ -1,0 +1,125 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+
+namespace crusade {
+
+int TaskGraph::add_task(Task task) {
+  tasks_.push_back(std::move(task));
+  invalidate_adjacency();
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void TaskGraph::add_edge(int src, int dst, std::int64_t bytes) {
+  CRUSADE_REQUIRE(src >= 0 && src < task_count(), "edge src out of range");
+  CRUSADE_REQUIRE(dst >= 0 && dst < task_count(), "edge dst out of range");
+  CRUSADE_REQUIRE(src != dst, "self loop");
+  CRUSADE_REQUIRE(bytes >= 0, "negative edge payload");
+  edges_.push_back(Edge{src, dst, bytes});
+  invalidate_adjacency();
+}
+
+void TaskGraph::add_exclusion(int a, int b) {
+  CRUSADE_REQUIRE(a >= 0 && a < task_count(), "exclusion a out of range");
+  CRUSADE_REQUIRE(b >= 0 && b < task_count(), "exclusion b out of range");
+  CRUSADE_REQUIRE(a != b, "task cannot exclude itself");
+  auto add = [](std::vector<int>& v, int x) {
+    if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+  };
+  add(tasks_[a].exclusions, b);
+  add(tasks_[b].exclusions, a);
+}
+
+void TaskGraph::invalidate_adjacency() { adjacency_valid_ = false; }
+
+void TaskGraph::build_adjacency() const {
+  out_edges_.assign(tasks_.size(), {});
+  in_edges_.assign(tasks_.size(), {});
+  for (int e = 0; e < edge_count(); ++e) {
+    out_edges_[edges_[e].src].push_back(e);
+    in_edges_[edges_[e].dst].push_back(e);
+  }
+  adjacency_valid_ = true;
+}
+
+const std::vector<std::vector<int>>& TaskGraph::out_edges() const {
+  if (!adjacency_valid_) build_adjacency();
+  return out_edges_;
+}
+
+const std::vector<std::vector<int>>& TaskGraph::in_edges() const {
+  if (!adjacency_valid_) build_adjacency();
+  return in_edges_;
+}
+
+std::vector<int> TaskGraph::topo_order() const {
+  std::vector<int> indegree(tasks_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.dst];
+  std::vector<int> ready;
+  for (int t = 0; t < task_count(); ++t)
+    if (indegree[t] == 0) ready.push_back(t);
+  std::vector<int> order;
+  order.reserve(tasks_.size());
+  const auto& out = out_edges();
+  // FIFO processing keeps the order stable and source-first.
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const int t = ready[head];
+    order.push_back(t);
+    for (int e : out[t])
+      if (--indegree[edges_[e].dst] == 0) ready.push_back(edges_[e].dst);
+  }
+  if (order.size() != tasks_.size())
+    throw Error("task graph '" + name_ + "' contains a cycle");
+  return order;
+}
+
+TimeNs TaskGraph::effective_deadline(int task) const {
+  const Task& t = tasks_.at(task);
+  if (t.deadline != kNoTime) return t.deadline;
+  if (is_sink(task)) return period_;
+  return kNoTime;
+}
+
+void TaskGraph::validate(int pe_type_count) const {
+  if (period_ <= 0)
+    throw Error("task graph '" + name_ + "' has non-positive period");
+  if (est_ < 0) throw Error("task graph '" + name_ + "' has negative EST");
+  if (tasks_.empty()) throw Error("task graph '" + name_ + "' is empty");
+  topo_order();  // throws on cycles
+
+  for (int i = 0; i < task_count(); ++i) {
+    const Task& t = tasks_[i];
+    if (static_cast<int>(t.exec.size()) != pe_type_count)
+      throw Error("task '" + t.name + "' execution vector arity (" +
+                  std::to_string(t.exec.size()) + ") != PE library size (" +
+                  std::to_string(pe_type_count) + ")");
+    if (!t.preference.empty() &&
+        static_cast<int>(t.preference.size()) != pe_type_count)
+      throw Error("task '" + t.name + "' preference vector arity mismatch");
+    bool feasible = false;
+    for (int pe = 0; pe < pe_type_count; ++pe) {
+      if (t.exec[pe] != kNoTime && t.exec[pe] <= 0)
+        throw Error("task '" + t.name + "' has non-positive execution time");
+      if (t.feasible_on(pe)) feasible = true;
+    }
+    if (!feasible)
+      throw Error("task '" + t.name + "' is infeasible on every PE type");
+    if (t.deadline != kNoTime && t.deadline <= 0)
+      throw Error("task '" + t.name + "' has non-positive deadline");
+    for (int other : t.exclusions) {
+      if (other < 0 || other >= task_count())
+        throw Error("task '" + t.name + "' excludes an unknown task");
+      const auto& back = tasks_[other].exclusions;
+      if (std::find(back.begin(), back.end(), i) == back.end())
+        throw Error("exclusion between '" + t.name + "' and '" +
+                    tasks_[other].name + "' is not symmetric");
+    }
+  }
+  for (const auto& e : edges_) {
+    if (e.src < 0 || e.src >= task_count() || e.dst < 0 ||
+        e.dst >= task_count())
+      throw Error("edge endpoint out of range in graph '" + name_ + "'");
+  }
+}
+
+}  // namespace crusade

@@ -1,0 +1,149 @@
+// Task graph model (paper §2.1–2.2, Figure 1).
+//
+// An embedded system is specified as a set of periodic acyclic task graphs.
+// Nodes are tasks (atomic units of work), directed edges are communications.
+// Each graph carries an earliest start time (EST), a period and deadlines on
+// its tasks (at minimum on the sinks).  Tasks are characterized by the four
+// vectors of §2.2: execution time, preference, exclusion and memory.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+/// Storage demands of a task on a general-purpose processor (§2.2: program,
+/// data and stack storage).
+struct MemoryRequirement {
+  std::int64_t program = 0;
+  std::int64_t data = 0;
+  std::int64_t stack = 0;
+
+  std::int64_t total() const { return program + data + stack; }
+};
+
+/// One node of a task graph.
+struct Task {
+  std::string name;
+
+  /// Worst-case execution time per PE type; kNoTime marks "cannot run on
+  /// this PE type" (§2.2 execution time vector).
+  std::vector<TimeNs> exec;
+
+  /// Preferential mapping weight per PE type.  Empty means neutral on all
+  /// types.  A negative weight forbids the type, zero is neutral, positive
+  /// values bias allocation ordering toward the type (§2.2).
+  std::vector<double> preference;
+
+  /// Indices (within the same graph) of tasks that must not share a PE with
+  /// this task (§2.2 exclusion vector).  Symmetry is enforced by validate().
+  std::vector<int> exclusions;
+
+  /// Storage requirement when mapped to a CPU.
+  MemoryRequirement memory;
+
+  /// Area when implemented in hardware: gate count on an ASIC, programmable
+  /// functional units on an FPGA/CPLD, and I/O pins consumed on either.
+  int gates = 0;
+  int pfus = 0;
+  int pins = 0;
+
+  /// Deadline relative to the graph's arrival (EST + k·period for copy k);
+  /// kNoTime on interior tasks, required (or defaulted to the period) on
+  /// sinks.
+  TimeNs deadline = kNoTime;
+
+  /// §6: an error-transparent task propagates input errors to its outputs,
+  /// letting a downstream check task cover upstream producers.
+  bool error_transparent = false;
+
+  /// §6: true if an assertion task is available for this task; when false a
+  /// duplicate-and-compare pair is used instead.
+  bool has_assertion = true;
+
+  /// Whether this task runs on CPUs (vs. hardware-only); derived from the
+  /// execution vector.
+  bool feasible_on(PeTypeId pe) const {
+    return pe >= 0 && pe < static_cast<int>(exec.size()) &&
+           exec[pe] != kNoTime &&
+           (preference.empty() || preference[pe] >= 0);
+  }
+};
+
+/// One directed communication edge.
+struct Edge {
+  int src = -1;
+  int dst = -1;
+  /// Number of information bytes transferred (§2.2); the communication
+  /// vector is derived from this and the link library.
+  std::int64_t bytes = 0;
+};
+
+/// Periodic acyclic task graph.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  TaskGraph(std::string name, TimeNs period, TimeNs est = 0)
+      : name_(std::move(name)), period_(period), est_(est) {}
+
+  const std::string& name() const { return name_; }
+  TimeNs period() const { return period_; }
+  TimeNs est() const { return est_; }
+  void set_period(TimeNs p) { period_ = p; }
+  void set_est(TimeNs est) { est_ = est; }
+
+  /// Adds a task and returns its index.
+  int add_task(Task task);
+  /// Adds an edge between existing tasks.
+  void add_edge(int src, int dst, std::int64_t bytes);
+  /// Declares a symmetric exclusion between two tasks.
+  void add_exclusion(int a, int b);
+
+  int task_count() const { return static_cast<int>(tasks_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+  const Task& task(int i) const { return tasks_.at(i); }
+  Task& task(int i) { return tasks_.at(i); }
+  const Edge& edge(int i) const { return edges_.at(i); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing / incoming edge indices per task (built lazily, invalidated by
+  /// mutation).
+  const std::vector<std::vector<int>>& out_edges() const;
+  const std::vector<std::vector<int>>& in_edges() const;
+
+  bool is_sink(int task) const { return out_edges().at(task).empty(); }
+  bool is_source(int task) const { return in_edges().at(task).empty(); }
+
+  /// Topological order of task indices; throws Error if the graph is cyclic.
+  std::vector<int> topo_order() const;
+
+  /// Effective deadline of a task: its own deadline if set; for sinks
+  /// without one, the graph period.
+  TimeNs effective_deadline(int task) const;
+
+  /// Checks structural invariants (acyclicity, edge endpoints, exclusion
+  /// symmetry, at least one feasible PE recorded per task, positive period).
+  /// Throws Error describing the first violation.
+  void validate(int pe_type_count) const;
+
+ private:
+  void invalidate_adjacency();
+  void build_adjacency() const;
+
+  std::string name_;
+  TimeNs period_ = 0;
+  TimeNs est_ = 0;
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  mutable std::vector<std::vector<int>> out_edges_;
+  mutable std::vector<std::vector<int>> in_edges_;
+  mutable bool adjacency_valid_ = false;
+};
+
+}  // namespace crusade

@@ -1,0 +1,36 @@
+#include "reconfig/compatibility.hpp"
+
+namespace crusade {
+
+CompatibilityMatrix derive_compatibility(const FlatSpec& flat,
+                                         const ScheduleResult& schedule) {
+  const int n = flat.graph_count();
+  CompatibilityMatrix compat(n);
+
+  const auto windows = graph_busy_windows(flat, schedule);
+  std::vector<char> complete(n, 1);
+  for (int tid = 0; tid < flat.task_count(); ++tid)
+    if (schedule.task_start[tid] == kNoTime)
+      complete[flat.graph_of_task(tid)] = 0;
+
+  for (int i = 0; i < n; ++i) {
+    if (!complete[i]) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (!complete[j]) continue;
+      bool overlap = false;
+      for (const PeriodicWindow& wi : windows[i]) {
+        for (const PeriodicWindow& wj : windows[j]) {
+          if (periodic_overlap(wi, wj)) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) break;
+      }
+      compat.set_compatible(i, j, !overlap);
+    }
+  }
+  return compat;
+}
+
+}  // namespace crusade

@@ -1,0 +1,20 @@
+// Identification of non-overlapping task graphs (paper §4.1, Figure 3).
+//
+// When the specification does not carry compatibility vectors, CRUSADE
+// derives them after building an architecture: two task graphs are
+// compatible (Δ = 0) iff no busy window of one ever intersects a busy window
+// of the other across the whole (implicit) hyperperiod — tested exactly with
+// the gcd-based periodic overlap predicate.
+#pragma once
+
+#include "graph/specification.hpp"
+#include "sched/scheduler.hpp"
+
+namespace crusade {
+
+/// Derives the compatibility matrix from a schedule.  Graphs with
+/// unscheduled tasks are conservatively incompatible with everything.
+CompatibilityMatrix derive_compatibility(const FlatSpec& flat,
+                                         const ScheduleResult& schedule);
+
+}  // namespace crusade

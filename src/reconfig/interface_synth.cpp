@@ -1,0 +1,214 @@
+#include "reconfig/interface_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+const char* to_string(ProgStyle style) {
+  switch (style) {
+    case ProgStyle::SerialMaster:
+      return "serial/master";
+    case ProgStyle::SerialSlave:
+      return "serial/slave";
+    case ProgStyle::Parallel8Master:
+      return "parallel8/master";
+    case ProgStyle::Parallel8Slave:
+      return "parallel8/slave";
+  }
+  return "?";
+}
+
+std::string InterfaceChoice::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s @%.1fMHz %s ($%.0f, worst boot %s)",
+                to_string(option.style), option.clock_mhz,
+                option.chained ? "chained" : "dedicated", cost,
+                format_time(worst_boot).c_str());
+  return buf;
+}
+
+namespace {
+
+/// Configuration bits that must stream for one mode.
+std::int64_t mode_bits(const PeType& type, int pfus_in_mode) {
+  if (type.partial_reconfig && type.pfus > 0) {
+    const double fraction =
+        std::clamp(static_cast<double>(pfus_in_mode) /
+                       static_cast<double>(type.pfus),
+                   0.05, 1.0);
+    return static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(type.config_bits) * fraction));
+  }
+  return type.config_bits;
+}
+
+/// Multi-mode PPE instances (the ones that reconfigure at run time).
+std::vector<int> reconfiguring_ppes(const Architecture& arch) {
+  std::vector<int> out;
+  for (int pe = 0; pe < static_cast<int>(arch.pes.size()); ++pe) {
+    const PeInstance& inst = arch.pes[pe];
+    if (!inst.alive()) continue;
+    if (!arch.lib().pe(inst.type).is_programmable()) continue;
+    if (inst.modes.size() > 1) out.push_back(pe);
+  }
+  return out;
+}
+
+int live_ppe_count(const Architecture& arch) {
+  int n = 0;
+  for (const PeInstance& inst : arch.pes)
+    if (inst.alive() && arch.lib().pe(inst.type).is_programmable()) ++n;
+  return n;
+}
+
+}  // namespace
+
+TimeNs mode_boot_time(const PeType& type, int pfus_in_mode,
+                      const InterfaceOption& option, int chain_length) {
+  CRUSADE_REQUIRE(chain_length >= 1, "chain length");
+  std::int64_t bits = mode_bits(type, pfus_in_mode);
+  // CPLDs program via the 1 MHz JTAG test port regardless of the FPGA
+  // programming option (§4.4).
+  double clock_hz = option.clock_mhz * 1e6;
+  int width = option.width_bits();
+  if (type.kind == PeKind::Cpld) {
+    clock_hz = 1e6;
+    width = 1;
+  } else if (option.chained) {
+    // The shared chain streams through every member's shift register.
+    bits *= chain_length;
+  }
+  const double seconds =
+      static_cast<double>(bits) / (clock_hz * static_cast<double>(width));
+  return static_cast<TimeNs>(std::llround(seconds * 1e9)) + type.boot_setup;
+}
+
+std::vector<InterfaceChoice> enumerate_interface_options(
+    const Architecture& arch, TimeNs boot_requirement) {
+  const auto reconfig = reconfiguring_ppes(arch);
+  const int all_ppes = live_ppe_count(arch);
+
+  std::vector<InterfaceChoice> choices;
+  if (all_ppes == 0) {
+    // No programmable device: nothing to program, nothing to pay.
+    InterfaceChoice none;
+    none.meets_requirement = true;
+    choices.push_back(none);
+    return choices;
+  }
+  const double clocks[] = {1.0, 2.5, 5.0, 10.0};
+  const ProgStyle styles[] = {ProgStyle::SerialMaster, ProgStyle::SerialSlave,
+                              ProgStyle::Parallel8Master,
+                              ProgStyle::Parallel8Slave};
+  for (ProgStyle style : styles) {
+    for (double clock : clocks) {
+      for (bool chained : {false, true}) {
+        InterfaceOption opt{style, clock, chained};
+        InterfaceChoice choice;
+        choice.option = opt;
+
+        // --- dollar cost across the system ---
+        // Every live PPE needs initial programming; multi-mode ones
+        // additionally store one image per mode.
+        std::int64_t stored_bits = 0;
+        for (const PeInstance& inst : arch.pes) {
+          if (!inst.alive()) continue;
+          const PeType& type = arch.lib().pe(inst.type);
+          if (!type.is_programmable()) continue;
+          for (const Mode& m : inst.modes)
+            stored_bits += mode_bits(type, m.pfus_used);
+        }
+        const int interfaces =
+            chained ? std::max(1, (all_ppes + 3) / 4)  // chains of <= 4
+                    : std::max(all_ppes, 1);
+        const double controller =
+            (opt.width_bits() == 8 ? 3.0 : 1.0) +
+            (opt.uses_prom() ? 0.0 : 0.5);  // slave needs CPU-side glue
+        double cost = interfaces * controller;
+        if (opt.uses_prom()) {
+          // PROM: base part + capacity increments of 1 Mbit.
+          const double mbits =
+              std::ceil(static_cast<double>(stored_bits) / 1.0e6);
+          cost += interfaces * 1.5 + mbits * 0.8;
+        } else {
+          // Slave images live in CPU memory; charge DRAM at $2/MB.
+          cost += static_cast<double>(stored_bits) / 8.0 / (1024 * 1024) * 2.0;
+        }
+        // Faster programming clocks need better buffers/oscillators.
+        cost += interfaces * 0.2 * (clock - 1.0);
+        choice.cost = cost;
+
+        // --- worst boot across reconfiguring devices ---
+        const int chain_len = chained ? std::min(4, std::max(1, all_ppes)) : 1;
+        TimeNs worst = 0;
+        for (int pe : reconfig) {
+          const PeInstance& inst = arch.pes[pe];
+          const PeType& type = arch.lib().pe(inst.type);
+          for (const Mode& m : inst.modes)
+            worst = std::max(
+                worst, mode_boot_time(type, m.pfus_used, opt, chain_len));
+        }
+        choice.worst_boot = worst;
+        choice.meets_requirement = worst <= boot_requirement;
+        choices.push_back(choice);
+      }
+    }
+  }
+  std::sort(choices.begin(), choices.end(),
+            [](const InterfaceChoice& a, const InterfaceChoice& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.worst_boot < b.worst_boot;
+            });
+  return choices;
+}
+
+InterfaceChoice synthesize_reconfig_interface(Architecture& arch,
+                                              TimeNs boot_requirement) {
+  auto choices = enumerate_interface_options(arch, boot_requirement);
+  CRUSADE_REQUIRE(!choices.empty(), "no interface options");
+  InterfaceChoice pick = choices.front();
+  bool found = false;
+  for (const auto& c : choices) {
+    if (c.meets_requirement) {
+      pick = c;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // None meets the requirement: fall back to the fastest option.
+    pick = *std::min_element(choices.begin(), choices.end(),
+                             [](const InterfaceChoice& a,
+                                const InterfaceChoice& b) {
+                               return a.worst_boot < b.worst_boot;
+                             });
+  }
+
+  const int all_ppes = live_ppe_count(arch);
+  const int chain_len =
+      pick.option.chained ? std::min(4, std::max(1, all_ppes)) : 1;
+  for (PeInstance& inst : arch.pes) {
+    if (!inst.alive()) continue;
+    const PeType& type = arch.lib().pe(inst.type);
+    if (!type.is_programmable()) continue;
+    if (inst.modes.size() <= 1) {
+      for (Mode& m : inst.modes) m.boot_time = 0;  // power-up only
+      continue;
+    }
+    for (Mode& m : inst.modes)
+      m.boot_time = mode_boot_time(type, m.pfus_used, pick.option, chain_len);
+  }
+  arch.interface_cost = pick.cost;
+  return pick;
+}
+
+TimeNs estimate_boot_time(const PeType& type, int pfus_in_mode) {
+  return mode_boot_time(type, pfus_in_mode,
+                        InterfaceOption{ProgStyle::SerialMaster, 5.0, false},
+                        1);
+}
+
+}  // namespace crusade

@@ -1,0 +1,74 @@
+// Reconfiguration controller interface synthesis (paper §4.4).
+//
+// FPGAs program through serial or 8-bit-parallel interfaces, in master mode
+// (from a standalone PROM) or slave mode (pushed by a CPU); CPLDs program
+// through the boundary-scan (JTAG) test port.  Devices can be daisy-chained
+// to share one interface and PROM — cheaper, but the whole chain's image
+// streams per reconfiguration, so boot slows.  CRUSADE enumerates the
+// options, orders them by dollar cost and picks the cheapest one whose boot
+// times meet the system's boot-time requirement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/architecture.hpp"
+
+namespace crusade {
+
+enum class ProgStyle {
+  SerialMaster,
+  SerialSlave,
+  Parallel8Master,
+  Parallel8Slave,
+};
+
+const char* to_string(ProgStyle style);
+
+struct InterfaceOption {
+  ProgStyle style = ProgStyle::SerialMaster;
+  double clock_mhz = 1.0;  ///< 1–10 MHz (§4.4 current technology)
+  bool chained = false;    ///< daisy-chain FPGAs sharing interface + PROM
+
+  int width_bits() const {
+    return style == ProgStyle::Parallel8Master ||
+                   style == ProgStyle::Parallel8Slave
+               ? 8
+               : 1;
+  }
+  bool uses_prom() const {
+    return style == ProgStyle::SerialMaster ||
+           style == ProgStyle::Parallel8Master;
+  }
+};
+
+struct InterfaceChoice {
+  InterfaceOption option;
+  double cost = 0;        ///< PROMs + controllers + glue across the system
+  TimeNs worst_boot = 0;  ///< slowest mode reconfiguration under the option
+  bool meets_requirement = false;
+  std::string describe() const;
+};
+
+/// Reconfiguration time of one mode of `type` under `option`.  Partial
+/// devices stream only the changed region; chain length multiplies the image
+/// that passes through a shared chained interface.
+TimeNs mode_boot_time(const PeType& type, int pfus_in_mode,
+                      const InterfaceOption& option, int chain_length);
+
+/// Every option priced for this architecture, sorted by increasing cost
+/// (the paper's reconfiguration option array).
+std::vector<InterfaceChoice> enumerate_interface_options(
+    const Architecture& arch, TimeNs boot_requirement);
+
+/// Picks the cheapest option meeting the boot-time requirement (falling back
+/// to the fastest one when none does), writes the per-mode boot times and
+/// the interface cost into the architecture, and returns the choice.
+InterfaceChoice synthesize_reconfig_interface(Architecture& arch,
+                                              TimeNs boot_requirement);
+
+/// A-priori boot estimate used while allocating, before the interface is
+/// synthesized: a mid-range dedicated serial-master interface.
+TimeNs estimate_boot_time(const PeType& type, int pfus_in_mode);
+
+}  // namespace crusade

@@ -1,0 +1,57 @@
+// Dynamic reconfiguration generation: PPE merge exploration (paper §4.1,
+// Figure 3) and intra-device mode consolidation (§4.2 last step).
+//
+// Starting from an architecture whose deadlines are met, the merge loop
+// computes the merge potential (number of PPEs + links), builds the merge
+// array of PPE pairs whose resident task-graph sets are pairwise compatible,
+// and greedily folds one device's modes into another as additional
+// reconfiguration modes — accepting a merge only when rescheduling (with
+// reboot tasks included) still meets every deadline and the dollar cost
+// drops.  Passes repeat until neither the cost nor the merge potential
+// decreases.
+#pragma once
+
+#include <functional>
+
+#include "alloc/allocation.hpp"
+#include "graph/specification.hpp"
+
+namespace crusade {
+
+struct MergeParams {
+  DelayManagement delay;
+  int max_modes_per_device = 8;
+  int max_passes = 8;
+  BootEstimator boot_estimate;
+  /// See make_sched_problem: false for spec-declared mode-exclusive
+  /// compatibility (reboots charged to the boot-time requirement).
+  bool reboots_in_schedule = true;
+  /// Also try folding two modes of one device into a single configuration
+  /// when the area allows (removes a reconfiguration entirely).
+  bool consolidate_modes = true;
+};
+
+struct MergeReport {
+  int merges_tried = 0;
+  int merges_accepted = 0;
+  int consolidations = 0;
+  int passes = 0;
+  double cost_before = 0;
+  double cost_after = 0;
+  int merge_potential_before = 0;  ///< #PPEs + #links (§4.1)
+  int merge_potential_after = 0;
+};
+
+/// Runs the merge loop in place; `schedule` is updated to the final
+/// architecture's schedule.  A validation hook is consulted after each
+/// tentative merge (CRUSADE-FT hooks dependability analysis here, §6).
+using MergeValidator = std::function<bool(const Architecture&)>;
+
+MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
+                        const FlatSpec& flat,
+                        const CompatibilityMatrix& compat,
+                        const std::vector<int>& task_cluster,
+                        const MergeParams& params,
+                        const MergeValidator& validator = {});
+
+}  // namespace crusade

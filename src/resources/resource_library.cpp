@@ -1,0 +1,93 @@
+#include "resources/resource_library.hpp"
+
+#include <algorithm>
+
+namespace crusade {
+
+const char* to_string(PeKind kind) {
+  switch (kind) {
+    case PeKind::Cpu:
+      return "CPU";
+    case PeKind::Asic:
+      return "ASIC";
+    case PeKind::Fpga:
+      return "FPGA";
+    case PeKind::Cpld:
+      return "CPLD";
+  }
+  return "?";
+}
+
+TimeNs LinkType::comm_time(std::int64_t bytes, int ports) const {
+  CRUSADE_REQUIRE(bytes >= 0, "negative payload");
+  CRUSADE_REQUIRE(ports >= 1, "link with no ports");
+  const std::size_t idx =
+      std::min<std::size_t>(ports, access_time.empty() ? 0
+                                                       : access_time.size() - 1);
+  const TimeNs access = access_time.empty() ? 0 : access_time[idx];
+  const std::int64_t packets =
+      bytes == 0 ? 0 : ceil_div(bytes, bytes_per_packet);
+  return access + packets * packet_time;
+}
+
+PeTypeId ResourceLibrary::add_pe(PeType pe) {
+  CRUSADE_REQUIRE(!pe.name.empty(), "PE type needs a name");
+  CRUSADE_REQUIRE(pe.cost >= 0, "negative PE cost");
+  pes_.push_back(std::move(pe));
+  return static_cast<PeTypeId>(pes_.size()) - 1;
+}
+
+LinkTypeId ResourceLibrary::add_link(LinkType link) {
+  CRUSADE_REQUIRE(!link.name.empty(), "link type needs a name");
+  CRUSADE_REQUIRE(link.max_ports >= 2, "link must connect at least two PEs");
+  links_.push_back(std::move(link));
+  return static_cast<LinkTypeId>(links_.size()) - 1;
+}
+
+PeTypeId ResourceLibrary::find_pe(const std::string& name) const {
+  for (int i = 0; i < pe_count(); ++i)
+    if (pes_[i].name == name) return i;
+  throw Error("unknown PE type '" + name + "'");
+}
+
+LinkTypeId ResourceLibrary::find_link(const std::string& name) const {
+  for (int i = 0; i < link_count(); ++i)
+    if (links_[i].name == name) return i;
+  throw Error("unknown link type '" + name + "'");
+}
+
+LinkTypeId ResourceLibrary::cheapest_link() const {
+  CRUSADE_REQUIRE(!links_.empty(), "empty link library");
+  LinkTypeId best = 0;
+  for (int i = 1; i < link_count(); ++i)
+    if (links_[i].cost < links_[best].cost) best = i;
+  return best;
+}
+
+void ResourceLibrary::validate() const {
+  if (pes_.empty()) throw Error("PE library is empty");
+  if (links_.empty()) throw Error("link library is empty");
+  for (const auto& pe : pes_) {
+    if (pe.kind == PeKind::Cpu && pe.memory_bytes <= 0)
+      throw Error("CPU '" + pe.name + "' has no memory capacity");
+    if (pe.kind == PeKind::Asic && pe.gates <= 0)
+      throw Error("ASIC '" + pe.name + "' has no gate capacity");
+    if (pe.is_programmable()) {
+      if (pe.pfus <= 0)
+        throw Error("PPE '" + pe.name + "' has no PFU capacity");
+      if (pe.config_bits <= 0)
+        throw Error("PPE '" + pe.name + "' has no configuration image size");
+    }
+    if (pe.is_hardware() && pe.pins <= 0)
+      throw Error("hardware PE '" + pe.name + "' has no pins");
+  }
+  for (const auto& link : links_) {
+    if (link.packet_time <= 0)
+      throw Error("link '" + link.name + "' has no packet time");
+    if (link.bytes_per_packet <= 0)
+      throw Error("link '" + link.name + "' has no packet size");
+  }
+  if (assumed_ports < 1) throw Error("assumed_ports must be >= 1");
+}
+
+}  // namespace crusade

@@ -1,0 +1,123 @@
+// Resource library (paper §2.2): the PE library of CPUs, ASICs, FPGAs and
+// CPLDs plus the link library, from which co-synthesis composes the
+// distributed architecture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/math.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+enum class PeKind { Cpu, Asic, Fpga, Cpld };
+
+const char* to_string(PeKind kind);
+
+/// One processing-element type in the PE library.  FPGA/CPLD entries are the
+/// paper's "programmable PEs" (PPEs); they are the only kinds that can hold
+/// multiple reconfiguration modes.
+struct PeType {
+  std::string name;
+  PeKind kind = PeKind::Cpu;
+  /// Dollar cost per instance at the paper's 15K/year volume assumption.
+  double cost = 0;
+
+  // --- general-purpose processor attributes (§2.2) ---
+  std::int64_t memory_bytes = 0;  ///< max attachable storage (DRAM banks)
+  double memory_cost_per_mb = 0;  ///< DRAM cost added per megabyte used
+  TimeNs context_switch = 0;
+  TimeNs preemption_overhead = 0;  ///< interrupt + context switch + RPC (§5)
+
+  // --- hardware attributes ---
+  int gates = 0;  ///< ASIC gate capacity
+  int pfus = 0;   ///< FPGA/CPLD programmable functional units / macrocells
+  int pins = 0;
+  std::int64_t config_bits = 0;  ///< full-device configuration image size
+  std::int64_t boot_memory_bytes = 0;  ///< boot PROM requirement (§2.2)
+  bool partial_reconfig = false;  ///< AT6000 / XC6200-style partial devices
+  TimeNs boot_setup = 0;          ///< fixed device reset overhead per reboot
+
+  /// Relative throughput used only by workload generators to synthesize
+  /// execution-time vectors (not consulted by the co-synthesis heuristic).
+  double speed_factor = 1.0;
+
+  /// §6: expected failures in 1e9 hours (Bellcore TR-NWT-00418 style),
+  /// consumed by CRUSADE-FT's dependability analysis.
+  double fit_rate = 0;
+
+  /// Typical active power draw in milliwatts (extension: the paper lists
+  /// power among the co-synthesis constraints in §1; CRUSADE proper
+  /// optimizes cost, so power is reported and optionally capped).
+  double power_mw = 0;
+
+  bool is_programmable() const {
+    return kind == PeKind::Fpga || kind == PeKind::Cpld;
+  }
+  bool is_hardware() const { return kind != PeKind::Cpu; }
+};
+
+/// One communication-link type in the link library.
+struct LinkType {
+  std::string name;
+  double cost = 0;           ///< per link instance
+  double cost_per_port = 0;  ///< added per connected PE
+  int max_ports = 2;
+  /// Link access time indexed by the number of ports currently on the link
+  /// (index 0 unused); the last entry extends to max_ports (§2.2).
+  std::vector<TimeNs> access_time;
+  std::int64_t bytes_per_packet = 32;
+  TimeNs packet_time = 0;
+
+  /// §6: failures in 1e9 hours for the link hardware.
+  double fit_rate = 0;
+
+  /// Communication time of `bytes` over this link with `ports` connected
+  /// PEs: access latency + per-packet transmission (§2.2 communication
+  /// vector entry).
+  TimeNs comm_time(std::int64_t bytes, int ports) const;
+};
+
+/// The PE + link libraries.
+class ResourceLibrary {
+ public:
+  PeTypeId add_pe(PeType pe);
+  LinkTypeId add_link(LinkType link);
+
+  int pe_count() const { return static_cast<int>(pes_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+  const PeType& pe(PeTypeId id) const { return pes_.at(id); }
+  const LinkType& link(LinkTypeId id) const { return links_.at(id); }
+  const std::vector<PeType>& pes() const { return pes_; }
+  const std::vector<LinkType>& links() const { return links_; }
+
+  /// Lookup by name; throws Error when absent.
+  PeTypeId find_pe(const std::string& name) const;
+  LinkTypeId find_link(const std::string& name) const;
+
+  /// Average port count assumed before allocation fixes actual topology;
+  /// used to compute the a-priori communication vectors (§2.2).
+  int assumed_ports = 4;
+
+  /// Cheapest link type (used when a new PE must be attached).
+  LinkTypeId cheapest_link() const;
+
+  void validate() const;
+
+ private:
+  std::vector<PeType> pes_;
+  std::vector<LinkType> links_;
+};
+
+/// The default resource library mirroring the paper's experimental setup
+/// (§7): Motorola 68360/68040/68060/PowerQUICC each with and without a
+/// 256KB L2 cache, 16 ASICs, XILINX 3195A/4025/6700-series FPGAs, ATMEL
+/// AT6000-series FPGAs, XC9500/XC7300 CPLDs, ORCA 2T15/2T40 FPGAs, 60ns
+/// DRAM banks up to 64MB, and 680X0/PowerQUICC buses, a 10 Mb/s LAN and a
+/// 31 Mb/s serial link.  Prices are re-created (§ DESIGN.md substitution 3).
+ResourceLibrary telecom_1999();
+
+}  // namespace crusade

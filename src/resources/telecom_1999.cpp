@@ -1,0 +1,182 @@
+#include "resources/resource_library.hpp"
+
+namespace crusade {
+
+namespace {
+
+PeType cpu(const std::string& name, double cost, double speed,
+           std::int64_t mem_mb, TimeNs ctx_switch_us) {
+  PeType pe;
+  pe.name = name;
+  pe.kind = PeKind::Cpu;
+  pe.cost = cost;
+  pe.speed_factor = speed;
+  pe.memory_bytes = mem_mb * 1024 * 1024;
+  pe.memory_cost_per_mb = 2.0;  // 60ns DRAM banks, up to 64MB (§7)
+  pe.context_switch = ctx_switch_us * kMicrosecond;
+  pe.preemption_overhead = ctx_switch_us * kMicrosecond;
+  pe.fit_rate = 2000;  // processor complex incl. DRAM interface
+  pe.power_mw = 900 * speed;  // scales with clock/architecture generation
+  return pe;
+}
+
+PeType asic(const std::string& name, double unit_cost, int gates, int pins) {
+  PeType pe;
+  pe.name = name;
+  pe.kind = PeKind::Asic;
+  // At the paper's 15K/year volume the unit price must amortize NRE and
+  // mask charges, which is precisely what keeps FPGAs competitive for
+  // small-to-medium blocks (§3).
+  pe.cost = unit_cost + 55.0;
+  pe.gates = gates;
+  pe.pins = pins;
+  pe.speed_factor = 8.0;  // dedicated silicon runs well ahead of CPUs
+  pe.fit_rate = 800 + gates / 500.0;
+  pe.power_mw = 150 + gates / 200.0;
+  return pe;
+}
+
+PeType ppe(const std::string& name, PeKind kind, double cost, int pfus,
+           int pins, bool partial, double speed) {
+  PeType pe;
+  pe.name = name;
+  pe.kind = kind;
+  pe.cost = cost;
+  pe.pfus = pfus;
+  pe.pins = pins;
+  pe.partial_reconfig = partial;
+  pe.speed_factor = speed;
+  // Configuration image scales with the logic array; ~120 bits per PFU is in
+  // line with mid-90s SRAM FPGAs (XC4025 ≈ 422K bits for ~1024 CLBs).
+  pe.config_bits = static_cast<std::int64_t>(pfus) * 120;
+  pe.boot_memory_bytes = pe.config_bits / 8;
+  pe.boot_setup = 50 * kMicrosecond;
+  pe.fit_rate = kind == PeKind::Cpld ? 400 : 1200 + pfus / 4.0;
+  pe.power_mw = kind == PeKind::Cpld ? 120 + pfus : 350 + pfus / 2.0;
+  return pe;
+}
+
+}  // namespace
+
+ResourceLibrary telecom_1999() {
+  ResourceLibrary lib;
+
+  // --- general-purpose processors (§7), each with and without a 256KB
+  // second-level cache; the cache variant costs more and runs faster.
+  lib.add_pe(cpu("MC68360", 45, 1.0, 32, 6));
+  lib.add_pe(cpu("MC68360+L2", 75, 1.35, 32, 6));
+  lib.add_pe(cpu("MC68040", 95, 1.8, 64, 5));
+  lib.add_pe(cpu("MC68040+L2", 130, 2.3, 64, 5));
+  lib.add_pe(cpu("MC68060", 160, 3.2, 64, 4));
+  lib.add_pe(cpu("MC68060+L2", 205, 4.0, 64, 4));
+  lib.add_pe(cpu("PowerQUICC", 120, 2.6, 64, 3));
+  lib.add_pe(cpu("PowerQUICC+L2", 165, 3.4, 64, 3));
+
+  // --- 16 ASICs spanning small glue parts to large datapath devices.
+  lib.add_pe(asic("ASIC-A5", 18, 5'000, 84));
+  lib.add_pe(asic("ASIC-A10", 26, 10'000, 100));
+  lib.add_pe(asic("ASIC-A15", 34, 15'000, 120));
+  lib.add_pe(asic("ASIC-A20", 42, 20'000, 144));
+  lib.add_pe(asic("ASIC-A30", 58, 30'000, 160));
+  lib.add_pe(asic("ASIC-A40", 72, 40'000, 176));
+  lib.add_pe(asic("ASIC-A50", 88, 50'000, 208));
+  lib.add_pe(asic("ASIC-A65", 108, 65'000, 240));
+  lib.add_pe(asic("ASIC-A80", 128, 80'000, 256));
+  lib.add_pe(asic("ASIC-A100", 155, 100'000, 299));
+  lib.add_pe(asic("ASIC-A120", 184, 120'000, 304));
+  lib.add_pe(asic("ASIC-A150", 225, 150'000, 352));
+  lib.add_pe(asic("ASIC-A180", 266, 180'000, 388));
+  lib.add_pe(asic("ASIC-A220", 320, 220'000, 432));
+  lib.add_pe(asic("ASIC-A260", 372, 260'000, 472));
+  lib.add_pe(asic("ASIC-A300", 425, 300'000, 520));
+
+  // --- XILINX FPGAs (§7).
+  lib.add_pe(ppe("XC3195A", PeKind::Fpga, 90, 484, 176, false, 3.0));
+  lib.add_pe(ppe("XC4025", PeKind::Fpga, 210, 1024, 256, false, 3.6));
+  lib.add_pe(ppe("XC6700", PeKind::Fpga, 265, 4096, 299, true, 3.2));
+  // --- ATMEL AT6000 series: small, cheap, partially reconfigurable.
+  lib.add_pe(ppe("AT6005", PeKind::Fpga, 55, 1024, 120, true, 2.4));
+  lib.add_pe(ppe("AT6010", PeKind::Fpga, 92, 2048, 160, true, 2.4));
+  // --- XILINX CPLDs; ISP via the boundary-scan test port (§4.4).
+  lib.add_pe(ppe("XC9536", PeKind::Cpld, 9, 36, 34, false, 2.0));
+  lib.add_pe(ppe("XC95108", PeKind::Cpld, 24, 108, 81, false, 2.0));
+  lib.add_pe(ppe("XC95288", PeKind::Cpld, 52, 288, 168, false, 2.0));
+  lib.add_pe(ppe("XC7336", PeKind::Cpld, 8, 36, 38, false, 1.8));
+  lib.add_pe(ppe("XC73108", PeKind::Cpld, 22, 108, 84, false, 1.8));
+  // --- Lucent ORCA FPGAs.
+  lib.add_pe(ppe("ORCA-2T15", PeKind::Fpga, 150, 1600, 256, false, 3.4));
+  lib.add_pe(ppe("ORCA-2T40", PeKind::Fpga, 330, 3600, 352, false, 3.4));
+
+  // --- link library (§7): two processor buses, a LAN and a serial link.
+  {
+    LinkType bus;
+    bus.name = "680X0-bus";
+    bus.cost = 6;
+    bus.cost_per_port = 2;
+    bus.max_ports = 8;
+    bus.access_time = {0,
+                       1 * kMicrosecond,
+                       1 * kMicrosecond,
+                       2 * kMicrosecond,
+                       3 * kMicrosecond,
+                       4 * kMicrosecond,
+                       6 * kMicrosecond,
+                       8 * kMicrosecond,
+                       10 * kMicrosecond};
+    bus.bytes_per_packet = 32;
+    bus.packet_time = 1200;  // ~26 MB/s burst
+    bus.fit_rate = 350;
+    lib.add_link(std::move(bus));
+  }
+  {
+    LinkType bus;
+    bus.name = "QUICC-bus";
+    bus.cost = 9;
+    bus.cost_per_port = 3;
+    bus.max_ports = 8;
+    bus.access_time = {0,
+                       500,
+                       500,
+                       1 * kMicrosecond,
+                       2 * kMicrosecond,
+                       3 * kMicrosecond,
+                       4 * kMicrosecond,
+                       5 * kMicrosecond,
+                       7 * kMicrosecond};
+    bus.bytes_per_packet = 64;
+    bus.packet_time = 1100;  // ~58 MB/s burst
+    bus.fit_rate = 380;
+    lib.add_link(std::move(bus));
+  }
+  {
+    LinkType lan;
+    lan.name = "LAN-10Mb";
+    lan.cost = 14;
+    lan.cost_per_port = 6;
+    lan.max_ports = 16;
+    lan.access_time.assign(17, 0);
+    for (int p = 1; p <= 16; ++p)
+      lan.access_time[p] = (20 + 15 * p) * kMicrosecond;  // CSMA backoff
+    lan.bytes_per_packet = 1500;
+    lan.packet_time = 1'200'000;  // 1500B @ 10 Mb/s
+    lan.fit_rate = 500;
+    lib.add_link(std::move(lan));
+  }
+  {
+    LinkType serial;
+    serial.name = "serial-31Mb";
+    serial.cost = 4;
+    serial.cost_per_port = 1;
+    serial.max_ports = 2;
+    serial.access_time = {0, 2 * kMicrosecond, 2 * kMicrosecond};
+    serial.bytes_per_packet = 256;
+    serial.packet_time = 66'000;  // 256B @ 31 Mb/s
+    serial.fit_rate = 200;
+    lib.add_link(std::move(serial));
+  }
+
+  lib.validate();
+  return lib;
+}
+
+}  // namespace crusade

@@ -1,0 +1,78 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+TimeNs Timeline::earliest_fit(TimeNs ready, TimeNs duration, TimeNs period,
+                              int mode, TimeNs ignore_below_period,
+                              TimeNs ignore_above_period) const {
+  CRUSADE_REQUIRE(duration >= 0, "negative duration");
+  if (duration == 0) return ready;
+  TimeNs start = ready;
+  // Each shift clears at least one conflicting window; with shifting phase
+  // relationships a bounded retry count keeps the search total.  Failure to
+  // fit simply rejects the allocation candidate upstream.
+  const int max_iterations = static_cast<int>(windows_.size()) * 6 + 8;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool moved = false;
+    for (const Window& w : windows_) {
+      if (!conflicts_mode(mode, w.mode)) continue;
+      if (w.span.period > 0 && w.span.period < ignore_below_period) continue;
+      if (ignore_above_period != kNoTime && w.span.period > 0 &&
+          w.span.period > ignore_above_period)
+        continue;
+      const PeriodicWindow candidate{start, start + duration, period};
+      if (!periodic_overlap(candidate, w.span)) continue;
+      const TimeNs shift = min_shift_to_avoid(candidate, w.span);
+      if (shift == kNoTime) return kNoTime;
+      start += shift;
+      moved = true;
+      break;
+    }
+    if (!moved) return start;
+  }
+  return kNoTime;
+}
+
+double Timeline::utilization_above(TimeNs period, int mode) const {
+  double u = 0;
+  for (const Window& w : windows_) {
+    if (!conflicts_mode(mode, w.mode)) continue;
+    if (w.span.period > period)
+      u += static_cast<double>(w.work) /
+           static_cast<double>(w.span.period);
+  }
+  return u;
+}
+
+std::vector<Timeline::Interference> Timeline::preemptors(TimeNs period,
+                                                         int mode) const {
+  std::vector<Interference> result;
+  for (const Window& w : windows_) {
+    if (!conflicts_mode(mode, w.mode)) continue;
+    if (w.span.period > 0 && w.span.period < period)
+      result.push_back({w.work, w.span.period});
+  }
+  return result;
+}
+
+void Timeline::add(TimeNs start, TimeNs finish, TimeNs period, int mode,
+                   int owner, TimeNs work) {
+  CRUSADE_REQUIRE(finish >= start, "window ends before it starts");
+  if (work == kNoTime) work = finish - start;
+  windows_.push_back(
+      Window{PeriodicWindow{start, finish, period}, work, mode, owner});
+}
+
+double Timeline::utilization() const {
+  double u = 0;
+  for (const Window& w : windows_)
+    if (w.span.period > 0)
+      u += static_cast<double>(w.work) / static_cast<double>(w.span.period);
+  return u;
+}
+
+}  // namespace crusade

@@ -1,0 +1,29 @@
+#include "tgff/circuits.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace crusade {
+
+std::vector<CircuitSpec> table1_circuits() {
+  return {
+      {"cvs1", 18}, {"cvs2", 20},  {"xtrs1", 36}, {"xtrs2", 40},
+      {"rnvk", 48}, {"fcsdp", 35}, {"r2d2p", 46}, {"cv46", 74},
+      {"wamxp", 84}, {"pewxfm", 47},
+  };
+}
+
+Netlist make_circuit(const CircuitSpec& spec, std::uint64_t seed) {
+  CRUSADE_REQUIRE(spec.pfus > 0, "circuit needs PFUs");
+  // Mix the name into the seed so each circuit is a distinct block.
+  std::uint64_t h = seed;
+  for (char c : spec.name) h = h * 1099511628211ULL + static_cast<unsigned char>(c);
+  Rng rng(h);
+  NetlistConfig cfg;
+  cfg.cells = spec.pfus;
+  cfg.avg_fanout = 2.2;
+  cfg.net_probability = 0.92;
+  return Netlist::random(spec.name, cfg, rng);
+}
+
+}  // namespace crusade

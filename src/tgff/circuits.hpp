@@ -1,0 +1,24 @@
+// The ten functional blocks of Table 1 (cvs1 … pewxfm), recreated as
+// synthetic netlists with the paper's PFU counts (DESIGN.md substitution 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/netlist.hpp"
+
+namespace crusade {
+
+struct CircuitSpec {
+  std::string name;
+  int pfus = 0;
+};
+
+/// All ten Table 1 rows in paper order.
+std::vector<CircuitSpec> table1_circuits();
+
+/// Synthesizes the named circuit as a random DAG netlist of the recorded
+/// PFU count; deterministic per (name, seed).
+Netlist make_circuit(const CircuitSpec& spec, std::uint64_t seed = 7);
+
+}  // namespace crusade

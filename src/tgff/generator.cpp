@@ -1,0 +1,233 @@
+#include "tgff/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace crusade {
+
+SpecGenerator::SpecGenerator(const ResourceLibrary& library)
+    : library_(library) {
+  library_.validate();
+}
+
+namespace {
+
+enum class TaskFlavor { SwOnly, HwOnly, Universal };
+
+/// Lognormal-ish multiplicative noise around 1.0.
+double noise(Rng& rng, double sigma) {
+  const double u = rng.uniform_real(-1.0, 1.0);
+  return std::exp(sigma * u);
+}
+
+}  // namespace
+
+Task SpecGenerator::make_task(const GraphGenConfig& config, int level_hint,
+                              TimeNs base_exec, Rng& rng) const {
+  Task task;
+  task.name = "t" + std::to_string(level_hint);
+
+  TaskFlavor flavor = TaskFlavor::Universal;
+  const double pick = rng.uniform();
+  if (pick < config.hw_only_fraction)
+    flavor = TaskFlavor::HwOnly;
+  else if (pick < config.hw_only_fraction + config.sw_only_fraction)
+    flavor = TaskFlavor::SwOnly;
+
+  const double base = static_cast<double>(base_exec) * noise(rng, 0.45);
+  task.exec.assign(library_.pe_count(), kNoTime);
+  for (PeTypeId pe = 0; pe < library_.pe_count(); ++pe) {
+    const PeType& type = library_.pe(pe);
+    const bool hw = type.is_hardware();
+    if (flavor == TaskFlavor::HwOnly && !hw) continue;
+    if (flavor == TaskFlavor::SwOnly && hw) continue;
+    // CPLDs hold only small control logic: skip them for larger tasks so the
+    // generator does not claim a 36-macrocell part runs an MPEG stage.
+    double t = base / type.speed_factor * noise(rng, 0.15);
+    task.exec[pe] = std::max<TimeNs>(100, static_cast<TimeNs>(t));
+  }
+
+  // Hardware sizing: FPGA/CPLD area, ASIC gates, pins.
+  if (flavor != TaskFlavor::SwOnly) {
+    task.pfus = static_cast<int>(rng.uniform_int(24, 140));
+    task.gates = task.pfus * 12;
+    task.pins = static_cast<int>(rng.uniform_int(4, 24));
+    // Tasks too big for small CPLDs: drop infeasible PPE entries.
+    for (PeTypeId pe = 0; pe < library_.pe_count(); ++pe) {
+      const PeType& type = library_.pe(pe);
+      if (type.is_programmable() && task.pfus > type.pfus)
+        task.exec[pe] = kNoTime;
+    }
+  } else {
+    task.pfus = task.gates = task.pins = 0;
+    for (PeTypeId pe = 0; pe < library_.pe_count(); ++pe)
+      if (library_.pe(pe).is_hardware()) task.exec[pe] = kNoTime;
+  }
+
+  // Memory demand when mapped to software.
+  task.memory.program = rng.uniform_int(4, 96) * 1024;
+  task.memory.data = rng.uniform_int(2, 64) * 1024;
+  task.memory.stack = rng.uniform_int(1, 8) * 1024;
+
+  // Preference vector: some datapath tasks carry a PPE preference (§2.2).
+  if (flavor != TaskFlavor::SwOnly &&
+      rng.chance(config.prefer_ppe_fraction)) {
+    task.preference.assign(library_.pe_count(), 0.0);
+    for (PeTypeId pe = 0; pe < library_.pe_count(); ++pe)
+      if (library_.pe(pe).is_programmable()) task.preference[pe] = 1.0;
+  }
+
+  task.has_assertion = rng.chance(config.assertion_fraction);
+  task.error_transparent = rng.chance(config.transparent_fraction);
+  return task;
+}
+
+TaskGraph SpecGenerator::generate_graph(const GraphGenConfig& config,
+                                        const std::string& name,
+                                        Rng& rng) const {
+  CRUSADE_REQUIRE(config.tasks >= 1, "graph needs tasks");
+  CRUSADE_REQUIRE(config.period > 0, "graph needs a period");
+  TaskGraph graph(name, config.period, config.est);
+
+  // Layered topology: expected depth ~ 2*sqrt(n); execution budget derives
+  // from the period and that depth so generated systems are schedulable.
+  const int depth =
+      std::max(2, static_cast<int>(std::lround(2.0 * std::sqrt(
+                      static_cast<double>(config.tasks)))));
+  const double budget = config.path_load * static_cast<double>(config.period);
+  const TimeNs base_exec =
+      std::max<TimeNs>(120, static_cast<TimeNs>(budget / (2.0 * depth)));
+
+  for (int i = 0; i < config.tasks; ++i) {
+    Task t = make_task(config, i, base_exec, rng);
+    t.name = name + ".t" + std::to_string(i);
+    graph.add_task(std::move(t));
+  }
+
+  // Edges: each non-source task picks 1–2 predecessors among the previous
+  // `window` tasks (locality), giving fanout around config.fanout.
+  const int window = std::max(
+      2, static_cast<int>(std::lround(config.tasks / std::max(1, depth))) * 2);
+  const std::int64_t byte_scale =
+      std::clamp<std::int64_t>(config.period / kMicrosecond / 4, 16, 4096);
+  for (int i = 1; i < config.tasks; ++i) {
+    const int preds =
+        1 + (rng.chance(std::min(0.9, config.fanout - 1.0)) ? 1 : 0);
+    for (int p = 0; p < preds; ++p) {
+      const int lo = std::max(0, i - window);
+      const int src = static_cast<int>(rng.uniform_int(lo, i - 1));
+      bool duplicate = false;
+      for (const auto& e : graph.edges())
+        if (e.src == src && e.dst == i) duplicate = true;
+      if (duplicate) continue;
+      const std::int64_t bytes =
+          std::max<std::int64_t>(8, static_cast<std::int64_t>(
+                                        byte_scale * noise(rng, 0.6)));
+      graph.add_edge(src, i, bytes);
+    }
+  }
+
+  // Deadlines: every sink gets one; most equal the period, some are tighter.
+  for (int i = 0; i < config.tasks; ++i) {
+    if (!graph.is_sink(i)) continue;
+    // Sub-millisecond functions are deterministic hardware pipelines: one
+    // result completes per period while each frame/cell may spend several
+    // periods in flight (pipelined latency).  Slower software-visible
+    // functions must finish within the period, sometimes tighter.
+    double tightness = 1.0;
+    if (config.period < kMillisecond)
+      tightness = 4.0;
+    else if (config.period < 10 * kMillisecond)
+      tightness = 2.0;
+    else if (rng.chance(config.tight_deadline_fraction))
+      tightness = rng.uniform_real(config.tight_deadline_min, 0.95);
+    graph.task(i).deadline =
+        std::max<TimeNs>(base_exec * 2,
+                         static_cast<TimeNs>(tightness *
+                                             static_cast<double>(config.period)));
+  }
+
+  // Sparse exclusion pairs (§2.2), only between software-capable tasks so we
+  // never make a task unallocatable.
+  for (int a = 0; a < config.tasks; ++a) {
+    for (int b = a + 1; b < config.tasks; ++b) {
+      if (!rng.chance(config.exclusion_probability)) continue;
+      graph.add_exclusion(a, b);
+    }
+  }
+  return graph;
+}
+
+Specification SpecGenerator::generate(const SpecGenConfig& config) const {
+  CRUSADE_REQUIRE(config.total_tasks >= config.min_tasks_per_graph,
+                  "total task budget below one graph");
+  CRUSADE_REQUIRE(config.periods.size() == config.period_weights.size(),
+                  "period menu arity mismatch");
+  Rng rng(config.seed);
+  Specification spec;
+  spec.name = config.name;
+
+  int remaining = config.total_tasks;
+  int index = 0;
+  while (remaining > 0) {
+    GraphGenConfig g = config.graph;
+    g.tasks = static_cast<int>(rng.uniform_int(config.min_tasks_per_graph,
+                                               config.max_tasks_per_graph));
+    if (g.tasks > remaining) g.tasks = remaining;
+    g.period = config.periods[rng.weighted_index(config.period_weights)];
+    // Domain calibration: microsecond-period functions (SONET/ATM cell and
+    // frame processing) are hardware tasks in this era — a 68360 cannot
+    // absorb a 25us period against its context-switch overhead.  Slow
+    // provisioning/monitoring functions lean software.
+    if (g.period < 500 * kMicrosecond) {
+      g.hw_only_fraction = 0.85;
+      g.sw_only_fraction = 0.0;
+    } else if (g.period < 10 * kMillisecond) {
+      g.hw_only_fraction = 0.55;
+      g.sw_only_fraction = 0.10;
+    } else if (g.period >= kSecond) {
+      g.hw_only_fraction = 0.25;
+      g.sw_only_fraction = 0.40;
+    }
+    TaskGraph graph = generate_graph(
+        g, config.name + ".g" + std::to_string(index), rng);
+    spec.graphs.push_back(std::move(graph));
+    remaining -= g.tasks;
+    ++index;
+  }
+
+  if (config.emit_compatibility) {
+    const int n = static_cast<int>(spec.graphs.size());
+    CompatibilityMatrix compat(n);
+    // Group graphs into mode-exclusive families: shuffle indices, then carve
+    // off families until the family budget is consumed.
+    std::vector<int> order(n);
+    for (int i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+    int budget = static_cast<int>(std::lround(config.family_fraction * n));
+    std::size_t next = 0;
+    while (budget >= config.family_size_min &&
+           next + static_cast<std::size_t>(config.family_size_min) <=
+               order.size()) {
+      int size = static_cast<int>(rng.uniform_int(config.family_size_min,
+                                                  config.family_size_max));
+      size = std::min<int>(
+          {size, budget, static_cast<int>(order.size() - next)});
+      if (size < config.family_size_min) break;
+      for (int a = 0; a < size; ++a)
+        for (int b = a + 1; b < size; ++b)
+          compat.set_compatible(order[next + a], order[next + b], true);
+      next += static_cast<std::size_t>(size);
+      budget -= size;
+    }
+    spec.compatibility = std::move(compat);
+  }
+
+  spec.validate(library_.pe_count());
+  return spec;
+}
+
+}  // namespace crusade

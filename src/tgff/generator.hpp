@@ -1,0 +1,94 @@
+// TGFF-style synthetic task-graph generation.
+//
+// The paper evaluates CRUSADE on proprietary Lucent telecom task graphs
+// (base station, video router, SONET/ATM systems).  This generator stands in
+// for them (DESIGN.md substitution 1): layered random DAGs with periods from
+// the telecom range (25us – 1min), execution vectors synthesized from the PE
+// library speed factors, hardware-leaning and software-leaning task mixes,
+// and a-priori compatibility families — groups of mode-exclusive task graphs
+// (e.g. protection-switch vs. normal-path processing) that never execute
+// simultaneously, the enabler for dynamic reconfiguration (§3, §4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/specification.hpp"
+#include "resources/resource_library.hpp"
+#include "util/rng.hpp"
+
+namespace crusade {
+
+/// Per-graph generation knobs.
+struct GraphGenConfig {
+  int tasks = 40;
+  TimeNs period = 10 * kMillisecond;
+  TimeNs est = 0;
+  /// Average out-degree of non-sink tasks.
+  double fanout = 1.8;
+  /// Fraction of the period the critical path should roughly consume; the
+  /// remaining slack is what allocation/scheduling trades away.
+  double path_load = 0.20;
+  /// Probability that a sink's deadline is tighter than the period, and the
+  /// tightness range used when it is.
+  double tight_deadline_fraction = 0.15;
+  double tight_deadline_min = 0.75;
+  /// Fraction of tasks implementable only in hardware (DSP datapaths,
+  /// cell/frame processing) and only in software (protocol control).
+  double hw_only_fraction = 0.20;
+  double sw_only_fraction = 0.30;
+  /// Fraction of tasks carrying a preference for programmable logic.
+  double prefer_ppe_fraction = 0.15;
+  /// Probability that a task pair is declared mutually exclusive (§2.2
+  /// exclusion vector).
+  double exclusion_probability = 0.01;
+  /// §6 fields: fraction of tasks with an assertion available and fraction
+  /// that are error-transparent.
+  double assertion_fraction = 0.70;
+  double transparent_fraction = 0.50;
+};
+
+/// Specification-level knobs for one synthetic example.
+struct SpecGenConfig {
+  std::string name = "synthetic";
+  int total_tasks = 1000;
+  int min_tasks_per_graph = 18;
+  int max_tasks_per_graph = 60;
+  /// Period menu with selection weights; defaults span the paper's 25us–1min.
+  std::vector<TimeNs> periods = {25 * kMicrosecond, 50 * kMicrosecond,
+                                 100 * kMicrosecond, kMillisecond,
+                                 10 * kMillisecond, 100 * kMillisecond,
+                                 kSecond, kMinute};
+  std::vector<double> period_weights = {1, 1, 2, 3, 4, 4, 3, 1};
+  /// Fraction of graphs grouped into mode-exclusive compatibility families
+  /// and the family size range.  Graphs inside one family are pairwise
+  /// compatible (Δ = 0); everything else is incompatible.
+  double family_fraction = 0.70;
+  int family_size_min = 2;
+  int family_size_max = 4;
+  /// Set false to omit the compatibility matrix and exercise the derived
+  /// (Figure 3) path instead.
+  bool emit_compatibility = true;
+  GraphGenConfig graph;  ///< per-graph defaults (period/tasks overridden)
+  std::uint64_t seed = 1;
+};
+
+class SpecGenerator {
+ public:
+  explicit SpecGenerator(const ResourceLibrary& library);
+
+  /// One random task graph.
+  TaskGraph generate_graph(const GraphGenConfig& config,
+                           const std::string& name, Rng& rng) const;
+
+  /// A full specification: graphs plus compatibility families.
+  Specification generate(const SpecGenConfig& config) const;
+
+ private:
+  Task make_task(const GraphGenConfig& config, int level_hint,
+                 TimeNs base_exec, Rng& rng) const;
+
+  const ResourceLibrary& library_;
+};
+
+}  // namespace crusade

@@ -1,0 +1,50 @@
+#include "tgff/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+std::vector<ExampleProfile> paper_profiles() {
+  // Task counts from Tables 2–3; seeds fixed for reproducibility.
+  return {
+      {"A1TR", 1126, 101}, {"VDRTX", 1634, 102}, {"HROST", 2645, 103},
+      {"EST189A", 3826, 104}, {"HRXC", 4571, 105}, {"ADMR", 5419, 106},
+      {"B192G", 6815, 107}, {"NGXM", 7416, 108},
+  };
+}
+
+ExampleProfile profile_by_name(const std::string& name) {
+  for (const auto& p : paper_profiles())
+    if (p.name == name) return p;
+  throw Error("unknown example profile '" + name + "'");
+}
+
+SpecGenConfig profile_config(const ExampleProfile& profile, double scale) {
+  CRUSADE_REQUIRE(scale > 0 && scale <= 1.0, "scale must be in (0,1]");
+  SpecGenConfig cfg;
+  cfg.name = profile.name;
+  cfg.seed = profile.seed;
+  cfg.total_tasks = std::max(
+      12, static_cast<int>(std::lround(profile.tasks * scale)));
+  cfg.min_tasks_per_graph = 18;
+  cfg.max_tasks_per_graph = 60;
+  if (cfg.total_tasks < cfg.max_tasks_per_graph) {
+    cfg.min_tasks_per_graph = std::max(4, cfg.total_tasks / 3);
+    cfg.max_tasks_per_graph = cfg.total_tasks;
+  }
+  // Telecom mix: heavy on ms-range frame/cell processing, a tail of slow
+  // provisioning / performance-monitoring functions (periods to 1 min) and
+  // fast interface functions (25–100us).
+  cfg.family_fraction = 0.85;
+  cfg.family_size_min = 2;
+  cfg.family_size_max = 5;
+  cfg.graph.hw_only_fraction = 0.20;
+  cfg.graph.sw_only_fraction = 0.30;
+  cfg.graph.prefer_ppe_fraction = 0.15;
+  return cfg;
+}
+
+}  // namespace crusade

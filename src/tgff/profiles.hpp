@@ -1,0 +1,30 @@
+// The eight example systems of Tables 2–3, recreated as generator profiles
+// with the paper's task counts (DESIGN.md substitution 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tgff/generator.hpp"
+
+namespace crusade {
+
+struct ExampleProfile {
+  std::string name;   ///< paper's example name (A1TR, VDRTX, ...)
+  int tasks = 0;      ///< paper's task count
+  std::uint64_t seed = 0;
+};
+
+/// All eight rows of Tables 2–3 in paper order.
+std::vector<ExampleProfile> paper_profiles();
+
+/// Lookup by name; throws Error when unknown.
+ExampleProfile profile_by_name(const std::string& name);
+
+/// Expands a profile into a full SpecGenConfig (periods, family structure,
+/// task mix tuned to the telecom setting).  `scale` in (0,1] shrinks the
+/// task count for quick tests while keeping the structure.
+SpecGenConfig profile_config(const ExampleProfile& profile,
+                             double scale = 1.0);
+
+}  // namespace crusade

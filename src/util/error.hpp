@@ -1,0 +1,35 @@
+// Error type used across the library.  CRUSADE follows the Core Guidelines:
+// exceptions signal failure to perform a required task (I.10); invariant
+// violations in internal code use CRUSADE_REQUIRE which throws rather than
+// aborting, so callers (tests, benches) can observe misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace crusade {
+
+/// Thrown on specification errors (cyclic task graph, unknown PE type, ...)
+/// and on violated preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed: " + expr + (msg.empty() ? "" : " — ") +
+              msg);
+}
+}  // namespace detail
+
+}  // namespace crusade
+
+/// Precondition / invariant check that throws crusade::Error on failure.
+#define CRUSADE_REQUIRE(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::crusade::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

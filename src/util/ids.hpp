@@ -1,0 +1,14 @@
+// Shared strong-ish id aliases: indices into the resource library's PE and
+// link type vectors.  Kept in util so both the graph model (execution /
+// preference vectors are indexed by PeTypeId) and the resource library can
+// use them without a dependency cycle.
+#pragma once
+
+namespace crusade {
+
+/// Index into ResourceLibrary::pes().
+using PeTypeId = int;
+/// Index into ResourceLibrary::links().
+using LinkTypeId = int;
+
+}  // namespace crusade

@@ -1,0 +1,51 @@
+// Integer math helpers: gcd/lcm with overflow guards, ceiling division and
+// the hyperperiod computation used throughout the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+
+inline std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  return std::gcd(a, b);
+}
+
+/// Least common multiple with an overflow check; periods in this library are
+/// chosen so hyperperiods stay far below the int64 range, but a corrupt
+/// specification must fail loudly rather than wrap.
+inline std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  CRUSADE_REQUIRE(a > 0 && b > 0, "lcm64 requires positive operands");
+  const std::int64_t g = std::gcd(a, b);
+  const std::int64_t a_red = a / g;
+  CRUSADE_REQUIRE(a_red <= INT64_MAX / b, "lcm64 overflow");
+  return a_red * b;
+}
+
+/// Hyperperiod = lcm of all task graph periods (paper §3).
+inline TimeNs hyperperiod(const std::vector<TimeNs>& periods) {
+  CRUSADE_REQUIRE(!periods.empty(), "hyperperiod of empty period set");
+  TimeNs h = periods.front();
+  for (TimeNs p : periods) h = lcm64(h, p);
+  return h;
+}
+
+/// Ceiling division for non-negative numerator, positive denominator.
+inline std::int64_t ceil_div(std::int64_t num, std::int64_t den) {
+  CRUSADE_REQUIRE(num >= 0 && den > 0, "ceil_div domain");
+  return (num + den - 1) / den;
+}
+
+/// Floor division that is correct for negative numerators (unlike C++ '/').
+inline std::int64_t floor_div(std::int64_t num, std::int64_t den) {
+  CRUSADE_REQUIRE(den > 0, "floor_div needs positive denominator");
+  std::int64_t q = num / den;
+  if ((num % den != 0) && (num < 0)) --q;
+  return q;
+}
+
+}  // namespace crusade

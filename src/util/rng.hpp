@@ -1,0 +1,54 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component of the reproduction (TGFF-style task graph
+// generation, netlist synthesis, placement tie-breaking) draws from this
+// engine so that benches, tests and examples are bit-reproducible across
+// runs and platforms.  The engine is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crusade {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// the weight.  Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-subsystem determinism).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace crusade

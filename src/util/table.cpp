@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CRUSADE_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CRUSADE_REQUIRE(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << std::string(width[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string cell_int(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string cell_double(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string cell_percent(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+std::string cell_money(double dollars) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "$%.0f", dollars);
+  return buf;
+}
+
+}  // namespace crusade

@@ -1,0 +1,33 @@
+// Minimal fixed-width ASCII table writer used by the bench harnesses to
+// print rows in the same layout as the paper's Tables 1–3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crusade {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-aligned cells, a header rule, and a title line.
+  std::string to_string(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helpers for table cells.
+std::string cell_int(std::int64_t v);
+std::string cell_double(double v, int precision = 1);
+std::string cell_percent(double v, int precision = 1);
+std::string cell_money(double dollars);
+
+}  // namespace crusade

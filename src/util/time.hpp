@@ -1,0 +1,53 @@
+// Time representation shared by every CRUSADE module.
+//
+// The paper's workloads span periods from 25 microseconds to 1 minute and
+// FPGA net delays in the nanosecond range, so the library uses a single
+// integral tick type (nanoseconds, int64) everywhere.  One minute is 6e10
+// ticks; a hyperperiod of one minute multiplied by any sane schedule depth
+// stays far below the int64 range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crusade {
+
+/// Nanosecond tick count.  All schedule instants, execution times, periods,
+/// deadlines and boot times are expressed in TimeNs.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+
+/// Sentinel for "no time" / "not feasible on this PE".
+inline constexpr TimeNs kNoTime = -1;
+
+/// Human-readable rendering, e.g. "25us", "1.5ms".
+inline std::string format_time(TimeNs t) {
+  if (t == kNoTime) return "-";
+  const char* unit = "ns";
+  double v = static_cast<double>(t);
+  if (t >= kSecond) {
+    v /= static_cast<double>(kSecond);
+    unit = "s";
+  } else if (t >= kMillisecond) {
+    v /= static_cast<double>(kMillisecond);
+    unit = "ms";
+  } else if (t >= kMicrosecond) {
+    v /= static_cast<double>(kMicrosecond);
+    unit = "us";
+  }
+  char buf[48];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld%s",
+                  static_cast<long long>(v), unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g%s", v, unit);
+  }
+  return buf;
+}
+
+}  // namespace crusade

@@ -1,0 +1,173 @@
+// Unit tests for the FPGA substrate: device grid, netlists, placement,
+// routing and the delay-management experiment.
+#include <gtest/gtest.h>
+
+#include "fpga/delay.hpp"
+#include "fpga/placer.hpp"
+#include "tgff/circuits.hpp"
+
+namespace crusade {
+namespace {
+
+TEST(DeviceTest, GeometryAndIndexing) {
+  Device d(4, 5, 4, 64, 4, 1);
+  EXPECT_EQ(d.capacity(), 20);
+  const Site s{2, 3};
+  EXPECT_EQ(d.site_index(s), 13);
+  const Site back = d.site_at(13);
+  EXPECT_EQ(back.row, 2);
+  EXPECT_EQ(back.col, 3);
+  EXPECT_FALSE(d.contains({4, 0}));
+  EXPECT_THROW(d.site_at(20), Error);
+}
+
+TEST(DeviceTest, ForCircuitLeavesHeadroom) {
+  const Device d = Device::for_circuit(70);
+  EXPECT_GE(d.capacity(), 100);  // 70 / 0.7
+}
+
+TEST(NetlistTest, RandomIsAcyclicAndConnected) {
+  Rng rng(11);
+  NetlistConfig cfg;
+  cfg.cells = 60;
+  const Netlist n = Netlist::random("t", cfg, rng);
+  EXPECT_EQ(n.cell_count(), 60);
+  EXPECT_GT(n.external_pins(), 0);
+  std::vector<bool> driven(60, false);
+  for (const Net& net : n.nets()) {
+    for (int s : net.sinks) {
+      EXPECT_GT(s, net.driver);  // acyclic by construction
+      driven[s] = true;
+    }
+  }
+  for (int c = 1; c < 60; ++c) EXPECT_TRUE(driven[c]) << "orphan cell " << c;
+}
+
+TEST(NetlistTest, ConstructorValidates) {
+  EXPECT_THROW(Netlist("bad", 2, {Net{1, {0}}}, 1), Error);  // sink <= driver
+  EXPECT_THROW(Netlist("bad", 2, {Net{0, {}}}, 1), Error);   // no sinks
+}
+
+TEST(PlacerTest, PlacesAllCellsWithoutOverlap) {
+  const Device d(8, 8, 4, 64, 4, 1);
+  Rng rng(3);
+  NetlistConfig cfg;
+  cfg.cells = 30;
+  const Netlist n = Netlist::random("t", cfg, rng);
+  std::vector<bool> occupied(d.capacity(), false);
+  const auto placement = Placer::place(d, n, occupied, rng);
+  ASSERT_EQ(placement.size(), 30u);
+  std::vector<bool> seen(d.capacity(), false);
+  for (int site : placement) {
+    ASSERT_GE(site, 0);
+    ASSERT_LT(site, d.capacity());
+    ASSERT_FALSE(seen[site]) << "two cells on one site";
+    seen[site] = true;
+  }
+}
+
+TEST(PlacerTest, SharedDeviceRespectsOccupancy) {
+  const Device d(6, 6, 4, 48, 4, 1);
+  Rng rng(4);
+  NetlistConfig cfg;
+  cfg.cells = 16;
+  const Netlist a = Netlist::random("a", cfg, rng);
+  const Netlist b = Netlist::random("b", cfg, rng);
+  std::vector<bool> occupied(d.capacity(), false);
+  const auto pa = Placer::place(d, a, occupied, rng);
+  const auto pb = Placer::place(d, b, occupied, rng);
+  for (int sa : pa)
+    for (int sb : pb) EXPECT_NE(sa, sb);
+}
+
+TEST(PlacerTest, ThrowsWhenFull) {
+  const Device d(3, 3, 4, 24, 4, 1);
+  Rng rng(5);
+  NetlistConfig cfg;
+  cfg.cells = 10;  // 10 > 9 sites
+  const Netlist n = Netlist::random("t", cfg, rng);
+  std::vector<bool> occupied(d.capacity(), false);
+  EXPECT_THROW(Placer::place(d, n, occupied, rng), Error);
+}
+
+TEST(RouterTest, UncongestedDelaysScaleWithDistance) {
+  const Device d(10, 10, 100, 80, 4, 1);  // huge channels: no congestion
+  Netlist n("two", 2, {Net{0, {1}}}, 2);
+  std::vector<int> placement = {d.site_index({0, 0}), d.site_index({0, 5})};
+  Router router(d);
+  router.route(n, placement);
+  const RouteResult r = router.finalize(n, placement);
+  ASSERT_TRUE(r.routable);
+  // 5 horizontal segments at nominal 1ns + 1 switch hop.
+  EXPECT_EQ(r.sink_delay[0][0], 6);
+}
+
+TEST(RouterTest, CongestionRaisesDelay) {
+  const Device d(6, 6, 2, 48, 4, 1);
+  Netlist n("two", 2, {Net{0, {1}}}, 2);
+  std::vector<int> placement = {d.site_index({2, 0}), d.site_index({2, 5})};
+  Router light(d);
+  light.route(n, placement);
+  const TimeNs base = light.finalize(n, placement).sink_delay[0][0];
+  Router heavy(d);
+  heavy.route(n, placement);
+  for (int i = 0; i < 6; ++i)
+    heavy.route_connection({2, 0}, {2, 5});  // same row: pile on the load
+  const RouteResult hr = heavy.finalize(n, placement);
+  if (hr.routable) EXPECT_GT(hr.sink_delay[0][0], base);
+}
+
+TEST(RouterTest, OverflowMakesUnroutable) {
+  const Device d(4, 4, 1, 32, 4, 1);
+  Netlist n("two", 2, {Net{0, {1}}}, 2);
+  std::vector<int> placement = {d.site_index({1, 0}), d.site_index({1, 3})};
+  Router router(d);
+  router.route(n, placement);
+  for (int i = 0; i < 30; ++i) router.route_connection({1, 0}, {1, 3});
+  EXPECT_FALSE(router.finalize(n, placement).routable);
+}
+
+TEST(CriticalPathTest, LongestPathThroughLevels) {
+  const Device d(8, 8, 100, 64, 4, 1);
+  // 0 -> 1 -> 2 and 0 -> 2: the two-hop path dominates.
+  Netlist n("chain", 3, {Net{0, {1}}, Net{1, {2}}, Net{0, {2}}}, 3);
+  std::vector<int> placement = {d.site_index({0, 0}), d.site_index({0, 1}),
+                                d.site_index({0, 2})};
+  Router router(d);
+  router.route(n, placement);
+  const RouteResult routes = router.finalize(n, placement);
+  const TimeNs cp = critical_path(d, n, routes);
+  // 3 cell delays (4ns each) + two 1-unit hops (2ns each incl switch).
+  EXPECT_EQ(cp, 3 * 4 + 2 * 2);
+}
+
+TEST(DelaySweepTest, BaselineRoutableAndMonotoneFill) {
+  const Netlist circuit = make_circuit(CircuitSpec{"cvs1", 18});
+  const auto sweep =
+      measure_delay_sweep(circuit, {0.70, 0.85, 1.00}, 0.8, 42);
+  ASSERT_EQ(sweep.size(), 3u);
+  ASSERT_TRUE(sweep[0].routable);
+  // Incremental fill: peak channel load can only grow.
+  EXPECT_LE(sweep[0].peak_channel_load, sweep[1].peak_channel_load);
+  EXPECT_LE(sweep[1].peak_channel_load, sweep[2].peak_channel_load);
+  // Delay at full utilization is no better than baseline (when routable).
+  if (sweep[2].routable) EXPECT_GE(sweep[2].delay, sweep[0].delay);
+}
+
+TEST(DelaySweepTest, RejectsBadParameters) {
+  const Netlist circuit = make_circuit(CircuitSpec{"cvs1", 18});
+  EXPECT_THROW(measure_delay_sweep(circuit, {}, 0.8, 1), Error);
+  EXPECT_THROW(measure_delay_sweep(circuit, {0.9, 0.7}, 0.8, 1), Error);
+  EXPECT_THROW(measure_delay_sweep(circuit, {0.7}, 1.5, 1), Error);
+}
+
+TEST(DelayManagementTest, PaperDefaultsAndCaps) {
+  DelayManagement dm;
+  EXPECT_DOUBLE_EQ(dm.eruf, 0.70);
+  EXPECT_DOUBLE_EQ(dm.epuf, 0.80);
+  EXPECT_EQ(dm.usable_pfus(1024), 716);
+  EXPECT_EQ(dm.usable_pins(120), 96);
+}
+
+}  // namespace
+}  // namespace crusade

@@ -1,0 +1,275 @@
+// Unit tests for the fault-tolerance extension: transformation, Markov
+// availability, service modules, spares, and the CRUSADE-FT driver.
+#include <gtest/gtest.h>
+
+#include "ft/crusade_ft.hpp"
+#include "tgff/generator.hpp"
+
+namespace crusade {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+Task sw_task(const std::string& name, TimeNs exec, bool has_assertion,
+             bool transparent, TimeNs deadline = kNoTime) {
+  Task t;
+  t.name = name;
+  t.exec.assign(lib().pe_count(), kNoTime);
+  for (PeTypeId pe = 0; pe < lib().pe_count(); ++pe)
+    if (lib().pe(pe).kind == PeKind::Cpu)
+      t.exec[pe] = static_cast<TimeNs>(
+          static_cast<double>(exec) / lib().pe(pe).speed_factor);
+  t.memory = {8 * 1024, 4 * 1024, 1 * 1024};
+  t.deadline = deadline;
+  t.has_assertion = has_assertion;
+  t.error_transparent = transparent;
+  return t;
+}
+
+// --- transformation (§6) ---
+
+TEST(FtTransformTest, AssertionAddedWithExclusion) {
+  Specification spec;
+  TaskGraph g("g", 100 * kMillisecond);
+  g.add_task(sw_task("t", kMillisecond, /*assert=*/true, /*transp=*/false,
+                     100 * kMillisecond));
+  spec.graphs.push_back(std::move(g));
+
+  FtTransformReport report;
+  const Specification ft =
+      add_fault_tolerance(spec, lib(), FtParams{}, &report);
+  EXPECT_EQ(report.assertions_added, 1);
+  EXPECT_EQ(report.duplicate_compare_added, 0);
+  EXPECT_EQ(ft.graphs[0].task_count(), 2);
+  EXPECT_EQ(ft.graphs[0].edge_count(), 1);  // t -> assert
+  // The checker must not share a PE with the checked task.
+  const auto& excl = ft.graphs[0].task(0).exclusions;
+  EXPECT_NE(std::find(excl.begin(), excl.end(), 1), excl.end());
+  EXPECT_NO_THROW(ft.validate(lib().pe_count()));
+}
+
+TEST(FtTransformTest, DuplicateAndCompareWhenNoAssertion) {
+  Specification spec;
+  TaskGraph g("g", 100 * kMillisecond);
+  const int a = g.add_task(
+      sw_task("a", kMillisecond, true, false));
+  const int b = g.add_task(sw_task("b", kMillisecond, /*assert=*/false,
+                                   false, 100 * kMillisecond));
+  g.add_edge(a, b, 64);
+  spec.graphs.push_back(std::move(g));
+
+  FtTransformReport report;
+  const Specification ft =
+      add_fault_tolerance(spec, lib(), FtParams{}, &report);
+  EXPECT_EQ(report.duplicate_compare_added, 1);
+  // b gains a duplicate (with a's edge re-fanned) and a compare task.
+  const TaskGraph& fg = ft.graphs[0];
+  int dup = -1, cmp = -1;
+  for (int t = 0; t < fg.task_count(); ++t) {
+    if (fg.task(t).name == "b.dup") dup = t;
+    if (fg.task(t).name == "b.cmp") cmp = t;
+  }
+  ASSERT_GE(dup, 0);
+  ASSERT_GE(cmp, 0);
+  // Duplicate receives the same input edge as b.
+  bool dup_fed = false;
+  for (const Edge& e : fg.edges())
+    if (e.src == a && e.dst == dup) dup_fed = true;
+  EXPECT_TRUE(dup_fed);
+  // Both replicas feed the comparator.
+  int cmp_inputs = 0;
+  for (const Edge& e : fg.edges())
+    if (e.dst == cmp) ++cmp_inputs;
+  EXPECT_EQ(cmp_inputs, 2);
+  EXPECT_NO_THROW(ft.validate(lib().pe_count()));
+}
+
+TEST(FtTransformTest, ErrorTransparencySharesChecks) {
+  // Chain t0 -> t1 -> t2 where t0,t1 are error-transparent: only the sink
+  // needs its own check.
+  Specification spec;
+  TaskGraph g("g", 100 * kMillisecond);
+  int prev = -1;
+  for (int i = 0; i < 3; ++i) {
+    const int t = g.add_task(sw_task(
+        "t" + std::to_string(i), kMillisecond, true, /*transparent=*/i < 2,
+        i == 2 ? 100 * kMillisecond : kNoTime));
+    if (prev >= 0) g.add_edge(prev, t, 64);
+    prev = t;
+  }
+  spec.graphs.push_back(std::move(g));
+
+  FtTransformReport report;
+  const Specification ft =
+      add_fault_tolerance(spec, lib(), FtParams{}, &report);
+  EXPECT_EQ(report.checks_shared, 2);
+  EXPECT_EQ(report.assertions_added, 1);
+  EXPECT_EQ(ft.graphs[0].task_count(), 4);  // 3 original + 1 assertion
+}
+
+TEST(FtTransformTest, TransparencyBoundedByHopLimit) {
+  // A long transparent chain: sharing only reaches max_transparency_hops
+  // upstream of the checked sink, so interior tasks re-acquire checks.
+  Specification spec;
+  TaskGraph g("g", 100 * kMillisecond);
+  int prev = -1;
+  for (int i = 0; i < 6; ++i) {
+    const int t = g.add_task(sw_task(
+        "t" + std::to_string(i), kMillisecond, true, /*transparent=*/true,
+        i == 5 ? 100 * kMillisecond : kNoTime));
+    if (prev >= 0) g.add_edge(prev, t, 64);
+    prev = t;
+  }
+  spec.graphs.push_back(std::move(g));
+
+  FtParams params;
+  params.max_transparency_hops = 2;
+  FtTransformReport report;
+  add_fault_tolerance(spec, lib(), params, &report);
+  // Sharing happens, but not for the whole chain.
+  EXPECT_GT(report.checks_shared, 0);
+  EXPECT_LT(report.checks_shared, 5);
+  EXPECT_GT(report.assertions_added, 1);
+}
+
+TEST(FtTransformTest, LowCoverageAssertionFallsBackToDuplication) {
+  Specification spec;
+  TaskGraph g("g", 100 * kMillisecond);
+  g.add_task(sw_task("t", kMillisecond, /*assert=*/true, false,
+                     100 * kMillisecond));
+  spec.graphs.push_back(std::move(g));
+  FtParams params;
+  params.assertion_coverage = 0.5;   // below requirement
+  params.required_coverage = 0.9;
+  FtTransformReport report;
+  add_fault_tolerance(spec, lib(), params, &report);
+  EXPECT_EQ(report.assertions_added, 0);
+  EXPECT_EQ(report.duplicate_compare_added, 1);
+}
+
+// --- dependability (§6) ---
+
+TEST(DependabilityTest, UnavailabilityClosedFormNoSpares) {
+  // One unit, fail rate lambda, repair mu: U = lambda / (lambda + mu).
+  const double fit = 5000;  // 5e-6 / hour
+  const double mttr = 2.0;
+  const double lambda = fit * 1e-9;
+  const double expected = lambda / (lambda + 1.0 / mttr);
+  EXPECT_NEAR(module_unavailability(fit, mttr, 0), expected, 1e-12);
+}
+
+TEST(DependabilityTest, SparesImproveAvailabilityMonotonically) {
+  double prev = module_unavailability(20'000, 2.0, 0);
+  for (int s = 1; s <= 3; ++s) {
+    const double u = module_unavailability(20'000, 2.0, s);
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+  EXPECT_DOUBLE_EQ(module_unavailability(0, 2.0, 0), 0);
+}
+
+TEST(DependabilityTest, ProvisionSparesMeetsRequirement) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 60;
+  cfg.seed = 91;
+  Specification spec = gen.generate(cfg);
+  // Demanding availability so spares are actually needed.
+  spec.unavailability_requirement.assign(spec.graphs.size(), 2e-6);
+
+  CrusadeParams base;
+  base.enable_reconfig = false;
+  CrusadeResult r = Crusade(spec, lib(), base).run();
+  const FlatSpec flat(spec);
+  const DependabilityReport report = provision_spares(
+      r.arch, flat, r.task_cluster, DependabilityParams{});
+  EXPECT_TRUE(report.meets_requirements);
+  EXPECT_GT(report.total_spare_cost, 0);  // 2e-6 needs standbys
+  EXPECT_DOUBLE_EQ(r.arch.spares_cost, report.total_spare_cost);
+  // Service modules partition the live PEs.
+  int covered = 0;
+  for (const ServiceModule& m : report.modules)
+    covered += static_cast<int>(m.pes.size());
+  EXPECT_EQ(covered, r.arch.live_pe_count());
+}
+
+TEST(DependabilityTest, LooseRequirementNeedsNoSpares) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 40;
+  cfg.seed = 92;
+  Specification spec = gen.generate(cfg);
+  spec.unavailability_requirement.assign(spec.graphs.size(), 0.5);
+  CrusadeParams base;
+  base.enable_reconfig = false;
+  CrusadeResult r = Crusade(spec, lib(), base).run();
+  const FlatSpec flat(spec);
+  const DependabilityReport report = provision_spares(
+      r.arch, flat, r.task_cluster, DependabilityParams{});
+  EXPECT_TRUE(report.meets_requirements);
+  EXPECT_DOUBLE_EQ(report.total_spare_cost, 0);
+}
+
+// --- driver ---
+
+TEST(CrusadeFtTest, EndToEndMeetsAvailabilityAndDeadlines) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 70;
+  cfg.seed = 93;
+  const Specification spec = gen.generate(cfg);
+  CrusadeFtParams params;
+  params.base.enable_reconfig = false;
+  const CrusadeFtResult r = CrusadeFt(spec, lib(), params).run();
+  EXPECT_GT(r.transform.tasks_after, r.transform.tasks_before);
+  EXPECT_TRUE(r.dependability.meets_requirements);
+  EXPECT_TRUE(r.synthesis.feasible);
+  EXPECT_GT(r.total_cost, 0);
+  // Default §7 requirements get attached when the spec carries none.
+  EXPECT_FALSE(r.ft_spec.unavailability_requirement.empty());
+}
+
+TEST(CrusadeFtTest, FtCostsMoreThanPlainSynthesis) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 70;
+  cfg.seed = 94;
+  const Specification spec = gen.generate(cfg);
+  CrusadeParams plain;
+  plain.enable_reconfig = false;
+  const CrusadeResult base = Crusade(spec, lib(), plain).run();
+  CrusadeFtParams params;
+  params.base.enable_reconfig = false;
+  const CrusadeFtResult ft = CrusadeFt(spec, lib(), params).run();
+  EXPECT_GT(ft.total_cost, base.cost.total());
+}
+
+TEST(FtTransformTest, CheckDeadlineInheritsPipelinedSinkDeadline) {
+  // A fast pipelined graph (sink deadline = 2 periods): the interior task's
+  // check must be due by the sink deadline, not one bare period.
+  Specification spec;
+  TaskGraph g("g", 50 * kMicrosecond);
+  Task interior = sw_task("mid", 5 * kMicrosecond, true, false);
+  const int a = g.add_task(interior);
+  Task sink = sw_task("out", 5 * kMicrosecond, true, false,
+                      100 * kMicrosecond);  // pipelined: 2 periods
+  const int b = g.add_task(sink);
+  g.add_edge(a, b, 8);
+  spec.graphs.push_back(std::move(g));
+
+  const Specification ft = add_fault_tolerance(spec, lib(), FtParams{});
+  bool found = false;
+  for (const TaskGraph& fg : ft.graphs)
+    for (int t = 0; t < fg.task_count(); ++t)
+      if (fg.task(t).name == "mid.assert") {
+        EXPECT_EQ(fg.task(t).deadline, 100 * kMicrosecond);
+        found = true;
+      }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace crusade

@@ -1,0 +1,159 @@
+// Unit tests for the task-graph model and specification container.
+#include <gtest/gtest.h>
+
+#include "graph/specification.hpp"
+
+namespace crusade {
+namespace {
+
+constexpr int kPeTypes = 3;
+
+Task simple_task(const std::string& name, TimeNs exec = 1000) {
+  Task t;
+  t.name = name;
+  t.exec.assign(kPeTypes, exec);
+  return t;
+}
+
+TaskGraph chain_graph(int n, TimeNs period = kMillisecond) {
+  TaskGraph g("chain", period);
+  for (int i = 0; i < n; ++i) g.add_task(simple_task("t" + std::to_string(i)));
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 64);
+  return g;
+}
+
+TEST(TaskGraphTest, TopoOrderRespectsEdges) {
+  TaskGraph g("diamond", kMillisecond);
+  for (int i = 0; i < 4; ++i) g.add_task(simple_task("t"));
+  g.add_edge(0, 1, 8);
+  g.add_edge(0, 2, 8);
+  g.add_edge(1, 3, 8);
+  g.add_edge(2, 3, 8);
+  const auto order = g.topo_order();
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[order[i]] = i;
+  for (const auto& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(TaskGraphTest, CycleDetected) {
+  TaskGraph g("cyc", kMillisecond);
+  g.add_task(simple_task("a"));
+  g.add_task(simple_task("b"));
+  g.add_edge(0, 1, 8);
+  g.add_edge(1, 0, 8);
+  EXPECT_THROW(g.topo_order(), Error);
+  EXPECT_THROW(g.validate(kPeTypes), Error);
+}
+
+TEST(TaskGraphTest, EdgeEndpointChecks) {
+  TaskGraph g("bad", kMillisecond);
+  g.add_task(simple_task("a"));
+  EXPECT_THROW(g.add_edge(0, 1, 8), Error);   // dst out of range
+  EXPECT_THROW(g.add_edge(0, 0, 8), Error);   // self loop
+  EXPECT_THROW(g.add_edge(0, 0, -1), Error);  // also negative bytes
+}
+
+TEST(TaskGraphTest, ExclusionSymmetryEnforced) {
+  TaskGraph g = chain_graph(3);
+  g.add_exclusion(0, 2);
+  EXPECT_NO_THROW(g.validate(kPeTypes));
+  // Break symmetry by hand: validation must catch it.
+  g.task(0).exclusions.push_back(1);
+  EXPECT_THROW(g.validate(kPeTypes), Error);
+}
+
+TEST(TaskGraphTest, SinksAndSources) {
+  TaskGraph g = chain_graph(3);
+  EXPECT_TRUE(g.is_source(0));
+  EXPECT_FALSE(g.is_source(1));
+  EXPECT_TRUE(g.is_sink(2));
+  EXPECT_FALSE(g.is_sink(0));
+}
+
+TEST(TaskGraphTest, EffectiveDeadlineDefaultsToPeriodOnSinks) {
+  TaskGraph g = chain_graph(3, 5 * kMillisecond);
+  EXPECT_EQ(g.effective_deadline(2), 5 * kMillisecond);
+  EXPECT_EQ(g.effective_deadline(1), kNoTime);  // interior, none set
+  g.task(1).deadline = kMillisecond;
+  EXPECT_EQ(g.effective_deadline(1), kMillisecond);
+}
+
+TEST(TaskGraphTest, ValidateRejectsBadVectors) {
+  TaskGraph g = chain_graph(2);
+  g.task(0).exec.resize(kPeTypes - 1);  // arity mismatch
+  EXPECT_THROW(g.validate(kPeTypes), Error);
+}
+
+TEST(TaskGraphTest, ValidateRejectsInfeasibleTask) {
+  TaskGraph g = chain_graph(2);
+  g.task(1).exec.assign(kPeTypes, kNoTime);
+  EXPECT_THROW(g.validate(kPeTypes), Error);
+}
+
+TEST(TaskGraphTest, ValidateRejectsNonPositivePeriod) {
+  TaskGraph g = chain_graph(2);
+  g.set_period(0);
+  EXPECT_THROW(g.validate(kPeTypes), Error);
+}
+
+TEST(TaskGraphTest, PreferenceVectorCanForbidType) {
+  Task t = simple_task("pref");
+  t.preference.assign(kPeTypes, 0.0);
+  t.preference[1] = -1.0;
+  EXPECT_TRUE(t.feasible_on(0));
+  EXPECT_FALSE(t.feasible_on(1));
+  EXPECT_FALSE(t.feasible_on(kPeTypes));  // out of range
+}
+
+TEST(CompatibilityTest, SymmetricAndDiagonalFixed) {
+  CompatibilityMatrix m(3);
+  EXPECT_FALSE(m.compatible(0, 1));  // default: incompatible
+  m.set_compatible(0, 1, true);
+  EXPECT_TRUE(m.compatible(0, 1));
+  EXPECT_TRUE(m.compatible(1, 0));
+  EXPECT_FALSE(m.compatible(0, 0));  // a graph never shares with itself
+  EXPECT_THROW(m.set_compatible(1, 1, true), Error);
+}
+
+TEST(CompatibilityTest, VectorForMatchesPaperConvention) {
+  CompatibilityMatrix m(3);
+  m.set_compatible(0, 2, true);
+  const auto v = m.vector_for(0);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 1);  // incompatible
+  EXPECT_EQ(v[2], 0);  // compatible (paper: delta = 0)
+}
+
+TEST(SpecificationTest, HyperperiodAndTotals) {
+  Specification spec;
+  spec.graphs.push_back(chain_graph(3, 2 * kMillisecond));
+  spec.graphs.push_back(chain_graph(4, 5 * kMillisecond));
+  EXPECT_EQ(spec.hyperperiod(), 10 * kMillisecond);
+  EXPECT_EQ(spec.total_tasks(), 7);
+  EXPECT_EQ(spec.total_edges(), 5);
+  EXPECT_NO_THROW(spec.validate(kPeTypes));
+}
+
+TEST(SpecificationTest, ValidatesCompatibilityArity) {
+  Specification spec;
+  spec.graphs.push_back(chain_graph(2));
+  spec.compatibility = CompatibilityMatrix(5);  // wrong size
+  EXPECT_THROW(spec.validate(kPeTypes), Error);
+}
+
+TEST(SpecificationTest, ValidatesUnavailabilityVector) {
+  Specification spec;
+  spec.graphs.push_back(chain_graph(2));
+  spec.unavailability_requirement = {1.5};  // out of [0,1]
+  EXPECT_THROW(spec.validate(kPeTypes), Error);
+  spec.unavailability_requirement = {0.5, 0.5};  // wrong arity
+  EXPECT_THROW(spec.validate(kPeTypes), Error);
+}
+
+TEST(SpecificationTest, RejectsEmpty) {
+  Specification spec;
+  EXPECT_THROW(spec.validate(kPeTypes), Error);
+}
+
+}  // namespace
+}  // namespace crusade

@@ -1,0 +1,138 @@
+// Integration tests: full pipeline runs on generated profiles with
+// cross-module invariant checks on the resulting architectures/schedules.
+#include <gtest/gtest.h>
+
+#include "core/crusade.hpp"
+#include "ft/crusade_ft.hpp"
+#include "tgff/profiles.hpp"
+
+namespace crusade {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+struct Pipeline {
+  Specification spec;
+  CrusadeResult without;
+  CrusadeResult with;
+};
+
+const Pipeline& a1tr_pipeline() {
+  static const Pipeline p = [] {
+    Pipeline pipe;
+    SpecGenerator gen(lib());
+    pipe.spec = gen.generate(profile_config(profile_by_name("A1TR"), 0.08));
+    CrusadeParams off;
+    off.enable_reconfig = false;
+    pipe.without = Crusade(pipe.spec, lib(), off).run();
+    pipe.with = Crusade(pipe.spec, lib(), {}).run();
+    return pipe;
+  }();
+  return p;
+}
+
+TEST(IntegrationTest, BothVariantsMeetDeadlines) {
+  EXPECT_TRUE(a1tr_pipeline().without.feasible);
+  EXPECT_TRUE(a1tr_pipeline().with.feasible);
+}
+
+TEST(IntegrationTest, ReconfigurationSavesCost) {
+  const Pipeline& p = a1tr_pipeline();
+  EXPECT_LT(p.with.cost.total(), p.without.cost.total());
+  EXPECT_LT(p.with.pe_count, p.without.pe_count);
+}
+
+TEST(IntegrationTest, ScheduleWindowsNeverOverlapOnSerialResources) {
+  const Pipeline& p = a1tr_pipeline();
+  for (const CrusadeResult* r : {&p.without, &p.with}) {
+    for (std::size_t res = 0; res < r->schedule.timelines.size(); ++res) {
+      const bool is_pe = res < r->arch.pes.size();
+      if (is_pe) {
+        const PeType& type = lib().pe(r->arch.pes[res].type);
+        if (type.is_hardware()) continue;  // concurrent circuits may overlap
+        if (type.kind == PeKind::Cpu) continue;  // preemption overlaps
+      }
+      const auto& windows = r->schedule.timelines[res].windows();
+      for (std::size_t a = 0; a < windows.size(); ++a)
+        for (std::size_t b = a + 1; b < windows.size(); ++b) {
+          if (windows[a].mode >= 0 && windows[b].mode >= 0 &&
+              windows[a].mode != windows[b].mode)
+            continue;  // different reconfiguration modes never co-run
+          EXPECT_FALSE(periodic_overlap(windows[a].span, windows[b].span))
+              << "overlap on serial resource " << res;
+        }
+    }
+  }
+}
+
+TEST(IntegrationTest, CpuSamePeriodWindowsNeverOverlap) {
+  // On preemptive CPUs, equal-period windows are solid: verify exactness.
+  const Pipeline& p = a1tr_pipeline();
+  for (std::size_t res = 0; res < p.with.arch.pes.size(); ++res) {
+    if (lib().pe(p.with.arch.pes[res].type).kind != PeKind::Cpu) continue;
+    const auto& windows = p.with.schedule.timelines[res].windows();
+    for (std::size_t a = 0; a < windows.size(); ++a)
+      for (std::size_t b = a + 1; b < windows.size(); ++b) {
+        if (windows[a].span.period != windows[b].span.period) continue;
+        EXPECT_FALSE(periodic_overlap(windows[a].span, windows[b].span))
+            << "equal-period overlap on CPU " << res;
+      }
+  }
+}
+
+TEST(IntegrationTest, FinishTimesMatchDeadlineFlag) {
+  const Pipeline& p = a1tr_pipeline();
+  const FlatSpec flat(p.spec);
+  for (int tid = 0; tid < flat.task_count(); ++tid) {
+    const TimeNs d = flat.absolute_deadline(tid);
+    if (d == kNoTime) continue;
+    ASSERT_NE(p.with.schedule.task_finish[tid], kNoTime);
+    EXPECT_LE(p.with.schedule.task_finish[tid], d);
+  }
+}
+
+TEST(IntegrationTest, EdgesScheduledAfterProducers) {
+  const Pipeline& p = a1tr_pipeline();
+  const FlatSpec flat(p.spec);
+  for (int eid = 0; eid < flat.edge_count(); ++eid) {
+    if (p.with.schedule.edge_start[eid] == kNoTime) continue;
+    EXPECT_GE(p.with.schedule.edge_start[eid],
+              p.with.schedule.task_finish[flat.edge_src(eid)]);
+    EXPECT_GE(p.with.schedule.task_start[flat.edge_dst(eid)],
+              p.with.schedule.edge_finish[eid]);
+  }
+}
+
+TEST(IntegrationTest, DerivedCompatibilityPathWorks) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 80;
+  cfg.seed = 55;
+  cfg.emit_compatibility = false;  // CRUSADE must derive it (Fig. 3)
+  const Specification spec = gen.generate(cfg);
+  const CrusadeResult r = Crusade(spec, lib(), {}).run();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.compat.graph_count(), static_cast<int>(spec.graphs.size()));
+}
+
+TEST(IntegrationTest, FtPipelineOnProfile) {
+  SpecGenerator gen(lib());
+  const Specification spec =
+      gen.generate(profile_config(profile_by_name("A1TR"), 0.06));
+  CrusadeFtParams params;
+  params.base.enable_reconfig = false;
+  const CrusadeFtResult ft = CrusadeFt(spec, lib(), params).run();
+  EXPECT_TRUE(ft.synthesis.feasible);
+  EXPECT_TRUE(ft.dependability.meets_requirements);
+  // Fault tolerance adds tasks and cost.
+  EXPECT_GT(ft.transform.tasks_after, spec.total_tasks());
+  CrusadeParams plain;
+  plain.enable_reconfig = false;
+  EXPECT_GT(ft.total_cost, Crusade(spec, lib(), plain).run().cost.total());
+}
+
+}  // namespace
+}  // namespace crusade

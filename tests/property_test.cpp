@@ -1,0 +1,194 @@
+// Property-based sweeps (TEST_P): invariants that must hold across seeds
+// and parameter grids — exact periodic math vs brute force, generator
+// validity, end-to-end architecture/schedule invariants, and delay-sweep
+// monotonicity.
+#include <gtest/gtest.h>
+
+#include "core/crusade.hpp"
+#include "fpga/delay.hpp"
+#include "tgff/circuits.hpp"
+#include "tgff/generator.hpp"
+
+namespace crusade {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+// --- periodic math vs randomized brute force ---
+
+class PeriodicProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeriodicProperty, OverlapMatchesBruteForce) {
+  Rng rng(GetParam());
+  const TimeNs periods[] = {4, 6, 9, 10, 12, 20};
+  for (int trial = 0; trial < 400; ++trial) {
+    const TimeNs pa = periods[rng.uniform_int(0, 5)];
+    const TimeNs pb = periods[rng.uniform_int(0, 5)];
+    const TimeNs la = rng.uniform_int(1, pa);
+    const TimeNs lb = rng.uniform_int(1, pb);
+    const TimeNs sa = rng.uniform_int(0, 2 * pa);
+    const TimeNs sb = rng.uniform_int(0, 2 * pb);
+    const PeriodicWindow a{sa, sa + la, pa};
+    const PeriodicWindow b{sb, sb + lb, pb};
+
+    // Brute force: enumerate instances across three combined cycles so
+    // phase wrap-around is fully covered.
+    const TimeNs horizon = lcm64(pa, pb);
+    bool brute = false;
+    for (TimeNs ka = -horizon; ka <= 2 * horizon && !brute; ka += pa)
+      for (TimeNs kb = -horizon; kb <= 2 * horizon && !brute; kb += pb)
+        if (sa + ka < sb + kb + lb && sb + kb < sa + ka + la) brute = true;
+    ASSERT_EQ(periodic_overlap(a, b), brute)
+        << "a=[" << sa << "+" << la << ")%" << pa << " b=[" << sb << "+"
+        << lb << ")%" << pb;
+  }
+}
+
+TEST_P(PeriodicProperty, MinShiftIsMinimalAndSufficient) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const TimeNs periods[] = {8, 12, 20, 40};
+  for (int trial = 0; trial < 300; ++trial) {
+    const TimeNs pa = periods[rng.uniform_int(0, 3)];
+    const TimeNs pb = periods[rng.uniform_int(0, 3)];
+    const TimeNs la = rng.uniform_int(1, pa / 2);
+    const TimeNs lb = rng.uniform_int(1, pb / 2);
+    const TimeNs sa = rng.uniform_int(0, pa);
+    const TimeNs sb = rng.uniform_int(0, pb);
+    PeriodicWindow a{sa, sa + la, pa};
+    const PeriodicWindow b{sb, sb + lb, pb};
+    const TimeNs shift = min_shift_to_avoid(a, b);
+    if (shift == kNoTime) {
+      // Claimed impossible: combined occupation must exceed the gcd.
+      EXPECT_GT(la + lb, std::gcd(pa, pb));
+      continue;
+    }
+    a.start += shift;
+    a.finish += shift;
+    EXPECT_FALSE(periodic_overlap(a, b));
+    if (shift > 0) {
+      a.start -= 1;
+      a.finish -= 1;
+      EXPECT_TRUE(periodic_overlap(a, b)) << "shift not minimal";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeriodicProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- generator validity across seeds ---
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, SpecificationsAlwaysValid) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 140;
+  cfg.seed = GetParam();
+  const Specification spec = gen.generate(cfg);
+  ASSERT_NO_THROW(spec.validate(lib().pe_count()));
+  EXPECT_EQ(spec.total_tasks(), 140);
+  // Hyperperiod stays within the period menu's lcm.
+  EXPECT_LE(spec.hyperperiod(), kMinute);
+  // Every task must run somewhere and carry sane attributes.
+  for (const TaskGraph& g : spec.graphs) {
+    for (const Task& t : g.tasks()) {
+      bool feasible = false;
+      for (PeTypeId pe = 0; pe < lib().pe_count(); ++pe) {
+        if (!t.feasible_on(pe)) continue;
+        feasible = true;
+        EXPECT_GT(t.exec[pe], 0);
+        EXPECT_LT(t.exec[pe], g.period() * 4);
+      }
+      EXPECT_TRUE(feasible);
+      EXPECT_GE(t.pfus, 0);
+      EXPECT_GE(t.memory.total(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// --- end-to-end invariants across seeds ---
+
+class SynthesisProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesisProperty, ArchitectureInvariantsHold) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 70;
+  cfg.seed = GetParam();
+  const Specification spec = gen.generate(cfg);
+  const CrusadeResult r = Crusade(spec, lib(), {}).run();
+  const FlatSpec flat(spec);
+  const DelayManagement delay;
+
+  // 1. Every task allocated to a feasible PE type.
+  for (int tid = 0; tid < flat.task_count(); ++tid) {
+    const int pe = r.arch.cluster_pe[r.task_cluster[tid]];
+    ASSERT_GE(pe, 0);
+    EXPECT_TRUE(flat.task(tid).feasible_on(r.arch.pes[pe].type));
+  }
+  // 2. ERUF/EPUF caps hold per mode on programmable devices (§4.5).
+  for (const PeInstance& inst : r.arch.pes) {
+    if (!inst.alive()) continue;
+    const PeType& type = lib().pe(inst.type);
+    if (!type.is_programmable()) continue;
+    for (const Mode& m : inst.modes) {
+      EXPECT_LE(m.pfus_used, delay.usable_pfus(type.pfus));
+      EXPECT_LE(m.pins_used, delay.usable_pins(type.pins));
+    }
+  }
+  // 3. Multi-mode devices host pairwise-compatible graphs across modes.
+  if (spec.compatibility) {
+    for (const PeInstance& inst : r.arch.pes) {
+      for (std::size_t m1 = 0; m1 < inst.modes.size(); ++m1)
+        for (std::size_t m2 = m1 + 1; m2 < inst.modes.size(); ++m2)
+          for (int g1 : inst.modes[m1].graphs)
+            for (int g2 : inst.modes[m2].graphs)
+              EXPECT_TRUE(spec.compatibility->compatible(g1, g2));
+    }
+  }
+  // 4. Only FPGAs reconfigure at run time.
+  for (const PeInstance& inst : r.arch.pes)
+    if (inst.modes.size() > 1)
+      EXPECT_EQ(lib().pe(inst.type).kind, PeKind::Fpga);
+  // 5. Cost components are non-negative and sum to total.
+  EXPECT_GE(r.cost.pes, 0);
+  EXPECT_GE(r.cost.links, 0);
+  EXPECT_GE(r.cost.reconfig_interface, 0);
+  EXPECT_NEAR(r.cost.total(),
+              r.cost.pes + r.cost.memory + r.cost.links +
+                  r.cost.reconfig_interface + r.cost.spares,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// --- delay sweep monotonicity across circuits ---
+
+class DelayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DelayProperty, PeakLoadMonotoneInUtilization) {
+  const CircuitSpec spec = table1_circuits()[GetParam()];
+  const Netlist circuit = make_circuit(spec);
+  const auto sweep =
+      measure_delay_sweep(circuit, {0.70, 0.80, 0.90, 1.00}, 0.8, 13);
+  ASSERT_TRUE(sweep.front().routable) << spec.name;
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_GE(sweep[i].peak_channel_load, sweep[i - 1].peak_channel_load);
+  // Delay at the top of the sweep does not beat the 70% baseline.
+  if (sweep.back().routable)
+    EXPECT_GE(sweep.back().delay, sweep.front().delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, DelayProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace crusade

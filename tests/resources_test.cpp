@@ -1,0 +1,102 @@
+// Unit tests for the resource library and the telecom_1999 default library.
+#include <gtest/gtest.h>
+
+#include "resources/resource_library.hpp"
+
+namespace crusade {
+namespace {
+
+TEST(LinkTypeTest, CommTimeUsesAccessAndPackets) {
+  LinkType link;
+  link.name = "test";
+  link.max_ports = 4;
+  link.access_time = {0, 100, 200, 300, 400};
+  link.bytes_per_packet = 32;
+  link.packet_time = 1000;
+  // 33 bytes -> 2 packets; 3 ports -> access 300.
+  EXPECT_EQ(link.comm_time(33, 3), 300 + 2000);
+  // Zero bytes: access only... actually zero packets.
+  EXPECT_EQ(link.comm_time(0, 2), 200);
+  // Port count beyond the vector clamps to the last entry.
+  EXPECT_EQ(link.comm_time(32, 9), 400 + 1000);
+  EXPECT_THROW(link.comm_time(-1, 2), Error);
+}
+
+TEST(Telecom1999, LibraryShapeMatchesPaper) {
+  const ResourceLibrary lib = telecom_1999();
+  int cpus = 0, asics = 0, fpgas = 0, cplds = 0;
+  for (const PeType& pe : lib.pes()) {
+    switch (pe.kind) {
+      case PeKind::Cpu: ++cpus; break;
+      case PeKind::Asic: ++asics; break;
+      case PeKind::Fpga: ++fpgas; break;
+      case PeKind::Cpld: ++cplds; break;
+    }
+  }
+  EXPECT_EQ(cpus, 8);    // 4 processors, each with and without L2 (§7)
+  EXPECT_EQ(asics, 16);  // "16 ASICs"
+  EXPECT_EQ(fpgas, 7);   // XC3195A/XC4025/XC6700, AT6005/6010, ORCA 2T15/40
+  EXPECT_EQ(cplds, 5);
+  EXPECT_EQ(lib.link_count(), 4);  // two buses, LAN, serial (§7)
+}
+
+TEST(Telecom1999, DeviceAttributesSane) {
+  const ResourceLibrary lib = telecom_1999();
+  const PeType& xc6700 = lib.pe(lib.find_pe("XC6700"));
+  EXPECT_TRUE(xc6700.partial_reconfig);
+  EXPECT_EQ(xc6700.kind, PeKind::Fpga);
+  EXPECT_GT(xc6700.config_bits, 0);
+  const PeType& cpu = lib.pe(lib.find_pe("MC68360"));
+  EXPECT_GT(cpu.memory_bytes, 0);
+  EXPECT_GT(cpu.preemption_overhead, 0);
+  EXPECT_GT(cpu.fit_rate, 0);
+  // Cache variant is faster and dearer.
+  const PeType& l2 = lib.pe(lib.find_pe("MC68360+L2"));
+  EXPECT_GT(l2.speed_factor, cpu.speed_factor);
+  EXPECT_GT(l2.cost, cpu.cost);
+}
+
+TEST(Telecom1999, AsicUnitCostAmortizesNre) {
+  const ResourceLibrary lib = telecom_1999();
+  // Even the smallest ASIC must not undercut small FPGAs, or dynamic
+  // reconfiguration could never pay off (§3, DESIGN.md substitution 3).
+  const PeType& small_asic = lib.pe(lib.find_pe("ASIC-A5"));
+  const PeType& at6005 = lib.pe(lib.find_pe("AT6005"));
+  EXPECT_GT(small_asic.cost, at6005.cost);
+}
+
+TEST(ResourceLibraryTest, LookupAndValidation) {
+  const ResourceLibrary lib = telecom_1999();
+  EXPECT_NO_THROW(lib.validate());
+  EXPECT_THROW(lib.find_pe("nonexistent"), Error);
+  EXPECT_THROW(lib.find_link("nonexistent"), Error);
+  EXPECT_GE(lib.find_pe("XC4025"), 0);
+  const LinkTypeId cheapest = lib.cheapest_link();
+  for (int l = 0; l < lib.link_count(); ++l)
+    EXPECT_LE(lib.link(cheapest).cost, lib.link(l).cost);
+}
+
+TEST(ResourceLibraryTest, ValidateCatchesBrokenEntries) {
+  ResourceLibrary lib;
+  PeType cpu;
+  cpu.name = "broken-cpu";
+  cpu.kind = PeKind::Cpu;  // no memory
+  lib.add_pe(cpu);
+  LinkType link;
+  link.name = "ok";
+  link.max_ports = 2;
+  link.bytes_per_packet = 32;
+  link.packet_time = 100;
+  lib.add_link(link);
+  EXPECT_THROW(lib.validate(), Error);
+}
+
+TEST(ResourceLibraryTest, KindNames) {
+  EXPECT_STREQ(to_string(PeKind::Cpu), "CPU");
+  EXPECT_STREQ(to_string(PeKind::Fpga), "FPGA");
+  EXPECT_STREQ(to_string(PeKind::Cpld), "CPLD");
+  EXPECT_STREQ(to_string(PeKind::Asic), "ASIC");
+}
+
+}  // namespace
+}  // namespace crusade

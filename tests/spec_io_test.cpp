@@ -1,0 +1,156 @@
+// Unit tests for the text specification format (graph/spec_io.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/spec_io.hpp"
+#include "tgff/generator.hpp"
+
+namespace crusade {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+TEST(ParseTimeTest, UnitsAndFractions) {
+  EXPECT_EQ(parse_time("80ns"), 80);
+  EXPECT_EQ(parse_time("25us"), 25 * kMicrosecond);
+  EXPECT_EQ(parse_time("1.5ms"), 1'500'000);
+  EXPECT_EQ(parse_time("60s"), kMinute);
+  EXPECT_EQ(parse_time("1min"), kMinute);
+  EXPECT_THROW(parse_time("12parsecs"), Error);
+  EXPECT_THROW(parse_time("fast"), Error);
+}
+
+TEST(ParseTimeTest, RoundTripsWithToString) {
+  for (TimeNs t : std::vector<TimeNs>{80, 25 * kMicrosecond, 1'500'000,
+                                      kSecond, kMinute, 10 * kMillisecond})
+    EXPECT_EQ(parse_time(time_to_string(t)), t) << t;
+}
+
+constexpr const char* kSample = R"(
+# A tiny two-graph system.
+spec sample
+boot_requirement 150ms
+
+graph control period 10ms
+task sense deadline 8ms mem 4096 2048 1024 exec MC68360=400us MC68040=250us
+task act   deadline 10ms mem 8192 0 0 assertion 0 exec *=300us
+edge sense act 64
+exclude sense act
+
+graph dsp period 100ms est 5ms
+task filter hw 200 24 transparent 1 exec XC4025=2ms AT6005=3ms
+task out deadline 90ms hw 50 10 exec XC4025=1ms AT6005=1.5ms
+edge filter out 256
+
+compatible control dsp
+unavailability dsp 0.0001
+)";
+
+TEST(SpecIoTest, ParsesSample) {
+  std::istringstream in(kSample);
+  const Specification spec = read_specification(in, lib());
+  EXPECT_EQ(spec.name, "sample");
+  EXPECT_EQ(spec.boot_time_requirement, 150 * kMillisecond);
+  ASSERT_EQ(spec.graphs.size(), 2u);
+
+  const TaskGraph& control = spec.graphs[0];
+  EXPECT_EQ(control.period(), 10 * kMillisecond);
+  ASSERT_EQ(control.task_count(), 2);
+  EXPECT_EQ(control.task(0).deadline, 8 * kMillisecond);
+  EXPECT_EQ(control.task(0).exec[lib().find_pe("MC68360")],
+            400 * kMicrosecond);
+  EXPECT_EQ(control.task(0).exec[lib().find_pe("MC68060")], kNoTime);
+  EXPECT_EQ(control.task(0).memory.program, 4096);
+  EXPECT_FALSE(control.task(1).has_assertion);
+  // exec *=300us touched every PE type.
+  EXPECT_EQ(control.task(1).exec[lib().find_pe("XC4025")],
+            300 * kMicrosecond);
+  ASSERT_EQ(control.edge_count(), 1);
+  EXPECT_EQ(control.edge(0).bytes, 64);
+  EXPECT_FALSE(control.task(0).exclusions.empty());
+
+  const TaskGraph& dsp = spec.graphs[1];
+  EXPECT_EQ(dsp.est(), 5 * kMillisecond);
+  EXPECT_EQ(dsp.task(0).pfus, 200);
+  EXPECT_TRUE(dsp.task(0).error_transparent);
+
+  ASSERT_TRUE(spec.compatibility.has_value());
+  EXPECT_TRUE(spec.compatibility->compatible(0, 1));
+  ASSERT_EQ(spec.unavailability_requirement.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.unavailability_requirement[1], 0.0001);
+}
+
+TEST(SpecIoTest, RoundTripsThroughWriter) {
+  std::istringstream in(kSample);
+  const Specification original = read_specification(in, lib());
+  std::ostringstream out;
+  write_specification(out, original, lib());
+  std::istringstream back(out.str());
+  const Specification reparsed = read_specification(back, lib());
+
+  ASSERT_EQ(reparsed.graphs.size(), original.graphs.size());
+  for (std::size_t g = 0; g < original.graphs.size(); ++g) {
+    const TaskGraph& a = original.graphs[g];
+    const TaskGraph& b = reparsed.graphs[g];
+    ASSERT_EQ(a.task_count(), b.task_count());
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    EXPECT_EQ(a.period(), b.period());
+    EXPECT_EQ(a.est(), b.est());
+    for (int t = 0; t < a.task_count(); ++t) {
+      EXPECT_EQ(a.task(t).exec, b.task(t).exec);
+      EXPECT_EQ(a.task(t).deadline, b.task(t).deadline);
+      EXPECT_EQ(a.task(t).pfus, b.task(t).pfus);
+      EXPECT_EQ(a.task(t).has_assertion, b.task(t).has_assertion);
+    }
+  }
+  EXPECT_EQ(reparsed.boot_time_requirement, original.boot_time_requirement);
+  EXPECT_TRUE(reparsed.compatibility->compatible(0, 1));
+}
+
+TEST(SpecIoTest, GeneratedSpecificationRoundTrips) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 60;
+  cfg.seed = 7;
+  const Specification original = gen.generate(cfg);
+  std::ostringstream out;
+  write_specification(out, original, lib());
+  std::istringstream back(out.str());
+  const Specification reparsed = read_specification(back, lib());
+  EXPECT_EQ(reparsed.total_tasks(), original.total_tasks());
+  EXPECT_EQ(reparsed.total_edges(), original.total_edges());
+  EXPECT_NO_THROW(reparsed.validate(lib().pe_count()));
+}
+
+TEST(SpecIoTest, ErrorsCarryLineNumbers) {
+  auto expect_error = [&](const std::string& text,
+                          const std::string& fragment) {
+    std::istringstream in(text);
+    try {
+      read_specification(in, lib());
+      FAIL() << "expected parse error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("task t exec *=1ms\n", "before any 'graph'");
+  expect_error("graph g period 1ms\nbogus directive\n", "unknown directive");
+  expect_error("graph g period 1ms\ngraph g period 2ms\n", "duplicate graph");
+  expect_error("graph g period 1ms\ntask t deadline 1ms\n", "no exec vector");
+  expect_error("graph g period 1ms\ntask t exec nosuchpe=1ms\n",
+               "unknown PE type");
+  expect_error("graph g period 1ms\ntask t exec *=1ms\nedge t missing 8\n",
+               "unknown task");
+}
+
+TEST(SpecIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_specification_file("/nonexistent/x.spec", lib()), Error);
+}
+
+}  // namespace
+}  // namespace crusade

@@ -1,0 +1,169 @@
+// Unit tests for the TGFF-style workload generator, example profiles and
+// Table 1 circuit set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tgff/circuits.hpp"
+#include "tgff/generator.hpp"
+#include "tgff/profiles.hpp"
+
+namespace crusade {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 120;
+  cfg.seed = 5;
+  const Specification a = gen.generate(cfg);
+  const Specification b = gen.generate(cfg);
+  ASSERT_EQ(a.graphs.size(), b.graphs.size());
+  for (std::size_t g = 0; g < a.graphs.size(); ++g) {
+    ASSERT_EQ(a.graphs[g].task_count(), b.graphs[g].task_count());
+    ASSERT_EQ(a.graphs[g].period(), b.graphs[g].period());
+    for (int t = 0; t < a.graphs[g].task_count(); ++t)
+      ASSERT_EQ(a.graphs[g].task(t).exec, b.graphs[g].task(t).exec);
+  }
+  cfg.seed = 6;
+  const Specification c = gen.generate(cfg);
+  // Different seed: at least some structural difference.
+  bool different = a.graphs.size() != c.graphs.size();
+  if (!different)
+    for (std::size_t g = 0; g < a.graphs.size() && !different; ++g)
+      different = a.graphs[g].task_count() != c.graphs[g].task_count();
+  EXPECT_TRUE(different);
+}
+
+TEST(GeneratorTest, HonoursTaskBudget) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 300;
+  const Specification spec = gen.generate(cfg);
+  EXPECT_EQ(spec.total_tasks(), 300);
+  EXPECT_NO_THROW(spec.validate(lib().pe_count()));
+}
+
+TEST(GeneratorTest, PeriodsComeFromMenu) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 200;
+  cfg.periods = {kMillisecond, 10 * kMillisecond};
+  cfg.period_weights = {1, 1};
+  const Specification spec = gen.generate(cfg);
+  for (const TaskGraph& g : spec.graphs)
+    EXPECT_TRUE(g.period() == kMillisecond || g.period() == 10 * kMillisecond);
+}
+
+TEST(GeneratorTest, CompatibilityFamiliesAreCliques) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 400;
+  cfg.family_fraction = 1.0;
+  cfg.family_size_min = cfg.family_size_max = 3;
+  const Specification spec = gen.generate(cfg);
+  ASSERT_TRUE(spec.compatibility.has_value());
+  const auto& m = *spec.compatibility;
+  // Compatibility from family construction must be transitive within a
+  // clique: if a~b and b~c then a~c.
+  const int n = m.graph_count();
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      for (int c = 0; c < n; ++c) {
+        if (a == b || b == c || a == c) continue;
+        if (m.compatible(a, b) && m.compatible(b, c))
+          EXPECT_TRUE(m.compatible(a, c));
+      }
+}
+
+TEST(GeneratorTest, NoCompatibilityWhenDisabled) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 60;
+  cfg.emit_compatibility = false;
+  EXPECT_FALSE(gen.generate(cfg).compatibility.has_value());
+}
+
+TEST(GeneratorTest, FastGraphsAreHardwareDominated) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 600;
+  cfg.periods = {25 * kMicrosecond};
+  cfg.period_weights = {1};
+  cfg.seed = 9;
+  const Specification spec = gen.generate(cfg);
+  int hw_feasible = 0, total = 0;
+  for (const TaskGraph& g : spec.graphs) {
+    for (const Task& t : g.tasks()) {
+      ++total;
+      bool on_cpu = false;
+      for (PeTypeId pe = 0; pe < lib().pe_count(); ++pe)
+        if (lib().pe(pe).kind == PeKind::Cpu && t.feasible_on(pe))
+          on_cpu = true;
+      if (!on_cpu) ++hw_feasible;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hw_feasible) / total, 0.6);
+}
+
+TEST(GeneratorTest, SinksCarryDeadlines) {
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 150;
+  const Specification spec = gen.generate(cfg);
+  for (const TaskGraph& g : spec.graphs)
+    for (int t = 0; t < g.task_count(); ++t)
+      if (g.is_sink(t)) EXPECT_NE(g.effective_deadline(t), kNoTime);
+}
+
+TEST(ProfilesTest, PaperTaskCounts) {
+  const auto profiles = paper_profiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  EXPECT_EQ(profiles.front().name, "A1TR");
+  EXPECT_EQ(profiles.front().tasks, 1126);
+  EXPECT_EQ(profiles.back().name, "NGXM");
+  EXPECT_EQ(profiles.back().tasks, 7416);
+  EXPECT_EQ(profile_by_name("HRXC").tasks, 4571);
+  EXPECT_THROW(profile_by_name("nope"), Error);
+}
+
+TEST(ProfilesTest, ScaledConfigGenerates) {
+  SpecGenerator gen(lib());
+  const Specification spec =
+      gen.generate(profile_config(profile_by_name("A1TR"), 0.05));
+  EXPECT_NEAR(spec.total_tasks(), 1126 * 0.05, 3);
+  EXPECT_TRUE(spec.compatibility.has_value());
+}
+
+TEST(CircuitsTest, TableOneRoster) {
+  const auto circuits = table1_circuits();
+  ASSERT_EQ(circuits.size(), 10u);
+  EXPECT_EQ(circuits[0].name, "cvs1");
+  EXPECT_EQ(circuits[0].pfus, 18);
+  EXPECT_EQ(circuits[8].name, "wamxp");
+  EXPECT_EQ(circuits[8].pfus, 84);
+  for (const CircuitSpec& spec : circuits) {
+    const Netlist n = make_circuit(spec);
+    EXPECT_EQ(n.cell_count(), spec.pfus);
+    EXPECT_EQ(n.name(), spec.name);
+  }
+}
+
+TEST(CircuitsTest, DistinctPerName) {
+  const Netlist a = make_circuit(CircuitSpec{"cvs1", 18});
+  const Netlist b = make_circuit(CircuitSpec{"cvs2", 18});
+  // Same PFU count, different name -> different connectivity.
+  bool different = a.nets().size() != b.nets().size();
+  for (std::size_t n = 0; !different && n < a.nets().size(); ++n)
+    different = a.nets()[n].driver != b.nets()[n].driver ||
+                a.nets()[n].sinks != b.nets()[n].sinks;
+  EXPECT_TRUE(different);
+}
+
+}  // namespace
+}  // namespace crusade

@@ -1,0 +1,245 @@
+// Unit tests for util: periodic-interval math (against brute force), RNG,
+// integer math and the table formatter.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/math.hpp"
+#include "util/periodic.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace crusade {
+namespace {
+
+// --- periodic windows ---
+
+/// Brute-force overlap over explicit instances within lcm(Pa, Pb).
+bool brute_force_overlap(const PeriodicWindow& a, const PeriodicWindow& b) {
+  if (a.empty() || b.empty()) return false;
+  const TimeNs pa = a.period > 0 ? a.period : 0;
+  const TimeNs pb = b.period > 0 ? b.period : 0;
+  const TimeNs horizon =
+      pa > 0 && pb > 0 ? lcm64(pa, pb) : std::max<TimeNs>(1'000'000, 1);
+  auto instances = [&](const PeriodicWindow& w, TimeNs period,
+                       std::vector<std::pair<TimeNs, TimeNs>>& out) {
+    if (period == 0) {
+      out.emplace_back(w.start, w.finish);
+      return;
+    }
+    for (TimeNs k = -2 * horizon; k <= 2 * horizon; k += period)
+      out.emplace_back(w.start + k, w.finish + k);
+  };
+  std::vector<std::pair<TimeNs, TimeNs>> ia, ib;
+  instances(a, pa, ia);
+  instances(b, pb, ib);
+  for (const auto& [sa, fa] : ia)
+    for (const auto& [sb, fb] : ib)
+      if (sa < fb && sb < fa) return true;
+  return false;
+}
+
+TEST(Periodic, EmptyWindowsNeverOverlap) {
+  PeriodicWindow empty{10, 10, 100};
+  PeriodicWindow busy{0, 50, 100};
+  EXPECT_FALSE(periodic_overlap(empty, busy));
+  EXPECT_FALSE(periodic_overlap(busy, empty));
+}
+
+TEST(Periodic, SamePeriodPlainIntervals) {
+  PeriodicWindow a{0, 10, 100};
+  EXPECT_TRUE(periodic_overlap(a, {5, 15, 100}));
+  EXPECT_FALSE(periodic_overlap(a, {10, 20, 100}));  // half-open: no touch
+  EXPECT_TRUE(periodic_overlap(a, {95, 105, 100}));  // wraps onto [0,5)
+}
+
+TEST(Periodic, HarmonicPeriods) {
+  // 10-long window every 100 vs 10-long window every 50: the 50-periodic
+  // window hits phase 0 and 50; only phase 20..30 stays clear of [0,10).
+  PeriodicWindow slow{0, 10, 100};
+  EXPECT_TRUE(periodic_overlap(slow, {5, 15, 50}));
+  EXPECT_FALSE(periodic_overlap(slow, {20, 30, 50}));
+}
+
+TEST(Periodic, CoprimePeriodsAlwaysCollide) {
+  // gcd(7, 11) = 1: any two non-empty windows eventually intersect.
+  EXPECT_TRUE(periodic_overlap({0, 2, 7}, {3, 5, 11}));
+}
+
+TEST(Periodic, OneShotVsPeriodic) {
+  PeriodicWindow once{95, 105, 0};
+  EXPECT_TRUE(periodic_overlap(once, {0, 10, 100}));   // instance at 100
+  EXPECT_FALSE(periodic_overlap(once, {10, 20, 100}));
+  EXPECT_FALSE(periodic_overlap({0, 5, 0}, {5, 8, 0}));
+  EXPECT_TRUE(periodic_overlap({0, 6, 0}, {5, 8, 0}));
+}
+
+TEST(Periodic, MatchesBruteForceOnGrid) {
+  const TimeNs periods[] = {6, 10, 15, 30};
+  int checked = 0;
+  for (TimeNs pa : periods)
+    for (TimeNs pb : periods)
+      for (TimeNs sa = 0; sa < pa; sa += 2)
+        for (TimeNs sb = 0; sb < pb; sb += 3)
+          for (TimeNs la : {1, 3, 5}) {
+            for (TimeNs lb : {1, 2, 4}) {
+              PeriodicWindow a{sa, sa + la, pa};
+              PeriodicWindow b{sb, sb + lb, pb};
+              ASSERT_EQ(periodic_overlap(a, b), brute_force_overlap(a, b))
+                  << "a=[" << sa << "," << sa + la << ")%" << pa << " b=["
+                  << sb << "," << sb + lb << ")%" << pb;
+              ++checked;
+            }
+          }
+  EXPECT_GT(checked, 500);
+}
+
+TEST(Periodic, MinShiftResolvesConflict) {
+  const PeriodicWindow b{0, 10, 50};
+  PeriodicWindow a{5, 9, 100};
+  ASSERT_TRUE(periodic_overlap(a, b));
+  const TimeNs shift = min_shift_to_avoid(a, b);
+  ASSERT_NE(shift, kNoTime);
+  ASSERT_GT(shift, 0);
+  a.start += shift;
+  a.finish += shift;
+  EXPECT_FALSE(periodic_overlap(a, b));
+  // Minimality: shifting one less must still overlap.
+  a.start -= 1;
+  a.finish -= 1;
+  EXPECT_TRUE(periodic_overlap(a, b));
+}
+
+TEST(Periodic, MinShiftZeroWhenAlreadyClear) {
+  EXPECT_EQ(min_shift_to_avoid({20, 25, 50}, {0, 10, 50}), 0);
+}
+
+TEST(Periodic, MinShiftImpossibleWhenWindowsFillPeriod) {
+  // Combined lengths exceed the gcd: no phase works.
+  EXPECT_EQ(min_shift_to_avoid({0, 30, 50}, {0, 25, 50}), kNoTime);
+}
+
+TEST(Periodic, OverlapsAny) {
+  std::vector<PeriodicWindow> set = {{0, 10, 100}, {50, 60, 100}};
+  EXPECT_TRUE(overlaps_any({55, 58, 100}, set));
+  EXPECT_FALSE(overlaps_any({20, 30, 100}, set));
+}
+
+// --- RNG ---
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(3);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i)
+    ++counts[rng.weighted_index({1.0, 0.0, 2.0})];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 2.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(4);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), Error);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(6);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// --- math ---
+
+TEST(MathTest, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(25'000, 1'000'000), 1'000'000);
+  EXPECT_THROW(lcm64(0, 5), Error);
+}
+
+TEST(MathTest, LcmOverflowDetected) {
+  EXPECT_THROW(lcm64(INT64_MAX - 1, INT64_MAX - 2), Error);
+}
+
+TEST(MathTest, Hyperperiod) {
+  EXPECT_EQ(hyperperiod({25 * kMicrosecond, 100 * kMicrosecond, kMinute}),
+            kMinute);
+  EXPECT_THROW(hyperperiod({}), Error);
+}
+
+TEST(MathTest, FloorDivNegative) {
+  EXPECT_EQ(floor_div(7, 3), 2);
+  EXPECT_EQ(floor_div(-7, 3), -3);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(7, 3), 3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+}
+
+// --- table / formatting ---
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"A", "Bee"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.to_string("title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("| A   | Bee |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4   |"), std::string::npos);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TimeFormat, HumanReadable) {
+  EXPECT_EQ(format_time(25 * kMicrosecond), "25us");
+  EXPECT_EQ(format_time(kMinute), "60s");
+  EXPECT_EQ(format_time(kNoTime), "-");
+  EXPECT_EQ(format_time(1'500'000), "1.5ms");
+}
+
+}  // namespace
+}  // namespace crusade

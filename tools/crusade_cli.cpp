@@ -1,0 +1,224 @@
+// The `crusade` command-line tool: co-synthesis on specification files
+// without writing any C++.
+//
+//   crusade run <file.spec> [--no-reconfig] [--ft] [--boot-req <time>]
+//               [--power-cap <mW>] [--dump-schedule] [--write-spec <out>]
+//   crusade generate (--profile <name> [--scale <f>] | --tasks <n>)
+//               [--seed <n>] [-o <file.spec>]
+//   crusade info <file.spec>
+//   crusade profiles
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/crusade.hpp"
+#include "core/field_upgrade.hpp"
+#include "core/report.hpp"
+#include "ft/crusade_ft.hpp"
+#include "graph/spec_io.hpp"
+#include "tgff/profiles.hpp"
+
+using namespace crusade;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s run <file.spec> [--no-reconfig] [--ft] "
+               "[--boot-req <time>] [--power-cap <mW>] [--dump-schedule] "
+               "[--write-spec <out>]\n"
+               "  %s generate (--profile <name> [--scale <f>] | --tasks <n>) "
+               "[--seed <n>] [-o <file.spec>]\n"
+               "  %s upgrade <deployed.spec> <new.spec>\n"
+               "  %s info <file.spec>\n"
+               "  %s profiles\n",
+               argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::set<std::string> flags;
+
+  static Args parse(int argc, char** argv, const std::set<std::string>& with_value) {
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0 || a == "-o") {
+        if (with_value.count(a)) {
+          if (i + 1 >= argc) throw Error("option " + a + " needs a value");
+          args.options[a] = argv[++i];
+        } else {
+          args.flags.insert(a);
+        }
+      } else {
+        args.positional.push_back(std::move(a));
+      }
+    }
+    return args;
+  }
+};
+
+int cmd_run(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv, {"--boot-req", "--power-cap", "--write-spec"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec = read_specification_file(args.positional[0], lib);
+  if (args.options.count("--boot-req"))
+    spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+
+  if (args.flags.count("--ft")) {
+    CrusadeFtParams params;
+    params.base.enable_reconfig = !args.flags.count("--no-reconfig");
+    if (args.options.count("--power-cap"))
+      params.base.alloc.power_cap_mw =
+          std::stod(args.options.at("--power-cap"));
+    const CrusadeFtResult r = CrusadeFt(spec, lib, params).run();
+    std::printf("%s", describe_result(r.synthesis).c_str());
+    int spares = 0;
+    for (const ServiceModule& m : r.dependability.modules)
+      spares += m.spares;
+    std::printf("fault tolerance: %d assertions, %d duplicate-and-compare, "
+                "%d shared; %zu service modules, %d spares; availability %s\n",
+                r.transform.assertions_added,
+                r.transform.duplicate_compare_added,
+                r.transform.checks_shared, r.dependability.modules.size(),
+                spares,
+                r.dependability.meets_requirements ? "met" : "MISSED");
+    return r.synthesis.feasible ? 0 : 1;
+  }
+
+  CrusadeParams params;
+  params.enable_reconfig = !args.flags.count("--no-reconfig");
+  if (args.options.count("--power-cap"))
+    params.alloc.power_cap_mw = std::stod(args.options.at("--power-cap"));
+  const CrusadeResult r = Crusade(spec, lib, params).run();
+  std::printf("%s", describe_result(r).c_str());
+  if (args.flags.count("--dump-schedule")) {
+    const FlatSpec flat(spec);
+    std::printf("\n%s", dump_schedule(r, flat).c_str());
+  }
+  if (args.options.count("--write-spec"))
+    write_specification_file(args.options.at("--write-spec"), spec, lib);
+  return r.feasible ? 0 : 1;
+}
+
+int cmd_generate(int argc, char** argv) {
+  const Args args =
+      Args::parse(argc, argv, {"--profile", "--scale", "--tasks", "--seed",
+                               "-o"});
+  const ResourceLibrary lib = telecom_1999();
+  SpecGenerator generator(lib);
+  SpecGenConfig cfg;
+  if (args.options.count("--profile")) {
+    const double scale = args.options.count("--scale")
+                             ? std::stod(args.options.at("--scale"))
+                             : 1.0;
+    cfg = profile_config(profile_by_name(args.options.at("--profile")),
+                         scale);
+  } else if (args.options.count("--tasks")) {
+    cfg.total_tasks = std::stoi(args.options.at("--tasks"));
+  } else {
+    return usage(argv[0]);
+  }
+  if (args.options.count("--seed"))
+    cfg.seed = std::stoull(args.options.at("--seed"));
+  const Specification spec = generator.generate(cfg);
+  if (args.options.count("-o")) {
+    write_specification_file(args.options.at("-o"), spec, lib);
+    std::printf("wrote %s: %zu graphs, %d tasks, %d edges\n",
+                args.options.at("-o").c_str(), spec.graphs.size(),
+                spec.total_tasks(), spec.total_edges());
+  } else {
+    write_specification(std::cout, spec, lib);
+  }
+  return 0;
+}
+
+int cmd_upgrade(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {});
+  if (args.positional.size() != 2) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  const Specification deployed_spec =
+      read_specification_file(args.positional[0], lib);
+  const Specification new_spec =
+      read_specification_file(args.positional[1], lib);
+  const CrusadeResult deployed = Crusade(deployed_spec, lib, {}).run();
+  std::printf("deployed architecture: %s\n",
+              one_line_verdict(deployed).c_str());
+  const FieldUpgradeResult upgrade =
+      try_field_upgrade(new_spec, lib, deployed.arch);
+  if (upgrade.accommodated) {
+    std::printf("UPGRADE OK: '%s' fits the existing board by "
+                "reprogramming alone (all deadlines met)\n",
+                args.positional[1].c_str());
+    return 0;
+  }
+  std::printf("UPGRADE REJECTED: %d unplaceable clusters, schedule %s — "
+              "a hardware change is required\n",
+              upgrade.unplaceable_clusters,
+              upgrade.schedule.feasible ? "feasible" : "infeasible");
+  return 1;
+}
+
+int cmd_info(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  const Specification spec =
+      read_specification_file(args.positional[0], lib);
+  std::printf("spec %s: %zu graphs, %d tasks, %d edges, hyperperiod %s\n",
+              spec.name.c_str(), spec.graphs.size(), spec.total_tasks(),
+              spec.total_edges(), format_time(spec.hyperperiod()).c_str());
+  for (std::size_t g = 0; g < spec.graphs.size(); ++g) {
+    const TaskGraph& graph = spec.graphs[g];
+    std::printf("  %-16s period %-8s est %-8s %3d tasks %3d edges",
+                graph.name().c_str(), format_time(graph.period()).c_str(),
+                format_time(graph.est()).c_str(), graph.task_count(),
+                graph.edge_count());
+    if (spec.compatibility) {
+      std::string partners;
+      for (std::size_t o = 0; o < spec.graphs.size(); ++o)
+        if (o != g && spec.compatibility->compatible(static_cast<int>(g),
+                                                     static_cast<int>(o)))
+          partners += (partners.empty() ? "" : ",") + spec.graphs[o].name();
+      if (!partners.empty())
+        std::printf("  compatible: %s", partners.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_profiles() {
+  std::printf("paper example profiles (Tables 2-3):\n");
+  for (const ExampleProfile& p : paper_profiles())
+    std::printf("  %-8s %5d tasks (seed %llu)\n", p.name.c_str(), p.tasks,
+                static_cast<unsigned long long>(p.seed));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "upgrade") return cmd_upgrade(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "profiles") return cmd_profiles();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
