@@ -6,113 +6,20 @@
 // functions.  The station supports two air-interface feature packages that
 // are never active simultaneously (a mode-exclusive family), which is where
 // dynamic reconfiguration earns its cost savings.
+//
+// The task graphs are built in example_specs.cpp so tests can re-verify the
+// same workload.
 #include <cstdio>
 
 #include "core/crusade.hpp"
 #include "core/report.hpp"
-#include "resources/resource_library.hpp"
+#include "example_specs.hpp"
 
 using namespace crusade;
 
-namespace {
-
-Task make_task(const ResourceLibrary& lib, const std::string& name,
-               TimeNs base_exec, bool on_cpu, bool on_hw, int pfus, int pins,
-               TimeNs deadline = kNoTime) {
-  Task t;
-  t.name = name;
-  t.exec.assign(lib.pe_count(), kNoTime);
-  for (PeTypeId pe = 0; pe < lib.pe_count(); ++pe) {
-    const PeType& type = lib.pe(pe);
-    if (type.kind == PeKind::Cpu && !on_cpu) continue;
-    if (type.is_hardware() && !on_hw) continue;
-    if (type.is_programmable() && pfus > type.pfus) continue;
-    t.exec[pe] = static_cast<TimeNs>(
-        static_cast<double>(base_exec) / type.speed_factor);
-  }
-  t.memory = {48 * 1024, 24 * 1024, 4 * 1024};
-  t.pfus = pfus;
-  t.gates = pfus * 12;
-  t.pins = pins;
-  t.deadline = deadline;
-  return t;
-}
-
-/// Channel pipeline: channelizer -> demod -> deinterleave -> decode, all
-/// hardware, 577us TDMA burst period (pipelined latency allowance).
-TaskGraph channel_pipeline(const ResourceLibrary& lib,
-                           const std::string& name) {
-  const TimeNs period = 577 * kMicrosecond;
-  TaskGraph g(name, period);
-  const int chan = g.add_task(
-      make_task(lib, name + ".chan", 60 * kMicrosecond, false, true, 140, 18));
-  const int demod = g.add_task(make_task(lib, name + ".demod",
-                                         90 * kMicrosecond, false, true, 200,
-                                         14));
-  const int deintl = g.add_task(make_task(lib, name + ".deintl",
-                                          40 * kMicrosecond, false, true, 90,
-                                          10));
-  const int decode =
-      g.add_task(make_task(lib, name + ".decode", 70 * kMicrosecond, false,
-                           true, 160, 12, 4 * period));
-  g.add_edge(chan, demod, 96);
-  g.add_edge(demod, deintl, 64);
-  g.add_edge(deintl, decode, 64);
-  return g;
-}
-
-/// Feature package: an optional air-interface enhancement (e.g. half-rate
-/// codec vs. enhanced full-rate codec); only one is ever provisioned.
-TaskGraph feature_package(const ResourceLibrary& lib, const std::string& name,
-                          int pfus) {
-  const TimeNs period = 20 * kMillisecond;  // speech frame
-  TaskGraph g(name, period);
-  const int xcode = g.add_task(make_task(
-      lib, name + ".transcode", 3 * kMillisecond, false, true, pfus, 50));
-  const int pack = g.add_task(make_task(lib, name + ".pack", kMillisecond,
-                                        true, true, pfus / 3, 24, period));
-  g.add_edge(xcode, pack, 160);
-  return g;
-}
-
-/// Slow software functions: provisioning and performance monitoring.
-TaskGraph software_function(const ResourceLibrary& lib,
-                            const std::string& name, TimeNs period,
-                            int tasks) {
-  TaskGraph g(name, period);
-  int prev = -1;
-  for (int i = 0; i < tasks; ++i) {
-    const int t = g.add_task(make_task(
-        lib, name + ".t" + std::to_string(i),
-        period / (4 * tasks), true, false, 0, 0,
-        i + 1 == tasks ? period : kNoTime));
-    if (prev >= 0) g.add_edge(prev, t, 512);
-    prev = t;
-  }
-  return g;
-}
-
-}  // namespace
-
 int main() {
   const ResourceLibrary lib = telecom_1999();
-
-  Specification spec;
-  spec.name = "base-station";
-  spec.graphs.push_back(channel_pipeline(lib, "ch0"));
-  spec.graphs.push_back(channel_pipeline(lib, "ch1"));
-  spec.graphs.push_back(feature_package(lib, "hr-codec", 420));
-  spec.graphs.push_back(feature_package(lib, "efr-codec", 460));
-  spec.graphs.push_back(
-      software_function(lib, "provisioning", 10 * kSecond, 6));
-  spec.graphs.push_back(
-      software_function(lib, "perf-monitor", kMinute, 5));
-
-  // The two codec packages are mutually exclusive system modes.
-  CompatibilityMatrix compat(static_cast<int>(spec.graphs.size()));
-  compat.set_compatible(2, 3, true);
-  spec.compatibility = compat;
-  spec.boot_time_requirement = 100 * kMillisecond;  // feature switch budget
+  const Specification spec = base_station_spec(lib);
 
   std::printf("== base station, no dynamic reconfiguration ==\n");
   CrusadeParams off;

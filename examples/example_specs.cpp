@@ -1,0 +1,181 @@
+#include "example_specs.hpp"
+
+#include "tgff/generator.hpp"
+
+namespace crusade {
+
+namespace {
+
+// A task with execution times synthesized from each PE type's speed factor.
+// hw/sw flags control which kinds of PE can implement the task.
+Task make_task(const ResourceLibrary& lib, const std::string& name,
+               TimeNs base_exec, bool on_cpu, bool on_hw, int pfus, int pins,
+               const MemoryRequirement& mem, TimeNs deadline = kNoTime) {
+  Task t;
+  t.name = name;
+  t.exec.assign(lib.pe_count(), kNoTime);
+  for (PeTypeId pe = 0; pe < lib.pe_count(); ++pe) {
+    const PeType& type = lib.pe(pe);
+    if (type.kind == PeKind::Cpu && !on_cpu) continue;
+    if (type.is_hardware() && !on_hw) continue;
+    if (type.is_programmable() && pfus > type.pfus) continue;
+    t.exec[pe] = static_cast<TimeNs>(
+        static_cast<double>(base_exec) / type.speed_factor);
+  }
+  t.memory = mem;
+  t.pfus = pfus;
+  t.gates = pfus * 12;
+  t.pins = pins;
+  t.deadline = deadline;
+  return t;
+}
+
+// --- quickstart -----------------------------------------------------------
+
+// A small pipeline graph: src -> mid -> sink, hardware-leaning.
+TaskGraph quickstart_pipeline(const ResourceLibrary& lib,
+                              const std::string& name, TimeNs period) {
+  const MemoryRequirement mem{32 * 1024, 16 * 1024, 4 * 1024};
+  TaskGraph g(name, period);
+  const int a = g.add_task(make_task(lib, name + ".in", 300 * kMicrosecond,
+                                     true, true, 60, 20, mem));
+  const int b = g.add_task(make_task(lib, name + ".filter",
+                                     900 * kMicrosecond, false, true, 120, 20,
+                                     mem));
+  const int c = g.add_task(make_task(lib, name + ".out", 300 * kMicrosecond,
+                                     true, true, 50, 20, mem, period));
+  g.add_edge(a, b, 256);
+  g.add_edge(b, c, 256);
+  return g;
+}
+
+// --- base station ---------------------------------------------------------
+
+const MemoryRequirement kStationMem{48 * 1024, 24 * 1024, 4 * 1024};
+
+/// Channel pipeline: channelizer -> demod -> deinterleave -> decode, all
+/// hardware, 577us TDMA burst period (pipelined latency allowance).
+TaskGraph channel_pipeline(const ResourceLibrary& lib,
+                           const std::string& name) {
+  const TimeNs period = 577 * kMicrosecond;
+  TaskGraph g(name, period);
+  const int chan =
+      g.add_task(make_task(lib, name + ".chan", 60 * kMicrosecond, false,
+                           true, 140, 18, kStationMem));
+  const int demod =
+      g.add_task(make_task(lib, name + ".demod", 90 * kMicrosecond, false,
+                           true, 200, 14, kStationMem));
+  const int deintl =
+      g.add_task(make_task(lib, name + ".deintl", 40 * kMicrosecond, false,
+                           true, 90, 10, kStationMem));
+  const int decode =
+      g.add_task(make_task(lib, name + ".decode", 70 * kMicrosecond, false,
+                           true, 160, 12, kStationMem, 4 * period));
+  g.add_edge(chan, demod, 96);
+  g.add_edge(demod, deintl, 64);
+  g.add_edge(deintl, decode, 64);
+  return g;
+}
+
+/// Feature package: an optional air-interface enhancement (e.g. half-rate
+/// codec vs. enhanced full-rate codec); only one is ever provisioned.
+TaskGraph feature_package(const ResourceLibrary& lib, const std::string& name,
+                          int pfus) {
+  const TimeNs period = 20 * kMillisecond;  // speech frame
+  TaskGraph g(name, period);
+  const int xcode = g.add_task(make_task(lib, name + ".transcode",
+                                         3 * kMillisecond, false, true, pfus,
+                                         50, kStationMem));
+  const int pack = g.add_task(make_task(lib, name + ".pack", kMillisecond,
+                                        true, true, pfus / 3, 24, kStationMem,
+                                        period));
+  g.add_edge(xcode, pack, 160);
+  return g;
+}
+
+/// Slow software functions: provisioning and performance monitoring.
+TaskGraph software_function(const ResourceLibrary& lib,
+                            const std::string& name, TimeNs period,
+                            int tasks) {
+  TaskGraph g(name, period);
+  int prev = -1;
+  for (int i = 0; i < tasks; ++i) {
+    const int t = g.add_task(make_task(
+        lib, name + ".t" + std::to_string(i), period / (4 * tasks), true,
+        false, 0, 0, kStationMem, i + 1 == tasks ? period : kNoTime));
+    if (prev >= 0) g.add_edge(prev, t, 512);
+    prev = t;
+  }
+  return g;
+}
+
+}  // namespace
+
+Specification quickstart_spec(const ResourceLibrary& lib) {
+  Specification spec;
+  spec.name = "quickstart";
+  spec.graphs.push_back(quickstart_pipeline(lib, "T1", 50 * kMillisecond));
+  spec.graphs.push_back(quickstart_pipeline(lib, "T2", 100 * kMillisecond));
+  spec.graphs.push_back(quickstart_pipeline(lib, "T3", 100 * kMillisecond));
+
+  // T2 and T3 are mode-exclusive (Figure 2: their execution slots never
+  // overlap); T1 overlaps both.
+  CompatibilityMatrix compat(3);
+  compat.set_compatible(1, 2, true);
+  spec.compatibility = compat;
+  return spec;
+}
+
+Specification base_station_spec(const ResourceLibrary& lib) {
+  Specification spec;
+  spec.name = "base-station";
+  spec.graphs.push_back(channel_pipeline(lib, "ch0"));
+  spec.graphs.push_back(channel_pipeline(lib, "ch1"));
+  spec.graphs.push_back(feature_package(lib, "hr-codec", 420));
+  spec.graphs.push_back(feature_package(lib, "efr-codec", 460));
+  spec.graphs.push_back(
+      software_function(lib, "provisioning", 10 * kSecond, 6));
+  spec.graphs.push_back(software_function(lib, "perf-monitor", kMinute, 5));
+
+  // The two codec packages are mutually exclusive system modes.
+  CompatibilityMatrix compat(static_cast<int>(spec.graphs.size()));
+  compat.set_compatible(2, 3, true);
+  spec.compatibility = compat;
+  spec.boot_time_requirement = 100 * kMillisecond;  // feature switch budget
+  return spec;
+}
+
+Specification video_router_spec(const ResourceLibrary& lib) {
+  SpecGenerator generator(lib);
+  SpecGenConfig cfg;
+  cfg.name = "video-router";
+  cfg.total_tasks = 160;
+  cfg.seed = 2024;
+  // Frame-rate periods: 33ms (30fps) and 40ms (25fps) pipelines plus a
+  // management tail.
+  cfg.periods = {33 * kMillisecond, 40 * kMillisecond, kSecond};
+  cfg.period_weights = {4, 4, 1};
+  cfg.graph.hw_only_fraction = 0.55;  // DCT/ME/VLC datapaths
+  cfg.graph.sw_only_fraction = 0.15;
+  // Per-port resolution profiles: families of 2-3 mutually exclusive
+  // channel variants.
+  cfg.family_fraction = 0.8;
+  cfg.family_size_min = 2;
+  cfg.family_size_max = 3;
+  return generator.generate(cfg);
+}
+
+Specification fault_tolerant_sonet_spec(const ResourceLibrary& lib) {
+  SpecGenerator generator(lib);
+  SpecGenConfig cfg;
+  cfg.name = "sonet-atm";
+  cfg.total_tasks = 140;
+  cfg.seed = 1999;
+  cfg.periods = {125 * kMicrosecond, 2 * kMillisecond, 100 * kMillisecond,
+                 10 * kSecond};
+  cfg.period_weights = {3, 3, 2, 1};
+  cfg.family_fraction = 0.8;  // working/protect paths are mode-exclusive
+  return generator.generate(cfg);
+}
+
+}  // namespace crusade

@@ -1,0 +1,31 @@
+// Shared specification builders for the example programs.
+//
+// Each builder returns the exact workload its example main() synthesizes, so
+// tests (notably the independent-validator suite) can re-verify the same
+// architectures the examples print.  Deterministic: the generator-driven
+// specs fix their seeds.
+#pragma once
+
+#include "graph/specification.hpp"
+#include "resources/resource_library.hpp"
+
+namespace crusade {
+
+/// Three pipeline graphs modelled on the paper's Figure 2 motivation
+/// example; T2/T3 are a mode-exclusive pair (examples/quickstart.cpp).
+Specification quickstart_spec(const ResourceLibrary& lib);
+
+/// Digital cellular base station: channel pipelines, two mutually exclusive
+/// codec feature packages, slow software functions
+/// (examples/base_station.cpp).
+Specification base_station_spec(const ResourceLibrary& lib);
+
+/// Generator-driven MPEG video distribution router with per-port
+/// resolution-profile families (examples/video_router.cpp).
+Specification video_router_spec(const ResourceLibrary& lib);
+
+/// SONET/ATM telecom workload with availability requirements, consumed by
+/// the CRUSADE-FT pipeline (examples/fault_tolerant_sonet.cpp).
+Specification fault_tolerant_sonet_spec(const ResourceLibrary& lib);
+
+}  // namespace crusade

@@ -8,25 +8,15 @@
 #include <cstdio>
 
 #include "core/report.hpp"
+#include "example_specs.hpp"
 #include "ft/crusade_ft.hpp"
 #include "util/table.hpp"
-#include "tgff/generator.hpp"
 
 using namespace crusade;
 
 int main() {
   const ResourceLibrary lib = telecom_1999();
-
-  SpecGenerator generator(lib);
-  SpecGenConfig cfg;
-  cfg.name = "sonet-atm";
-  cfg.total_tasks = 140;
-  cfg.seed = 1999;
-  cfg.periods = {125 * kMicrosecond, 2 * kMillisecond, 100 * kMillisecond,
-                 10 * kSecond};
-  cfg.period_weights = {3, 3, 2, 1};
-  cfg.family_fraction = 0.8;  // working/protect paths are mode-exclusive
-  const Specification spec = generator.generate(cfg);
+  const Specification spec = fault_tolerant_sonet_spec(lib);
 
   CrusadeFtParams params;
   params.base.enable_reconfig = false;

@@ -1,75 +1,24 @@
-// Quickstart: build a tiny three-graph specification by hand (modelled on
-// the paper's Figure 2 motivation example), run CRUSADE without and with
-// dynamic reconfiguration, and print both architectures.
+// Quickstart: run CRUSADE on a tiny three-graph specification (modelled on
+// the paper's Figure 2 motivation example) without and with dynamic
+// reconfiguration, and print both architectures.
 //
 //   T1 runs always; T2 and T3 are mode-exclusive system functions (their
 //   execution slots never overlap), so one FPGA can time-share them through
 //   reconfiguration — the "with" architecture should be cheaper.
+//
+// The specification itself is built in example_specs.cpp so tests can
+// re-verify the same workload.
 #include <cstdio>
 
 #include "core/crusade.hpp"
 #include "core/report.hpp"
-#include "resources/resource_library.hpp"
+#include "example_specs.hpp"
 
 using namespace crusade;
 
-namespace {
-
-// A task with execution times synthesized from each PE type's speed factor.
-// hw/sw flags control which kinds of PE can implement the task.
-Task make_task(const ResourceLibrary& lib, const std::string& name,
-               TimeNs base_exec, bool on_cpu, bool on_hw, int pfus,
-               TimeNs deadline = kNoTime) {
-  Task t;
-  t.name = name;
-  t.exec.assign(lib.pe_count(), kNoTime);
-  for (PeTypeId pe = 0; pe < lib.pe_count(); ++pe) {
-    const PeType& type = lib.pe(pe);
-    if (type.kind == PeKind::Cpu && !on_cpu) continue;
-    if (type.is_hardware() && !on_hw) continue;
-    if (type.is_programmable() && pfus > type.pfus) continue;
-    t.exec[pe] = static_cast<TimeNs>(
-        static_cast<double>(base_exec) / type.speed_factor);
-  }
-  t.memory = {32 * 1024, 16 * 1024, 4 * 1024};
-  t.pfus = pfus;
-  t.gates = pfus * 12;
-  t.pins = 20;  // pin-bound blocks: one pipeline per device unless time-shared
-  t.deadline = deadline;
-  return t;
-}
-
-// A small pipeline graph: src -> mid -> sink, hardware-leaning.
-TaskGraph make_pipeline(const ResourceLibrary& lib, const std::string& name,
-                        TimeNs period) {
-  TaskGraph g(name, period);
-  const int a =
-      g.add_task(make_task(lib, name + ".in", 300 * kMicrosecond, true, true, 60));
-  const int b = g.add_task(
-      make_task(lib, name + ".filter", 900 * kMicrosecond, false, true, 120));
-  const int c = g.add_task(make_task(lib, name + ".out", 300 * kMicrosecond,
-                                     true, true, 50, period));
-  g.add_edge(a, b, 256);
-  g.add_edge(b, c, 256);
-  return g;
-}
-
-}  // namespace
-
 int main() {
   const ResourceLibrary lib = telecom_1999();
-
-  Specification spec;
-  spec.name = "quickstart";
-  spec.graphs.push_back(make_pipeline(lib, "T1", 50 * kMillisecond));
-  spec.graphs.push_back(make_pipeline(lib, "T2", 100 * kMillisecond));
-  spec.graphs.push_back(make_pipeline(lib, "T3", 100 * kMillisecond));
-
-  // T2 and T3 are mode-exclusive (Figure 2: their execution slots never
-  // overlap); T1 overlaps both.
-  CompatibilityMatrix compat(3);
-  compat.set_compatible(1, 2, true);
-  spec.compatibility = compat;
+  const Specification spec = quickstart_spec(lib);
 
   std::printf("== CRUSADE without dynamic reconfiguration ==\n");
   CrusadeParams base;

@@ -10,31 +10,13 @@
 
 #include "core/crusade.hpp"
 #include "core/report.hpp"
-#include "tgff/generator.hpp"
+#include "example_specs.hpp"
 
 using namespace crusade;
 
 int main() {
   const ResourceLibrary lib = telecom_1999();
-
-  SpecGenerator generator(lib);
-  SpecGenConfig cfg;
-  cfg.name = "video-router";
-  cfg.total_tasks = 160;
-  cfg.seed = 2024;
-  // Frame-rate periods: 33ms (30fps) and 40ms (25fps) pipelines plus a
-  // management tail.
-  cfg.periods = {33 * kMillisecond, 40 * kMillisecond, kSecond};
-  cfg.period_weights = {4, 4, 1};
-  cfg.graph.hw_only_fraction = 0.55;  // DCT/ME/VLC datapaths
-  cfg.graph.sw_only_fraction = 0.15;
-  // Per-port resolution profiles: families of 2-3 mutually exclusive
-  // channel variants.
-  cfg.family_fraction = 0.8;
-  cfg.family_size_min = 2;
-  cfg.family_size_max = 3;
-
-  const Specification spec = generator.generate(cfg);
+  const Specification spec = video_router_spec(lib);
   std::printf("video router: %d tasks in %zu graphs, hyperperiod %s\n\n",
               spec.total_tasks(), spec.graphs.size(),
               format_time(spec.hyperperiod()).c_str());

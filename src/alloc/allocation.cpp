@@ -336,17 +336,25 @@ std::vector<Allocator::Candidate> Allocator::enumerate(
             continue;
           // Correctness on multi-mode devices: a resident of mode m only
           // executes while m is configured, so its graph must never need to
-          // run concurrently with any OTHER mode's graphs.
+          // run concurrently with any OTHER mode's graphs.  When reboots
+          // live in the schedule the device may reconfigure mid-hyperperiod
+          // and one graph can straddle modes (the scheduler prices the
+          // switches); under spec-declared mode-exclusive semantics no
+          // reboot is ever charged, so a graph split across modes would
+          // demand two configurations at once — never allow it there (the
+          // compatibility diagonal is fixed incompatible).
           if (inst.modes.size() > 1) {
             bool exclusive = true;
             for (int m2 = 0;
                  m2 < static_cast<int>(inst.modes.size()) && exclusive;
                  ++m2) {
               if (m2 == m) continue;
-              for (int g : inst.modes[m2].graphs)
-                if (g != cluster.graph &&
-                    (!compat_ || !compat_->compatible(cluster.graph, g)))
+              for (int g : inst.modes[m2].graphs) {
+                if (g == cluster.graph && params_.reboots_in_schedule)
+                  continue;
+                if (!compat_ || !compat_->compatible(cluster.graph, g))
                   exclusive = false;
+              }
             }
             if (!exclusive) continue;
           }
@@ -391,6 +399,11 @@ std::vector<Allocator::Candidate> Allocator::enumerate(
     candidates.back().new_instance = true;
   }
   return candidates;
+}
+
+ScheduleResult Allocator::evaluate(const SchedProblem& problem) {
+  ++sched_evals_;
+  return run_list_scheduler(problem, sched_levels_);
 }
 
 AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
@@ -504,13 +517,12 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
       candidates = std::move(kept);
     }
 
-    {
+    if (budget_left()) {
       SchedProblem baseline = make_sched_problem(
           outcome.arch, flat_, outcome.task_cluster, params_.boot_estimate,
           params_.reboots_in_schedule);
       baseline.task_optimistic = &optimistic_exec_;
-      const ScheduleResult base_schedule =
-          run_list_scheduler(baseline, sched_levels_);
+      const ScheduleResult base_schedule = evaluate(baseline);
       committed_tardiness = base_schedule.total_tardiness;
       committed_estimate = base_schedule.estimated_tardiness;
       committed_failures = base_schedule.placement_failures;
@@ -520,12 +532,20 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
     ScheduleResult best_schedule;
     bool accepted = false;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
+      // Budget degradation: once the evaluation budget is gone, each
+      // remaining cluster takes its cheapest candidate after a single
+      // scheduling pass (so the returned schedule still matches the
+      // returned architecture) instead of exploring the whole array.
+      if (i > 0 && !budget_left()) {
+        budget_exhausted_ = true;
+        break;
+      }
       SchedProblem problem =
           make_sched_problem(candidates[i].arch, flat_, outcome.task_cluster,
                              params_.boot_estimate,
                              params_.reboots_in_schedule);
       problem.task_optimistic = &optimistic_exec_;
-      ScheduleResult schedule = run_list_scheduler(problem, sched_levels_);
+      ScheduleResult schedule = evaluate(problem);
       const bool power_ok =
           params_.power_cap_mw <= 0 ||
           candidates[i].arch.power_mw() <= params_.power_cap_mw;
@@ -585,6 +605,8 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
   repair(outcome, clusters);
 
   outcome.feasible = outcome.schedule.feasible;
+  outcome.sched_evaluations = sched_evals_;
+  outcome.budget_exhausted = budget_exhausted_;
   return outcome;
 }
 
@@ -597,6 +619,10 @@ int Allocator::evacuate_devices(AllocationOutcome& outcome,
     bool improved = false;
     for (int victim = 0; victim < static_cast<int>(outcome.arch.pes.size());
          ++victim) {
+      if (!budget_left()) {
+        budget_exhausted_ = true;
+        break;
+      }
       if (!outcome.arch.pes[victim].alive()) continue;
       // Gather the victim's clusters (largest first so the hard pieces
       // place while the most room remains).
@@ -642,7 +668,7 @@ int Allocator::evacuate_devices(AllocationOutcome& outcome,
                              params_.boot_estimate,
                              params_.reboots_in_schedule);
       problem.task_optimistic = &optimistic_exec_;
-      ScheduleResult schedule = run_list_scheduler(problem, sched_levels_);
+      ScheduleResult schedule = evaluate(problem);
       const bool acceptable =
           schedule.placement_failures <=
               outcome.schedule.placement_failures &&
@@ -656,6 +682,8 @@ int Allocator::evacuate_devices(AllocationOutcome& outcome,
     if (!improved) break;
   }
   relax_fpga_purity_ = false;
+  outcome.sched_evaluations = sched_evals_;
+  outcome.budget_exhausted = budget_exhausted_;
   return emptied;
 }
 
@@ -729,11 +757,15 @@ void Allocator::repair(AllocationOutcome& outcome,
       ++rewired_count;
     }
     if (rewired_count == 0) break;
+    if (!budget_left()) {
+      budget_exhausted_ = true;
+      break;
+    }
     SchedProblem problem = make_sched_problem(
         trial, flat_, outcome.task_cluster, params_.boot_estimate,
         params_.reboots_in_schedule);
     problem.task_optimistic = &optimistic_exec_;
-    ScheduleResult schedule = run_list_scheduler(problem, sched_levels_);
+    ScheduleResult schedule = evaluate(problem);
     if (std::getenv("CRUSADE_DEBUG"))
       std::fprintf(stderr, "[rewire] batch of %d: fail %d->%d\n",
                    rewired_count, outcome.schedule.placement_failures,
@@ -805,12 +837,16 @@ void Allocator::repair(AllocationOutcome& outcome,
       int best = -1;
       ScheduleResult best_schedule;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!budget_left()) {
+          budget_exhausted_ = true;
+          break;
+        }
         SchedProblem problem =
             make_sched_problem(candidates[i].arch, flat_,
                                outcome.task_cluster, params_.boot_estimate,
                                params_.reboots_in_schedule);
         problem.task_optimistic = &optimistic_exec_;
-        ScheduleResult schedule = run_list_scheduler(problem, sched_levels_);
+        ScheduleResult schedule = evaluate(problem);
         const bool better =
             best < 0 ||
             schedule.placement_failures <
@@ -849,6 +885,8 @@ void Allocator::repair(AllocationOutcome& outcome,
     if (!improved) break;
   }
   relax_fpga_purity_ = false;
+  outcome.sched_evaluations = sched_evals_;
+  outcome.budget_exhausted = budget_exhausted_;
 }
 
 }  // namespace crusade

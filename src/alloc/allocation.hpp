@@ -44,6 +44,14 @@ struct AllocParams {
   /// instances, so allocation must fit the workload onto an existing
   /// architecture by reprogramming alone.  Used by try_field_upgrade().
   bool allow_new_pes = true;
+  /// Graceful-degradation budget: maximum schedule evaluations across one
+  /// Allocator's lifetime (run + repair + evacuation); 0 = unlimited.  On
+  /// exhaustion the search stops refining, every remaining cluster takes its
+  /// cheapest candidate, and the best-so-far architecture is returned with
+  /// AllocationOutcome::budget_exhausted set — callers diagnose the result
+  /// instead of hanging on a hopeless search (may overrun by one evaluation
+  /// per remaining cluster to keep the schedule/architecture pair honest).
+  int max_iterations = 0;
 };
 
 struct AllocationOutcome {
@@ -55,6 +63,10 @@ struct AllocationOutcome {
   /// Field-upgrade mode only: some cluster found no home on the board.
   bool upgrade_rejected = false;
   bool feasible = false;          ///< all deadlines met in the final schedule
+  int sched_evaluations = 0;      ///< schedule evaluations spent so far
+  /// AllocParams::max_iterations ran out before the search converged; the
+  /// result is the best architecture found, not a completed exploration.
+  bool budget_exhausted = false;
 };
 
 /// Builds the scheduling problem for an architecture (shared by allocation,
@@ -146,6 +158,14 @@ class Allocator {
   void unplace(Architecture& arch, const Cluster& cluster,
                const std::vector<Cluster>& clusters) const;
 
+  /// Budget-counted scheduling: every schedule evaluation in allocation,
+  /// repair and evacuation funnels through here.
+  ScheduleResult evaluate(const SchedProblem& problem);
+  bool budget_left() const {
+    return params_.max_iterations <= 0 ||
+           sched_evals_ < params_.max_iterations;
+  }
+
   const FlatSpec& flat_;
   const ResourceLibrary& lib_;
   const CompatibilityMatrix* compat_;
@@ -159,6 +179,8 @@ class Allocator {
   /// during allocation; post-allocation moves (repair, evacuation) may pack
   /// freely — contamination can no longer block a future mode.
   bool relax_fpga_purity_ = false;
+  int sched_evals_ = 0;
+  bool budget_exhausted_ = false;
 };
 
 }  // namespace crusade

@@ -170,6 +170,7 @@ CrusadeResult Crusade::run() {
     allocator.repair(touchup, result.clusters);
     result.arch = std::move(touchup.arch);
     result.schedule = std::move(touchup.schedule);
+    outcome.budget_exhausted |= touchup.budget_exhausted;
   }
 
   result.cost = result.arch.cost();
@@ -178,6 +179,39 @@ CrusadeResult Crusade::run() {
   result.pe_count = result.arch.live_pe_count();
   result.link_count = result.arch.live_link_count();
   result.mode_count = result.arch.total_modes();
+
+  // --- independent self-check: re-verify the result from scratch ---
+  if (params_.self_check) {
+    ValidationInput vin;
+    vin.spec = &spec_;
+    vin.lib = &lib_;
+    vin.arch = &result.arch;
+    vin.schedule = &result.schedule;
+    vin.clusters = &result.clusters;
+    vin.task_cluster = &result.task_cluster;
+    vin.compat = &result.compat;
+    vin.boot_time_requirement = spec_.boot_time_requirement;
+    vin.reboots_in_schedule = alloc_params.reboots_in_schedule;
+    vin.claimed_feasible = result.feasible;
+    vin.claimed_boot_ok = result.interface_choice.meets_requirement;
+    vin.reported_cost = &result.cost;
+    vin.reported_power_mw = result.power_mw;
+    result.validation = validate_architecture(vin);
+    if (result.feasible && result.validation.schedule_violated())
+      result.feasible = false;  // never claim what the validator rejects
+  }
+
+  // --- graceful degradation: explain infeasibility / budget exhaustion ---
+  if (!result.feasible || outcome.budget_exhausted ||
+      result.merge_report.budget_exhausted) {
+    result.diagnosis = diagnose_infeasibility(flat, result.arch,
+                                              result.schedule,
+                                              result.task_cluster);
+    result.diagnosis.alloc_budget_exhausted = outcome.budget_exhausted;
+    result.diagnosis.merge_budget_exhausted =
+        result.merge_report.budget_exhausted;
+  }
+
   result.synthesis_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -17,6 +17,7 @@
 #include "reconfig/compatibility.hpp"
 #include "reconfig/interface_synth.hpp"
 #include "reconfig/merge.hpp"
+#include "validate/validator.hpp"
 
 namespace crusade {
 
@@ -33,6 +34,11 @@ struct CrusadeParams {
   bool use_spec_compatibility = true;
   /// Hook consulted on every tentative merge (CRUSADE-FT dependability).
   MergeValidator merge_validator;
+  /// Run the independent validator on the final architecture and never
+  /// claim feasibility the validator rejects.  On by default; the cost is
+  /// one linear pass over the result — synthesis never trusts its own
+  /// bookkeeping for the feasibility verdict it hands the caller.
+  bool self_check = true;
 };
 
 struct CrusadeResult {
@@ -51,6 +57,15 @@ struct CrusadeResult {
   int clusters_with_misses = 0;
   double power_mw = 0;  ///< typical draw of the final architecture
   double synthesis_seconds = 0;
+  /// Independent re-verification of the result (CrusadeParams::self_check).
+  /// When the validator finds a schedule-level violation in a result the
+  /// pipeline believed feasible, `feasible` above is demoted to false and
+  /// the violations say why.
+  ValidationReport validation;
+  /// Populated whenever the result is infeasible or a search budget ran
+  /// out: which tasks miss deadlines, by how much, and the saturated
+  /// resource on each miss's critical chain.
+  InfeasibilityDiagnosis diagnosis;
 };
 
 class Crusade {

@@ -32,7 +32,11 @@ TimeNs parse_time(const std::string& text) {
   else
     throw Error("bad time unit in '" + text + "' (want ns/us/ms/s/min)");
   const double ns = value * scale;
-  CRUSADE_REQUIRE(ns >= 0 && ns < 9.2e18, "time out of range: " + text);
+  if (std::isnan(ns)) throw Error("time is not a number: '" + text + "'");
+  if (ns < 0) throw Error("negative time: '" + text + "'");
+  // 9.2e18 keeps llround inside int64 (units make overflow easy: 1e9 min
+  // is already past the horizon).
+  if (!(ns < 9.2e18)) throw Error("time out of range: '" + text + "'");
   return static_cast<TimeNs>(std::llround(ns));
 }
 
@@ -82,7 +86,7 @@ struct Parser {
       args >> spec.name;
     } else if (keyword == "boot_requirement") {
       std::string t;
-      args >> t;
+      if (!(args >> t)) fail("boot_requirement needs a time");
       spec.boot_time_requirement = parse_time(t);
     } else if (keyword == "graph") {
       std::string name, kw, value;
@@ -109,21 +113,29 @@ struct Parser {
       while (args >> kw) {
         if (kw == "deadline") {
           std::string t;
-          args >> t;
+          if (!(args >> t)) fail("deadline needs a time");
           task.deadline = parse_time(t);
         } else if (kw == "mem") {
-          args >> task.memory.program >> task.memory.data >>
-              task.memory.stack;
+          if (!(args >> task.memory.program >> task.memory.data >>
+                task.memory.stack))
+            fail("want: mem <program> <data> <stack>");
+          if (task.memory.program < 0 || task.memory.data < 0 ||
+              task.memory.stack < 0)
+            fail("negative memory requirement for task '" + task.name + "'");
         } else if (kw == "hw") {
-          args >> task.pfus >> task.pins;
+          if (!(args >> task.pfus >> task.pins))
+            fail("want: hw <pfus> <pins>");
+          if (task.pfus < 0 || task.pins < 0)
+            fail("negative hardware requirement for task '" + task.name +
+                 "'");
           task.gates = task.pfus * 12;
         } else if (kw == "assertion") {
-          int v;
-          args >> v;
+          int v = 0;
+          if (!(args >> v)) fail("assertion needs 0 or 1");
           task.has_assertion = v != 0;
         } else if (kw == "transparent") {
-          int v;
-          args >> v;
+          int v = 0;
+          if (!(args >> v)) fail("transparent needs 0 or 1");
           task.error_transparent = v != 0;
         } else if (kw == "exec") {
           std::string entry;
@@ -153,24 +165,30 @@ struct Parser {
       const int g = current_graph();
       std::string src, dst;
       std::int64_t bytes = 0;
-      args >> src >> dst >> bytes;
+      if (!(args >> src >> dst >> bytes))
+        fail("want: edge <src> <dst> <bytes>");
+      if (bytes < 0) fail("edge carries negative bytes");
       spec.graphs[g].add_edge(find_task(g, src), find_task(g, dst), bytes);
     } else if (keyword == "exclude") {
       const int g = current_graph();
       std::string a, b;
-      args >> a >> b;
+      if (!(args >> a >> b)) fail("want: exclude <task> <task>");
+      if (a == b) fail("task '" + a + "' cannot exclude itself");
       spec.graphs[g].add_exclusion(find_task(g, a), find_task(g, b));
     } else if (keyword == "compatible") {
       std::string a, b;
-      args >> a >> b;
+      if (!(args >> a >> b)) fail("want: compatible <graph> <graph>");
       if (!graph_index.count(a) || !graph_index.count(b))
         fail("compatible references unknown graph");
+      if (a == b)
+        fail("graph '" + a + "' cannot be compatible with itself");
       compat_pairs[{graph_index[a], graph_index[b]}] = true;
     } else if (keyword == "unavailability") {
       std::string g;
       double u = 0;
-      args >> g >> u;
+      if (!(args >> g >> u)) fail("want: unavailability <graph> <fraction>");
       if (!graph_index.count(g)) fail("unavailability of unknown graph");
+      if (!(u >= 0 && u <= 1)) fail("unavailability outside [0,1]");
       unavailability[graph_index[g]] = u;
     } else {
       fail("unknown directive '" + keyword + "'");
@@ -207,7 +225,15 @@ Specification read_specification(std::istream& in,
     std::istringstream args(line);
     std::string keyword;
     if (!(args >> keyword)) continue;  // blank/comment line
-    parser.handle(keyword, args);
+    try {
+      parser.handle(keyword, args);
+    } catch (const Error& e) {
+      // Deeper helpers (parse_time, find_pe, graph builders) know nothing
+      // about lines; stamp the position unless it is already there.
+      const std::string msg = e.what();
+      if (msg.rfind("spec line ", 0) == 0) throw;
+      parser.fail(msg);
+    }
   }
   return parser.finish();
 }

@@ -119,6 +119,8 @@ void TaskGraph::validate(int pe_type_count) const {
     if (e.src < 0 || e.src >= task_count() || e.dst < 0 ||
         e.dst >= task_count())
       throw Error("edge endpoint out of range in graph '" + name_ + "'");
+    if (e.bytes < 0)
+      throw Error("edge carries negative bytes in graph '" + name_ + "'");
   }
 }
 

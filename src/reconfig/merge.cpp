@@ -181,13 +181,21 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
 
   const PriorityLevels levels = scheduling_levels(flat, arch.lib());
   auto reschedule = [&](const Architecture& a) {
+    ++report.reschedules;
     SchedProblem problem =
         make_sched_problem(a, flat, task_cluster, params.boot_estimate,
                            params.reboots_in_schedule);
     return run_list_scheduler(problem, levels);
   };
+  auto budget_left = [&]() {
+    if (params.budget > 0 && report.reschedules >= params.budget) {
+      report.budget_exhausted = true;
+      return false;
+    }
+    return true;
+  };
 
-  for (int pass = 0; pass < params.max_passes; ++pass) {
+  for (int pass = 0; pass < params.max_passes && budget_left(); ++pass) {
     ++report.passes;
     bool improved = false;
 
@@ -214,6 +222,7 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
                      });
 
     for (const Entry& entry : merge_array) {
+      if (!budget_left()) break;
       // Earlier accepted merges this pass may have invalidated the entry.
       if (!arch.pes[entry.src].alive() || !arch.pes[entry.dst].alive())
         continue;
@@ -234,7 +243,7 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
       improved = true;
     }
 
-    if (params.consolidate_modes) {
+    if (params.consolidate_modes && budget_left()) {
       Architecture trial = arch;
       const int combined = consolidate(trial, params);
       if (combined > 0) {

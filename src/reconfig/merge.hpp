@@ -29,6 +29,12 @@ struct MergeParams {
   /// Also try folding two modes of one device into a single configuration
   /// when the area allows (removes a reconfiguration entirely).
   bool consolidate_modes = true;
+  /// Graceful-degradation budget: maximum tentative reschedules across the
+  /// whole merge loop; 0 = unlimited.  On exhaustion the loop stops with the
+  /// best architecture accepted so far and MergeReport::budget_exhausted
+  /// set (the architecture is always schedule-consistent — merges are only
+  /// ever accepted after a full reschedule).
+  int budget = 0;
 };
 
 struct MergeReport {
@@ -40,6 +46,8 @@ struct MergeReport {
   double cost_after = 0;
   int merge_potential_before = 0;  ///< #PPEs + #links (§4.1)
   int merge_potential_after = 0;
+  int reschedules = 0;             ///< schedule evaluations spent
+  bool budget_exhausted = false;   ///< MergeParams::budget ran out
 };
 
 /// Runs the merge loop in place; `schedule` is updated to the final

@@ -1,0 +1,251 @@
+#include "validate/inject.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <iterator>
+#include <vector>
+
+namespace crusade {
+
+namespace {
+
+std::string str(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+int pick(Rng& rng, int count) {
+  return static_cast<int>(rng.uniform_int(0, count - 1));
+}
+
+/// Graph index with at least one edge, or -1.
+int graph_with_edges(const Specification& spec, Rng& rng) {
+  std::vector<int> candidates;
+  for (int g = 0; g < static_cast<int>(spec.graphs.size()); ++g)
+    if (spec.graphs[g].edge_count() > 0) candidates.push_back(g);
+  if (candidates.empty()) return -1;
+  return candidates[pick(rng, static_cast<int>(candidates.size()))];
+}
+
+/// TaskGraph has no edge-removal API (synthesis never unbuilds a spec), so
+/// dropping an edge reconstructs the graph without it.
+TaskGraph rebuild_without_edge(const TaskGraph& g, int drop) {
+  TaskGraph out(g.name(), g.period(), g.est());
+  for (const Task& t : g.tasks()) out.add_task(t);
+  for (int e = 0; e < g.edge_count(); ++e) {
+    if (e == drop) continue;
+    out.add_edge(g.edge(e).src, g.edge(e).dst, g.edge(e).bytes);
+  }
+  return out;
+}
+
+Mutation drop_edge(Specification& spec, Rng& rng) {
+  Mutation m{MutationKind::DropEdge, "", false};
+  const int g = graph_with_edges(spec, rng);
+  if (g < 0) return m;
+  const int e = pick(rng, spec.graphs[g].edge_count());
+  const Edge edge = spec.graphs[g].edge(e);
+  m.description = str("drop edge %d->%d of graph '%s'", edge.src, edge.dst,
+                      spec.graphs[g].name().c_str());
+  spec.graphs[g] = rebuild_without_edge(spec.graphs[g], e);
+  m.applied = true;
+  return m;
+}
+
+Mutation duplicate_edge(Specification& spec, Rng& rng) {
+  Mutation m{MutationKind::DuplicateEdge, "", false};
+  const int g = graph_with_edges(spec, rng);
+  if (g < 0) return m;
+  const int e = pick(rng, spec.graphs[g].edge_count());
+  const Edge edge = spec.graphs[g].edge(e);
+  // Half the time duplicate verbatim (parallel communication), half the
+  // time reversed — the reversal usually creates a cycle the front end must
+  // reject.
+  if (rng.chance(0.5)) {
+    spec.graphs[g].add_edge(edge.src, edge.dst, edge.bytes);
+    m.description = str("duplicate edge %d->%d of graph '%s'", edge.src,
+                        edge.dst, spec.graphs[g].name().c_str());
+  } else {
+    spec.graphs[g].add_edge(edge.dst, edge.src, edge.bytes);
+    m.description = str("reverse-duplicate edge %d->%d of graph '%s'",
+                        edge.src, edge.dst, spec.graphs[g].name().c_str());
+  }
+  m.applied = true;
+  return m;
+}
+
+Mutation perturb_exec(Specification& spec, Rng& rng) {
+  Mutation m{MutationKind::PerturbExec, "", false};
+  const int g = pick(rng, static_cast<int>(spec.graphs.size()));
+  TaskGraph& graph = spec.graphs[g];
+  if (graph.task_count() == 0) return m;
+  const int t = pick(rng, graph.task_count());
+  Task& task = graph.task(t);
+  std::vector<int> entries;
+  for (int pe = 0; pe < static_cast<int>(task.exec.size()); ++pe)
+    if (task.exec[pe] != kNoTime) entries.push_back(pe);
+  if (entries.empty()) return m;
+  const int pe = entries[pick(rng, static_cast<int>(entries.size()))];
+  const double r = rng.uniform();
+  if (r < 0.1) {
+    task.exec[pe] = -5;  // invalid: must be rejected, not scheduled
+    m.description = str("exec['%s'][pe %d] := -5ns", task.name.c_str(), pe);
+  } else if (r < 0.2) {
+    task.exec[pe] = 0;
+    m.description = str("exec['%s'][pe %d] := 0", task.name.c_str(), pe);
+  } else {
+    const double factor = rng.uniform_real(0.25, 16.0);
+    task.exec[pe] = std::max<TimeNs>(
+        1, static_cast<TimeNs>(static_cast<double>(task.exec[pe]) * factor));
+    m.description = str("exec['%s'][pe %d] scaled x%.2f to %lld ns",
+                        task.name.c_str(), pe, factor,
+                        static_cast<long long>(task.exec[pe]));
+  }
+  m.applied = true;
+  return m;
+}
+
+Mutation perturb_period(Specification& spec, Rng& rng) {
+  Mutation m{MutationKind::PerturbPeriod, "", false};
+  const int g = pick(rng, static_cast<int>(spec.graphs.size()));
+  TaskGraph& graph = spec.graphs[g];
+  const double r = rng.uniform();
+  if (r < 0.07) {
+    graph.set_period(0);
+    m.description = str("period of '%s' := 0", graph.name().c_str());
+  } else if (r < 0.14) {
+    graph.set_period(-graph.period());
+    m.description = str("period of '%s' negated", graph.name().c_str());
+  } else {
+    // Arbitrary (possibly co-prime) rescale; hyperperiod() either digests
+    // it or throws the lcm64 overflow Error — both are honest outcomes.
+    const double factor = rng.uniform_real(0.3, 4.0);
+    const TimeNs p = std::max<TimeNs>(
+        1, static_cast<TimeNs>(static_cast<double>(graph.period()) * factor));
+    graph.set_period(p);
+    m.description = str("period of '%s' scaled x%.2f to %lld ns",
+                        graph.name().c_str(), factor,
+                        static_cast<long long>(p));
+  }
+  m.applied = true;
+  return m;
+}
+
+Mutation shrink_deadline(Specification& spec, Rng& rng) {
+  Mutation m{MutationKind::ShrinkDeadline, "", false};
+  std::vector<std::pair<int, int>> candidates;
+  for (int g = 0; g < static_cast<int>(spec.graphs.size()); ++g)
+    for (int t = 0; t < spec.graphs[g].task_count(); ++t)
+      if (spec.graphs[g].task(t).deadline != kNoTime)
+        candidates.push_back({g, t});
+  if (candidates.empty()) return m;
+  const auto [g, t] =
+      candidates[pick(rng, static_cast<int>(candidates.size()))];
+  Task& task = spec.graphs[g].task(t);
+  if (rng.chance(0.1)) {
+    task.deadline = -task.deadline;
+    m.description = str("deadline of '%s' negated", task.name.c_str());
+  } else {
+    const TimeNs divisor = rng.uniform_int(2, 1000);
+    task.deadline = std::max<TimeNs>(1, task.deadline / divisor);
+    m.description =
+        str("deadline of '%s' shrunk /%lld to %lld ns", task.name.c_str(),
+            static_cast<long long>(divisor),
+            static_cast<long long>(task.deadline));
+  }
+  m.applied = true;
+  return m;
+}
+
+}  // namespace
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::DropEdge: return "drop-edge";
+    case MutationKind::DuplicateEdge: return "duplicate-edge";
+    case MutationKind::PerturbExec: return "perturb-exec";
+    case MutationKind::PerturbPeriod: return "perturb-period";
+    case MutationKind::ShrinkDeadline: return "shrink-deadline";
+    case MutationKind::CorruptSpecLine: return "corrupt-spec-line";
+    case MutationKind::CorruptSpecToken: return "corrupt-spec-token";
+  }
+  return "unknown";
+}
+
+Mutation mutate_specification(Specification& spec, Rng& rng) {
+  if (spec.graphs.empty()) return {MutationKind::DropEdge, "", false};
+  switch (pick(rng, 5)) {
+    case 0: return drop_edge(spec, rng);
+    case 1: return duplicate_edge(spec, rng);
+    case 2: return perturb_exec(spec, rng);
+    case 3: return perturb_period(spec, rng);
+    default: return shrink_deadline(spec, rng);
+  }
+}
+
+Mutation corrupt_spec_text(std::string& text, Rng& rng) {
+  Mutation m{MutationKind::CorruptSpecLine, "", false};
+  std::vector<std::pair<std::size_t, std::size_t>> lines;  // [begin, end)
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (i > begin) lines.push_back({begin, i});
+      begin = i + 1;
+    }
+  }
+  if (lines.empty()) return m;
+  const auto [lo, hi] = lines[pick(rng, static_cast<int>(lines.size()))];
+  const std::string line = text.substr(lo, hi - lo);
+
+  const double r = rng.uniform();
+  if (r < 0.2) {
+    text.erase(lo, hi - lo);  // drop the line entirely
+    m.description = str("delete line '%.60s'", line.c_str());
+  } else if (r < 0.4) {
+    const std::size_t keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(line.size())));
+    text.replace(lo, hi - lo, line.substr(0, keep));  // truncate mid-token
+    m.description = str("truncate line '%.60s' to %zu chars", line.c_str(),
+                        keep);
+  } else if (r < 0.55) {
+    text.insert(lo, line + "\n");  // duplicate (redeclares names)
+    m.description = str("duplicate line '%.60s'", line.c_str());
+  } else {
+    // Replace one whitespace-separated token with a hostile value.
+    m.kind = MutationKind::CorruptSpecToken;
+    std::vector<std::pair<std::size_t, std::size_t>> tokens;
+    std::size_t tok = std::string::npos;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      const bool sep = i == line.size() || line[i] == ' ' ||
+                       line[i] == '\t';
+      if (!sep && tok == std::string::npos) tok = i;
+      if (sep && tok != std::string::npos) {
+        tokens.push_back({tok, i});
+        tok = std::string::npos;
+      }
+    }
+    if (tokens.empty()) return m;
+    static const char* kHostile[] = {"999999999min", "-3us",  "5uss",
+                                     "0x",           "nan",   "%s",
+                                     "bogus",        "1e308s"};
+    const char* injected =
+        kHostile[pick(rng, static_cast<int>(std::size(kHostile)))];
+    const auto [tlo, thi] =
+        tokens[pick(rng, static_cast<int>(tokens.size()))];
+    std::string mutated = line;
+    mutated.replace(tlo, thi - tlo, injected);
+    text.replace(lo, hi - lo, mutated);
+    m.description = str("token '%.*s' -> '%s' in '%.60s'",
+                        static_cast<int>(thi - tlo), line.c_str() + tlo,
+                        injected, line.c_str());
+  }
+  m.applied = true;
+  return m;
+}
+
+}  // namespace crusade

@@ -1,0 +1,58 @@
+// Deterministic fault injection for specifications.
+//
+// Two families of seeded mutators feed the robustness harness
+// (tests/inject_test.cpp):
+//  * structural mutations of an in-memory Specification — drop or duplicate
+//    precedence edges, perturb execution times and periods (including into
+//    invalid negative/zero territory), shrink deadlines toward the
+//    impossible;
+//  * text corruption of the serialized spec-file form — deleted, truncated,
+//    duplicated and token-scrambled lines, exactly the damage a hand-edited
+//    or mis-merged workload file shows up with.
+//
+// The contract the harness asserts on top of these: co-synthesis either
+// throws a line-numbered crusade::Error (invalid input), reports infeasible
+// with a populated diagnosis, or returns an architecture the independent
+// validator confirms — it never crashes, hangs, or claims a schedule the
+// validator rejects.
+#pragma once
+
+#include <string>
+
+#include "graph/specification.hpp"
+#include "util/rng.hpp"
+
+namespace crusade {
+
+enum class MutationKind {
+  DropEdge,
+  DuplicateEdge,
+  PerturbExec,
+  PerturbPeriod,
+  ShrinkDeadline,
+  CorruptSpecLine,
+  CorruptSpecToken,
+};
+
+const char* to_string(MutationKind kind);
+
+struct Mutation {
+  MutationKind kind = MutationKind::DropEdge;
+  std::string description;  ///< what was mutated, for failure triage
+  /// False when the spec had nothing to mutate for the drawn kind (e.g. no
+  /// edges left to drop); the spec is unchanged.
+  bool applied = false;
+};
+
+/// Applies one randomly chosen structural mutation in place.  Deterministic
+/// for a given (spec, rng state).  The result may be a perfectly valid (if
+/// harder) specification OR an invalid one — the harness accepts either as
+/// long as co-synthesis reacts honestly.
+Mutation mutate_specification(Specification& spec, Rng& rng);
+
+/// Corrupts one line of serialized spec text in place (delete, truncate,
+/// duplicate, scramble a token, or splice in a hostile number like
+/// "999999999min" / "-3us" / "5uss").
+Mutation corrupt_spec_text(std::string& text, Rng& rng);
+
+}  // namespace crusade

@@ -1,0 +1,950 @@
+#include "validate/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "sched/scheduler.hpp"
+#include "util/periodic.hpp"
+
+namespace crusade {
+
+namespace {
+
+std::string str(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Reboot pseudo-task owner id used by the list scheduler for mode `m`.
+int reboot_owner(int mode) { return -1000 - mode; }
+
+bool near(double a, double b) {
+  return std::fabs(a - b) <= 1e-6 * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::Structure: return "structure";
+    case ViolationKind::UnplacedCluster: return "unplaced-cluster";
+    case ViolationKind::UnscheduledTask: return "unscheduled-task";
+    case ViolationKind::InfeasibleMapping: return "infeasible-mapping";
+    case ViolationKind::CapacityExceeded: return "capacity-exceeded";
+    case ViolationKind::BookkeepingMismatch: return "bookkeeping-mismatch";
+    case ViolationKind::ExclusionViolated: return "exclusion-violated";
+    case ViolationKind::IncompatibleModes: return "incompatible-modes";
+    case ViolationKind::LinkTopologyBroken: return "link-topology-broken";
+    case ViolationKind::PrecedenceViolated: return "precedence-violated";
+    case ViolationKind::SerialOverlap: return "serial-overlap";
+    case ViolationKind::SelfOverlap: return "self-overlap";
+    case ViolationKind::RebootViolated: return "reboot-violated";
+    case ViolationKind::BootRequirementExceeded:
+      return "boot-requirement-exceeded";
+    case ViolationKind::DeadlineMissed: return "deadline-missed";
+    case ViolationKind::CostMismatch: return "cost-mismatch";
+    case ViolationKind::PowerMismatch: return "power-mismatch";
+    case ViolationKind::FeasibilityOverclaimed:
+      return "feasibility-overclaimed";
+  }
+  return "unknown";
+}
+
+int ValidationReport::count(ViolationKind kind) const {
+  int n = 0;
+  for (const Violation& v : violations)
+    if (v.kind == kind) ++n;
+  return n;
+}
+
+bool ValidationReport::schedule_violated() const {
+  for (const Violation& v : violations) {
+    switch (v.kind) {
+      case ViolationKind::BookkeepingMismatch:
+      case ViolationKind::CostMismatch:
+      case ViolationKind::PowerMismatch:
+      case ViolationKind::BootRequirementExceeded:
+      case ViolationKind::FeasibilityOverclaimed:
+        continue;  // accounting / claim mismatches, not schedule defects
+      default:
+        return true;
+    }
+  }
+  return false;
+}
+
+std::string ValidationReport::summary(std::size_t max_lines) const {
+  if (violations.empty()) return "validation clean\n";
+  std::string out = str("%zu violation(s):\n", violations.size());
+  std::size_t shown = 0;
+  for (const Violation& v : violations) {
+    if (shown == max_lines) {
+      out += str("  ... and %zu more\n", violations.size() - shown);
+      break;
+    }
+    out += str("  [%s] %s\n", to_string(v.kind), v.message.c_str());
+    ++shown;
+  }
+  return out;
+}
+
+ValidationReport validate_architecture(const ValidationInput& in) {
+  ValidationReport report;
+  auto add = [&](ViolationKind kind, std::string msg, int task = -1,
+                 int edge = -1, int pe = -1, int link = -1, int cluster = -1,
+                 TimeNs amount = 0) {
+    Violation v;
+    v.kind = kind;
+    v.message = std::move(msg);
+    v.task = task;
+    v.edge = edge;
+    v.pe = pe;
+    v.link = link;
+    v.cluster = cluster;
+    v.amount = amount;
+    report.violations.push_back(std::move(v));
+  };
+
+  if (!in.spec || !in.lib || !in.arch || !in.schedule || !in.clusters ||
+      !in.task_cluster) {
+    add(ViolationKind::Structure, "missing required validation input");
+    return report;
+  }
+  const Specification& spec = *in.spec;
+  const ResourceLibrary& lib = *in.lib;
+  const Architecture& arch = *in.arch;
+  const ScheduleResult& sched = *in.schedule;
+  const std::vector<Cluster>& clusters = *in.clusters;
+  const std::vector<int>& task_cluster = *in.task_cluster;
+
+  const FlatSpec flat(spec);
+  const int n_tasks = flat.task_count();
+  const int n_edges = flat.edge_count();
+  const int n_pes = static_cast<int>(arch.pes.size());
+  const int n_links = static_cast<int>(arch.links.size());
+  const int n_clusters = static_cast<int>(clusters.size());
+
+  // --- phase 0: structural arity.  Everything downstream indexes through
+  // these arrays, so a mismatch aborts validation rather than risking OOB.
+  {
+    const std::size_t before = report.violations.size();
+    auto arity = [&](std::size_t got, int want, const char* what) {
+      if (got != static_cast<std::size_t>(want))
+        add(ViolationKind::Structure,
+            str("%s has %zu entries, expected %d", what, got, want));
+    };
+    arity(task_cluster.size(), n_tasks, "task_cluster");
+    arity(sched.task_start.size(), n_tasks, "schedule.task_start");
+    arity(sched.task_finish.size(), n_tasks, "schedule.task_finish");
+    arity(sched.edge_start.size(), n_edges, "schedule.edge_start");
+    arity(sched.edge_finish.size(), n_edges, "schedule.edge_finish");
+    arity(arch.cluster_pe.size(), n_clusters, "arch.cluster_pe");
+    arity(arch.cluster_mode.size(), n_clusters, "arch.cluster_mode");
+    arity(arch.edge_link.size(), n_edges, "arch.edge_link");
+    for (int p = 0; p < n_pes; ++p) {
+      if (arch.pes[p].type < 0 || arch.pes[p].type >= lib.pe_count())
+        add(ViolationKind::Structure, str("pe %d has unknown type", p), -1,
+            -1, p);
+      if (arch.pes[p].modes.empty())
+        add(ViolationKind::Structure, str("pe %d has no modes", p), -1, -1,
+            p);
+    }
+    for (int l = 0; l < n_links; ++l)
+      if (arch.links[l].type < 0 || arch.links[l].type >= lib.link_count())
+        add(ViolationKind::Structure, str("link %d has unknown type", l), -1,
+            -1, -1, l);
+    for (int c = 0; c < n_clusters; ++c) {
+      const Cluster& cl = clusters[c];
+      if (cl.id != c)
+        add(ViolationKind::Structure,
+            str("cluster %d carries id %d", c, cl.id), -1, -1, -1, -1, c);
+      for (int tid : cl.tasks) {
+        if (tid < 0 || tid >= n_tasks) {
+          add(ViolationKind::Structure,
+              str("cluster %d lists unknown task %d", c, tid), tid, -1, -1,
+              -1, c);
+        } else if (flat.graph_of_task(tid) != cl.graph) {
+          add(ViolationKind::Structure,
+              str("cluster %d (graph %d) contains task '%s' of graph %d", c,
+                  cl.graph, flat.task(tid).name.c_str(),
+                  flat.graph_of_task(tid)),
+              tid, -1, -1, -1, c);
+        }
+      }
+    }
+    if (report.violations.size() == before &&
+        task_cluster.size() == static_cast<std::size_t>(n_tasks)) {
+      std::vector<int> member_of(n_tasks, -1);
+      for (int c = 0; c < n_clusters; ++c)
+        for (int tid : clusters[c].tasks) {
+          if (member_of[tid] != -1)
+            add(ViolationKind::Structure,
+                str("task '%s' appears in clusters %d and %d",
+                    flat.task(tid).name.c_str(), member_of[tid], c),
+                tid, -1, -1, -1, c);
+          member_of[tid] = c;
+        }
+      for (int tid = 0; tid < n_tasks; ++tid)
+        if (task_cluster[tid] != member_of[tid])
+          add(ViolationKind::Structure,
+              str("task '%s': task_cluster says %d, membership says %d",
+                  flat.task(tid).name.c_str(), task_cluster[tid],
+                  member_of[tid]),
+              tid);
+    }
+    if (report.violations.size() != before) return report;
+  }
+  report.checked_schedule = true;
+
+  // --- phase 1: placement bookkeeping, capacities, exclusions, modes.
+  std::vector<int> listed_pe(n_clusters, -1), listed_mode(n_clusters, -1),
+      listed_count(n_clusters, 0);
+  for (int p = 0; p < n_pes; ++p)
+    for (std::size_t m = 0; m < arch.pes[p].modes.size(); ++m)
+      for (int c : arch.pes[p].modes[m].clusters) {
+        if (c < 0 || c >= n_clusters) {
+          add(ViolationKind::Structure,
+              str("pe %d mode %zu lists unknown cluster %d", p, m, c), -1,
+              -1, p);
+          continue;
+        }
+        ++listed_count[c];
+        listed_pe[c] = p;
+        listed_mode[c] = static_cast<int>(m);
+      }
+  for (int c = 0; c < n_clusters; ++c) {
+    const int pe = arch.cluster_pe[c];
+    const int mode = arch.cluster_mode[c];
+    if (pe < 0) {
+      if (!clusters[c].tasks.empty())
+        add(ViolationKind::UnplacedCluster,
+            str("cluster %d (%zu tasks, graph %d) has no PE", c,
+                clusters[c].tasks.size(), clusters[c].graph),
+            -1, -1, -1, -1, c);
+      if (listed_count[c] != 0)
+        add(ViolationKind::BookkeepingMismatch,
+            str("unplaced cluster %d is resident in pe %d mode %d", c,
+                listed_pe[c], listed_mode[c]),
+            -1, -1, listed_pe[c], -1, c);
+      continue;
+    }
+    if (pe >= n_pes || mode < 0 ||
+        mode >= static_cast<int>(arch.pes[pe].modes.size())) {
+      add(ViolationKind::Structure,
+          str("cluster %d placed at invalid (pe %d, mode %d)", c, pe, mode),
+          -1, -1, pe, -1, c);
+      continue;
+    }
+    if (listed_count[c] != 1 || listed_pe[c] != pe || listed_mode[c] != mode)
+      add(ViolationKind::BookkeepingMismatch,
+          str("cluster %d placement (pe %d, mode %d) disagrees with mode "
+              "residency (%d listing(s), last at pe %d mode %d)",
+              c, pe, mode, listed_count[c], listed_pe[c], listed_mode[c]),
+          -1, -1, pe, -1, c);
+  }
+
+  for (int p = 0; p < n_pes; ++p) {
+    const PeInstance& inst = arch.pes[p];
+    const PeType& type = lib.pe(inst.type);
+    if (!type.is_programmable() && inst.modes.size() != 1)
+      add(ViolationKind::Structure,
+          str("%s pe %d ('%s') has %zu modes; only FPGA/CPLD devices "
+              "reconfigure",
+              to_string(type.kind), p, type.name.c_str(), inst.modes.size()),
+          -1, -1, p);
+
+    std::int64_t mem = 0;
+    for (std::size_t m = 0; m < inst.modes.size(); ++m) {
+      const Mode& mode = inst.modes[m];
+      std::int64_t mode_mem = 0;
+      int pfus = 0, gates = 0, pins = 0;
+      std::vector<int> graphs;
+      for (int c : mode.clusters) {
+        if (c < 0 || c >= n_clusters) continue;  // flagged above
+        for (int tid : clusters[c].tasks) {
+          const Task& t = flat.task(tid);
+          mode_mem += t.memory.total();
+          pfus += t.pfus;
+          gates += t.gates;
+          pins += t.pins;
+        }
+        if (std::find(graphs.begin(), graphs.end(), clusters[c].graph) ==
+            graphs.end())
+          graphs.push_back(clusters[c].graph);
+      }
+      mem += mode_mem;
+      std::sort(graphs.begin(), graphs.end());
+      if (pfus != mode.pfus_used || gates != mode.gates_used ||
+          pins != mode.pins_used)
+        add(ViolationKind::BookkeepingMismatch,
+            str("pe %d mode %zu usage (pfus %d, gates %d, pins %d) != "
+                "recomputed (pfus %d, gates %d, pins %d)",
+                p, m, mode.pfus_used, mode.gates_used, mode.pins_used, pfus,
+                gates, pins),
+            -1, -1, p);
+      if (graphs != mode.graphs)
+        add(ViolationKind::BookkeepingMismatch,
+            str("pe %d mode %zu graph list disagrees with resident clusters",
+                p, m),
+            -1, -1, p);
+      switch (type.kind) {
+        case PeKind::Cpu:
+          break;  // memory checked per instance below
+        case PeKind::Asic:
+          if (gates > type.gates)
+            add(ViolationKind::CapacityExceeded,
+                str("pe %d ('%s') needs %d gates of %d", p,
+                    type.name.c_str(), gates, type.gates),
+                -1, -1, p, -1, -1, gates - type.gates);
+          if (pins > type.pins)
+            add(ViolationKind::CapacityExceeded,
+                str("pe %d ('%s') needs %d pins of %d", p,
+                    type.name.c_str(), pins, type.pins),
+                -1, -1, p, -1, -1, pins - type.pins);
+          break;
+        case PeKind::Fpga:
+        case PeKind::Cpld:
+          if (pfus > type.pfus)
+            add(ViolationKind::CapacityExceeded,
+                str("pe %d ('%s') mode %zu needs %d PFUs of %d", p,
+                    type.name.c_str(), m, pfus, type.pfus),
+                -1, -1, p, -1, -1, pfus - type.pfus);
+          if (pins > type.pins)
+            add(ViolationKind::CapacityExceeded,
+                str("pe %d ('%s') mode %zu needs %d pins of %d", p,
+                    type.name.c_str(), m, pins, type.pins),
+                -1, -1, p, -1, -1, pins - type.pins);
+          break;
+      }
+    }
+    if (mem != inst.memory_used)
+      add(ViolationKind::BookkeepingMismatch,
+          str("pe %d memory_used %lld != recomputed %lld", p,
+              static_cast<long long>(inst.memory_used),
+              static_cast<long long>(mem)),
+          -1, -1, p);
+    if (type.kind == PeKind::Cpu && mem > type.memory_bytes)
+      add(ViolationKind::CapacityExceeded,
+          str("pe %d ('%s') needs %lld bytes of %lld", p, type.name.c_str(),
+              static_cast<long long>(mem),
+              static_cast<long long>(type.memory_bytes)),
+          -1, -1, p, -1, -1, mem - type.memory_bytes);
+
+    // Compatibility is what licenses time-sharing — but only when the
+    // specification *declares* mode-exclusive families (reboots charged to
+    // the boot-time requirement, not the frame schedule).  With derived
+    // compatibility the reboot windows live in the schedule and the
+    // scheduler verifies the timing directly; post-merge repair may then
+    // legitimately pack one graph across modes, so the matrix is a search
+    // heuristic there, not an invariant.
+    if (!in.reboots_in_schedule) {
+      for (std::size_t a = 0; a + 1 < inst.modes.size(); ++a)
+        for (std::size_t b = a + 1; b < inst.modes.size(); ++b)
+          for (int ga : inst.modes[a].graphs)
+            for (int gb : inst.modes[b].graphs) {
+              const bool ok = in.compat && ga >= 0 && gb >= 0 &&
+                              ga < in.compat->graph_count() &&
+                              gb < in.compat->graph_count() &&
+                              in.compat->compatible(ga, gb);
+              if (!ok)
+                add(ViolationKind::IncompatibleModes,
+                    str("pe %d modes %zu/%zu host graphs %d and %d which "
+                        "are not compatible",
+                        p, a, b, ga, gb),
+                    -1, -1, p);
+            }
+    }
+  }
+
+  // Task→type feasibility and exclusion vectors.
+  for (int tid = 0; tid < n_tasks; ++tid) {
+    const int c = task_cluster[tid];
+    if (c < 0 || arch.cluster_pe[c] < 0) continue;
+    const int pe = arch.cluster_pe[c];
+    const PeTypeId type = arch.pes[pe].type;
+    if (!flat.task(tid).feasible_on(type))
+      add(ViolationKind::InfeasibleMapping,
+          str("task '%s' mapped to %s pe %d ('%s') it cannot execute on",
+              flat.task(tid).name.c_str(),
+              to_string(lib.pe(type).kind), pe, lib.pe(type).name.c_str()),
+          tid, -1, pe);
+    for (int other : flat.exclusions(tid)) {
+      if (other <= tid) continue;  // symmetric; report each pair once
+      const int oc = task_cluster[other];
+      if (oc < 0 || arch.cluster_pe[oc] != pe) continue;
+      add(ViolationKind::ExclusionViolated,
+          str("excluded tasks '%s' and '%s' share pe %d",
+              flat.task(tid).name.c_str(), flat.task(other).name.c_str(),
+              pe),
+          tid, -1, pe);
+    }
+  }
+
+  // --- phase 2: link topology.
+  for (int l = 0; l < n_links; ++l) {
+    const LinkInstance& link = arch.links[l];
+    const LinkType& type = lib.link(link.type);
+    if (link.ports() > type.max_ports)
+      add(ViolationKind::LinkTopologyBroken,
+          str("link %d ('%s') has %d ports of max %d", l, type.name.c_str(),
+              link.ports(), type.max_ports),
+          -1, -1, -1, l);
+    for (std::size_t i = 0; i < link.attached.size(); ++i) {
+      const int pe = link.attached[i];
+      if (pe < 0 || pe >= n_pes)
+        add(ViolationKind::LinkTopologyBroken,
+            str("link %d attached to unknown pe %d", l, pe), -1, -1, -1, l);
+      else
+        for (std::size_t j = i + 1; j < link.attached.size(); ++j)
+          if (link.attached[j] == pe)
+            add(ViolationKind::LinkTopologyBroken,
+                str("link %d attached to pe %d twice", l, pe), -1, -1, pe,
+                l);
+    }
+  }
+  // Recomputed communication time per edge (0 when intra-PE / unassigned).
+  std::vector<TimeNs> comm(n_edges, 0);
+  for (int eid = 0; eid < n_edges; ++eid) {
+    const int link = arch.edge_link[eid];
+    if (link < -1 || link >= n_links) {
+      add(ViolationKind::Structure,
+          str("edge %d assigned unknown link %d", eid, link), -1, eid);
+      continue;
+    }
+    if (link >= 0)
+      comm[eid] = lib.link(arch.links[link].type)
+                      .comm_time(flat.edge_data(eid).bytes,
+                                 std::max(2, arch.links[link].ports()));
+    const int cs = task_cluster[flat.edge_src(eid)];
+    const int cd = task_cluster[flat.edge_dst(eid)];
+    if (cs < 0 || cd < 0) continue;
+    const int ps = arch.cluster_pe[cs];
+    const int pd = arch.cluster_pe[cd];
+    if (ps < 0 || pd < 0) continue;  // unplaced, already flagged
+    if (ps == pd) {
+      if (link != -1)
+        add(ViolationKind::LinkTopologyBroken,
+            str("intra-PE edge %d ('%s'->'%s' on pe %d) assigned link %d",
+                eid, flat.task(flat.edge_src(eid)).name.c_str(),
+                flat.task(flat.edge_dst(eid)).name.c_str(), ps, link),
+            -1, eid, ps, link);
+    } else if (link < 0) {
+      add(ViolationKind::LinkTopologyBroken,
+          str("inter-PE edge %d ('%s' on pe %d -> '%s' on pe %d) has no "
+              "link",
+              eid, flat.task(flat.edge_src(eid)).name.c_str(), ps,
+              flat.task(flat.edge_dst(eid)).name.c_str(), pd),
+          -1, eid, ps);
+    } else if (!arch.links[link].is_attached(ps) ||
+               !arch.links[link].is_attached(pd)) {
+      add(ViolationKind::LinkTopologyBroken,
+          str("edge %d rides link %d which is not attached to both pe %d "
+              "and pe %d",
+              eid, link, ps, pd),
+          -1, eid, ps, link);
+    }
+  }
+
+  // --- phase 3: schedule re-verification.
+  std::vector<char> scheduled(n_tasks, 0);
+  for (int tid = 0; tid < n_tasks; ++tid) {
+    const int c = task_cluster[tid];
+    const bool placed = c >= 0 && arch.cluster_pe[c] >= 0;
+    const TimeNs start = sched.task_start[tid];
+    const TimeNs finish = sched.task_finish[tid];
+    if (!placed) {
+      if (start != kNoTime)
+        add(ViolationKind::BookkeepingMismatch,
+            str("unallocated task '%s' carries a schedule window",
+                flat.task(tid).name.c_str()),
+            tid);
+      continue;
+    }
+    const int pe = arch.cluster_pe[c];
+    if (start == kNoTime || finish == kNoTime) {
+      add(ViolationKind::UnscheduledTask,
+          str("task '%s' (graph '%s') on pe %d was never scheduled",
+              flat.task(tid).name.c_str(),
+              flat.graph(flat.graph_of_task(tid)).name().c_str(), pe),
+          tid, -1, pe);
+      continue;
+    }
+    scheduled[tid] = 1;
+    const PeType& type = lib.pe(arch.pes[pe].type);
+    const TimeNs exec = flat.task(tid).exec[arch.pes[pe].type];
+    if (start < flat.est(tid))
+      add(ViolationKind::PrecedenceViolated,
+          str("task '%s' starts at %s before graph EST %s",
+              flat.task(tid).name.c_str(), format_time(start).c_str(),
+              format_time(flat.est(tid)).c_str()),
+          tid, -1, pe, -1, -1, flat.est(tid) - start);
+    if (exec != kNoTime) {
+      // CPUs stretch the busy window by preemption inflation; every other
+      // resource executes for exactly the execution-vector entry.
+      if (type.kind == PeKind::Cpu ? (finish - start < exec)
+                                   : (finish - start != exec))
+        add(ViolationKind::BookkeepingMismatch,
+            str("task '%s' busy window %s does not cover execution time %s",
+                flat.task(tid).name.c_str(),
+                format_time(finish - start).c_str(),
+                format_time(exec).c_str()),
+            tid, -1, pe);
+    }
+    const TimeNs deadline = flat.absolute_deadline(tid);
+    if (deadline != kNoTime && finish > deadline)
+      add(ViolationKind::DeadlineMissed,
+          str("task '%s' (graph '%s') finishes at %s, deadline %s (miss by "
+              "%s)",
+              flat.task(tid).name.c_str(),
+              flat.graph(flat.graph_of_task(tid)).name().c_str(),
+              format_time(finish).c_str(), format_time(deadline).c_str(),
+              format_time(finish - deadline).c_str()),
+          tid, -1, pe, -1, -1, finish - deadline);
+  }
+
+  for (int eid = 0; eid < n_edges; ++eid) {
+    const int src = flat.edge_src(eid);
+    const int dst = flat.edge_dst(eid);
+    const TimeNs e_start = sched.edge_start[eid];
+    const TimeNs e_finish = sched.edge_finish[eid];
+    if (e_start != kNoTime) {
+      if (!scheduled[src]) {
+        add(ViolationKind::PrecedenceViolated,
+            str("edge %d scheduled but its producer '%s' is not", eid,
+                flat.task(src).name.c_str()),
+            src, eid);
+      } else if (e_start < sched.task_finish[src]) {
+        add(ViolationKind::PrecedenceViolated,
+            str("edge %d ('%s'->'%s') starts at %s before producer finish "
+                "%s",
+                eid, flat.task(src).name.c_str(),
+                flat.task(dst).name.c_str(), format_time(e_start).c_str(),
+                format_time(sched.task_finish[src]).c_str()),
+            src, eid, -1, arch.edge_link[eid], -1,
+            sched.task_finish[src] - e_start);
+      }
+      if (e_finish != e_start + comm[eid])
+        add(ViolationKind::BookkeepingMismatch,
+            str("edge %d occupies %s but the assigned link needs %s for "
+                "%lld bytes",
+                eid, format_time(e_finish - e_start).c_str(),
+                format_time(comm[eid]).c_str(),
+                static_cast<long long>(flat.edge_data(eid).bytes)),
+            -1, eid, -1, arch.edge_link[eid]);
+    }
+    if (!scheduled[dst]) continue;
+    if (!scheduled[src]) {
+      add(ViolationKind::PrecedenceViolated,
+          str("task '%s' scheduled but its producer '%s' is not",
+              flat.task(dst).name.c_str(), flat.task(src).name.c_str()),
+          dst, eid);
+      continue;
+    }
+    const TimeNs ready = e_start != kNoTime ? e_finish
+                                            : sched.task_finish[src] +
+                                                  comm[eid];
+    if (e_start == kNoTime)
+      add(ViolationKind::BookkeepingMismatch,
+          str("edge %d has scheduled endpoints but no transfer window", eid),
+          dst, eid);
+    if (sched.task_start[dst] < ready)
+      add(ViolationKind::PrecedenceViolated,
+          str("task '%s' starts at %s before edge %d delivers at %s",
+              flat.task(dst).name.c_str(),
+              format_time(sched.task_start[dst]).c_str(), eid,
+              format_time(ready).c_str()),
+          dst, eid, -1, arch.edge_link[eid], -1,
+          ready - sched.task_start[dst]);
+  }
+
+  // Serial resources, reconstructed from the schedule itself (never from the
+  // reported timelines): links carry every transfer without overlap, and no
+  // transfer outlasts its period (its own copies would collide).
+  {
+    std::vector<std::vector<std::pair<PeriodicWindow, int>>> per_link(
+        n_links);
+    for (int eid = 0; eid < n_edges; ++eid) {
+      const int link = arch.edge_link[eid];
+      if (link < 0 || link >= n_links) continue;
+      if (sched.edge_start[eid] == kNoTime || comm[eid] <= 0) continue;
+      const TimeNs period = flat.graph(flat.graph_of_edge(eid)).period();
+      const PeriodicWindow w{sched.edge_start[eid],
+                             sched.edge_start[eid] + comm[eid], period};
+      if (w.length() > period)
+        add(ViolationKind::SelfOverlap,
+            str("edge %d transfer %s exceeds its period %s on link %d", eid,
+                format_time(w.length()).c_str(),
+                format_time(period).c_str(), link),
+            -1, eid, -1, link, -1, w.length() - period);
+      per_link[link].emplace_back(w, eid);
+    }
+    for (int l = 0; l < n_links; ++l)
+      for (std::size_t i = 0; i < per_link[l].size(); ++i)
+        for (std::size_t j = i + 1; j < per_link[l].size(); ++j)
+          if (periodic_overlap(per_link[l][i].first, per_link[l][j].first))
+            add(ViolationKind::SerialOverlap,
+                str("edges %d and %d overlap on link %d",
+                    per_link[l][i].second, per_link[l][j].second, l),
+                -1, per_link[l][i].second, -1, l);
+  }
+  // Preemptive CPUs: equal-period windows serialize exactly (cross-period
+  // interference is paid via response-time inflation, so only equal-period
+  // overlap indicates a real double-booking).
+  {
+    std::vector<std::vector<int>> per_pe(n_pes);
+    for (int tid = 0; tid < n_tasks; ++tid) {
+      if (!scheduled[tid]) continue;
+      const int pe = arch.cluster_pe[task_cluster[tid]];
+      if (lib.pe(arch.pes[pe].type).kind == PeKind::Cpu)
+        per_pe[pe].push_back(tid);
+    }
+    for (int p = 0; p < n_pes; ++p)
+      for (std::size_t i = 0; i < per_pe[p].size(); ++i)
+        for (std::size_t j = i + 1; j < per_pe[p].size(); ++j) {
+          const int a = per_pe[p][i], b = per_pe[p][j];
+          if (flat.period(a) != flat.period(b)) continue;
+          const PeriodicWindow wa{sched.task_start[a], sched.task_finish[a],
+                                  flat.period(a)};
+          const PeriodicWindow wb{sched.task_start[b], sched.task_finish[b],
+                                  flat.period(b)};
+          if (periodic_overlap(wa, wb))
+            add(ViolationKind::SerialOverlap,
+                str("equal-period tasks '%s' and '%s' overlap on cpu pe %d",
+                    flat.task(a).name.c_str(), flat.task(b).name.c_str(),
+                    p),
+                a, -1, p);
+        }
+  }
+
+  // Reported timelines must agree with the schedule: exactly one window per
+  // scheduled task, on its PE, spanning [start, finish).
+  const bool timelines_ok =
+      sched.timelines.size() == static_cast<std::size_t>(n_pes + n_links);
+  if (!timelines_ok) {
+    add(ViolationKind::BookkeepingMismatch,
+        str("schedule carries %zu timelines, architecture has %d resources",
+            sched.timelines.size(), n_pes + n_links));
+  } else {
+    std::vector<int> windows_of(n_tasks, 0);
+    for (int r = 0; r < n_pes; ++r)
+      for (const Timeline::Window& w : sched.timelines[r].windows()) {
+        if (w.owner < 0) continue;  // reboot pseudo-task
+        if (w.owner >= n_tasks) {
+          add(ViolationKind::BookkeepingMismatch,
+              str("pe %d timeline window owned by unknown task %d", r,
+                  w.owner),
+              -1, -1, r);
+          continue;
+        }
+        ++windows_of[w.owner];
+        const int c = task_cluster[w.owner];
+        const int pe = c >= 0 ? arch.cluster_pe[c] : -1;
+        if (pe != r || w.span.start != sched.task_start[w.owner] ||
+            w.span.finish != sched.task_finish[w.owner] ||
+            w.span.period != flat.period(w.owner))
+          add(ViolationKind::BookkeepingMismatch,
+              str("timeline window for task '%s' on pe %d disagrees with "
+                  "its schedule entry",
+                  flat.task(w.owner).name.c_str(), r),
+              w.owner, -1, r);
+      }
+    for (int tid = 0; tid < n_tasks; ++tid)
+      if (windows_of[tid] != (scheduled[tid] ? 1 : 0))
+        add(ViolationKind::BookkeepingMismatch,
+            str("task '%s' owns %d timeline windows, expected %d",
+                flat.task(tid).name.c_str(), windows_of[tid],
+                scheduled[tid] ? 1 : 0),
+            tid);
+  }
+
+  // Reboot pseudo-tasks: when reconfiguration is charged to the frame
+  // schedule, every mode with a boot time must reboot before its tasks run.
+  if (in.reboots_in_schedule && timelines_ok) {
+    for (int p = 0; p < n_pes; ++p) {
+      const PeInstance& inst = arch.pes[p];
+      if (inst.modes.size() < 2) continue;
+      for (std::size_t m = 0; m < inst.modes.size(); ++m) {
+        const TimeNs boot = inst.modes[m].boot_time;
+        if (boot <= 0) continue;
+        TimeNs reboot_done = kNoTime;
+        for (const Timeline::Window& w : sched.timelines[p].windows())
+          if (w.owner == reboot_owner(static_cast<int>(m)))
+            reboot_done = w.span.finish;
+        for (int c : inst.modes[m].clusters) {
+          if (c < 0 || c >= n_clusters) continue;
+          for (int tid : clusters[c].tasks) {
+            if (!scheduled[tid]) continue;
+            if (reboot_done == kNoTime) {
+              add(ViolationKind::RebootViolated,
+                  str("pe %d mode %zu (boot %s) runs task '%s' with no "
+                      "reboot window",
+                      p, m, format_time(boot).c_str(),
+                      flat.task(tid).name.c_str()),
+                  tid, -1, p);
+            } else if (sched.task_start[tid] < reboot_done) {
+              add(ViolationKind::RebootViolated,
+                  str("task '%s' starts at %s before pe %d mode %zu "
+                      "finishes rebooting at %s",
+                      flat.task(tid).name.c_str(),
+                      format_time(sched.task_start[tid]).c_str(), p, m,
+                      format_time(reboot_done).c_str()),
+                  tid, -1, p, -1, -1,
+                  reboot_done - sched.task_start[tid]);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Boot-time requirement (§4.4), only when interface synthesis claims it.
+  if (in.claimed_boot_ok) {
+    for (int p = 0; p < n_pes; ++p) {
+      const PeInstance& inst = arch.pes[p];
+      if (inst.modes.size() < 2) continue;  // never reconfigures at runtime
+      for (std::size_t m = 0; m < inst.modes.size(); ++m)
+        if (inst.modes[m].boot_time > in.boot_time_requirement)
+          add(ViolationKind::BootRequirementExceeded,
+              str("pe %d mode %zu boots in %s, requirement %s", p, m,
+                  format_time(inst.modes[m].boot_time).c_str(),
+                  format_time(in.boot_time_requirement).c_str()),
+              -1, -1, p, -1, -1,
+              inst.modes[m].boot_time - in.boot_time_requirement);
+    }
+  }
+
+  // --- phase 4: dollar-cost and power accounting, recomputed here.
+  if (in.reported_cost) {
+    double pes = 0, memory = 0, links_cost = 0;
+    for (const PeInstance& inst : arch.pes) {
+      if (!inst.alive()) continue;
+      const PeType& type = lib.pe(inst.type);
+      pes += type.cost;
+      if (type.kind == PeKind::Cpu && inst.memory_used > 0)
+        memory += std::ceil(static_cast<double>(inst.memory_used) /
+                            (4.0 * 1024 * 1024)) *
+                  4.0 * type.memory_cost_per_mb;
+    }
+    for (const LinkInstance& link : arch.links) {
+      if (link.ports() < 2) continue;
+      const LinkType& type = lib.link(link.type);
+      links_cost += type.cost + type.cost_per_port * link.ports();
+    }
+    auto cost_field = [&](const char* name, double reported,
+                          double recomputed) {
+      if (!near(reported, recomputed))
+        add(ViolationKind::CostMismatch,
+            str("cost.%s reported %.2f, recomputed %.2f", name, reported,
+                recomputed));
+    };
+    cost_field("pes", in.reported_cost->pes, pes);
+    cost_field("memory", in.reported_cost->memory, memory);
+    cost_field("links", in.reported_cost->links, links_cost);
+    cost_field("reconfig_interface", in.reported_cost->reconfig_interface,
+               arch.interface_cost);
+    cost_field("spares", in.reported_cost->spares, arch.spares_cost);
+  }
+  if (in.reported_power_mw >= 0) {
+    double power = 0;
+    for (const PeInstance& inst : arch.pes) {
+      if (!inst.alive()) continue;
+      power += lib.pe(inst.type).power_mw;
+      power += static_cast<double>(inst.memory_used) / (4.0 * 1024 * 1024);
+    }
+    if (!near(in.reported_power_mw, power))
+      add(ViolationKind::PowerMismatch,
+          str("power reported %.3f mW, recomputed %.3f mW",
+              in.reported_power_mw, power));
+  }
+
+  if (in.claimed_feasible && report.schedule_violated()) {
+    int hard = 0;
+    for (const Violation& v : report.violations)
+      switch (v.kind) {
+        case ViolationKind::BookkeepingMismatch:
+        case ViolationKind::CostMismatch:
+        case ViolationKind::PowerMismatch:
+        case ViolationKind::BootRequirementExceeded:
+        case ViolationKind::FeasibilityOverclaimed:
+          break;
+        default:
+          ++hard;
+      }
+    add(ViolationKind::FeasibilityOverclaimed,
+        str("result claims feasible but re-verification found %d "
+            "schedule violation(s)",
+            hard));
+  }
+  return report;
+}
+
+// --- graceful-degradation diagnostics --------------------------------------
+
+namespace {
+
+std::string describe_resource(const Architecture& arch, int res) {
+  const ResourceLibrary& lib = arch.lib();
+  const int n_pes = static_cast<int>(arch.pes.size());
+  if (res >= 0 && res < n_pes) {
+    const PeType& type = lib.pe(arch.pes[res].type);
+    return str("%s %s (pe %d)", to_string(type.kind), type.name.c_str(),
+               res);
+  }
+  const int link = res - n_pes;
+  if (link >= 0 && link < static_cast<int>(arch.links.size()))
+    return str("link %s (link %d)",
+               lib.link(arch.links[link].type).name.c_str(), link);
+  return "unallocated";
+}
+
+}  // namespace
+
+InfeasibilityDiagnosis diagnose_infeasibility(
+    const FlatSpec& flat, const Architecture& arch,
+    const ScheduleResult& schedule, const std::vector<int>& task_cluster) {
+  InfeasibilityDiagnosis d;
+  const int n_tasks = flat.task_count();
+  const int n_pes = static_cast<int>(arch.pes.size());
+  const std::size_t n_resources = arch.pes.size() + arch.links.size();
+  const bool timelines_ok = schedule.timelines.size() == n_resources;
+  if (static_cast<int>(task_cluster.size()) != n_tasks ||
+      static_cast<int>(schedule.task_finish.size()) != n_tasks)
+    return d;
+
+  for (int pe : arch.cluster_pe)
+    if (pe < 0) ++d.unplaced_clusters;
+
+  auto resource_of = [&](int tid) -> int {
+    const int c = task_cluster[tid];
+    return c >= 0 && c < static_cast<int>(arch.cluster_pe.size())
+               ? arch.cluster_pe[c]
+               : -1;
+  };
+
+  for (int tid = 0; tid < n_tasks; ++tid) {
+    const TimeNs deadline = flat.absolute_deadline(tid);
+    const TimeNs finish = schedule.task_finish[tid];
+    if (finish == kNoTime) ++d.unscheduled_tasks;
+    const bool unscheduled_sink = finish == kNoTime && deadline != kNoTime;
+    const bool overrun = finish != kNoTime && deadline != kNoTime &&
+                         finish > deadline;
+    if (!unscheduled_sink && !overrun) continue;
+
+    DeadlineMiss miss;
+    miss.task = tid;
+    miss.task_name = flat.task(tid).name;
+    miss.graph = flat.graph_of_task(tid);
+    miss.graph_name = flat.graph(miss.graph).name();
+    miss.deadline = deadline;
+    miss.finish = finish;
+    miss.overrun = overrun ? finish - deadline : 0;
+    miss.resource = resource_of(tid);
+    d.total_tardiness += miss.overrun;
+
+    // Walk the critical chain backwards (most recently finishing producer
+    // first) and blame the most utilized resource along it.
+    std::vector<int> chain;
+    int cur = tid;
+    for (int hops = 0; hops < n_tasks; ++hops) {
+      const int res = resource_of(cur);
+      if (res >= 0) chain.push_back(res);
+      int best_pred = -1, best_edge = -1;
+      TimeNs best_finish = kNoTime;
+      for (int eid : flat.in_edges(cur)) {
+        const int src = flat.edge_src(eid);
+        if (schedule.task_finish[src] == kNoTime) continue;
+        if (best_pred < 0 || schedule.task_finish[src] > best_finish) {
+          best_pred = src;
+          best_edge = eid;
+          best_finish = schedule.task_finish[src];
+        }
+      }
+      if (best_pred < 0) break;
+      if (best_edge >= 0 && arch.edge_link[best_edge] >= 0)
+        chain.push_back(n_pes + arch.edge_link[best_edge]);
+      cur = best_pred;
+    }
+    double best_util = -1;
+    for (int res : chain) {
+      if (!timelines_ok || res < 0 ||
+          res >= static_cast<int>(n_resources))
+        continue;
+      const double u = schedule.timelines[res].utilization();
+      if (u > best_util) {
+        best_util = u;
+        miss.binding_resource = res;
+      }
+    }
+    if (miss.binding_resource < 0 && !chain.empty())
+      miss.binding_resource = chain.front();
+    if (miss.binding_resource >= 0) {
+      miss.binding = describe_resource(arch, miss.binding_resource);
+      if (best_util >= 0)
+        miss.binding +=
+            str(", util %d%%", static_cast<int>(best_util * 100 + 0.5));
+    } else {
+      miss.binding = "unallocated";
+    }
+    d.misses.push_back(std::move(miss));
+  }
+
+  std::sort(d.misses.begin(), d.misses.end(),
+            [](const DeadlineMiss& a, const DeadlineMiss& b) {
+              const bool ua = a.finish == kNoTime, ub = b.finish == kNoTime;
+              if (ua != ub) return ua;  // never-scheduled first
+              if (a.overrun != b.overrun) return a.overrun > b.overrun;
+              return a.task < b.task;
+            });
+  return d;
+}
+
+std::string InfeasibilityDiagnosis::summary(std::size_t max_rows) const {
+  if (empty()) return "no infeasibility to diagnose\n";
+  std::string out;
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "%zu deadline miss(es), %d unscheduled task(s), %d unplaced "
+                "cluster(s), total tardiness %s\n",
+                misses.size(), unscheduled_tasks, unplaced_clusters,
+                format_time(total_tardiness).c_str());
+  out += head;
+  if (alloc_budget_exhausted)
+    out += "allocation stopped on its iteration budget (best-so-far "
+           "architecture returned)\n";
+  if (merge_budget_exhausted)
+    out += "mode merging stopped on its pass budget\n";
+  std::size_t shown = 0;
+  for (const DeadlineMiss& m : misses) {
+    if (shown == max_rows) {
+      char more[64];
+      std::snprintf(more, sizeof more, "  ... and %zu more\n",
+                    misses.size() - shown);
+      out += more;
+      break;
+    }
+    char line[256];
+    if (m.finish == kNoTime) {
+      std::snprintf(line, sizeof line,
+                    "  '%s' (graph '%s'): never scheduled; binding: %s\n",
+                    m.task_name.c_str(), m.graph_name.c_str(),
+                    m.binding.c_str());
+    } else {
+      std::snprintf(line, sizeof line,
+                    "  '%s' (graph '%s'): misses %s by %s; binding: %s\n",
+                    m.task_name.c_str(), m.graph_name.c_str(),
+                    format_time(m.deadline).c_str(),
+                    format_time(m.overrun).c_str(), m.binding.c_str());
+    }
+    out += line;
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace crusade

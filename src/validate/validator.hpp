@@ -1,0 +1,167 @@
+// Independent architecture validator.
+//
+// The synthesizer's own finish-time estimation is what CLAIMS a result meets
+// every deadline; nothing in the pipeline re-checks that claim.  This module
+// re-verifies a synthesized architecture and its schedule from first
+// principles, sharing no code path with the allocator or the list scheduler:
+// capacities, link topology, precedence, communication delays, deadlines and
+// the dollar/power accounting are all recomputed from the Specification and
+// ResourceLibrary alone.
+//
+// Model-level invariants checked (and their deliberate limits):
+//  * every task whose cluster is placed is scheduled exactly once — its one
+//    periodic window represents all hyperperiod copies (§5 association
+//    array), and the reported timelines carry exactly one window per task;
+//  * precedence edges respect producer finish + communication delay on the
+//    assigned link, and inter-PE edges actually own a link attached to both
+//    endpoint PEs;
+//  * serial resources (links) never carry overlapping periodic windows, and
+//    no transfer is longer than its period (instances would collide);
+//  * preemptive CPUs never overlap equal-period windows (the restricted-
+//    preemption model's exactness guarantee — cross-period overlap is paid
+//    for by response-time inflation and therefore legal);
+//  * under spec-declared mode-exclusive semantics (reboots charged to the
+//    boot-time requirement, not the frame schedule) the modes of one
+//    reconfigurable PPE only host pairwise-COMPATIBLE task graphs — §4.1:
+//    compatibility is the guarantee the modes never execute simultaneously;
+//    with reboots in the schedule the scheduler prices every switch and the
+//    matrix is a search heuristic, so cross-mode residency is not policed;
+//  * when reconfiguration is charged to the frame schedule, every mode's
+//    tasks start after the mode's reboot pseudo-task finishes;
+//  * PFU/gate/pin/memory capacities hold against the raw device limits, and
+//    the per-mode usage bookkeeping matches a recomputation from clusters;
+//  * the reported CostBreakdown and power draw are recomputable from the
+//    architecture and resource library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "alloc/cluster.hpp"
+#include "graph/specification.hpp"
+
+namespace crusade {
+
+enum class ViolationKind {
+  Structure,            ///< arity/index bookkeeping broken (checks aborted)
+  UnplacedCluster,      ///< cluster with tasks but no PE
+  UnscheduledTask,      ///< placed task without a schedule window
+  InfeasibleMapping,    ///< task on a PE type it cannot execute on
+  CapacityExceeded,     ///< PFU/gate/pin/memory over the raw device limit
+  BookkeepingMismatch,  ///< stored usage/timeline differs from recomputation
+  ExclusionViolated,    ///< excluded task pair shares a PE
+  IncompatibleModes,    ///< modes of one PPE host incompatible graphs
+  LinkTopologyBroken,   ///< edge/link/PE attachment inconsistent
+  PrecedenceViolated,   ///< consumer starts before producer + communication
+  SerialOverlap,        ///< overlapping windows on a serial resource
+  SelfOverlap,          ///< window longer than its period (copies collide)
+  RebootViolated,       ///< mode task starts before the mode reboot ends
+  BootRequirementExceeded,  ///< claimed boot-ok but a mode boots too slowly
+  DeadlineMissed,
+  CostMismatch,
+  PowerMismatch,
+  FeasibilityOverclaimed,  ///< feasible=true but the re-check found a
+                           ///< schedule-correctness violation
+};
+
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::Structure;
+  std::string message;  ///< human-readable, with task/PE/time context
+  int task = -1;        ///< flat task id when applicable
+  int edge = -1;        ///< flat edge id
+  int pe = -1;          ///< PE instance id
+  int link = -1;        ///< link instance id
+  int cluster = -1;
+  TimeNs amount = 0;  ///< overrun / excess magnitude when applicable
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  /// False when the structural phase failed and the schedule-level checks
+  /// could not run at all.
+  bool checked_schedule = false;
+
+  bool clean() const { return violations.empty(); }
+  int count(ViolationKind kind) const;
+  /// True if any violation contradicts a feasibility claim (as opposed to
+  /// pure accounting mismatches).
+  bool schedule_violated() const;
+  std::string summary(std::size_t max_lines = 20) const;
+};
+
+/// Everything the validator consumes.  Pointers are non-owning; spec, lib,
+/// arch, schedule, clusters and task_cluster are required, the rest
+/// optional.
+struct ValidationInput {
+  const Specification* spec = nullptr;
+  const ResourceLibrary* lib = nullptr;
+  const Architecture* arch = nullptr;
+  const ScheduleResult* schedule = nullptr;
+  const std::vector<Cluster>* clusters = nullptr;
+  const std::vector<int>* task_cluster = nullptr;
+  /// Compatibility matrix the reconfiguration modes were built against.
+  /// Consulted only when !reboots_in_schedule (spec-declared mode-exclusive
+  /// families); null then means "no time-sharing allowed" and any
+  /// multi-mode device is a violation.
+  const CompatibilityMatrix* compat = nullptr;
+  TimeNs boot_time_requirement = 0;
+  /// See make_sched_problem: reboots occupy the frame schedule (derived
+  /// compatibility) vs. the boot-time requirement (spec-declared families).
+  bool reboots_in_schedule = true;
+  bool claimed_feasible = false;
+  /// The interface synthesis claimed its choice meets the boot requirement.
+  bool claimed_boot_ok = false;
+  const CostBreakdown* reported_cost = nullptr;  ///< null: skip cost check
+  double reported_power_mw = -1;                 ///< <0: skip power check
+};
+
+/// Re-verifies the architecture/schedule from scratch.  Never throws on a
+/// bad architecture — every problem becomes a typed Violation.
+ValidationReport validate_architecture(const ValidationInput& in);
+
+// --- graceful-degradation diagnostics ------------------------------------
+
+/// One deadline miss (or unscheduled task) with its binding resource: the
+/// most utilized resource along the task's critical chain, i.e. the best
+/// guess at WHAT to buy or relieve to make the graph feasible.
+struct DeadlineMiss {
+  int task = -1;
+  std::string task_name;
+  int graph = -1;
+  std::string graph_name;
+  TimeNs deadline = kNoTime;
+  TimeNs finish = kNoTime;  ///< kNoTime: never scheduled at all
+  TimeNs overrun = 0;       ///< 0 when unscheduled
+  int resource = -1;        ///< resource holding the task (-1 unallocated)
+  int binding_resource = -1;
+  std::string binding;  ///< e.g. "CPU MC68040 (pe 2, util 87%)"
+};
+
+/// Structured explanation of an infeasible (or budget-truncated) synthesis:
+/// which tasks/graphs miss, by how much, and where the pressure sits.
+struct InfeasibilityDiagnosis {
+  std::vector<DeadlineMiss> misses;  ///< worst overrun first
+  int unscheduled_tasks = 0;
+  int unplaced_clusters = 0;
+  TimeNs total_tardiness = 0;
+  /// Synthesis stopped on an exploration budget, not because the search
+  /// space was exhausted — a bigger budget may still find a feasible fit.
+  bool alloc_budget_exhausted = false;
+  bool merge_budget_exhausted = false;
+
+  bool empty() const {
+    return misses.empty() && unscheduled_tasks == 0 &&
+           unplaced_clusters == 0 && !alloc_budget_exhausted &&
+           !merge_budget_exhausted;
+  }
+  std::string summary(std::size_t max_rows = 10) const;
+};
+
+InfeasibilityDiagnosis diagnose_infeasibility(
+    const FlatSpec& flat, const Architecture& arch,
+    const ScheduleResult& schedule, const std::vector<int>& task_cluster);
+
+}  // namespace crusade

@@ -24,6 +24,26 @@ TEST(ParseTimeTest, UnitsAndFractions) {
   EXPECT_THROW(parse_time("fast"), Error);
 }
 
+TEST(ParseTimeTest, RejectsHostileLiterals) {
+  // Negative, overflowing, NaN and trailing-garbage literals must all
+  // surface as crusade::Error, never as a bogus TimeNs.
+  EXPECT_THROW(parse_time("-3us"), Error);
+  EXPECT_THROW(parse_time("-0.5ms"), Error);
+  EXPECT_THROW(parse_time("999999999min"), Error);  // > int64 nanoseconds
+  EXPECT_THROW(parse_time("1e308s"), Error);        // double overflow
+  EXPECT_THROW(parse_time("nan"), Error);
+  EXPECT_THROW(parse_time("nans"), Error);          // NaN with a real unit
+  EXPECT_THROW(parse_time("5uss"), Error);          // trailing garbage
+  EXPECT_THROW(parse_time("5 us"), Error);
+  EXPECT_THROW(parse_time("5"), Error);             // unit required
+  EXPECT_THROW(parse_time(""), Error);
+  EXPECT_THROW(parse_time("0x"), Error);
+  EXPECT_THROW(parse_time("%s"), Error);
+  // The guard is a bound, not a blanket: large-but-representable is fine.
+  EXPECT_EQ(parse_time("120min"), 120 * kMinute);
+  EXPECT_EQ(parse_time("0ns"), 0);
+}
+
 TEST(ParseTimeTest, RoundTripsWithToString) {
   for (TimeNs t : std::vector<TimeNs>{80, 25 * kMicrosecond, 1'500'000,
                                       kSecond, kMinute, 10 * kMillisecond})
@@ -146,6 +166,98 @@ TEST(SpecIoTest, ErrorsCarryLineNumbers) {
                "unknown PE type");
   expect_error("graph g period 1ms\ntask t exec *=1ms\nedge t missing 8\n",
                "unknown task");
+}
+
+TEST(SpecIoTest, MalformedSpecsReportExactLines) {
+  // Table-driven: every malformed input must throw crusade::Error whose
+  // message carries the 1-based line number of the offending directive —
+  // fault injection (tests/inject_test.cpp) relies on this contract.
+  struct Case {
+    const char* text;
+    int line;              // expected "spec line <N>"
+    const char* fragment;  // expected message substring
+  };
+  const Case cases[] = {
+      {"graph g period 10ms\n"
+       "task t deadline -3us exec *=1ms\n",
+       2, "negative time"},
+      {"graph g period 10ms\n"
+       "task t deadline 999999999min exec *=1ms\n",
+       2, "out of range"},
+      {"graph g period 10ms\n"
+       "task t deadline 5uss exec *=1ms\n",
+       2, "bad time unit"},
+      {"graph g period 10ms\n"
+       "\n"
+       "task t exec *=bogus\n",
+       3, "bad time literal"},
+      {"graph g period 10ms\n"
+       "task t mem 1 2 exec *=1ms\n",  // mem eats 'exec': arity error
+       2, "mem"},
+      {"graph g period 10ms\n"
+       "task t mem -1 0 0 exec *=1ms\n",
+       2, "negative memory"},
+      {"graph g period 10ms\n"
+       "task t hw -4 2 exec *=1ms\n",
+       2, "negative hardware"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "task t exec *=2ms\n",
+       3, "duplicate task"},
+      {"graph g period 10ms\n"
+       "graph h period 5ms\n"
+       "graph g period 1ms\n",
+       3, "duplicate graph"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "edge t ghost 64\n",
+       3, "unknown task"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "edge t t\n",
+       3, "want: edge"},
+      {"graph g period 10ms\n"
+       "task a exec *=1ms\n"
+       "task b exec *=1ms\n"
+       "edge a b -64\n",
+       4, "negative bytes"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "exclude t t\n",
+       3, "cannot exclude itself"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "exclude t ghost\n",
+       3, "unknown task"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "compatible g g\n",
+       3, "compatible with itself"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "compatible g ghost\n",
+       3, "unknown graph"},
+      {"graph g period 10ms\n"
+       "task t exec *=1ms\n"
+       "unavailability g 1.5\n",
+       3, "outside [0,1]"},
+      {"boot_requirement\n", 1, "needs a time"},
+      {"graph g period 0x\n", 1, "bad time unit"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.text);
+    try {
+      read_specification(in, lib());
+      FAIL() << "expected parse error for: " << c.text;
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      const std::string stamp = "spec line " + std::to_string(c.line) + ":";
+      EXPECT_NE(msg.find(stamp), std::string::npos)
+          << "missing '" << stamp << "' in: " << msg << "\nspec:\n" << c.text;
+      EXPECT_NE(msg.find(c.fragment), std::string::npos)
+          << "missing '" << c.fragment << "' in: " << msg;
+    }
+  }
 }
 
 TEST(SpecIoTest, MissingFileThrows) {

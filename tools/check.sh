@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification sweep: build the release and sanitizer configurations,
+# run the whole test suite under both, and give the fault-injection harness
+# a dedicated pass under ASan/UBSan (the mutated-spec paths are exactly
+# where memory bugs would hide).
+#
+#   tools/check.sh            # release + asan, all tests
+#   tools/check.sh --fast     # release only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "=== release configuration ==="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+if [[ "$fast" == 1 ]]; then
+  echo "check.sh: release suite green (sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "=== address/undefined sanitizer configuration ==="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)"
+
+echo "=== fault injection under ASan/UBSan ==="
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-asan/tests/inject_test
+
+echo "check.sh: all configurations green"

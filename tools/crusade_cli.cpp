@@ -3,6 +3,7 @@
 //
 //   crusade run <file.spec> [--no-reconfig] [--ft] [--boot-req <time>]
 //               [--power-cap <mW>] [--dump-schedule] [--write-spec <out>]
+//   crusade validate <file.spec> [--no-reconfig] [--boot-req <time>]
 //   crusade generate (--profile <name> [--scale <f>] | --tasks <n>)
 //               [--seed <n>] [-o <file.spec>]
 //   crusade info <file.spec>
@@ -32,12 +33,14 @@ int usage(const char* argv0) {
                "  %s run <file.spec> [--no-reconfig] [--ft] "
                "[--boot-req <time>] [--power-cap <mW>] [--dump-schedule] "
                "[--write-spec <out>]\n"
+               "  %s validate <file.spec> [--no-reconfig] "
+               "[--boot-req <time>]\n"
                "  %s generate (--profile <name> [--scale <f>] | --tasks <n>) "
                "[--seed <n>] [-o <file.spec>]\n"
                "  %s upgrade <deployed.spec> <new.spec>\n"
                "  %s info <file.spec>\n"
                "  %s profiles\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -101,12 +104,50 @@ int cmd_run(int argc, char** argv) {
     params.alloc.power_cap_mw = std::stod(args.options.at("--power-cap"));
   const CrusadeResult r = Crusade(spec, lib, params).run();
   std::printf("%s", describe_result(r).c_str());
+  if (!r.validation.clean())
+    std::printf("self-check: %s", r.validation.summary().c_str());
+  if (!r.diagnosis.empty())
+    std::printf("%s", r.diagnosis.summary().c_str());
   if (args.flags.count("--dump-schedule")) {
     const FlatSpec flat(spec);
     std::printf("\n%s", dump_schedule(r, flat).c_str());
   }
   if (args.options.count("--write-spec"))
     write_specification_file(args.options.at("--write-spec"), spec, lib);
+  return r.feasible ? 0 : 1;
+}
+
+/// `crusade validate`: synthesize, then re-verify the result with the
+/// independent validator and report every violation.  Exit status: 0 when
+/// the validator confirms a feasible architecture, 1 when synthesis reports
+/// infeasibility (the diagnosis explains why), 2 when the validator finds a
+/// violation in a result the pipeline believed good — the case this command
+/// exists to catch.
+int cmd_validate(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--boot-req"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec = read_specification_file(args.positional[0], lib);
+  if (args.options.count("--boot-req"))
+    spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+
+  CrusadeParams params;
+  params.enable_reconfig = !args.flags.count("--no-reconfig");
+  params.self_check = true;
+  const CrusadeResult r = Crusade(spec, lib, params).run();
+  std::printf("%s\n", one_line_verdict(r).c_str());
+  if (r.validation.clean()) {
+    std::printf("validator: CLEAN — schedule, capacities, precedence, "
+                "costs all re-verified\n");
+  } else {
+    std::printf("validator: %s", r.validation.summary(50).c_str());
+  }
+  if (!r.diagnosis.empty()) std::printf("%s", r.diagnosis.summary().c_str());
+  // Exit 2 is reserved for a contradicted feasibility claim; an honest
+  // infeasible verdict re-confirmed by the validator (deadline-missed
+  // violations and the like) is exit 1.
+  if (r.validation.count(ViolationKind::FeasibilityOverclaimed) > 0)
+    return 2;
   return r.feasible ? 0 : 1;
 }
 
@@ -212,6 +253,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "validate") return cmd_validate(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "upgrade") return cmd_upgrade(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
