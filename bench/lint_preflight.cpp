@@ -1,0 +1,176 @@
+// Measures what the pre-synthesis static analyzer (crusade lint) costs and
+// buys during synthesis: wall-time of Crusade::run on the Table 2 profiles
+// with preflight dominated-resource pruning on vs. off.
+//
+// Two catalogs per profile:
+//   - telecom_1999: the paper's library has no dominated entries, so this
+//     row isolates the pure preflight overhead (analysis is O(tasks *
+//     pe_types^2) and should be negligible next to synthesis).
+//   - telecom_1999+obsolete: every PE and link type is cloned at +25% cost
+//     with identical timing, modeling a catalog that still lists
+//     superseded parts.  The analyzer proves the clones dominated and the
+//     allocator never proposes them; with pruning off it wastes moves on
+//     them.  Pruning soundness, asserted below: the pruned run must
+//     reproduce the clean-catalog verdict and cost exactly (the search
+//     behaves as if the clones never existed), and pruning must not flip
+//     feasibility vs. the unpruned run.  The unpruned run's *cost* may
+//     legally drift a little: visible-but-useless entries perturb the
+//     heuristic's trajectory toward a different local optimum.
+//
+// Results land in BENCH_lint.json in the working directory.  Scale with
+// CRUSADE_SCALE, restrict with CRUSADE_ONLY (see bench_util.hpp).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/crusade.hpp"
+#include "tgff/profiles.hpp"
+
+using namespace crusade;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The paper's library plus a strictly-worse (+25% cost, identical timing)
+/// clone of every PE and link type.
+ResourceLibrary obsolete_catalog(const ResourceLibrary& base) {
+  ResourceLibrary lib = base;
+  for (PeTypeId id = 0; id < base.pe_count(); ++id) {
+    PeType clone = base.pe(id);
+    clone.name += "-obsolete";
+    clone.cost *= 1.25;
+    lib.add_pe(std::move(clone));
+  }
+  for (LinkTypeId id = 0; id < base.link_count(); ++id) {
+    LinkType clone = base.link(id);
+    clone.name += "-obsolete";
+    clone.cost *= 1.25;
+    lib.add_link(std::move(clone));
+  }
+  return lib;
+}
+
+/// Extends every task's per-PE vectors so clone columns mirror the
+/// original: exec[base + i] = exec[i].  The clones then serve exactly the
+/// tasks their originals serve, at higher cost — textbook domination.
+void mirror_clone_columns(Specification& spec, int base_pes, int total_pes) {
+  for (TaskGraph& graph : spec.graphs) {
+    for (int t = 0; t < graph.task_count(); ++t) {
+      Task& task = graph.task(t);
+      task.exec.resize(total_pes, kNoTime);
+      for (int pe = base_pes; pe < total_pes; ++pe)
+        task.exec[pe] = task.exec[pe - base_pes];
+      if (!task.preference.empty()) {
+        task.preference.resize(total_pes, 0.0);
+        for (int pe = base_pes; pe < total_pes; ++pe)
+          task.preference[pe] = task.preference[pe - base_pes];
+      }
+    }
+  }
+}
+
+struct Run {
+  double seconds = 0;
+  bool feasible = false;
+  double cost = 0;
+  int dominated_pes = 0;
+  int dominated_links = 0;
+};
+
+Run timed_run(const Specification& spec, const ResourceLibrary& lib,
+              bool prune) {
+  CrusadeParams params;
+  params.preflight = true;
+  params.preflight_prune = prune;
+  const auto start = std::chrono::steady_clock::now();
+  const CrusadeResult result = Crusade(spec, lib, params).run();
+  Run run;
+  run.seconds = seconds_since(start);
+  run.feasible = result.feasible;
+  run.cost = result.cost.total();
+  run.dominated_pes = result.preflight.dominated_pe_count();
+  run.dominated_links = result.preflight.dominated_link_count();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::workload_scale(0.10);
+  const ResourceLibrary base = telecom_1999();
+  const ResourceLibrary inflated = obsolete_catalog(base);
+  SpecGenerator generator(base);
+
+  std::FILE* json = std::fopen("BENCH_lint.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_lint.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"lint_preflight\",\n"
+                     "  \"scale\": %.2f,\n  \"rows\": [",
+               scale);
+
+  std::printf("lint preflight bench (scale=%.2f)\n\n", scale);
+  bool first = true;
+  bool sound = true;
+  for (const ExampleProfile& profile : paper_profiles()) {
+    if (!bench::profile_selected(profile.name)) continue;
+    Specification spec = generator.generate(profile_config(profile, scale));
+
+    Run reference;  // clean-catalog result, the pruned runs' ground truth
+    for (const bool obsolete : {false, true}) {
+      const ResourceLibrary& lib = obsolete ? inflated : base;
+      Specification run_spec = spec;
+      if (obsolete)
+        mirror_clone_columns(run_spec, base.pe_count(), inflated.pe_count());
+
+      const auto lint_start = std::chrono::steady_clock::now();
+      const AnalysisReport report = analyze_specification(run_spec, lib);
+      const double lint_seconds = seconds_since(lint_start);
+
+      const Run on = timed_run(run_spec, lib, /*prune=*/true);
+      const Run off = timed_run(run_spec, lib, /*prune=*/false);
+      if (!obsolete) reference = on;
+      if (on.feasible != off.feasible || on.feasible != reference.feasible ||
+          (on.feasible && on.cost != reference.cost))
+        sound = false;
+
+      const char* catalog =
+          obsolete ? "telecom_1999+obsolete" : "telecom_1999";
+      std::fprintf(
+          json,
+          "%s\n    {\"profile\": \"%s\", \"catalog\": \"%s\","
+          " \"tasks\": %d, \"lint_seconds\": %.4f,"
+          " \"dominated_pes\": %d, \"dominated_links\": %d,"
+          " \"prune_on_seconds\": %.3f, \"prune_off_seconds\": %.3f,"
+          " \"feasible\": %s, \"cost_on\": %.0f, \"cost_off\": %.0f}",
+          first ? "" : ",", profile.name.c_str(), catalog,
+          run_spec.total_tasks(), lint_seconds, on.dominated_pes,
+          on.dominated_links, on.seconds, off.seconds,
+          on.feasible ? "true" : "false", on.cost, off.cost);
+      first = false;
+
+      std::printf(
+          "%-6s %-22s lint %6.1fms  dominated %d PE / %d link  "
+          "synth on %6.2fs / off %6.2fs  cost %.0f/%.0f\n",
+          profile.name.c_str(), catalog, lint_seconds * 1e3,
+          on.dominated_pes, on.dominated_links, on.seconds, off.seconds,
+          on.cost, off.cost);
+      std::fflush(stdout);
+      (void)report;
+    }
+  }
+  std::fprintf(json, "\n  ],\n  \"prune_sound\": %s\n}\n",
+               sound ? "true" : "false");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_lint.json (prune soundness: %s)\n",
+              sound ? "ok" : "VIOLATED");
+  return sound ? 0 : 1;
+}

@@ -210,6 +210,7 @@ bool Allocator::apply(Architecture& arch, const Cluster& cluster, int pe,
         double pick_score = 0;
         for (LinkTypeId lt = 0; lt < arch.lib().link_count(); ++lt) {
           const LinkType& type = arch.lib().link(lt);
+          if (link_type_pruned(lt)) continue;
           if (!qualifies(-1, type, 2)) continue;
           const double score =
               (type.cost + type.max_ports * type.cost_per_port) /
@@ -222,6 +223,7 @@ bool Allocator::apply(Architecture& arch, const Cluster& cluster, int pe,
         if (pick < 0) {
           TimeNs fastest = 0;
           for (LinkTypeId lt = 0; lt < arch.lib().link_count(); ++lt) {
+            if (link_type_pruned(lt)) continue;
             const TimeNs c = arch.lib().link(lt).comm_time(bytes, 2);
             if (pick < 0 || c < fastest) {
               pick = lt;
@@ -391,7 +393,7 @@ std::vector<Allocator::Candidate> Allocator::enumerate(
   // --- a new instance of every feasible PE type ---
   for (PeTypeId type = 0; params_.allow_new_pes && type < lib_.pe_count();
        ++type) {
-    if (!cluster.feasible_pe[type]) continue;
+    if (!cluster.feasible_pe[type] || pe_type_pruned(type)) continue;
     Architecture applied = arch;
     const int pe = applied.add_pe(type);
     if (!apply(applied, cluster, pe, 0, task_cluster)) continue;
@@ -741,6 +743,7 @@ void Allocator::repair(AllocationOutcome& outcome,
       TimeNs fastest = kNoTime;
       const std::int64_t bytes = flat_.edge_data(eid).bytes;
       for (LinkTypeId lt = 0; lt < lib_.link_count(); ++lt) {
+        if (link_type_pruned(lt)) continue;
         const TimeNs c = lib_.link(lt).comm_time(bytes, 2);
         if (fastest == kNoTime || c < fastest) {
           pick = lt;

@@ -52,6 +52,13 @@ struct AllocParams {
   /// instead of hanging on a hopeless search (may overrun by one evaluation
   /// per remaining cluster to keep the schedule/architecture pair honest).
   int max_iterations = 0;
+  /// Per-type masks from the preflight dominated-resource analysis
+  /// (analyze A020/A021): a true entry removes that PE/link type from the
+  /// allocation array — no new instance of it is ever created.  Empty (the
+  /// default) keeps every type.  Sound because a dominated type has a
+  /// dominator that is no worse on any axis for this specification.
+  std::vector<char> pruned_pe_types;
+  std::vector<char> pruned_link_types;
 };
 
 struct AllocationOutcome {
@@ -130,6 +137,17 @@ class Allocator {
                        int max_passes = 2);
 
  private:
+  bool pe_type_pruned(PeTypeId type) const {
+    return type >= 0 &&
+           type < static_cast<PeTypeId>(params_.pruned_pe_types.size()) &&
+           params_.pruned_pe_types[type] != 0;
+  }
+  bool link_type_pruned(LinkTypeId type) const {
+    return type >= 0 &&
+           type < static_cast<LinkTypeId>(params_.pruned_link_types.size()) &&
+           params_.pruned_link_types[type] != 0;
+  }
+
   struct Candidate {
     Architecture arch;     ///< architecture with the placement applied
     double delta_cost = 0;

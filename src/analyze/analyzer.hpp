@@ -1,0 +1,96 @@
+// Pre-synthesis static analysis of a specification + resource library
+// (`crusade lint`).
+//
+// CRUSADE's inner synthesis loop (§4.2/§5) prices every allocation against
+// the full scheduler, so a spec that is *provably* infeasible — or a
+// resource library bloated with dominated PEs/links — burns the whole
+// search budget before the post-hoc validator can even diagnose it.  This
+// module runs over the input alone, without ever invoking the scheduler:
+// every `error` diagnostic is a necessary condition whose failure proves
+// the specification can never synthesize feasibly (or is structurally
+// invalid), and every `dominated-*` finding identifies a library entry
+// whose removal can never change feasibility or final cost.  Classic
+// co-synthesis practice (COSYN's association-array pruning, MOGAC's
+// dominated-solution culling) applied to the *input* instead of the
+// search state.
+//
+// Diagnostics carry stable IDs (A001, A010, ...), a severity, a paper
+// section reference and — when the spec came from text parsed with a
+// SpecSourceMap — the 1-based source line they anchor to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/spec_io.hpp"
+#include "graph/specification.hpp"
+#include "resources/resource_library.hpp"
+
+namespace crusade {
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string id;  ///< stable catalog id, e.g. "A001"
+  Severity severity = Severity::Warning;
+  int line = 0;  ///< 1-based spec source line; 0 = no source anchor
+  std::string message;
+  std::string paper_ref;  ///< e.g. "§2.1"
+};
+
+/// Catalog entry: every diagnostic the analyzer can emit, for docs and
+/// `--json` consumers.  `severity` is the typical severity (a few IDs
+/// escalate on structurally-invalid in-memory input).
+struct DiagnosticInfo {
+  const char* id;
+  Severity severity;
+  const char* title;
+  const char* paper_ref;
+};
+
+const std::vector<DiagnosticInfo>& diagnostic_catalog();
+
+struct AnalyzeOptions {
+  bool structure = true;  ///< A001-A007 task-graph structural checks
+  bool bounds = true;     ///< A010-A012 necessary schedulability bounds
+  bool resources = true;  ///< A020-A022 resource-library checks
+  bool reconfig = true;   ///< A030-A031 reconfiguration checks
+  /// Line anchors for diagnostics (from read_specification); optional.
+  const SpecSourceMap* source = nullptr;
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Per PE/link *type*: true when another library entry dominates it on
+  /// every axis for this specification (A020/A021).  Preflight uses these
+  /// masks to shrink the allocation array before search.
+  std::vector<char> dominated_pes;
+  std::vector<char> dominated_links;
+
+  bool has_errors() const;
+  bool has_warnings() const;
+  int count(Severity severity) const;
+  int count_id(const std::string& id) const;
+  int dominated_pe_count() const;
+  int dominated_link_count() const;
+  /// One diagnostic per line: "line 12: error: A011: ..."; `prefix` is
+  /// prepended to each line (the CLI passes "<file>:").
+  std::string summary(const std::string& prefix = "") const;
+  std::string to_json() const;
+};
+
+/// Runs every enabled check.  Never throws on a malformed in-memory
+/// specification — structural damage becomes error diagnostics and the
+/// checks that depend on the damaged part are skipped for that graph.
+AnalysisReport analyze_specification(const Specification& spec,
+                                     const ResourceLibrary& lib,
+                                     const AnalyzeOptions& options = {});
+
+/// Maps a parser Error ("spec line 12: bad time literal ...") to the A000
+/// parse-error diagnostic, recovering the line number from the message.
+/// Shared by the lint CLI and the fault-injection harness.
+Diagnostic parse_error_diagnostic(const Error& err);
+
+}  // namespace crusade

@@ -17,6 +17,25 @@ CrusadeResult Crusade::run() {
   const auto t0 = std::chrono::steady_clock::now();
   CrusadeResult result;
 
+  // --- preflight: static analysis before any search (src/analyze) ---
+  if (params_.preflight) {
+    result.preflight = analyze_specification(spec_, lib_);
+    if (result.preflight.has_errors()) {
+      // Every analyzer error is a necessary condition for feasibility that
+      // the input already violates: report honestly and stop, rather than
+      // spending the allocation budget to rediscover it the hard way.
+      for (const Diagnostic& d : result.preflight.diagnostics)
+        if (d.severity == Severity::Error)
+          result.diagnosis.preflight_errors.push_back(
+              "[" + d.id + "] " + d.message);
+      result.feasible = false;
+      result.synthesis_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      return result;
+    }
+  }
+
   FlatSpec flat(spec_);
 
   // --- pre-processing: clustering (§5) ---
@@ -26,6 +45,10 @@ CrusadeResult Crusade::run() {
 
   // --- synthesis: cluster allocation (§5) ---
   AllocParams alloc_params = params_.alloc;
+  if (params_.preflight && params_.preflight_prune) {
+    alloc_params.pruned_pe_types = result.preflight.dominated_pes;
+    alloc_params.pruned_link_types = result.preflight.dominated_links;
+  }
   if (!alloc_params.boot_estimate)
     alloc_params.boot_estimate = [](const PeType& type, int pfus) {
       return estimate_boot_time(type, pfus);

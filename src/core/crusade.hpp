@@ -13,6 +13,7 @@
 
 #include "alloc/allocation.hpp"
 #include "alloc/cluster.hpp"
+#include "analyze/analyzer.hpp"
 #include "graph/specification.hpp"
 #include "reconfig/compatibility.hpp"
 #include "reconfig/interface_synth.hpp"
@@ -39,6 +40,16 @@ struct CrusadeParams {
   /// one linear pass over the result — synthesis never trusts its own
   /// bookkeeping for the feasibility verdict it hands the caller.
   bool self_check = true;
+  /// Run the static analyzer (src/analyze, `crusade lint`) before
+  /// synthesis.  Analyzer errors are necessary-condition violations, so
+  /// the run returns immediately with an honest InfeasibilityDiagnosis
+  /// instead of burning the search budget on a provably hopeless input.
+  bool preflight = true;
+  /// Let preflight's dominated-resource findings (A020/A021) shrink the
+  /// allocation array.  Sound by construction — a dominated type is never
+  /// the unique way to meet cost or feasibility — but separable so the
+  /// claim stays testable (and benchable) against an unpruned run.
+  bool preflight_prune = true;
 };
 
 struct CrusadeResult {
@@ -66,6 +77,9 @@ struct CrusadeResult {
   /// out: which tasks miss deadlines, by how much, and the saturated
   /// resource on each miss's critical chain.
   InfeasibilityDiagnosis diagnosis;
+  /// Static-analysis report from the pre-synthesis pass
+  /// (CrusadeParams::preflight); empty when preflight is disabled.
+  AnalysisReport preflight;
 };
 
 class Crusade {

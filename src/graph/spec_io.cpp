@@ -1,5 +1,6 @@
 #include "graph/spec_io.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -51,11 +52,36 @@ std::string time_to_string(TimeNs t) {
   return std::to_string(t) + "ns";
 }
 
+int SpecSourceMap::line_of_graph(int g) const {
+  if (g < 0 || g >= static_cast<int>(graph_line.size())) return 0;
+  return graph_line[g];
+}
+
+int SpecSourceMap::line_of_task(int g, int t) const {
+  if (g < 0 || g >= static_cast<int>(task_line.size())) return 0;
+  if (t < 0 || t >= static_cast<int>(task_line[g].size())) return 0;
+  return task_line[g][t];
+}
+
+int SpecSourceMap::line_of_edge(int g, int e) const {
+  if (g < 0 || g >= static_cast<int>(edge_line.size())) return 0;
+  if (e < 0 || e >= static_cast<int>(edge_line[g].size())) return 0;
+  return edge_line[g][e];
+}
+
+int SpecSourceMap::line_of_compat(int a, int b) const {
+  const auto it = compat_line.find(std::minmax(a, b));
+  return it == compat_line.end() ? 0 : it->second;
+}
+
 namespace {
 
 struct Parser {
+  explicit Parser(const ResourceLibrary& library) : lib(library) {}
+
   const ResourceLibrary& lib;
   Specification spec;
+  SpecSourceMap lines;
   // task name -> (graph index, task index); task names must be unique per
   // graph, graph names globally unique.
   std::map<std::string, int> graph_index;
@@ -84,10 +110,12 @@ struct Parser {
   void handle(const std::string& keyword, std::istringstream& args) {
     if (keyword == "spec") {
       args >> spec.name;
+      lines.spec_line = line_no;
     } else if (keyword == "boot_requirement") {
       std::string t;
       if (!(args >> t)) fail("boot_requirement needs a time");
       spec.boot_time_requirement = parse_time(t);
+      lines.boot_requirement_line = line_no;
     } else if (keyword == "graph") {
       std::string name, kw, value;
       args >> name >> kw >> value;
@@ -101,6 +129,9 @@ struct Parser {
       }
       graph_index[name] = static_cast<int>(spec.graphs.size());
       spec.graphs.push_back(std::move(g));
+      lines.graph_line.push_back(line_no);
+      lines.task_line.emplace_back();
+      lines.edge_line.emplace_back();
     } else if (keyword == "task") {
       const int g = current_graph();
       Task task;
@@ -161,6 +192,7 @@ struct Parser {
       const auto key = std::make_pair(g, task.name);
       if (task_index.count(key)) fail("duplicate task '" + task.name + "'");
       task_index[key] = spec.graphs[g].add_task(std::move(task));
+      lines.task_line[g].push_back(line_no);
     } else if (keyword == "edge") {
       const int g = current_graph();
       std::string src, dst;
@@ -169,6 +201,7 @@ struct Parser {
         fail("want: edge <src> <dst> <bytes>");
       if (bytes < 0) fail("edge carries negative bytes");
       spec.graphs[g].add_edge(find_task(g, src), find_task(g, dst), bytes);
+      lines.edge_line[g].push_back(line_no);
     } else if (keyword == "exclude") {
       const int g = current_graph();
       std::string a, b;
@@ -183,6 +216,8 @@ struct Parser {
       if (a == b)
         fail("graph '" + a + "' cannot be compatible with itself");
       compat_pairs[{graph_index[a], graph_index[b]}] = true;
+      lines.compat_line[std::minmax(graph_index[a], graph_index[b])] =
+          line_no;
     } else if (keyword == "unavailability") {
       std::string g;
       double u = 0;
@@ -195,7 +230,7 @@ struct Parser {
     }
   }
 
-  Specification finish() {
+  Specification finish(bool validate) {
     if (!compat_pairs.empty()) {
       CompatibilityMatrix compat(static_cast<int>(spec.graphs.size()));
       for (const auto& [pair, _] : compat_pairs)
@@ -207,16 +242,16 @@ struct Parser {
       for (const auto& [g, u] : unavailability)
         spec.unavailability_requirement[g] = u;
     }
-    spec.validate(lib.pe_count());
+    if (validate) spec.validate(lib.pe_count());
     return std::move(spec);
   }
 };
 
 }  // namespace
 
-Specification read_specification(std::istream& in,
-                                 const ResourceLibrary& lib) {
-  Parser parser{lib, {}, {}, {}, {}, {}, 0};
+Specification read_specification(std::istream& in, const ResourceLibrary& lib,
+                                 const SpecReadOptions& options) {
+  Parser parser(lib);
   std::string line;
   while (std::getline(in, line)) {
     ++parser.line_no;
@@ -235,14 +270,26 @@ Specification read_specification(std::istream& in,
       parser.fail(msg);
     }
   }
-  return parser.finish();
+  if (options.source_map) *options.source_map = std::move(parser.lines);
+  return parser.finish(options.validate);
+}
+
+Specification read_specification(std::istream& in,
+                                 const ResourceLibrary& lib) {
+  return read_specification(in, lib, SpecReadOptions{});
+}
+
+Specification read_specification_file(const std::string& path,
+                                      const ResourceLibrary& lib,
+                                      const SpecReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open specification file '" + path + "'");
+  return read_specification(in, lib, options);
 }
 
 Specification read_specification_file(const std::string& path,
                                       const ResourceLibrary& lib) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open specification file '" + path + "'");
-  return read_specification(in, lib);
+  return read_specification_file(path, lib, SpecReadOptions{});
 }
 
 void write_specification(std::ostream& out, const Specification& spec,

@@ -20,19 +20,55 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/specification.hpp"
 #include "resources/resource_library.hpp"
 
 namespace crusade {
 
+/// 1-based source line of every entity a parsed specification contains
+/// (0 = no source anchor, e.g. a spec built in memory).  The static
+/// analyzer (src/analyze, `crusade lint`) uses this to anchor diagnostics
+/// to the text the user actually wrote.
+struct SpecSourceMap {
+  int spec_line = 0;
+  int boot_requirement_line = 0;
+  std::vector<int> graph_line;              ///< per graph index
+  std::vector<std::vector<int>> task_line;  ///< [graph][task]
+  std::vector<std::vector<int>> edge_line;  ///< [graph][edge]
+  /// Line of the `compatible` directive per unordered graph pair.
+  std::map<std::pair<int, int>, int> compat_line;
+
+  int line_of_graph(int g) const;
+  int line_of_task(int g, int t) const;
+  int line_of_edge(int g, int e) const;
+  int line_of_compat(int a, int b) const;
+};
+
+struct SpecReadOptions {
+  /// When set, filled with the source line of every parsed entity.
+  SpecSourceMap* source_map = nullptr;
+  /// Run Specification::validate before returning (the default).  `crusade
+  /// lint` turns this off so the analyzer — not the parser's first thrown
+  /// Error — reports structural problems, all of them, with line anchors.
+  bool validate = true;
+};
+
 /// Parses a specification from the text format.  Throws Error with a
 /// line-numbered message on malformed input.
 Specification read_specification(std::istream& in,
                                  const ResourceLibrary& lib);
+Specification read_specification(std::istream& in, const ResourceLibrary& lib,
+                                 const SpecReadOptions& options);
 Specification read_specification_file(const std::string& path,
                                       const ResourceLibrary& lib);
+Specification read_specification_file(const std::string& path,
+                                      const ResourceLibrary& lib,
+                                      const SpecReadOptions& options);
 
 /// Writes a specification in the same format (round-trips through
 /// read_specification).

@@ -907,6 +907,13 @@ InfeasibilityDiagnosis diagnose_infeasibility(
 std::string InfeasibilityDiagnosis::summary(std::size_t max_rows) const {
   if (empty()) return "no infeasibility to diagnose\n";
   std::string out;
+  if (!preflight_errors.empty()) {
+    out += "preflight static analysis rejected the specification before "
+           "synthesis:\n";
+    for (const std::string& err : preflight_errors)
+      out += "  " + err + "\n";
+    return out;
+  }
   char head[160];
   std::snprintf(head, sizeof head,
                 "%zu deadline miss(es), %d unscheduled task(s), %d unplaced "

@@ -151,11 +151,15 @@ struct InfeasibilityDiagnosis {
   /// space was exhausted — a bigger budget may still find a feasible fit.
   bool alloc_budget_exhausted = false;
   bool merge_budget_exhausted = false;
+  /// Static-analyzer errors that stopped synthesis before the search even
+  /// started (CrusadeParams::preflight): each entry is one "[A0xx] ..."
+  /// lint error proving the specification can never synthesize feasibly.
+  std::vector<std::string> preflight_errors;
 
   bool empty() const {
     return misses.empty() && unscheduled_tasks == 0 &&
            unplaced_clusters == 0 && !alloc_budget_exhausted &&
-           !merge_budget_exhausted;
+           !merge_budget_exhausted && preflight_errors.empty();
   }
   std::string summary(std::size_t max_rows = 10) const;
 };

@@ -114,7 +114,9 @@ TEST(RouterTest, CongestionRaisesDelay) {
   for (int i = 0; i < 6; ++i)
     heavy.route_connection({2, 0}, {2, 5});  // same row: pile on the load
   const RouteResult hr = heavy.finalize(n, placement);
-  if (hr.routable) EXPECT_GT(hr.sink_delay[0][0], base);
+  if (hr.routable) {
+    EXPECT_GT(hr.sink_delay[0][0], base);
+  }
 }
 
 TEST(RouterTest, OverflowMakesUnroutable) {
@@ -151,7 +153,9 @@ TEST(DelaySweepTest, BaselineRoutableAndMonotoneFill) {
   EXPECT_LE(sweep[0].peak_channel_load, sweep[1].peak_channel_load);
   EXPECT_LE(sweep[1].peak_channel_load, sweep[2].peak_channel_load);
   // Delay at full utilization is no better than baseline (when routable).
-  if (sweep[2].routable) EXPECT_GE(sweep[2].delay, sweep[0].delay);
+  if (sweep[2].routable) {
+    EXPECT_GE(sweep[2].delay, sweep[0].delay);
+  }
 }
 
 TEST(DelaySweepTest, RejectsBadParameters) {

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/analyzer.hpp"
 #include "core/crusade.hpp"
 #include "example_specs.hpp"
 #include "graph/spec_io.hpp"
@@ -31,6 +32,7 @@ struct FuzzTally {
   int rejected = 0;    // crusade::Error out of parsing/validation/synthesis
   int infeasible = 0;  // honest "no" with diagnostics
   int feasible = 0;    // validator-confirmed architecture
+  int lint_errors = 0;  // mutants the static analyzer proved hopeless
 };
 
 /// Runs one mutated spec through the full pipeline and scores the outcome.
@@ -42,6 +44,11 @@ void run_pipeline(const Specification& spec, FuzzTally& tally,
   // space, and "never hangs" is part of the contract under test.
   params.alloc.max_iterations = 400;
   params.merge.budget = 60;
+  // Static analysis first: the analyzer must digest ANY in-memory mutant
+  // without throwing, and its errors claim provable infeasibility — a
+  // claim checked against the synthesis outcome below.
+  const AnalysisReport lint = analyze_specification(spec, lib());
+  if (lint.has_errors()) ++tally.lint_errors;
   try {
     const CrusadeResult r = Crusade(spec, lib(), params).run();
     if (r.feasible) {
@@ -49,6 +56,11 @@ void run_pipeline(const Specification& spec, FuzzTally& tally,
       // Never lie: a claimed-feasible result must re-verify.
       EXPECT_TRUE(r.validation.clean())
           << context << "\n" << r.validation.summary(50);
+      // Lint soundness: every lint *error* is a necessary condition for
+      // feasibility, so a validator-confirmed feasible architecture from a
+      // lint-rejected spec would prove the analyzer wrong.
+      EXPECT_FALSE(lint.has_errors())
+          << context << "\nlint claimed infeasibility:\n" << lint.summary();
     } else {
       ++tally.infeasible;
       // Graceful degradation: an infeasible verdict explains itself.
@@ -110,9 +122,16 @@ TEST(InjectTest, TextCorruptionNeverCrashesTheParser) {
     try {
       std::istringstream in(text);
       spec = read_specification(in, lib());
-    } catch (const Error&) {
+    } catch (const Error& e) {
       ++parse_rejected;
       ++tally.rejected;
+      // Parse-phase rejections map onto the lint A000 diagnostic, and
+      // parser errors always carry the offending line.
+      const Diagnostic d = parse_error_diagnostic(e);
+      EXPECT_EQ(d.id, "A000");
+      if (std::string(e.what()).rfind("spec line ", 0) == 0) {
+        EXPECT_GT(d.line, 0) << context << "\n" << e.what();
+      }
       continue;
     }
     ++parsed;

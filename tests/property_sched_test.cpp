@@ -32,9 +32,10 @@ TEST_P(TimelineFuzz, PlacementsNeverOverlapSameMode) {
       for (const auto& w : tl.windows()) {
         const bool conflicts =
             mode < 0 || w.mode < 0 || w.mode == mode;
-        if (conflicts)
+        if (conflicts) {
           ASSERT_FALSE(periodic_overlap(placed, w.span))
               << "seed " << GetParam() << " round " << round;
+        }
       }
       tl.add(start, start + duration, period, mode, i);
     }

@@ -154,9 +154,11 @@ TEST_P(SynthesisProperty, ArchitectureInvariantsHold) {
     }
   }
   // 4. Only FPGAs reconfigure at run time.
-  for (const PeInstance& inst : r.arch.pes)
-    if (inst.modes.size() > 1)
+  for (const PeInstance& inst : r.arch.pes) {
+    if (inst.modes.size() > 1) {
       EXPECT_EQ(lib().pe(inst.type).kind, PeKind::Fpga);
+    }
+  }
   // 5. Cost components are non-negative and sum to total.
   EXPECT_GE(r.cost.pes, 0);
   EXPECT_GE(r.cost.links, 0);
@@ -183,8 +185,9 @@ TEST_P(DelayProperty, PeakLoadMonotoneInUtilization) {
   for (std::size_t i = 1; i < sweep.size(); ++i)
     EXPECT_GE(sweep[i].peak_channel_load, sweep[i - 1].peak_channel_load);
   // Delay at the top of the sweep does not beat the 70% baseline.
-  if (sweep.back().routable)
+  if (sweep.back().routable) {
     EXPECT_GE(sweep.back().delay, sweep.front().delay);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Circuits, DelayProperty,

@@ -76,8 +76,9 @@ TEST(GeneratorTest, CompatibilityFamiliesAreCliques) {
     for (int b = 0; b < n; ++b)
       for (int c = 0; c < n; ++c) {
         if (a == b || b == c || a == c) continue;
-        if (m.compatible(a, b) && m.compatible(b, c))
+        if (m.compatible(a, b) && m.compatible(b, c)) {
           EXPECT_TRUE(m.compatible(a, c));
+        }
       }
 }
 
@@ -118,7 +119,9 @@ TEST(GeneratorTest, SinksCarryDeadlines) {
   const Specification spec = gen.generate(cfg);
   for (const TaskGraph& g : spec.graphs)
     for (int t = 0; t < g.task_count(); ++t)
-      if (g.is_sink(t)) EXPECT_NE(g.effective_deadline(t), kNoTime);
+      if (g.is_sink(t)) {
+        EXPECT_NE(g.effective_deadline(t), kNoTime);
+      }
 }
 
 TEST(ProfilesTest, PaperTaskCounts) {

@@ -158,12 +158,29 @@ TEST(DiagnosisTest, AllocationBudgetExhaustionIsDiagnosed) {
       << r.validation.summary(50);
 }
 
+TEST(DiagnosisTest, ImpossibleDeadlinePreflightRejectsBeforeSynthesis) {
+  Specification spec = quickstart_spec(lib());
+  Task& victim = spec.graphs[0].task(spec.graphs[0].task_count() - 1);
+  victim.deadline = 1;  // 1 ns: below every execution time in the library
+  const CrusadeResult r = Crusade(spec, lib(), {}).run();
+  EXPECT_FALSE(r.feasible);
+  // Preflight static analysis proves the deadline unmeetable (A011) and
+  // stops before any search; the diagnosis says so.
+  ASSERT_FALSE(r.diagnosis.preflight_errors.empty());
+  EXPECT_NE(r.diagnosis.preflight_errors.front().find("A011"),
+            std::string::npos);
+  EXPECT_FALSE(r.diagnosis.empty());
+  EXPECT_NE(r.diagnosis.summary().find("preflight"), std::string::npos);
+}
+
 TEST(DiagnosisTest, ImpossibleDeadlineNamesTheBindingResource) {
   Specification spec = quickstart_spec(lib());
   // Make one task's deadline physically unmeetable.
   Task& victim = spec.graphs[0].task(spec.graphs[0].task_count() - 1);
   victim.deadline = 1;  // 1 ns
-  const CrusadeResult r = Crusade(spec, lib(), {}).run();
+  CrusadeParams params;
+  params.preflight = false;  // exercise the scheduler-level diagnosis
+  const CrusadeResult r = Crusade(spec, lib(), params).run();
   EXPECT_FALSE(r.feasible);
   ASSERT_FALSE(r.diagnosis.misses.empty());
   const DeadlineMiss& miss = r.diagnosis.misses.front();

@@ -1,24 +1,48 @@
 #!/usr/bin/env bash
-# Full verification sweep: build the release and sanitizer configurations,
-# run the whole test suite under both, and give the fault-injection harness
-# a dedicated pass under ASan/UBSan (the mutated-spec paths are exactly
-# where memory bugs would hide).
+# Full verification sweep:
+#   1. CI configuration (-Werror) build + entire test suite
+#   2. clang-tidy over the library/tool sources (skipped when not installed)
+#   3. cppcheck over the same sources (skipped when not installed)
+#   4. ASan/UBSan configuration build + entire test suite
+#   5. fault-injection harness under ASan/UBSan (the mutated-spec paths are
+#      exactly where memory bugs would hide)
 #
-#   tools/check.sh            # release + asan, all tests
-#   tools/check.sh --fast     # release only
+#   tools/check.sh            # everything
+#   tools/check.sh --fast     # CI build + tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "=== release configuration ==="
-cmake --preset default
-cmake --build --preset default -j "$(nproc)"
-ctest --preset default -j "$(nproc)"
+echo "=== CI configuration (release, -Werror) ==="
+cmake --preset ci
+cmake --build --preset ci -j "$(nproc)"
+ctest --preset ci -j "$(nproc)"
+
+echo "=== clang-tidy ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json comes from the CI configure above; analyze the
+  # library and tool translation units (tests lean on gtest macros that
+  # trip several bugprone checks by design).
+  mapfile -t tidy_sources < <(find src tools examples bench -name '*.cpp')
+  clang-tidy -p build-ci --quiet "${tidy_sources[@]}"
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: skipped (not installed)"
+fi
+
+echo "=== cppcheck ==="
+if command -v cppcheck >/dev/null 2>&1; then
+  cppcheck --enable=warning,performance,portability --error-exitcode=1 \
+    --inline-suppr --std=c++20 --quiet -I src src tools examples bench
+  echo "cppcheck: clean"
+else
+  echo "cppcheck: skipped (not installed)"
+fi
 
 if [[ "$fast" == 1 ]]; then
-  echo "check.sh: release suite green (sanitizer pass skipped)"
+  echo "check.sh: CI suite green (sanitizer pass skipped)"
   exit 0
 fi
 

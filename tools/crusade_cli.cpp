@@ -6,6 +6,7 @@
 //   crusade validate <file.spec> [--no-reconfig] [--boot-req <time>]
 //   crusade generate (--profile <name> [--scale <f>] | --tasks <n>)
 //               [--seed <n>] [-o <file.spec>]
+//   crusade lint <file.spec> [--json]
 //   crusade info <file.spec>
 //   crusade profiles
 #include <cstdio>
@@ -16,6 +17,7 @@
 #include <set>
 #include <vector>
 
+#include "analyze/analyzer.hpp"
 #include "core/crusade.hpp"
 #include "core/field_upgrade.hpp"
 #include "core/report.hpp"
@@ -38,9 +40,10 @@ int usage(const char* argv0) {
                "  %s generate (--profile <name> [--scale <f>] | --tasks <n>) "
                "[--seed <n>] [-o <file.spec>]\n"
                "  %s upgrade <deployed.spec> <new.spec>\n"
+               "  %s lint <file.spec> [--json]\n"
                "  %s info <file.spec>\n"
                "  %s profiles\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -238,6 +241,55 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+/// `crusade lint`: static analysis only — parse (without the parser's own
+/// validation pass, so *every* problem is reported, not just the first) and
+/// run the analyzer.  Exit code: 0 clean, 1 warnings only, 2 errors.
+int cmd_lint(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const std::string& path = args.positional[0];
+  const ResourceLibrary lib = telecom_1999();
+  const bool json = args.flags.count("--json") != 0;
+
+  AnalysisReport report;
+  SpecSourceMap source;
+  try {
+    SpecReadOptions read_options;
+    read_options.source_map = &source;
+    read_options.validate = false;
+    const Specification spec = read_specification_file(path, lib,
+                                                       read_options);
+    AnalyzeOptions analyze_options;
+    analyze_options.source = &source;
+    report = analyze_specification(spec, lib, analyze_options);
+  } catch (const Error& e) {
+    // Unparseable input: the single A000 diagnostic carries the parser's
+    // line-numbered message, and the exit contract still holds.
+    report.diagnostics.push_back(parse_error_diagnostic(e));
+  }
+
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.line > 0)
+        std::printf("%s:%d: %s: [%s] %s", path.c_str(), d.line,
+                    to_string(d.severity), d.id.c_str(), d.message.c_str());
+      else
+        std::printf("%s: %s: [%s] %s", path.c_str(), to_string(d.severity),
+                    d.id.c_str(), d.message.c_str());
+      if (!d.paper_ref.empty()) std::printf(" (%s)", d.paper_ref.c_str());
+      std::printf("\n");
+    }
+    std::printf("%d error(s), %d warning(s), %d note(s)\n",
+                report.count(Severity::Error),
+                report.count(Severity::Warning),
+                report.count(Severity::Note));
+  }
+  if (report.has_errors()) return 2;
+  return report.has_warnings() ? 1 : 0;
+}
+
 int cmd_profiles() {
   std::printf("paper example profiles (Tables 2-3):\n");
   for (const ExampleProfile& p : paper_profiles())
@@ -256,6 +308,7 @@ int main(int argc, char** argv) {
     if (cmd == "validate") return cmd_validate(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "upgrade") return cmd_upgrade(argc, argv);
+    if (cmd == "lint") return cmd_lint(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "profiles") return cmd_profiles();
   } catch (const Error& e) {
