@@ -29,7 +29,7 @@ int main() {
     table.add_row({enabled ? "critical-path" : "off (1 task = 1 cluster)",
                    cell_int(static_cast<int>(r.clusters.size())),
                    cell_int(r.pe_count), cell_int(r.link_count),
-                   cell_double(r.synthesis_seconds, 2),
+                   cell_double(r.stats.total_seconds, 2),
                    cell_double(r.cost.total(), 0),
                    r.feasible ? "yes" : "NO"});
     std::fflush(stdout);

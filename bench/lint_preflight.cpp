@@ -82,6 +82,7 @@ struct Run {
   double cost = 0;
   int dominated_pes = 0;
   int dominated_links = 0;
+  std::string stats_json;  ///< RunStats::to_json — phase times & counters
 };
 
 Run timed_run(const Specification& spec, const ResourceLibrary& lib,
@@ -97,6 +98,7 @@ Run timed_run(const Specification& spec, const ResourceLibrary& lib,
   run.cost = result.cost.total();
   run.dominated_pes = result.preflight.dominated_pe_count();
   run.dominated_links = result.preflight.dominated_link_count();
+  run.stats_json = result.stats.to_json();
   return run;
 }
 
@@ -150,11 +152,13 @@ int main() {
           " \"tasks\": %d, \"lint_seconds\": %.4f,"
           " \"dominated_pes\": %d, \"dominated_links\": %d,"
           " \"prune_on_seconds\": %.3f, \"prune_off_seconds\": %.3f,"
-          " \"feasible\": %s, \"cost_on\": %.0f, \"cost_off\": %.0f}",
+          " \"feasible\": %s, \"cost_on\": %.0f, \"cost_off\": %.0f,"
+          " \"stats\": %s}",
           first ? "" : ",", profile.name.c_str(), catalog,
           run_spec.total_tasks(), lint_seconds, on.dominated_pes,
           on.dominated_links, on.seconds, off.seconds,
-          on.feasible ? "true" : "false", on.cost, off.cost);
+          on.feasible ? "true" : "false", on.cost, off.cost,
+          on.stats_json.c_str());
       first = false;
 
       std::printf(

@@ -5,6 +5,7 @@
 
 #include "alloc/cluster.hpp"
 #include "fpga/delay.hpp"
+#include "obs/obs.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/timeline.hpp"
 #include "tgff/circuits.hpp"
@@ -68,6 +69,42 @@ void BM_Clustering(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Clustering);
+
+// The observability fast path: with tracing off, a span or counter must
+// cost one relaxed load and a predicted branch (the obs.hpp contract).
+void BM_DisabledSpan(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    OBS_SPAN("bench.noop");
+  }
+}
+BENCHMARK(BM_DisabledSpan);
+
+void BM_DisabledCount(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) obs::count("bench.noop");
+}
+BENCHMARK(BM_DisabledCount);
+
+void BM_EnabledSpan(benchmark::State& state) {
+  obs::reset();
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    OBS_SPAN("bench.span");
+  }
+  obs::set_enabled(false);
+  obs::reset();
+}
+BENCHMARK(BM_EnabledSpan);
+
+void BM_EnabledCount(benchmark::State& state) {
+  obs::reset();
+  obs::set_enabled(true);
+  for (auto _ : state) obs::count("bench.count");
+  obs::set_enabled(false);
+  obs::reset();
+}
+BENCHMARK(BM_EnabledCount);
 
 void BM_RouterSweepPoint(benchmark::State& state) {
   const Netlist circuit = make_circuit(table1_circuits()[0]);

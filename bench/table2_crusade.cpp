@@ -45,10 +45,10 @@ int main() {
         without.cost.total();
     table.add_row({profile.name, cell_int(spec.total_tasks()),
                    cell_int(without.pe_count), cell_int(without.link_count),
-                   cell_double(without.synthesis_seconds, 1),
+                   cell_double(without.stats.total_seconds, 1),
                    cell_double(without.cost.total(), 0),
                    cell_int(with.pe_count), cell_int(with.link_count),
-                   cell_double(with.synthesis_seconds, 1),
+                   cell_double(with.stats.total_seconds, 1),
                    cell_double(with.cost.total(), 0),
                    cell_double(savings, 1)});
     std::printf("%s: done (%s -> %s, feasible %d/%d)\n", profile.name.c_str(),

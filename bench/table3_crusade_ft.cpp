@@ -48,11 +48,11 @@ int main() {
          cell_int(without.transform.tasks_after),
          cell_int(without.synthesis.pe_count),
          cell_int(without.synthesis.link_count),
-         cell_double(without.synthesis.synthesis_seconds, 1),
+         cell_double(without.synthesis.stats.total_seconds, 1),
          cell_double(without.total_cost, 0),
          cell_int(with.synthesis.pe_count),
          cell_int(with.synthesis.link_count),
-         cell_double(with.synthesis.synthesis_seconds, 1),
+         cell_double(with.synthesis.stats.total_seconds, 1),
          cell_double(with.total_cost, 0), cell_double(savings, 1)});
     std::printf("%s: done (%s -> %s, availability met %d/%d, feasible "
                 "%d/%d)\n",

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
@@ -263,6 +264,7 @@ std::vector<Allocator::Candidate> Allocator::enumerate(
     const Architecture& arch, const Cluster& cluster,
     const std::vector<int>& task_cluster,
     const std::vector<Cluster>& clusters) const {
+  OBS_SPAN("alloc.enumerate");
   std::vector<Candidate> candidates;
   const double base_cost = arch.cost().total();
 
@@ -404,12 +406,15 @@ std::vector<Allocator::Candidate> Allocator::enumerate(
 }
 
 ScheduleResult Allocator::evaluate(const SchedProblem& problem) {
+  OBS_SPAN("alloc.eval");
   ++sched_evals_;
+  obs::count("alloc.sched_evals");
   return run_list_scheduler(problem, sched_levels_);
 }
 
 AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
                                  const Architecture* seed_arch) {
+  OBS_SPAN("alloc.run");
   AllocationOutcome outcome;
   outcome.task_cluster = task_to_cluster(clusters, flat_.task_count());
   if (seed_arch) {
@@ -470,6 +475,8 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
 
     std::vector<Candidate> candidates =
         enumerate(outcome.arch, cluster, outcome.task_cluster, clusters);
+    obs::count("alloc.candidates",
+               static_cast<std::int64_t>(candidates.size()));
     if (candidates.empty()) {
       CRUSADE_REQUIRE(!params_.allow_new_pes,
                       "cluster " + std::to_string(cluster.id) +
@@ -615,6 +622,7 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
 int Allocator::evacuate_devices(AllocationOutcome& outcome,
                                 const std::vector<Cluster>& clusters,
                                 int max_passes) {
+  OBS_SPAN("alloc.evacuate");
   relax_fpga_purity_ = true;
   int emptied = 0;
   for (int pass = 0; pass < max_passes; ++pass) {
@@ -723,6 +731,7 @@ void Allocator::unplace(Architecture& arch, const Cluster& cluster,
 
 void Allocator::repair(AllocationOutcome& outcome,
                        const std::vector<Cluster>& clusters) {
+  OBS_SPAN("alloc.repair");
   relax_fpga_purity_ = true;
 
   // Edge rewiring: transfers that no longer fit their link's ring (gap

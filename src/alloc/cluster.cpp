@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
@@ -79,6 +80,7 @@ std::vector<int> task_to_cluster(const std::vector<Cluster>& clusters,
 std::vector<Cluster> cluster_tasks(const FlatSpec& flat,
                                    const ResourceLibrary& lib,
                                    const ClusteringParams& params) {
+  OBS_SPAN("alloc.cluster_tasks");
   const int n = flat.task_count();
   std::vector<TimeNs> task_time = default_task_times(flat, lib);
   std::vector<TimeNs> edge_time = default_edge_times(flat, lib);

@@ -2,9 +2,44 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
+
+namespace {
+
+/// Lap clock for the phase breakdown in RunStats: phase() returns the
+/// seconds since the previous phase boundary and re-arms.
+class PhaseClock {
+ public:
+  PhaseClock() : start_(std::chrono::steady_clock::now()), last_(start_) {}
+
+  double lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    return s;
+  }
+  double total() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_, last_;
+};
+
+/// Values of the tracing-gated counters at run entry, so RunStats reports
+/// this run's deltas even when several runs share one obs session.
+struct CounterBase {
+  std::int64_t invocations = obs::counter_value("sched.invocations");
+  std::int64_t estimates = obs::counter_value("sched.finish_estimates");
+  std::int64_t candidates = obs::counter_value("alloc.candidates");
+};
+
+}  // namespace
 
 Crusade::Crusade(const Specification& spec, const ResourceLibrary& lib,
                  CrusadeParams params)
@@ -14,12 +49,28 @@ Crusade::Crusade(const Specification& spec, const ResourceLibrary& lib,
 }
 
 CrusadeResult Crusade::run() {
-  const auto t0 = std::chrono::steady_clock::now();
+  OBS_SPAN("crusade.run");
+  PhaseClock clock;
+  const CounterBase base;
   CrusadeResult result;
+
+  // Tracing-gated counter deltas plus the run's total wall time; called on
+  // every exit path so RunStats is always complete.
+  auto finalize_stats = [&]() {
+    result.stats.sched_invocations =
+        obs::counter_value("sched.invocations") - base.invocations;
+    result.stats.finish_estimates =
+        obs::counter_value("sched.finish_estimates") - base.estimates;
+    result.stats.alloc_candidates =
+        obs::counter_value("alloc.candidates") - base.candidates;
+    result.stats.total_seconds = clock.total();
+  };
 
   // --- preflight: static analysis before any search (src/analyze) ---
   if (params_.preflight) {
+    OBS_SPAN("phase.preflight");
     result.preflight = analyze_specification(spec_, lib_);
+    result.stats.preflight_seconds = clock.lap();
     if (result.preflight.has_errors()) {
       // Every analyzer error is a necessary condition for feasibility that
       // the input already violates: report honestly and stop, rather than
@@ -29,9 +80,8 @@ CrusadeResult Crusade::run() {
           result.diagnosis.preflight_errors.push_back(
               "[" + d.id + "] " + d.message);
       result.feasible = false;
-      result.synthesis_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+      finalize_stats();
+      result.diagnosis.stats = result.stats;
       return result;
     }
   }
@@ -39,9 +89,14 @@ CrusadeResult Crusade::run() {
   FlatSpec flat(spec_);
 
   // --- pre-processing: clustering (§5) ---
-  result.clusters = cluster_tasks(flat, lib_, params_.clustering);
-  result.task_cluster =
-      task_to_cluster(result.clusters, flat.task_count());
+  {
+    OBS_SPAN("phase.clustering");
+    result.clusters = cluster_tasks(flat, lib_, params_.clustering);
+    result.task_cluster =
+        task_to_cluster(result.clusters, flat.task_count());
+  }
+  result.stats.clustering_seconds = clock.lap();
+  result.stats.clusters = static_cast<std::int64_t>(result.clusters.size());
 
   // --- synthesis: cluster allocation (§5) ---
   AllocParams alloc_params = params_.alloc;
@@ -64,16 +119,23 @@ CrusadeResult Crusade::run() {
   Allocator allocator(flat, lib_,
                       modes_in_allocation ? &*spec_.compatibility : nullptr,
                       alloc_params);
-  AllocationOutcome outcome = allocator.run(result.clusters);
-  // Constructive greediness leaves under-filled devices behind; evacuation
-  // consolidates them (run for both variants, keeping the comparison fair).
-  allocator.evacuate_devices(outcome, result.clusters);
+  AllocationOutcome outcome;
+  {
+    OBS_SPAN("phase.allocation");
+    outcome = allocator.run(result.clusters);
+    // Constructive greediness leaves under-filled devices behind; evacuation
+    // consolidates them (run for both variants, keeping the comparison
+    // fair).
+    allocator.evacuate_devices(outcome, result.clusters);
+  }
+  result.stats.allocation_seconds = clock.lap();
   result.arch = std::move(outcome.arch);
   result.schedule = std::move(outcome.schedule);
   result.clusters_with_misses = outcome.clusters_with_misses;
 
   // --- dynamic reconfiguration generation (§4.1–4.4, Figure 3) ---
   if (params_.enable_reconfig) {
+    OBS_SPAN("phase.reconfig");
     if (spec_.compatibility && params_.use_spec_compatibility)
       result.compat = *spec_.compatibility;
     else
@@ -91,12 +153,24 @@ CrusadeResult Crusade::run() {
   } else {
     result.compat = CompatibilityMatrix(flat.graph_count());
   }
+  result.stats.reconfig_seconds = clock.lap();
+  result.stats.merges_tried = result.merge_report.merges_tried;
+  result.stats.merges_accepted = result.merge_report.merges_accepted;
+  result.stats.merges_rejected_cost = result.merge_report.rejected_cost +
+                                      result.merge_report.rejected_apply;
+  result.stats.merges_rejected_schedule =
+      result.merge_report.rejected_schedule;
+  result.stats.merges_rejected_validator =
+      result.merge_report.rejected_validator;
+  result.stats.merge_reschedules = result.merge_report.reschedules;
+  result.stats.mode_consolidations = result.merge_report.consolidations;
 
   // --- reconfiguration controller interface synthesis (§4.4) ---
   // Walk the option array in cost order until the exact boot times still
   // schedule; the estimator used during merging is mid-range, so this
   // usually accepts the first feasible-cost option.
   {
+    OBS_SPAN("phase.interface");
     auto apply_choice = [&](const InterfaceChoice& choice, Architecture& a) {
       a.interface_cost = choice.cost;
       int ppes = 0;
@@ -126,6 +200,8 @@ CrusadeResult Crusade::run() {
 
     const auto choices = enumerate_interface_options(
         result.arch, spec_.boot_time_requirement);
+    result.stats.interface_candidates =
+        static_cast<std::int64_t>(choices.size());
     bool has_multimode = false;
     for (const PeInstance& inst : result.arch.pes)
       if (inst.alive() && inst.modes.size() > 1) has_multimode = true;
@@ -182,10 +258,12 @@ CrusadeResult Crusade::run() {
       result.schedule = schedule_of(result.arch);
     }
   }
+  result.stats.interface_seconds = clock.lap();
 
   // Final repair: merges and exact boot times may have perturbed the
   // schedule; relocate offending clusters while it improves.
   if (!result.schedule.feasible) {
+    OBS_SPAN("phase.repair");
     AllocationOutcome touchup;
     touchup.arch = std::move(result.arch);
     touchup.schedule = std::move(result.schedule);
@@ -194,7 +272,14 @@ CrusadeResult Crusade::run() {
     result.arch = std::move(touchup.arch);
     result.schedule = std::move(touchup.schedule);
     outcome.budget_exhausted |= touchup.budget_exhausted;
+    // repair() refreshes the allocator-lifetime evaluation tally on the
+    // outcome it was handed; fold it back so stats see the final count.
+    outcome.sched_evaluations = touchup.sched_evaluations;
+    outcome.repair_moves += touchup.repair_moves;
   }
+  result.stats.repair_seconds = clock.lap();
+  result.stats.sched_evals = outcome.sched_evaluations;
+  result.stats.repair_moves = outcome.repair_moves;
 
   result.cost = result.arch.cost();
   result.power_mw = result.arch.power_mw();
@@ -205,6 +290,7 @@ CrusadeResult Crusade::run() {
 
   // --- independent self-check: re-verify the result from scratch ---
   if (params_.self_check) {
+    OBS_SPAN("phase.validation");
     ValidationInput vin;
     vin.spec = &spec_;
     vin.lib = &lib_;
@@ -223,10 +309,12 @@ CrusadeResult Crusade::run() {
     if (result.feasible && result.validation.schedule_violated())
       result.feasible = false;  // never claim what the validator rejects
   }
+  result.stats.validation_seconds = clock.lap();
 
   // --- graceful degradation: explain infeasibility / budget exhaustion ---
   if (!result.feasible || outcome.budget_exhausted ||
       result.merge_report.budget_exhausted) {
+    OBS_SPAN("phase.diagnosis");
     result.diagnosis = diagnose_infeasibility(flat, result.arch,
                                               result.schedule,
                                               result.task_cluster);
@@ -234,10 +322,12 @@ CrusadeResult Crusade::run() {
     result.diagnosis.merge_budget_exhausted =
         result.merge_report.budget_exhausted;
   }
+  result.stats.diagnosis_seconds = clock.lap();
 
-  result.synthesis_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  finalize_stats();
+  // The diagnosis carries the run's stats so "budget exhausted" verdicts can
+  // say how the budget was spent (schedule evaluations, merge reschedules).
+  if (!result.diagnosis.empty()) result.diagnosis.stats = result.stats;
   return result;
 }
 

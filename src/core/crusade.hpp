@@ -15,6 +15,7 @@
 #include "alloc/cluster.hpp"
 #include "analyze/analyzer.hpp"
 #include "graph/specification.hpp"
+#include "obs/runstats.hpp"
 #include "reconfig/compatibility.hpp"
 #include "reconfig/interface_synth.hpp"
 #include "reconfig/merge.hpp"
@@ -67,7 +68,12 @@ struct CrusadeResult {
   int mode_count = 0;
   int clusters_with_misses = 0;
   double power_mw = 0;  ///< typical draw of the final architecture
-  double synthesis_seconds = 0;
+  /// Per-phase wall time and search-effort counters (obs/runstats.hpp).
+  /// stats.total_seconds is the whole run's wall time; stats.sched_evals is
+  /// the allocator's schedule-evaluation tally (the budget
+  /// AllocParams::max_iterations caps).  Counter fields marked "0 unless
+  /// tracing" fill in when obs::set_enabled(true) precedes the run.
+  RunStats stats;
   /// Independent re-verification of the result (CrusadeParams::self_check).
   /// When the validator finds a schedule-level violation in a result the
   /// pipeline believed feasible, `feasible` above is demoted to false and

@@ -59,7 +59,11 @@ std::string describe_result(const CrusadeResult& result) {
       << " (tardiness " << format_time(result.schedule.total_tardiness)
       << ", " << result.schedule.placement_failures
       << " placement failures)\n";
-  out << "synthesis time: " << result.synthesis_seconds << " s\n";
+  out << "synthesis time: " << result.stats.total_seconds << " s (alloc "
+      << cell_double(result.stats.allocation_seconds, 2) << ", reconfig "
+      << cell_double(result.stats.reconfig_seconds, 2) << ", interface "
+      << cell_double(result.stats.interface_seconds, 2) << ", "
+      << result.stats.sched_evals << " sched evals)\n";
   return out.str();
 }
 

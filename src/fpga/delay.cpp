@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fpga/placer.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
@@ -117,6 +118,7 @@ DelayMeasurement measure(const Device& device, const Netlist& circuit,
 std::vector<DelayMeasurement> measure_delay_sweep(
     const Netlist& circuit, const std::vector<double>& erufs, double epuf,
     std::uint64_t seed) {
+  OBS_SPAN("fpga.delay_sweep");
   CRUSADE_REQUIRE(!erufs.empty(), "empty sweep");
   CRUSADE_REQUIRE(std::is_sorted(erufs.begin(), erufs.end()),
                   "ERUF sweep must ascend");
@@ -139,6 +141,7 @@ std::vector<DelayMeasurement> measure_delay_sweep(
     CRUSADE_REQUIRE(target >= circuit.cell_count(),
                     "ERUF below the circuit's own utilization");
     fill_to(device, occupied, fill, circuit.cell_count(), target, rng);
+    obs::count("fpga.delay_points");
     results.push_back(measure(device, circuit, placement, fill, epuf));
   }
   return results;

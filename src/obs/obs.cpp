@@ -1,0 +1,234 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/table.hpp"
+
+namespace crusade::obs {
+
+namespace {
+
+constexpr std::int64_t kDisabled = -1;
+
+std::atomic<bool> g_enabled{false};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The epoch is re-anchored by reset() so trace timestamps start near zero.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+/// Counter registry: name -> lock-free atomic.  The shared_mutex protects
+/// only the map shape; increments on registered counters never contend.
+struct CounterRegistry {
+  std::shared_mutex mutex;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> values;
+
+  std::atomic<std::int64_t>& slot(const char* name) {
+    {
+      std::shared_lock lock(mutex);
+      auto it = values.find(name);
+      if (it != values.end()) return *it->second;
+    }
+    std::unique_lock lock(mutex);
+    auto& ptr = values[name];
+    if (!ptr) ptr = std::make_unique<std::atomic<std::int64_t>>(0);
+    return *ptr;
+  }
+};
+
+struct EventSink {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t capacity = 262144;
+  std::size_t dropped = 0;
+  std::map<std::thread::id, std::uint32_t> thread_index;
+};
+
+CounterRegistry& counter_registry() {
+  static CounterRegistry* r = new CounterRegistry;
+  return *r;
+}
+
+EventSink& sink() {
+  static EventSink* s = new EventSink;
+  return *s;
+}
+
+std::string json_escape_str(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  if (on && g_epoch_ns.load(std::memory_order_relaxed) == 0)
+    g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  {
+    EventSink& s = sink();
+    std::lock_guard lock(s.mutex);
+    s.events.clear();
+    s.dropped = 0;
+    s.thread_index.clear();
+  }
+  {
+    CounterRegistry& r = counter_registry();
+    std::unique_lock lock(r.mutex);
+    r.values.clear();
+  }
+  g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
+}
+
+void count(const char* name, std::int64_t delta) {
+  if (!enabled()) return;
+  counter_registry().slot(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t counter_value(const std::string& name) {
+  CounterRegistry& r = counter_registry();
+  std::shared_lock lock(r.mutex);
+  auto it = r.values.find(name);
+  return it == r.values.end()
+             ? 0
+             : it->second->load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> counters() {
+  CounterRegistry& r = counter_registry();
+  std::shared_lock lock(r.mutex);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(r.values.size());
+  for (const auto& [name, value] : r.values)
+    out.emplace_back(name, value->load(std::memory_order_relaxed));
+  return out;
+}
+
+Span::Span(const char* name)
+    : name_(name), start_ns_(enabled() ? now_ns() : kDisabled) {}
+
+Span::~Span() {
+  if (start_ns_ == kDisabled) return;
+  // Tracing may have been switched off mid-span; the span still closes
+  // (its start was real), keeping nesting in the trace consistent.
+  const std::int64_t end = now_ns();
+  EventSink& s = sink();
+  std::lock_guard lock(s.mutex);
+  if (s.events.size() >= s.capacity) {
+    ++s.dropped;
+    return;
+  }
+  TraceEvent ev;
+  ev.name = name_;
+  ev.ts_ns = start_ns_ - g_epoch_ns.load(std::memory_order_relaxed);
+  ev.dur_ns = end - start_ns_;
+  auto [it, inserted] = s.thread_index.emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(s.thread_index.size()));
+  ev.tid = it->second;
+  s.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> events() {
+  EventSink& s = sink();
+  std::lock_guard lock(s.mutex);
+  return s.events;
+}
+
+std::size_t event_count() {
+  EventSink& s = sink();
+  std::lock_guard lock(s.mutex);
+  return s.events.size();
+}
+
+std::size_t dropped_events() {
+  EventSink& s = sink();
+  std::lock_guard lock(s.mutex);
+  return s.dropped;
+}
+
+void set_event_capacity(std::size_t cap) {
+  EventSink& s = sink();
+  std::lock_guard lock(s.mutex);
+  s.capacity = cap;
+}
+
+std::string trace_json() {
+  const std::vector<TraceEvent> evs = events();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& ev = evs[i];
+    if (i) out << ",";
+    // Chrome trace-event "complete" events; ts/dur are microseconds.
+    char buf[64];
+    out << "{\"name\":\"" << json_escape_str(ev.name)
+        << "\",\"cat\":\"crusade\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << ev.tid << ",\"ts\":";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ev.ts_ns) / 1000.0);
+    out << buf << ",\"dur\":";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ev.dur_ns) / 1000.0);
+    out << buf << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string metrics_json() {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  const auto cs = counters();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << json_escape_str(cs[i].first) << "\":" << cs[i].second;
+  }
+  out << "},\"events\":" << event_count()
+      << ",\"dropped\":" << dropped_events() << "}";
+  return out.str();
+}
+
+std::string metrics_table() {
+  Table table({"counter", "value"});
+  for (const auto& [name, value] : counters())
+    table.add_row({name, cell_int(value)});
+  return table.to_string("observability counters");
+}
+
+}  // namespace crusade::obs

@@ -1,0 +1,78 @@
+#include "obs/runstats.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace crusade {
+
+std::vector<std::pair<std::string, double>> RunStats::phase_rows() const {
+  return {
+      {"preflight", preflight_seconds},
+      {"clustering", clustering_seconds},
+      {"allocation", allocation_seconds},
+      {"reconfig", reconfig_seconds},
+      {"interface", interface_seconds},
+      {"repair", repair_seconds},
+      {"validation", validation_seconds},
+      {"diagnosis", diagnosis_seconds},
+      {"total", total_seconds},
+  };
+}
+
+std::vector<std::pair<std::string, std::int64_t>> RunStats::counter_rows()
+    const {
+  return {
+      {"sched.evals", sched_evals},
+      {"sched.invocations", sched_invocations},
+      {"sched.finish_estimates", finish_estimates},
+      {"alloc.candidates", alloc_candidates},
+      {"alloc.clusters", clusters},
+      {"alloc.repair_moves", repair_moves},
+      {"merge.tried", merges_tried},
+      {"merge.accepted", merges_accepted},
+      {"merge.rejected_cost", merges_rejected_cost},
+      {"merge.rejected_schedule", merges_rejected_schedule},
+      {"merge.rejected_validator", merges_rejected_validator},
+      {"merge.reschedules", merge_reschedules},
+      {"merge.consolidations", mode_consolidations},
+      {"interface.candidates", interface_candidates},
+  };
+}
+
+std::string RunStats::table() const {
+  Table phases({"phase", "seconds", "share"});
+  for (const auto& [name, seconds] : phase_rows()) {
+    const double share = total_seconds > 0 ? seconds / total_seconds : 0;
+    phases.add_row({name, cell_double(seconds, 4),
+                    name == "total" ? "" : cell_percent(share)});
+  }
+  Table counts({"counter", "value"});
+  for (const auto& [name, value] : counter_rows())
+    counts.add_row({name, cell_int(value)});
+  return phases.to_string("synthesis phases") + "\n" +
+         counts.to_string("synthesis counters");
+}
+
+std::string RunStats::to_json() const {
+  std::ostringstream out;
+  char buf[48];
+  out << "{\"phases\":{";
+  const auto ps = phase_rows();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (i) out << ",";
+    std::snprintf(buf, sizeof buf, "%.6f", ps[i].second);
+    out << "\"" << ps[i].first << "\":" << buf;
+  }
+  out << "},\"counters\":{";
+  const auto cs = counter_rows();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << cs[i].first << "\":" << cs[i].second;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace crusade

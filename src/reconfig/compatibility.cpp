@@ -1,9 +1,12 @@
 #include "reconfig/compatibility.hpp"
 
+#include "obs/obs.hpp"
+
 namespace crusade {
 
 CompatibilityMatrix derive_compatibility(const FlatSpec& flat,
                                          const ScheduleResult& schedule) {
+  OBS_SPAN("reconfig.derive_compat");
   const int n = flat.graph_count();
   CompatibilityMatrix compat(n);
 

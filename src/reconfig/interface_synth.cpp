@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
@@ -88,6 +89,7 @@ TimeNs mode_boot_time(const PeType& type, int pfus_in_mode,
 
 std::vector<InterfaceChoice> enumerate_interface_options(
     const Architecture& arch, TimeNs boot_requirement) {
+  OBS_SPAN("interface.enumerate");
   const auto reconfig = reconfiguring_ppes(arch);
   const int all_ppes = live_ppe_count(arch);
 
@@ -162,6 +164,8 @@ std::vector<InterfaceChoice> enumerate_interface_options(
               if (a.cost != b.cost) return a.cost < b.cost;
               return a.worst_boot < b.worst_boot;
             });
+  obs::count("interface.candidates",
+             static_cast<std::int64_t>(choices.size()));
   return choices;
 }
 

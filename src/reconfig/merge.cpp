@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
@@ -175,6 +176,7 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
                         const std::vector<int>& task_cluster,
                         const MergeParams& params,
                         const MergeValidator& validator) {
+  OBS_SPAN("reconfig.merge");
   MergeReport report;
   report.cost_before = arch.cost().total();
   report.merge_potential_before = merge_potential(arch);
@@ -182,6 +184,7 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
   const PriorityLevels levels = scheduling_levels(flat, arch.lib());
   auto reschedule = [&](const Architecture& a) {
     ++report.reschedules;
+    obs::count("merge.reschedules");
     SchedProblem problem =
         make_sched_problem(a, flat, task_cluster, params.boot_estimate,
                            params.reboots_in_schedule);
@@ -230,16 +233,33 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
                         task_cluster, params))
         continue;
       ++report.merges_tried;
+      obs::count("merge.tried");
       Architecture trial = arch;
-      if (!apply_merge(trial, entry.src, entry.dst, flat, task_cluster))
+      if (!apply_merge(trial, entry.src, entry.dst, flat, task_cluster)) {
+        ++report.rejected_apply;
+        obs::count("merge.rejected_apply");
         continue;
-      if (trial.cost().total() >= arch.cost().total()) continue;
+      }
+      if (trial.cost().total() >= arch.cost().total()) {
+        ++report.rejected_cost;
+        obs::count("merge.rejected_cost");
+        continue;
+      }
       ScheduleResult trial_schedule = reschedule(trial);
-      if (!trial_schedule.feasible) continue;
-      if (validator && !validator(trial)) continue;
+      if (!trial_schedule.feasible) {
+        ++report.rejected_schedule;
+        obs::count("merge.rejected_schedule");
+        continue;
+      }
+      if (validator && !validator(trial)) {
+        ++report.rejected_validator;
+        obs::count("merge.rejected_validator");
+        continue;
+      }
       arch = std::move(trial);
       schedule = std::move(trial_schedule);
       ++report.merges_accepted;
+      obs::count("merge.accepted");
       improved = true;
     }
 

@@ -40,6 +40,12 @@ struct MergeParams {
 struct MergeReport {
   int merges_tried = 0;
   int merges_accepted = 0;
+  /// Why tried-but-unaccepted merges died, so a budget-exhausted run can say
+  /// where the reschedules went (mirrored into RunStats):
+  int rejected_apply = 0;      ///< link topology could not be preserved
+  int rejected_cost = 0;       ///< folding did not lower the dollar cost
+  int rejected_schedule = 0;   ///< reschedule with reboots missed a deadline
+  int rejected_validator = 0;  ///< vetoed by the MergeValidator hook
   int consolidations = 0;
   int passes = 0;
   double cost_before = 0;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/math.hpp"
 
@@ -51,6 +52,8 @@ bool ScheduleResult::deadline_met(int tid, const FlatSpec& flat) const {
 
 ScheduleResult run_list_scheduler(const SchedProblem& problem,
                                   const PriorityLevels& levels) {
+  OBS_SPAN("sched.list");
+  obs::count("sched.invocations");
   const FlatSpec& flat = *problem.flat;
   const int n_tasks = flat.task_count();
   const int n_edges = flat.edge_count();
@@ -258,6 +261,7 @@ ScheduleResult run_list_scheduler(const SchedProblem& problem,
   // even under optimism means this partial allocation cannot be completed
   // into a feasible one.
   if (problem.task_optimistic) {
+    obs::count("sched.finish_estimates");
     const auto& optimistic = *problem.task_optimistic;
     std::vector<TimeNs> estimate(n_tasks, kNoTime);
     for (int tid : flat.topo_order()) {

@@ -921,11 +921,33 @@ std::string InfeasibilityDiagnosis::summary(std::size_t max_rows) const {
                 misses.size(), unscheduled_tasks, unplaced_clusters,
                 format_time(total_tardiness).c_str());
   out += head;
-  if (alloc_budget_exhausted)
+  if (alloc_budget_exhausted) {
     out += "allocation stopped on its iteration budget (best-so-far "
            "architecture returned)\n";
-  if (merge_budget_exhausted)
+    char spend[160];
+    std::snprintf(spend, sizeof spend,
+                  "  budget spent: %lld schedule evaluations over %lld "
+                  "clusters (%.2fs in allocation)\n",
+                  static_cast<long long>(stats.sched_evals),
+                  static_cast<long long>(stats.clusters),
+                  stats.allocation_seconds);
+    out += spend;
+  }
+  if (merge_budget_exhausted) {
     out += "mode merging stopped on its pass budget\n";
+    char spend[200];
+    std::snprintf(
+        spend, sizeof spend,
+        "  budget spent: %lld reschedules, %lld/%lld merges accepted "
+        "(rejected: %lld cost, %lld schedule, %lld validator)\n",
+        static_cast<long long>(stats.merge_reschedules),
+        static_cast<long long>(stats.merges_accepted),
+        static_cast<long long>(stats.merges_tried),
+        static_cast<long long>(stats.merges_rejected_cost),
+        static_cast<long long>(stats.merges_rejected_schedule),
+        static_cast<long long>(stats.merges_rejected_validator));
+    out += spend;
+  }
   std::size_t shown = 0;
   for (const DeadlineMiss& m : misses) {
     if (shown == max_rows) {

@@ -40,6 +40,7 @@
 #include "alloc/allocation.hpp"
 #include "alloc/cluster.hpp"
 #include "graph/specification.hpp"
+#include "obs/runstats.hpp"
 
 namespace crusade {
 
@@ -155,6 +156,10 @@ struct InfeasibilityDiagnosis {
   /// started (CrusadeParams::preflight): each entry is one "[A0xx] ..."
   /// lint error proving the specification can never synthesize feasibly.
   std::vector<std::string> preflight_errors;
+  /// How the run's budget was spent (copied from CrusadeResult::stats by the
+  /// driver): phase wall times plus schedule-evaluation / merge-reschedule
+  /// tallies, so an exhausted-budget verdict is quantified, not just named.
+  RunStats stats;
 
   bool empty() const {
     return misses.empty() && unscheduled_tasks == 0 &&

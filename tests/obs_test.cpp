@@ -1,0 +1,429 @@
+// Tests for the observability subsystem (src/obs) and the CLI JSON writer:
+// span nesting and ordering, counter atomicity under threads, Chrome
+// trace-event JSON validity (parsed back with a real parser below), the
+// zero-cost disabled path, and RunStats consistency against the allocator's
+// own evaluation tally on a paper example.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crusade.hpp"
+#include "example_specs.hpp"
+#include "json_writer.hpp"
+#include "obs/obs.hpp"
+#include "obs/runstats.hpp"
+
+namespace crusade {
+namespace {
+
+// --- a small strict JSON parser (round-trip check, not a convenience) ----
+
+struct JsonValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end()) {
+      static const JsonValue missing;
+      ADD_FAILURE() << "missing key: " << key;
+      return missing;
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Parses one complete document; trailing garbage is an error.
+  bool parse(JsonValue& out) {
+    ok_ = true;
+    pos_ = 0;
+    out = value();
+    skip_ws();
+    if (pos_ != s_.size()) ok_ = false;
+    return ok_;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    if (!ok_ || pos_ >= s_.size()) {
+      ok_ = false;
+      return v;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = JsonValue::String;
+      v.text = string();
+      return v;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.kind = JsonValue::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.kind = JsonValue::Bool;
+      return v;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;
+    }
+    return number();
+  }
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Object;
+    ok_ = ok_ && eat('{');
+    if (eat('}')) return v;
+    do {
+      skip_ws();
+      std::string key = string();
+      ok_ = ok_ && eat(':');
+      v.fields[key] = value();
+    } while (ok_ && eat(','));
+    ok_ = ok_ && eat('}');
+    return v;
+  }
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Array;
+    ok_ = ok_ && eat('[');
+    if (eat(']')) return v;
+    do {
+      v.items.push_back(value());
+    } while (ok_ && eat(','));
+    ok_ = ok_ && eat(']');
+    return v;
+  }
+  std::string string() {
+    std::string out;
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      ok_ = false;
+      return out;
+    }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          ok_ = false;
+          return out;
+        }
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) {
+              ok_ = false;
+              return out;
+            }
+            out += static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) {
+      ok_ = false;
+      return out;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Number;
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    v.number = std::strtod(start, &end);
+    if (end == start) {
+      ok_ = false;
+      return v;
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Every obs test starts from a clean, enabled registry and leaves the
+/// global switch off so unrelated tests keep the zero-cost path.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+// --- spans ---------------------------------------------------------------
+
+TEST_F(ObsTest, SpansRecordInCompletionOrderWithNesting) {
+  {
+    OBS_SPAN("outer");
+    {
+      OBS_SPAN("inner.a");
+    }
+    { OBS_SPAN("inner.b"); }
+  }
+  const std::vector<obs::TraceEvent> events = obs::events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "inner.a");
+  EXPECT_EQ(events[1].name, "inner.b");
+  EXPECT_EQ(events[2].name, "outer");
+  // The outer span contains both inner spans in time.
+  const obs::TraceEvent& outer = events[2];
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_GE(events[i].ts_ns, outer.ts_ns);
+    EXPECT_LE(events[i].ts_ns + events[i].dur_ns,
+              outer.ts_ns + outer.dur_ns);
+  }
+  // inner.b starts no earlier than inner.a ends.
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns + events[0].dur_ns);
+}
+
+TEST_F(ObsTest, DisabledSpansAndCountersRecordNothing) {
+  obs::set_enabled(false);
+  {
+    OBS_SPAN("ghost");
+    obs::count("ghost.counter");
+  }
+  EXPECT_EQ(obs::event_count(), 0u);
+  EXPECT_EQ(obs::counter_value("ghost.counter"), 0);
+  EXPECT_TRUE(obs::counters().empty());
+
+  // A span opened while disabled is not recorded retroactively even when
+  // tracing turns on mid-span.
+  {
+    auto span = std::make_unique<obs::Span>("late");
+    obs::set_enabled(true);
+    span.reset();
+  }
+  EXPECT_EQ(obs::event_count(), 0u);
+}
+
+TEST_F(ObsTest, SinkCapacityDropsInsteadOfGrowing) {
+  obs::set_event_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("span.capped");
+  }
+  EXPECT_EQ(obs::event_count(), 4u);
+  EXPECT_EQ(obs::dropped_events(), 6u);
+  obs::set_event_capacity(262144);
+}
+
+// --- counters ------------------------------------------------------------
+
+TEST_F(ObsTest, CountersAreAtomicAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) obs::count("test.contended");
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::counter_value("test.contended"),
+            static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, CountersSupportDeltasAndSortedListing) {
+  obs::count("b.second", 5);
+  obs::count("a.first", 2);
+  obs::count("a.first", 3);
+  const auto all = obs::counters();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "a.first");
+  EXPECT_EQ(all[0].second, 5);
+  EXPECT_EQ(all[1].first, "b.second");
+  EXPECT_EQ(all[1].second, 5);
+}
+
+// --- serialization -------------------------------------------------------
+
+TEST_F(ObsTest, TraceJsonIsValidChromeTraceFormat) {
+  {
+    OBS_SPAN("phase.example");
+    obs::count("sched.evals", 3);
+  }
+  const std::string json = obs::trace_json();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  ASSERT_EQ(doc.kind, JsonValue::Object);
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Array);
+  ASSERT_EQ(events.items.size(), 1u);
+  const JsonValue& ev = events.items[0];
+  EXPECT_EQ(ev.at("name").text, "phase.example");
+  EXPECT_EQ(ev.at("ph").text, "X");  // complete event
+  EXPECT_EQ(ev.at("pid").number, 1);
+  EXPECT_GE(ev.at("ts").number, 0);   // microseconds since trace epoch
+  EXPECT_GE(ev.at("dur").number, 0);
+  EXPECT_EQ(doc.at("displayTimeUnit").text, "ms");
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrips) {
+  obs::count("alloc.sched_evals", 7);
+  {
+    OBS_SPAN("alloc.eval");
+  }
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(obs::metrics_json()).parse(doc));
+  EXPECT_EQ(doc.at("counters").at("alloc.sched_evals").number, 7);
+  EXPECT_EQ(doc.at("events").number, 1);
+  EXPECT_EQ(doc.at("dropped").number, 0);
+  // The aligned-text table carries the same counter.
+  EXPECT_NE(obs::metrics_table().find("alloc.sched_evals"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, RunStatsJsonRoundTrips) {
+  RunStats stats;
+  stats.allocation_seconds = 0.25;
+  stats.total_seconds = 1.0;
+  stats.sched_evals = 42;
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(stats.to_json()).parse(doc));
+  EXPECT_DOUBLE_EQ(doc.at("phases").at("allocation").number, 0.25);
+  EXPECT_EQ(doc.at("counters").at("sched.evals").number, 42);
+  // Table renders every phase row plus the counters.
+  const std::string table = stats.table();
+  EXPECT_NE(table.find("allocation"), std::string::npos);
+  EXPECT_NE(table.find("sched.evals"), std::string::npos);
+}
+
+// --- the CLI JSON writer -------------------------------------------------
+
+TEST(JsonWriter, NestedContainersAndEscaping) {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("name").value("line\n\"quote\"")
+      .key("ok").value(true)
+      .key("n").value(42)
+      .key("pi").value(3.14159, 3)
+      .key("list").begin_array().value(1).value(2).value(3).end_array()
+      .key("nested").begin_object().key("deep").value("yes").end_object()
+      .end_object();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(w.str()).parse(doc)) << w.str();
+  EXPECT_EQ(doc.at("name").text, "line\n\"quote\"");
+  EXPECT_TRUE(doc.at("ok").boolean);
+  EXPECT_EQ(doc.at("n").number, 42);
+  EXPECT_DOUBLE_EQ(doc.at("pi").number, 3.142);
+  ASSERT_EQ(doc.at("list").items.size(), 3u);
+  EXPECT_EQ(doc.at("list").items[2].number, 3);
+  EXPECT_EQ(doc.at("nested").at("deep").text, "yes");
+}
+
+TEST(JsonWriter, RawSplicesLibraryDocuments) {
+  RunStats stats;
+  stats.sched_evals = 9;
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("feasible").value(false)
+      .key("stats").raw(stats.to_json())
+      .end_object();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(w.str()).parse(doc)) << w.str();
+  EXPECT_EQ(doc.at("stats").at("counters").at("sched.evals").number, 9);
+}
+
+// --- end-to-end on a paper example ---------------------------------------
+
+TEST_F(ObsTest, RunStatsMatchesAllocatorTallyOnPaperExample) {
+  const ResourceLibrary lib = telecom_1999();
+  const Specification spec = quickstart_spec(lib);
+  const CrusadeResult result = Crusade(spec, lib, {}).run();
+
+  // The headline consistency contract: RunStats' scheduler-evaluation count
+  // IS the allocator's budgeted tally, and the obs counter incremented at
+  // every AllocationSearch::evaluate agrees with both.
+  EXPECT_GT(result.stats.sched_evals, 0);
+  EXPECT_EQ(result.stats.sched_evals,
+            obs::counter_value("alloc.sched_evals"));
+  EXPECT_EQ(result.stats.sched_invocations,
+            obs::counter_value("sched.invocations"));
+  EXPECT_GE(result.stats.sched_invocations, result.stats.sched_evals);
+  EXPECT_GT(result.stats.clusters, 0);
+  EXPECT_GT(result.stats.total_seconds, 0);
+  EXPECT_LE(result.stats.allocation_seconds, result.stats.total_seconds);
+
+  // The trace carries the driver's phase taxonomy: at least the preflight,
+  // clustering, allocation, reconfig, interface and validation phases.
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(obs::trace_json()).parse(doc));
+  std::map<std::string, int> phase_spans;
+  for (const JsonValue& ev : doc.at("traceEvents").items) {
+    const std::string& name = ev.at("name").text;
+    if (name.rfind("phase.", 0) == 0) ++phase_spans[name];
+  }
+  EXPECT_GE(phase_spans.size(), 5u) << obs::trace_json();
+  for (const char* phase :
+       {"phase.preflight", "phase.clustering", "phase.allocation",
+        "phase.reconfig", "phase.interface", "phase.validation"})
+    EXPECT_EQ(phase_spans[phase], 1) << phase;
+}
+
+TEST_F(ObsTest, DisabledRunReportsPhaseTimesButNoGatedCounters) {
+  obs::set_enabled(false);
+  const ResourceLibrary lib = telecom_1999();
+  const Specification spec = quickstart_spec(lib);
+  const CrusadeResult result = Crusade(spec, lib, {}).run();
+  // Wall-clock phase laps and struct-carried tallies survive without
+  // tracing; registry-derived counters stay zero.
+  EXPECT_GT(result.stats.total_seconds, 0);
+  EXPECT_GT(result.stats.sched_evals, 0);
+  EXPECT_GT(result.stats.clusters, 0);
+  EXPECT_EQ(result.stats.sched_invocations, 0);
+  EXPECT_EQ(result.stats.finish_estimates, 0);
+  EXPECT_EQ(obs::event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace crusade

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification sweep:
 #   1. CI configuration (-Werror) build + entire test suite
-#   2. clang-tidy over the library/tool sources (skipped when not installed)
-#   3. cppcheck over the same sources (skipped when not installed)
-#   4. ASan/UBSan configuration build + entire test suite
-#   5. fault-injection harness under ASan/UBSan (the mutated-spec paths are
+#   2. `crusade trace` on a paper example, trace JSON round-tripped through
+#      a real parser (skipped when neither python3 nor jq is available)
+#   3. clang-tidy over the library/tool sources (skipped when not installed)
+#   4. cppcheck over the same sources (skipped when not installed)
+#   5. ASan/UBSan configuration build + entire test suite
+#   6. fault-injection harness under ASan/UBSan (the mutated-spec paths are
 #      exactly where memory bugs would hide)
 #
 #   tools/check.sh            # everything
@@ -19,6 +21,26 @@ echo "=== CI configuration (release, -Werror) ==="
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
 ctest --preset ci -j "$(nproc)"
+
+echo "=== crusade trace (Chrome trace-event JSON round-trip) ==="
+./build-ci/tools/crusade trace data/figure2.spec -o build-ci/trace.json \
+  > /dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/trace.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+phases = {e["name"] for e in doc["traceEvents"]
+          if e["name"].startswith("phase.")}
+assert len(phases) >= 5, f"expected >=5 phase spans, got {sorted(phases)}"
+EOF
+  echo "trace JSON: valid, >=5 phase spans (python3)"
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '[.traceEvents[].name | select(startswith("phase."))] | unique
+         | length >= 5' build-ci/trace.json > /dev/null
+  echo "trace JSON: valid, >=5 phase spans (jq)"
+else
+  echo "trace JSON: written, round-trip skipped (no python3 or jq)"
+fi
 
 echo "=== clang-tidy ==="
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -3,6 +3,9 @@
 //
 //   crusade run <file.spec> [--no-reconfig] [--ft] [--boot-req <time>]
 //               [--power-cap <mW>] [--dump-schedule] [--write-spec <out>]
+//               [--trace <out.json>] [--stats] [--json]
+//   crusade trace <file.spec> [-o <trace.json>] [--no-reconfig]
+//               [--boot-req <time>] [--json]
 //   crusade validate <file.spec> [--no-reconfig] [--boot-req <time>]
 //   crusade generate (--profile <name> [--scale <f>] | --tasks <n>)
 //               [--seed <n>] [-o <file.spec>]
@@ -23,6 +26,8 @@
 #include "core/report.hpp"
 #include "ft/crusade_ft.hpp"
 #include "graph/spec_io.hpp"
+#include "json_writer.hpp"
+#include "obs/obs.hpp"
 #include "tgff/profiles.hpp"
 
 using namespace crusade;
@@ -34,7 +39,10 @@ int usage(const char* argv0) {
                "usage:\n"
                "  %s run <file.spec> [--no-reconfig] [--ft] "
                "[--boot-req <time>] [--power-cap <mW>] [--dump-schedule] "
-               "[--write-spec <out>]\n"
+               "[--write-spec <out>] [--trace <out.json>] [--stats] "
+               "[--json]\n"
+               "  %s trace <file.spec> [-o <trace.json>] [--no-reconfig] "
+               "[--boot-req <time>] [--json]\n"
                "  %s validate <file.spec> [--no-reconfig] "
                "[--boot-req <time>]\n"
                "  %s generate (--profile <name> [--scale <f>] | --tasks <n>) "
@@ -43,7 +51,7 @@ int usage(const char* argv0) {
                "  %s lint <file.spec> [--json]\n"
                "  %s info <file.spec>\n"
                "  %s profiles\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -71,14 +79,45 @@ struct Args {
   }
 };
 
+/// Serializes the observability event sink to a Chrome trace-event file
+/// (chrome://tracing, https://ui.perfetto.dev).  Returns 0 on success.
+int write_trace_file(const std::string& path, bool quiet) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write trace file %s\n", path.c_str());
+    return 1;
+  }
+  out << obs::trace_json() << "\n";
+  if (!quiet) {
+    std::printf("trace: %zu spans -> %s (load in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                obs::event_count(), path.c_str());
+    if (obs::dropped_events() > 0)
+      std::printf("trace: %lld spans dropped (sink at capacity)\n",
+                  static_cast<long long>(obs::dropped_events()));
+  }
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
   const Args args = Args::parse(
-      argc, argv, {"--boot-req", "--power-cap", "--write-spec"});
+      argc, argv, {"--boot-req", "--power-cap", "--write-spec", "--trace"});
   if (args.positional.size() != 1) return usage(argv[0]);
   const ResourceLibrary lib = telecom_1999();
   Specification spec = read_specification_file(args.positional[0], lib);
   if (args.options.count("--boot-req"))
     spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+
+  const bool want_trace = args.options.count("--trace") != 0;
+  const bool want_stats = args.flags.count("--stats") != 0;
+  const bool want_json = args.flags.count("--json") != 0;
+  // --stats without --trace still enables the counter registry so the
+  // tracing-gated RunStats fields (sched.invocations &c.) are populated;
+  // phase wall times alone would not need it.
+  if (want_trace || want_stats) {
+    obs::reset();
+    obs::set_enabled(true);
+  }
 
   if (args.flags.count("--ft")) {
     CrusadeFtParams params;
@@ -98,6 +137,10 @@ int cmd_run(int argc, char** argv) {
                 r.transform.checks_shared, r.dependability.modules.size(),
                 spares,
                 r.dependability.meets_requirements ? "met" : "MISSED");
+    if (want_stats) std::printf("%s", r.synthesis.stats.table().c_str());
+    if (want_trace &&
+        write_trace_file(args.options.at("--trace"), false) != 0)
+      return 1;
     return r.synthesis.feasible ? 0 : 1;
   }
 
@@ -106,7 +149,28 @@ int cmd_run(int argc, char** argv) {
   if (args.options.count("--power-cap"))
     params.alloc.power_cap_mw = std::stod(args.options.at("--power-cap"));
   const CrusadeResult r = Crusade(spec, lib, params).run();
+  if (want_trace && write_trace_file(args.options.at("--trace"), want_json))
+    return 1;
+  if (want_json) {
+    // Machine-readable envelope; the stats sub-document comes straight from
+    // RunStats::to_json so CLI and library schemas cannot drift.
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("spec").value(args.positional[0])
+        .key("feasible").value(r.feasible)
+        .key("cost").value(r.cost.total(), 2)
+        .key("power_mw").value(r.power_mw, 2)
+        .key("pes").value(r.pe_count)
+        .key("links").value(r.link_count)
+        .key("modes").value(r.mode_count);
+    if (want_trace)
+      w.key("trace_file").value(args.options.at("--trace"));
+    w.key("stats").raw(r.stats.to_json()).end_object();
+    std::printf("%s\n", w.str().c_str());
+    return r.feasible ? 0 : 1;
+  }
   std::printf("%s", describe_result(r).c_str());
+  if (want_stats) std::printf("%s", r.stats.table().c_str());
   if (!r.validation.clean())
     std::printf("self-check: %s", r.validation.summary().c_str());
   if (!r.diagnosis.empty())
@@ -117,6 +181,46 @@ int cmd_run(int argc, char** argv) {
   }
   if (args.options.count("--write-spec"))
     write_specification_file(args.options.at("--write-spec"), spec, lib);
+  return r.feasible ? 0 : 1;
+}
+
+/// `crusade trace`: synthesize with tracing enabled, print the phase/counter
+/// table, and write a Chrome trace-event file (default trace.json) that
+/// loads in chrome://tracing or https://ui.perfetto.dev.
+int cmd_trace(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"-o", "--boot-req"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec = read_specification_file(args.positional[0], lib);
+  if (args.options.count("--boot-req"))
+    spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+  const std::string out_path =
+      args.options.count("-o") ? args.options.at("-o") : "trace.json";
+  const bool json = args.flags.count("--json") != 0;
+
+  obs::reset();
+  obs::set_enabled(true);
+  CrusadeParams params;
+  params.enable_reconfig = !args.flags.count("--no-reconfig");
+  const CrusadeResult r = Crusade(spec, lib, params).run();
+  obs::set_enabled(false);
+
+  if (write_trace_file(out_path, json) != 0) return 1;
+  if (json) {
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("spec").value(args.positional[0])
+        .key("feasible").value(r.feasible)
+        .key("trace_file").value(out_path)
+        .key("events").value(static_cast<long long>(obs::event_count()))
+        .key("dropped").value(static_cast<long long>(obs::dropped_events()))
+        .key("stats").raw(r.stats.to_json())
+        .end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s\n", one_line_verdict(r).c_str());
+    std::printf("%s", r.stats.table().c_str());
+  }
   return r.feasible ? 0 : 1;
 }
 
@@ -305,6 +409,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "trace") return cmd_trace(argc, argv);
     if (cmd == "validate") return cmd_validate(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "upgrade") return cmd_upgrade(argc, argv);
