@@ -109,6 +109,7 @@ Allocator::Allocator(const FlatSpec& flat, const ResourceLibrary& lib,
     : flat_(flat), lib_(lib), compat_(compat), params_(std::move(params)) {
   CRUSADE_REQUIRE(!params_.use_modes || compat_ != nullptr,
                   "mode-aware allocation needs compatibility vectors");
+  sched_evals_ = params_.initial_sched_evals;
   sched_levels_ = scheduling_levels(flat_, lib_);
   optimistic_exec_.assign(flat_.task_count(), 0);
   for (int tid = 0; tid < flat_.task_count(); ++tid) {
@@ -413,11 +414,24 @@ ScheduleResult Allocator::evaluate(const SchedProblem& problem) {
 }
 
 AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
-                                 const Architecture* seed_arch) {
+                                 const Architecture* seed_arch,
+                                 const AllocResumeState* resume) {
   OBS_SPAN("alloc.run");
+  CRUSADE_REQUIRE(!(seed_arch && resume),
+                  "seed_arch and resume are mutually exclusive");
   AllocationOutcome outcome;
   outcome.task_cluster = task_to_cluster(clusters, flat_.task_count());
-  if (seed_arch) {
+  if (resume) {
+    CRUSADE_REQUIRE(resume->placed.size() == clusters.size(),
+                    "checkpoint cluster count does not match specification");
+    outcome.arch = resume->arch;
+    outcome.clusters_with_misses = resume->clusters_with_misses;
+    // The schedule is a pure function of the architecture and was therefore
+    // never serialized; rebuild it (uncounted) so the search continues from
+    // exactly the state the interrupted run held after its last commit.
+    outcome.schedule =
+        schedule_architecture(outcome.arch, outcome.task_cluster);
+  } else if (seed_arch) {
     // Field upgrade: keep the board's devices and links, clear the
     // allocation state (sized for the NEW cluster/edge universe).
     outcome.arch = *seed_arch;
@@ -437,7 +451,11 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
                                 flat_.edge_count());
   }
 
-  std::vector<char> placed(clusters.size(), 0);
+  std::vector<char> placed = resume ? resume->placed
+                                    : std::vector<char>(clusters.size(), 0);
+  std::size_t already = 0;
+  for (char p : placed)
+    if (p) ++already;
   std::vector<double> cluster_priority(clusters.size(), 0);
   PriorityLevels levels = current_priority_levels(outcome.arch, flat_, lib_,
                                                   outcome.task_cluster);
@@ -460,11 +478,11 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
   // Judging against the baseline rather than the previous commit's numbers
   // isolates each cluster's marginal effect from list-order churn caused by
   // priority recomputation.
-  TimeNs committed_tardiness = 0;
-  TimeNs committed_estimate = 0;
-  int committed_failures = 0;
+  TimeNs committed_tardiness = resume ? resume->committed_tardiness : 0;
+  TimeNs committed_estimate = resume ? resume->committed_estimate : 0;
+  int committed_failures = resume ? resume->committed_failures : 0;
 
-  for (std::size_t step = 0; step < clusters.size(); ++step) {
+  for (std::size_t step = already; step < clusters.size(); ++step) {
     int pick = -1;
     for (std::size_t c = 0; c < clusters.size(); ++c)
       if (!placed[c] &&
@@ -526,7 +544,7 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
       candidates = std::move(kept);
     }
 
-    if (budget_left()) {
+    if (keep_going()) {
       SchedProblem baseline = make_sched_problem(
           outcome.arch, flat_, outcome.task_cluster, params_.boot_estimate,
           params_.reboots_in_schedule);
@@ -545,10 +563,7 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
       // remaining cluster takes its cheapest candidate after a single
       // scheduling pass (so the returned schedule still matches the
       // returned architecture) instead of exploring the whole array.
-      if (i > 0 && !budget_left()) {
-        budget_exhausted_ = true;
-        break;
-      }
+      if (i > 0 && !keep_going()) break;
       SchedProblem problem =
           make_sched_problem(candidates[i].arch, flat_, outcome.task_cluster,
                              params_.boot_estimate,
@@ -609,6 +624,19 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
     levels = current_priority_levels(outcome.arch, flat_, lib_,
                                      outcome.task_cluster);
     refresh_cluster_priorities();
+
+    if (params_.progress_hook) {
+      AllocProgress progress;
+      progress.arch = &outcome.arch;
+      progress.placed = &placed;
+      progress.sched_evals = sched_evals_;
+      progress.clusters_with_misses = outcome.clusters_with_misses;
+      progress.committed_tardiness = committed_tardiness;
+      progress.committed_estimate = committed_estimate;
+      progress.committed_failures = committed_failures;
+      progress.stopped = stopped_;
+      params_.progress_hook(progress);
+    }
   }
 
   repair(outcome, clusters);
@@ -616,7 +644,17 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
   outcome.feasible = outcome.schedule.feasible;
   outcome.sched_evaluations = sched_evals_;
   outcome.budget_exhausted = budget_exhausted_;
+  outcome.stopped = stopped_;
   return outcome;
+}
+
+ScheduleResult Allocator::schedule_architecture(
+    const Architecture& arch, const std::vector<int>& task_cluster) const {
+  SchedProblem problem =
+      make_sched_problem(arch, flat_, task_cluster, params_.boot_estimate,
+                         params_.reboots_in_schedule);
+  problem.task_optimistic = &optimistic_exec_;
+  return run_list_scheduler(problem, sched_levels_);
 }
 
 int Allocator::evacuate_devices(AllocationOutcome& outcome,
@@ -629,10 +667,7 @@ int Allocator::evacuate_devices(AllocationOutcome& outcome,
     bool improved = false;
     for (int victim = 0; victim < static_cast<int>(outcome.arch.pes.size());
          ++victim) {
-      if (!budget_left()) {
-        budget_exhausted_ = true;
-        break;
-      }
+      if (!keep_going()) break;
       if (!outcome.arch.pes[victim].alive()) continue;
       // Gather the victim's clusters (largest first so the hard pieces
       // place while the most room remains).
@@ -694,6 +729,7 @@ int Allocator::evacuate_devices(AllocationOutcome& outcome,
   relax_fpga_purity_ = false;
   outcome.sched_evaluations = sched_evals_;
   outcome.budget_exhausted = budget_exhausted_;
+  outcome.stopped = stopped_;
   return emptied;
 }
 
@@ -769,10 +805,7 @@ void Allocator::repair(AllocationOutcome& outcome,
       ++rewired_count;
     }
     if (rewired_count == 0) break;
-    if (!budget_left()) {
-      budget_exhausted_ = true;
-      break;
-    }
+    if (!keep_going()) break;
     SchedProblem problem = make_sched_problem(
         trial, flat_, outcome.task_cluster, params_.boot_estimate,
         params_.reboots_in_schedule);
@@ -849,10 +882,7 @@ void Allocator::repair(AllocationOutcome& outcome,
       int best = -1;
       ScheduleResult best_schedule;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (!budget_left()) {
-          budget_exhausted_ = true;
-          break;
-        }
+        if (!keep_going()) break;
         SchedProblem problem =
             make_sched_problem(candidates[i].arch, flat_,
                                outcome.task_cluster, params_.boot_estimate,
@@ -899,6 +929,7 @@ void Allocator::repair(AllocationOutcome& outcome,
   relax_fpga_purity_ = false;
   outcome.sched_evaluations = sched_evals_;
   outcome.budget_exhausted = budget_exhausted_;
+  outcome.stopped = stopped_;
 }
 
 }  // namespace crusade

@@ -17,8 +17,45 @@
 #include "alloc/cluster.hpp"
 #include "graph/specification.hpp"
 #include "sched/scheduler.hpp"
+#include "util/run_control.hpp"
 
 namespace crusade {
+
+/// Snapshot handed to the progress hook after every committed whole-cluster
+/// placement in Allocator::run.  `committed_*` carry the acceptance bar (the
+/// last baseline schedule's numbers) — after budget exhaustion the baseline
+/// is no longer recomputed, so a resume point must restore the stale bar
+/// exactly or the dirty-commit count of a resumed run could drift.
+/// `stopped` is true once the anytime control has truncated the search —
+/// such wrap-up states are NOT on the uninterrupted search trajectory and
+/// must never be checkpointed (budget-exhausted states, by contrast, are
+/// deterministic and remain valid resume points).
+struct AllocProgress {
+  const Architecture* arch = nullptr;
+  const std::vector<char>* placed = nullptr;
+  int sched_evals = 0;
+  int clusters_with_misses = 0;
+  TimeNs committed_tardiness = 0;
+  TimeNs committed_estimate = 0;
+  int committed_failures = 0;
+  bool stopped = false;
+};
+
+using AllocProgressHook = std::function<void(const AllocProgress&)>;
+
+/// State restored from a checkpoint to continue a run mid-allocation: the
+/// committed architecture, which clusters it already places, and the
+/// acceptance bar at the checkpoint state.  The evaluation tally is seeded
+/// separately (AllocParams::initial_sched_evals) because it also applies to
+/// post-allocation resumes.
+struct AllocResumeState {
+  Architecture arch;
+  std::vector<char> placed;
+  int clusters_with_misses = 0;
+  TimeNs committed_tardiness = 0;
+  TimeNs committed_estimate = 0;
+  int committed_failures = 0;
+};
 
 /// Estimate of a programmable device's reconfiguration time given the logic
 /// it must load; provided by interface synthesis (§4.4).  Null = boot-free.
@@ -59,6 +96,17 @@ struct AllocParams {
   /// dominator that is no worse on any axis for this specification.
   std::vector<char> pruned_pe_types;
   std::vector<char> pruned_link_types;
+  /// Anytime stop/deadline control, polled at every budget checkpoint
+  /// (null = never stops).  Once it fires the search wraps up exactly like
+  /// budget exhaustion — each remaining cluster takes its cheapest
+  /// candidate after one scheduling pass — and AllocationOutcome::stopped
+  /// is set.
+  const RunController* control = nullptr;
+  /// Seeds the allocator-lifetime evaluation tally (checkpoint resume), so
+  /// max_iterations budgets and RunStats continue where the previous
+  /// incarnation of the run left off instead of restarting from zero.
+  int initial_sched_evals = 0;
+  AllocProgressHook progress_hook;
 };
 
 struct AllocationOutcome {
@@ -74,6 +122,9 @@ struct AllocationOutcome {
   /// AllocParams::max_iterations ran out before the search converged; the
   /// result is the best architecture found, not a completed exploration.
   bool budget_exhausted = false;
+  /// AllocParams::control fired (wall-clock deadline or cooperative stop):
+  /// the search wrapped up early with the best architecture so far.
+  bool stopped = false;
 };
 
 /// Builds the scheduling problem for an architecture (shared by allocation,
@@ -116,9 +167,23 @@ class Allocator {
 
   /// Allocates every cluster; returns the architecture and its schedule.
   /// `seed_arch` (optional) starts allocation from an existing architecture
-  /// instead of an empty one — the field-upgrade entry point.
+  /// instead of an empty one — the field-upgrade entry point.  `resume`
+  /// (optional, exclusive with seed_arch) continues a checkpointed run at
+  /// its next unplaced cluster; because allocation is deterministic the
+  /// continuation commits exactly the placements the interrupted run would
+  /// have.
   AllocationOutcome run(const std::vector<Cluster>& clusters,
-                        const Architecture* seed_arch = nullptr);
+                        const Architecture* seed_arch = nullptr,
+                        const AllocResumeState* resume = nullptr);
+
+  /// Re-derives the schedule of an architecture exactly as evaluate()
+  /// would — same problem construction, same optimistic estimates, same
+  /// canonical priority levels — WITHOUT counting against the evaluation
+  /// budget.  Checkpoint resume uses it to rebuild the schedule that was
+  /// deliberately not serialized (it is a pure function of the
+  /// architecture).
+  ScheduleResult schedule_architecture(
+      const Architecture& arch, const std::vector<int>& task_cluster) const;
 
   /// Post-allocation repair: relocate clusters owning failing/tardy tasks
   /// while the schedule improves.  Also used by the driver after merge and
@@ -179,9 +244,20 @@ class Allocator {
   /// Budget-counted scheduling: every schedule evaluation in allocation,
   /// repair and evacuation funnels through here.
   ScheduleResult evaluate(const SchedProblem& problem);
-  bool budget_left() const {
-    return params_.max_iterations <= 0 ||
-           sched_evals_ < params_.max_iterations;
+  /// One gate for both truncation causes, polled wherever the search can
+  /// stop refining: the evaluation budget (deterministic — a resumed run
+  /// hits it at the same evaluation) and the anytime stop/deadline control
+  /// (wall-clock, latched so wrap-up states stay out of checkpoints).
+  bool keep_going() {
+    if (params_.control && params_.control->should_stop()) {
+      stopped_ = true;
+      return false;
+    }
+    if (params_.max_iterations > 0 && sched_evals_ >= params_.max_iterations) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    return true;
   }
 
   const FlatSpec& flat_;
@@ -199,6 +275,7 @@ class Allocator {
   bool relax_fpga_purity_ = false;
   int sched_evals_ = 0;
   bool budget_exhausted_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace crusade

@@ -1,7 +1,10 @@
 #include "core/crusade.hpp"
 
 #include <chrono>
+#include <sstream>
 
+#include "ckpt/serialize.hpp"
+#include "graph/spec_io.hpp"
 #include "obs/obs.hpp"
 #include "util/error.hpp"
 
@@ -26,6 +29,14 @@ class PhaseClock {
                                          start_)
         .count();
   }
+  /// Seconds since the last lap WITHOUT re-arming: checkpoint snapshots use
+  /// it to charge the in-flight phase's partial time without disturbing the
+  /// phase boundary the next lap() measures from.
+  double since_lap() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         last_)
+        .count();
+  }
 
  private:
   std::chrono::steady_clock::time_point start_, last_;
@@ -48,29 +59,100 @@ Crusade::Crusade(const Specification& spec, const ResourceLibrary& lib,
   spec_.validate(lib_.pe_count());
 }
 
+std::uint64_t Crusade::fingerprint(const Specification& spec,
+                                   const ResourceLibrary& lib,
+                                   const CrusadeParams& params) {
+  // The canonical spec writer normalizes formatting, so two spellings of the
+  // same specification fingerprint identically; every parameter that shapes
+  // the search trajectory is appended (cosmetic knobs — self_check, hooks,
+  // checkpoint policy itself — deliberately are not).
+  std::ostringstream text;
+  write_specification(text, spec, lib);
+  ckpt::BinWriter w;
+  w.str(text.str());
+  w.u8(params.enable_reconfig ? 1 : 0);
+  w.u8(params.use_spec_compatibility ? 1 : 0);
+  w.u8(params.preflight ? 1 : 0);
+  w.u8(params.preflight_prune ? 1 : 0);
+  w.u8(params.clustering.enabled ? 1 : 0);
+  w.i32(params.clustering.max_cluster_size);
+  w.f64(params.clustering.delay.eruf);
+  w.f64(params.clustering.delay.epuf);
+  w.f64(params.alloc.delay.eruf);
+  w.f64(params.alloc.delay.epuf);
+  w.i32(params.alloc.max_candidates);
+  w.i32(params.alloc.max_modes_per_device);
+  w.u8(params.alloc.allow_new_pes ? 1 : 0);
+  w.f64(params.alloc.power_cap_mw);
+  w.i32(params.alloc.max_iterations);
+  w.i32(params.merge.max_passes);
+  w.i32(params.merge.max_modes_per_device);
+  w.i32(params.merge.budget);
+  w.u8(params.merge.consolidate_modes ? 1 : 0);
+  return ckpt::fnv1a(w.bytes());
+}
+
 CrusadeResult Crusade::run() {
   OBS_SPAN("crusade.run");
   PhaseClock clock;
   const CounterBase base;
   CrusadeResult result;
 
+  const ckpt::Checkpoint* resume = params_.resume;
+  const bool checkpointing = params_.checkpoint.enabled();
+  std::uint64_t spec_hash = 0;
+  if (resume || checkpointing) {
+    spec_hash = fingerprint(spec_, lib_, params_);
+    if (resume) ckpt::check_spec_hash(*resume, spec_hash);
+  }
+  if (resume) {
+    // Continue the interrupted run's tallies: phase laps below ACCUMULATE
+    // onto the pre-crash stats instead of overwriting them, so the final
+    // RunStats covers the whole search across every incarnation.
+    result.stats = resume->stats;
+    result.resumed = true;
+  }
+
   // Tracing-gated counter deltas plus the run's total wall time; called on
   // every exit path so RunStats is always complete.
   auto finalize_stats = [&]() {
-    result.stats.sched_invocations =
+    result.stats.sched_invocations +=
         obs::counter_value("sched.invocations") - base.invocations;
-    result.stats.finish_estimates =
+    result.stats.finish_estimates +=
         obs::counter_value("sched.finish_estimates") - base.estimates;
-    result.stats.alloc_candidates =
+    result.stats.alloc_candidates +=
         obs::counter_value("alloc.candidates") - base.candidates;
-    result.stats.total_seconds = clock.total();
+    result.stats.total_seconds += clock.total();
+  };
+
+  // Stats image for a checkpoint taken mid-phase: the accumulated laps plus
+  // the in-flight phase's partial time and the counter deltas so far.  A run
+  // resumed from the checkpoint keeps accumulating on top — the time spent
+  // between the checkpoint and the crash is honestly lost.
+  auto snapshot_stats = [&](double RunStats::*phase) {
+    RunStats s = result.stats;
+    s.*phase += clock.since_lap();
+    s.total_seconds += clock.total();
+    s.sched_invocations +=
+        obs::counter_value("sched.invocations") - base.invocations;
+    s.finish_estimates +=
+        obs::counter_value("sched.finish_estimates") - base.estimates;
+    s.alloc_candidates +=
+        obs::counter_value("alloc.candidates") - base.candidates;
+    return s;
+  };
+
+  auto write_checkpoint = [&](const ckpt::Checkpoint& c) {
+    if (!params_.checkpoint.path.empty())
+      ckpt::save_checkpoint(params_.checkpoint.path, c);
+    if (params_.checkpoint.on_write) params_.checkpoint.on_write(c);
   };
 
   // --- preflight: static analysis before any search (src/analyze) ---
   if (params_.preflight) {
     OBS_SPAN("phase.preflight");
     result.preflight = analyze_specification(spec_, lib_);
-    result.stats.preflight_seconds = clock.lap();
+    result.stats.preflight_seconds += clock.lap();
     if (result.preflight.has_errors()) {
       // Every analyzer error is a necessary condition for feasibility that
       // the input already violates: report honestly and stop, rather than
@@ -95,7 +177,7 @@ CrusadeResult Crusade::run() {
     result.task_cluster =
         task_to_cluster(result.clusters, flat.task_count());
   }
-  result.stats.clustering_seconds = clock.lap();
+  result.stats.clustering_seconds += clock.lap();
   result.stats.clusters = static_cast<std::int64_t>(result.clusters.size());
 
   // --- synthesis: cluster allocation (§5) ---
@@ -116,22 +198,98 @@ CrusadeResult Crusade::run() {
   // reconfiguration is charged to the boot-time requirement, not the frame
   // schedule (see make_sched_problem).
   alloc_params.reboots_in_schedule = !modes_in_allocation;
+  alloc_params.control = params_.control;
+  if (resume)
+    alloc_params.initial_sched_evals = static_cast<int>(resume->sched_evals);
+
+  std::int64_t last_ckpt_evals = resume ? resume->sched_evals : 0;
+  if (checkpointing) {
+    alloc_params.progress_hook = [&](const AllocProgress& p) {
+      // Wrap-up commits after the anytime control fired are off the
+      // uninterrupted trajectory — never persist them; the last checkpoint
+      // on disk stays a state the full search really passes through.
+      if (p.stopped) return;
+      if (p.sched_evals - last_ckpt_evals < params_.checkpoint.every_evals)
+        return;
+      last_ckpt_evals = p.sched_evals;
+      ckpt::Checkpoint c;
+      c.stage = ckpt::Stage::Allocation;
+      c.spec_hash = spec_hash;
+      c.arch = *p.arch;
+      c.placed = *p.placed;
+      c.sched_evals = p.sched_evals;
+      c.clusters_with_misses = p.clusters_with_misses;
+      c.committed_tardiness = p.committed_tardiness;
+      c.committed_estimate = p.committed_estimate;
+      c.committed_failures = p.committed_failures;
+      c.stats = snapshot_stats(&RunStats::allocation_seconds);
+      c.stats.sched_evals = p.sched_evals;
+      write_checkpoint(c);
+    };
+  }
+
   Allocator allocator(flat, lib_,
                       modes_in_allocation ? &*spec_.compatibility : nullptr,
                       alloc_params);
+  // A checkpoint taken past allocation resumes AFTER repair + evacuation:
+  // re-running them on the already-evacuated architecture would leave the
+  // uninterrupted trajectory.  The schedule was never serialized (it is a
+  // pure function of the architecture) — recompute it, uncounted.
+  const bool resume_past_alloc =
+      resume && resume->stage != ckpt::Stage::Allocation;
   AllocationOutcome outcome;
   {
     OBS_SPAN("phase.allocation");
-    outcome = allocator.run(result.clusters);
-    // Constructive greediness leaves under-filled devices behind; evacuation
-    // consolidates them (run for both variants, keeping the comparison
-    // fair).
-    allocator.evacuate_devices(outcome, result.clusters);
+    if (resume_past_alloc) {
+      outcome.task_cluster = result.task_cluster;
+      outcome.arch = resume->arch;
+      outcome.clusters_with_misses = resume->clusters_with_misses;
+      outcome.sched_evaluations = static_cast<int>(resume->sched_evals);
+      outcome.repair_moves = static_cast<int>(resume->stats.repair_moves);
+      outcome.schedule =
+          allocator.schedule_architecture(outcome.arch, result.task_cluster);
+      outcome.feasible = outcome.schedule.feasible;
+    } else {
+      AllocResumeState alloc_resume;
+      const AllocResumeState* resume_ptr = nullptr;
+      if (resume) {
+        alloc_resume.arch = resume->arch;
+        alloc_resume.placed = resume->placed;
+        alloc_resume.clusters_with_misses = resume->clusters_with_misses;
+        alloc_resume.committed_tardiness = resume->committed_tardiness;
+        alloc_resume.committed_estimate = resume->committed_estimate;
+        alloc_resume.committed_failures = resume->committed_failures;
+        resume_ptr = &alloc_resume;
+      }
+      outcome = allocator.run(result.clusters, nullptr, resume_ptr);
+      // Constructive greediness leaves under-filled devices behind;
+      // evacuation consolidates them (run for both variants, keeping the
+      // comparison fair).
+      allocator.evacuate_devices(outcome, result.clusters);
+    }
   }
-  result.stats.allocation_seconds = clock.lap();
+  result.stats.allocation_seconds += clock.lap();
   result.arch = std::move(outcome.arch);
   result.schedule = std::move(outcome.schedule);
   result.clusters_with_misses = outcome.clusters_with_misses;
+
+  // Phase boundary: allocation (incl. repair + evacuation) is committed.
+  // Written unconditionally — it is one file write — unless the search was
+  // truncated (off-trajectory) or we resumed past this very boundary.
+  if (checkpointing && !outcome.stopped && !resume_past_alloc &&
+      !(params_.control && params_.control->triggered())) {
+    ckpt::Checkpoint c;
+    c.stage = ckpt::Stage::Merge;
+    c.spec_hash = spec_hash;
+    c.arch = result.arch;
+    c.placed.assign(result.clusters.size(), 1);
+    c.sched_evals = outcome.sched_evaluations;
+    c.clusters_with_misses = outcome.clusters_with_misses;
+    c.stats = snapshot_stats(&RunStats::allocation_seconds);
+    c.stats.sched_evals = outcome.sched_evaluations;
+    c.stats.repair_moves = outcome.repair_moves;
+    write_checkpoint(c);
+  }
 
   // --- dynamic reconfiguration generation (§4.1–4.4, Figure 3) ---
   if (params_.enable_reconfig) {
@@ -146,14 +304,49 @@ CrusadeResult Crusade::run() {
       merge_params.boot_estimate = alloc_params.boot_estimate;
     merge_params.delay = params_.alloc.delay;
     merge_params.reboots_in_schedule = alloc_params.reboots_in_schedule;
-    result.merge_report =
-        merge_modes(result.arch, result.schedule, flat, result.compat,
-                    result.task_cluster, merge_params,
-                    params_.merge_validator);
+    merge_params.control = params_.control;
+
+    MergeReport resume_report;
+    if (resume && resume->stage == ckpt::Stage::Merge) {
+      resume_report = resume->merge_report;
+      merge_params.resume_from = &resume_report;
+    }
+    if (checkpointing) {
+      merge_params.pass_hook = [&](const MergeReport& rep, bool finished) {
+        // Same rule as allocation: a stop-truncated state is not on the
+        // uninterrupted trajectory, so it never reaches disk.
+        if (rep.stopped ||
+            (params_.control && params_.control->triggered()))
+          return;
+        ckpt::Checkpoint c;
+        c.stage =
+            finished ? ckpt::Stage::MergeDone : ckpt::Stage::Merge;
+        c.spec_hash = spec_hash;
+        c.arch = result.arch;  // merge_modes mutates it in place
+        c.placed.assign(result.clusters.size(), 1);
+        c.sched_evals = outcome.sched_evaluations;
+        c.clusters_with_misses = outcome.clusters_with_misses;
+        c.merge_report = rep;
+        c.stats = snapshot_stats(&RunStats::reconfig_seconds);
+        c.stats.sched_evals = outcome.sched_evaluations;
+        c.stats.repair_moves = outcome.repair_moves;
+        write_checkpoint(c);
+      };
+    }
+
+    if (resume && resume->stage == ckpt::Stage::MergeDone) {
+      // The merge loop already ran to its natural end before the crash.
+      result.merge_report = resume->merge_report;
+    } else {
+      result.merge_report =
+          merge_modes(result.arch, result.schedule, flat, result.compat,
+                      result.task_cluster, merge_params,
+                      params_.merge_validator);
+    }
   } else {
     result.compat = CompatibilityMatrix(flat.graph_count());
   }
-  result.stats.reconfig_seconds = clock.lap();
+  result.stats.reconfig_seconds += clock.lap();
   result.stats.merges_tried = result.merge_report.merges_tried;
   result.stats.merges_accepted = result.merge_report.merges_accepted;
   result.stats.merges_rejected_cost = result.merge_report.rejected_cost +
@@ -258,7 +451,7 @@ CrusadeResult Crusade::run() {
       result.schedule = schedule_of(result.arch);
     }
   }
-  result.stats.interface_seconds = clock.lap();
+  result.stats.interface_seconds += clock.lap();
 
   // Final repair: merges and exact boot times may have perturbed the
   // schedule; relocate offending clusters while it improves.
@@ -272,15 +465,20 @@ CrusadeResult Crusade::run() {
     result.arch = std::move(touchup.arch);
     result.schedule = std::move(touchup.schedule);
     outcome.budget_exhausted |= touchup.budget_exhausted;
+    outcome.stopped |= touchup.stopped;
     // repair() refreshes the allocator-lifetime evaluation tally on the
     // outcome it was handed; fold it back so stats see the final count.
     outcome.sched_evaluations = touchup.sched_evaluations;
     outcome.repair_moves += touchup.repair_moves;
   }
-  result.stats.repair_seconds = clock.lap();
+  result.stats.repair_seconds += clock.lap();
   result.stats.sched_evals = outcome.sched_evaluations;
   result.stats.repair_moves = outcome.repair_moves;
 
+  // "Stopped" means the search itself was truncated; a control that fires
+  // during the cheap tail phases (interface, validation) truncated nothing
+  // and the result is a completed exploration.
+  result.stopped = outcome.stopped || result.merge_report.stopped;
   result.cost = result.arch.cost();
   result.power_mw = result.arch.power_mw();
   result.feasible = result.schedule.feasible;
@@ -309,11 +507,11 @@ CrusadeResult Crusade::run() {
     if (result.feasible && result.validation.schedule_violated())
       result.feasible = false;  // never claim what the validator rejects
   }
-  result.stats.validation_seconds = clock.lap();
+  result.stats.validation_seconds += clock.lap();
 
   // --- graceful degradation: explain infeasibility / budget exhaustion ---
   if (!result.feasible || outcome.budget_exhausted ||
-      result.merge_report.budget_exhausted) {
+      result.merge_report.budget_exhausted || result.stopped) {
     OBS_SPAN("phase.diagnosis");
     result.diagnosis = diagnose_infeasibility(flat, result.arch,
                                               result.schedule,
@@ -321,8 +519,9 @@ CrusadeResult Crusade::run() {
     result.diagnosis.alloc_budget_exhausted = outcome.budget_exhausted;
     result.diagnosis.merge_budget_exhausted =
         result.merge_report.budget_exhausted;
+    result.diagnosis.deadline_stopped = result.stopped;
   }
-  result.stats.diagnosis_seconds = clock.lap();
+  result.stats.diagnosis_seconds += clock.lap();
 
   finalize_stats();
   // The diagnosis carries the run's stats so "budget exhausted" verdicts can

@@ -9,19 +9,40 @@
 // requirement.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "alloc/allocation.hpp"
 #include "alloc/cluster.hpp"
 #include "analyze/analyzer.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "graph/specification.hpp"
 #include "obs/runstats.hpp"
 #include "reconfig/compatibility.hpp"
 #include "reconfig/interface_synth.hpp"
 #include "reconfig/merge.hpp"
+#include "util/run_control.hpp"
 #include "validate/validator.hpp"
 
 namespace crusade {
+
+/// Crash-safe checkpointing policy (DESIGN.md §11).  When `path` is set (or
+/// `on_write` for in-process consumers), the driver snapshots the search at
+/// on-trajectory states: every `every_evals` schedule evaluations during
+/// allocation, and at every merge pass boundary.  Disabled when both are
+/// empty.
+struct CheckpointPolicy {
+  std::string path;
+  /// Minimum schedule evaluations between consecutive allocation-stage
+  /// checkpoints (merge pass boundaries always checkpoint — they are rare).
+  std::int64_t every_evals = 500;
+  /// Test/observer hook: called with every checkpoint the policy takes,
+  /// whether or not `path` is set.
+  std::function<void(const ckpt::Checkpoint&)> on_write;
+
+  bool enabled() const { return !path.empty() || static_cast<bool>(on_write); }
+};
 
 struct CrusadeParams {
   /// Master switch for dynamic reconfiguration (the "without" columns of
@@ -51,6 +72,19 @@ struct CrusadeParams {
   /// the unique way to meet cost or feasibility — but separable so the
   /// claim stays testable (and benchable) against an unpruned run.
   bool preflight_prune = true;
+  /// Anytime stop/deadline control shared with the CLI's signal handler:
+  /// when it fires, allocation and merging wrap up with the best
+  /// architecture found so far and CrusadeResult::stopped is set.  The
+  /// result is always complete and validator-checked — never empty.
+  const RunController* control = nullptr;
+  /// Crash-safe checkpointing (see CheckpointPolicy).
+  CheckpointPolicy checkpoint;
+  /// Resume from a loaded checkpoint.  The caller must have verified the
+  /// fingerprint (ckpt::check_spec_hash against Crusade::fingerprint);
+  /// run() re-verifies and throws on mismatch.  Because the search is
+  /// deterministic, the resumed run's final architecture is bit-identical
+  /// to an uninterrupted run's.
+  const ckpt::Checkpoint* resume = nullptr;
 };
 
 struct CrusadeResult {
@@ -86,6 +120,13 @@ struct CrusadeResult {
   /// Static-analysis report from the pre-synthesis pass
   /// (CrusadeParams::preflight); empty when preflight is disabled.
   AnalysisReport preflight;
+  /// The anytime control fired (deadline / cooperative stop): the search was
+  /// truncated and `arch` is the best architecture found so far, not a
+  /// completed exploration.  Echoed into diagnosis.deadline_stopped.
+  bool stopped = false;
+  /// This run continued from a checkpoint (CrusadeParams::resume); `stats`
+  /// includes the pre-crash phase times and counters.
+  bool resumed = false;
 };
 
 class Crusade {
@@ -94,6 +135,14 @@ class Crusade {
           CrusadeParams params = {});
 
   CrusadeResult run();
+
+  /// FNV-1a fingerprint of the canonical specification text plus every
+  /// search-shaping parameter: two runs with equal fingerprints perform the
+  /// identical search, which is what licenses resuming one from the other's
+  /// checkpoint (ckpt::check_spec_hash).
+  static std::uint64_t fingerprint(const Specification& spec,
+                                   const ResourceLibrary& lib,
+                                   const CrusadeParams& params);
 
  private:
   const Specification& spec_;

@@ -59,6 +59,12 @@ std::string describe_result(const CrusadeResult& result) {
       << " (tardiness " << format_time(result.schedule.total_tardiness)
       << ", " << result.schedule.placement_failures
       << " placement failures)\n";
+  if (result.stopped)
+    out << "search truncated (deadline/stop): best architecture found so "
+           "far — a longer run may improve it\n";
+  if (result.resumed)
+    out << "resumed from checkpoint (stats span every incarnation of the "
+           "run)\n";
   out << "synthesis time: " << result.stats.total_seconds << " s (alloc "
       << cell_double(result.stats.allocation_seconds, 2) << ", reconfig "
       << cell_double(result.stats.reconfig_seconds, 2) << ", interface "

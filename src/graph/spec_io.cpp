@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace crusade {
@@ -345,9 +346,11 @@ void write_specification(std::ostream& out, const Specification& spec,
 void write_specification_file(const std::string& path,
                               const Specification& spec,
                               const ResourceLibrary& lib) {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot write specification file '" + path + "'");
+  // Crash-safe: render in memory, then write-temp-and-rename so a crash or
+  // full disk never leaves a half-written specification behind.
+  std::ostringstream out;
   write_specification(out, spec, lib);
+  atomic_write_file(path, out.str());
 }
 
 }  // namespace crusade

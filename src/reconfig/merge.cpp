@@ -178,8 +178,18 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
                         const MergeValidator& validator) {
   OBS_SPAN("reconfig.merge");
   MergeReport report;
-  report.cost_before = arch.cost().total();
-  report.merge_potential_before = merge_potential(arch);
+  int start_pass = 0;
+  if (params.resume_from) {
+    // Checkpoint resume: the caller restored the matching architecture and
+    // schedule; continue the pass loop with every counter intact so the
+    // final report is indistinguishable from an uninterrupted run's.
+    report = *params.resume_from;
+    start_pass = report.passes;
+  }
+  if (!params.resume_from || report.passes == 0) {
+    report.cost_before = arch.cost().total();
+    report.merge_potential_before = merge_potential(arch);
+  }
 
   const PriorityLevels levels = scheduling_levels(flat, arch.lib());
   auto reschedule = [&](const Architecture& a) {
@@ -191,6 +201,10 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
     return run_list_scheduler(problem, levels);
   };
   auto budget_left = [&]() {
+    if (params.control && params.control->should_stop()) {
+      report.stopped = true;
+      return false;
+    }
     if (params.budget > 0 && report.reschedules >= params.budget) {
       report.budget_exhausted = true;
       return false;
@@ -198,7 +212,8 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
     return true;
   };
 
-  for (int pass = 0; pass < params.max_passes && budget_left(); ++pass) {
+  for (int pass = start_pass; pass < params.max_passes && budget_left();
+       ++pass) {
     ++report.passes;
     bool improved = false;
 
@@ -279,10 +294,18 @@ MergeReport merge_modes(Architecture& arch, ScheduleResult& schedule,
     }
 
     if (!improved) break;
+    // Pass boundary with more work coming: a state the uninterrupted run
+    // revisits, so the driver may checkpoint it.  (A pass that made no
+    // progress ends the loop and is covered by the `finished` call below —
+    // checkpointing it as "resume at pass N+1" would make a resumed run
+    // re-scan the merge array once more than an uninterrupted run and its
+    // counters would drift.)
+    if (params.pass_hook) params.pass_hook(report, false);
   }
 
   report.cost_after = arch.cost().total();
   report.merge_potential_after = merge_potential(arch);
+  if (params.pass_hook) params.pass_hook(report, true);
   return report;
 }
 

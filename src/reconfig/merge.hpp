@@ -15,8 +15,20 @@
 
 #include "alloc/allocation.hpp"
 #include "graph/specification.hpp"
+#include "util/run_control.hpp"
 
 namespace crusade {
+
+struct MergeReport;
+
+/// Called after every completed merge pass whose result will be iterated on
+/// (i.e. another pass is coming), and once more with `finished` true when
+/// the loop ends.  The driver writes pass-boundary checkpoints here; the
+/// current architecture/schedule are visible through the in-out parameters
+/// of merge_modes.  Pass boundaries are the only mid-merge states an
+/// uninterrupted run is guaranteed to revisit, which is what makes them
+/// safe resume points (DESIGN.md §11).
+using MergePassHook = std::function<void(const MergeReport&, bool finished)>;
 
 struct MergeParams {
   DelayManagement delay;
@@ -35,6 +47,17 @@ struct MergeParams {
   /// set (the architecture is always schedule-consistent — merges are only
   /// ever accepted after a full reschedule).
   int budget = 0;
+  /// Anytime stop/deadline control, polled wherever the budget is (null =
+  /// never stops).  A triggered control ends the loop with
+  /// MergeReport::stopped set; the architecture stays the best feasible one
+  /// accepted so far.
+  const RunController* control = nullptr;
+  /// Checkpoint resume: continue from this report's state — the pass loop
+  /// restarts at `resume_from->passes` with all counters preserved, so a
+  /// resumed run's final report equals an uninterrupted run's.  The caller
+  /// supplies the matching architecture/schedule via the in-out parameters.
+  const MergeReport* resume_from = nullptr;
+  MergePassHook pass_hook;
 };
 
 struct MergeReport {
@@ -54,6 +77,10 @@ struct MergeReport {
   int merge_potential_after = 0;
   int reschedules = 0;             ///< schedule evaluations spent
   bool budget_exhausted = false;   ///< MergeParams::budget ran out
+  /// MergeParams::control fired (deadline/SIGINT): the loop returned its
+  /// best accepted architecture early — an anytime result, not a completed
+  /// exploration.
+  bool stopped = false;
 };
 
 /// Runs the merge loop in place; `schedule` is updated to the final

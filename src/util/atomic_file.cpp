@@ -1,0 +1,94 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace crusade {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Directory part of a path ("." when the path has no slash), for the
+/// temp-file sibling and the post-rename directory fsync.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  // The temp file must live in the same directory: rename(2) is only atomic
+  // within one filesystem, and a sibling keeps it so.  The pid suffix keeps
+  // concurrent writers (soak harness children) from clobbering each other's
+  // in-flight temporaries.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw Error("atomic write: cannot create " + tmp + ": " + errno_text());
+
+  auto fail = [&](const std::string& step) -> Error {
+    const std::string why = errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Error("atomic write: " + step + " " + tmp + ": " + why);
+  };
+
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw fail("cannot write");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync BEFORE rename: otherwise the rename can reach disk ahead of the
+  // data and a crash exposes an empty (torn) file under the final name —
+  // exactly the artifact this helper exists to rule out.
+  if (::fsync(fd) != 0) throw fail("cannot fsync");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("atomic write: cannot close " + tmp + ": " + errno_text());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    throw Error("atomic write: cannot rename " + tmp + " -> " + path + ": " +
+                why);
+  }
+  // Persist the directory entry; failure here is not fatal to the caller
+  // (the file content is already safe), so a directory that cannot be
+  // opened (e.g. no read permission) is tolerated.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw Error("cannot read " + path);
+  return buf.str();
+}
+
+}  // namespace crusade

@@ -1,0 +1,27 @@
+// Crash-safe file writes: write-temp-then-rename so a reader (or a process
+// resuming after SIGKILL) either sees the complete previous file or the
+// complete new one, never a torn half-write.
+//
+// Every file artifact the CLI produces (trace JSON, written specifications,
+// checkpoint files) funnels through atomic_write_file; a crash between any
+// two instructions leaves at worst an orphaned `<path>.tmp.<pid>` that the
+// next successful write of the same path cannot be confused with.
+#pragma once
+
+#include <string>
+
+namespace crusade {
+
+/// Writes `contents` to `path` atomically: the data lands in a temporary
+/// file in the same directory, is flushed to stable storage (fsync), and is
+/// renamed over `path` in one atomic step (POSIX rename semantics); the
+/// containing directory is fsynced afterwards so the rename itself survives
+/// a power loss.  Throws Error (util/error.hpp) with the failing step and
+/// errno text on any failure, after removing the temporary file.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+/// Reads a whole file into a string.  Throws Error when the file cannot be
+/// opened or read.
+std::string read_file(const std::string& path);
+
+}  // namespace crusade

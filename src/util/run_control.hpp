@@ -1,0 +1,70 @@
+// Cooperative stop + wall-clock deadline for anytime synthesis.
+//
+// A RunController is shared between the caller (CLI signal handlers, a
+// deadline armed from --deadline-ms) and every budget checkpoint inside the
+// search (the allocator's schedule-evaluation funnel, the merge loop's
+// reschedule gate).  The search polls should_stop() at the same places it
+// polls its evaluation budgets; once it fires, the search wraps up exactly
+// like a budget exhaustion — each remaining decision takes its cheapest
+// candidate so the run still returns a complete architecture/schedule pair —
+// and the result is flagged as deadline-truncated rather than explored.
+//
+// Header-only and dependency-free so the lowest layers (src/alloc,
+// src/reconfig) can consume it without reaching up the library graph.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace crusade {
+
+class RunController {
+ public:
+  /// Arm a wall-clock deadline `ms` milliseconds from now; <= 0 disarms.
+  void set_deadline_ms(long ms) {
+    if (ms <= 0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms);
+    has_deadline_ = true;
+  }
+
+  /// Cooperative stop request (SIGINT/SIGTERM handler, another thread).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  bool deadline_expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Polled by the search at every budget checkpoint.  Latches: once true
+  /// it stays true (a deadline that expired keeps the run in wrap-up mode
+  /// even if the clock were somehow rewound).
+  bool should_stop() const {
+    if (triggered_.load(std::memory_order_relaxed)) return true;
+    if (stop_requested() || deadline_expired()) {
+      triggered_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True once should_stop() has ever fired; used to suppress checkpoint
+  /// writes of wrap-up states that are not on the uninterrupted search
+  /// trajectory (DESIGN.md §11: resume equivalence).
+  bool triggered() const {
+    return triggered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  mutable std::atomic<bool> triggered_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace crusade

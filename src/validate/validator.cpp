@@ -921,6 +921,10 @@ std::string InfeasibilityDiagnosis::summary(std::size_t max_rows) const {
                 misses.size(), unscheduled_tasks, unplaced_clusters,
                 format_time(total_tardiness).c_str());
   out += head;
+  if (deadline_stopped) {
+    out += "search truncated by the anytime deadline/stop control "
+           "(best architecture found so far returned)\n";
+  }
   if (alloc_budget_exhausted) {
     out += "allocation stopped on its iteration budget (best-so-far "
            "architecture returned)\n";

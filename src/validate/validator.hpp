@@ -152,6 +152,10 @@ struct InfeasibilityDiagnosis {
   /// space was exhausted — a bigger budget may still find a feasible fit.
   bool alloc_budget_exhausted = false;
   bool merge_budget_exhausted = false;
+  /// The anytime control fired (wall-clock deadline or SIGINT/SIGTERM): the
+  /// result is the best feasible-or-closest architecture found before the
+  /// stop, not a completed exploration.
+  bool deadline_stopped = false;
   /// Static-analyzer errors that stopped synthesis before the search even
   /// started (CrusadeParams::preflight): each entry is one "[A0xx] ..."
   /// lint error proving the specification can never synthesize feasibly.
@@ -164,7 +168,8 @@ struct InfeasibilityDiagnosis {
   bool empty() const {
     return misses.empty() && unscheduled_tasks == 0 &&
            unplaced_clusters == 0 && !alloc_budget_exhausted &&
-           !merge_budget_exhausted && preflight_errors.empty();
+           !merge_budget_exhausted && !deadline_stopped &&
+           preflight_errors.empty();
   }
   std::string summary(std::size_t max_rows = 10) const;
 };

@@ -1,0 +1,431 @@
+// Tests for the crash-safe checkpoint/resume subsystem (src/ckpt, DESIGN.md
+// §11): atomic file writes, deterministic binary serialization, checkpoint
+// framing (magic/version/CRC), loud failure on every corruption mode,
+// search determinism, resume equivalence (bit-identical final architecture
+// from every on-trajectory checkpoint), and anytime-stop semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/serialize.hpp"
+#include "core/crusade.hpp"
+#include "example_specs.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/run_control.hpp"
+
+namespace crusade {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+/// Unique-enough temp path under the build's working directory; removed by
+/// the TempFile destructor so failed runs do not accumulate litter.
+struct TempFile {
+  explicit TempFile(const std::string& stem) {
+    path = stem + "." + std::to_string(::getpid()) + ".tmp-test";
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string arch_bytes(const Architecture& arch) {
+  ckpt::BinWriter w;
+  ckpt::write_architecture(w, arch);
+  return w.bytes();
+}
+
+// --- atomic file writes (satellite 1) ------------------------------------
+
+TEST(AtomicFileTest, WritesExactContents) {
+  TempFile f("ckpt_test_atomic");
+  atomic_write_file(f.path, "hello checkpoint\n");
+  EXPECT_EQ(read_file(f.path), "hello checkpoint\n");
+}
+
+TEST(AtomicFileTest, OverwriteReplacesWhole) {
+  TempFile f("ckpt_test_overwrite");
+  atomic_write_file(f.path, std::string(4096, 'x'));
+  atomic_write_file(f.path, "short");
+  // Rename semantics: the new file fully replaces the old, no tail remains.
+  EXPECT_EQ(read_file(f.path), "short");
+}
+
+TEST(AtomicFileTest, BinaryContentsSurvive) {
+  TempFile f("ckpt_test_binary");
+  std::string blob;
+  for (int i = 0; i < 512; ++i) blob.push_back(static_cast<char>(i & 0xff));
+  atomic_write_file(f.path, blob);
+  EXPECT_EQ(read_file(f.path), blob);
+}
+
+TEST(AtomicFileTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("ckpt_test_no_such_file.bin"), Error);
+}
+
+TEST(AtomicFileTest, WriteToBadDirectoryThrows) {
+  EXPECT_THROW(
+      atomic_write_file("ckpt_test_no_such_dir/sub/file.bin", "data"), Error);
+}
+
+// --- serialization primitives ---------------------------------------------
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  ckpt::BinWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1234567890123456789ll);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.str("checkpoint");
+  w.str("");
+  w.vec_i32({1, -2, 3});
+  w.vec_i64({-9, 0, 9000000000ll});
+  w.vec_u8({'\0', 'a', '\xff'});
+
+  ckpt::BinReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123456789ll);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit-pattern, not value, round-trip
+  EXPECT_EQ(r.str(), "checkpoint");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.vec_i32(), (std::vector<int>{1, -2, 3}));
+  EXPECT_EQ(r.vec_i64(), (std::vector<std::int64_t>{-9, 0, 9000000000ll}));
+  EXPECT_EQ(r.vec_u8(), (std::vector<char>{'\0', 'a', '\xff'}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializeTest, DeterministicBytes) {
+  ckpt::BinWriter a, b;
+  for (ckpt::BinWriter* w : {&a, &b}) {
+    w->i64(77);
+    w->str("same");
+    w->f64(1.5);
+  }
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(SerializeTest, ReaderOverrunThrows) {
+  ckpt::BinWriter w;
+  w.u32(7);
+  ckpt::BinReader r(w.bytes());
+  EXPECT_THROW(r.u64(), Error);  // only 4 bytes available
+}
+
+TEST(SerializeTest, TruncatedStringThrows) {
+  ckpt::BinWriter w;
+  w.str("abcdef");
+  const std::string cut = w.bytes().substr(0, w.bytes().size() - 2);
+  ckpt::BinReader r(cut);
+  EXPECT_THROW(r.str(), Error);
+}
+
+TEST(SerializeTest, HugeLengthPrefixThrows) {
+  // A corrupted length prefix must not drive a giant allocation or an
+  // overrun: the bounds check fires first.
+  ckpt::BinWriter w;
+  w.u64(0xffffffffffffull);  // claims ~280 TB of payload
+  ckpt::BinReader r(w.bytes());
+  EXPECT_THROW(r.str(), Error);
+}
+
+TEST(SerializeTest, Crc32KnownVector) {
+  // The standard IEEE 802.3 check value.
+  EXPECT_EQ(ckpt::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(ckpt::crc32(""), 0u);
+}
+
+TEST(SerializeTest, Fnv1aKnownVectors) {
+  EXPECT_EQ(ckpt::fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(ckpt::fnv1a("a"), ckpt::fnv1a("b"));
+}
+
+// --- architecture / checkpoint round-trips --------------------------------
+
+CrusadeResult run_once(const Specification& spec, CrusadeParams params = {}) {
+  return Crusade(spec, lib(), params).run();
+}
+
+TEST(CheckpointTest, ArchitectureRoundTrip) {
+  const CrusadeResult r = run_once(base_station_spec(lib()));
+  ASSERT_FALSE(r.arch.pes.empty());
+  const std::string bytes = arch_bytes(r.arch);
+  ckpt::BinReader reader(bytes);
+  const Architecture back = ckpt::read_architecture(reader, lib());
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_EQ(arch_bytes(back), bytes);
+}
+
+ckpt::Checkpoint sample_checkpoint() {
+  const CrusadeResult r = run_once(quickstart_spec(lib()));
+  ckpt::Checkpoint c;
+  c.stage = ckpt::Stage::Merge;
+  c.spec_hash = 0x1122334455667788ull;
+  c.arch = r.arch;
+  c.placed.assign(7, 1);
+  c.sched_evals = 321;
+  c.clusters_with_misses = 2;
+  c.committed_tardiness = 12345;
+  c.committed_estimate = -6789;
+  c.committed_failures = 3;
+  c.merge_report = r.merge_report;
+  c.stats = r.stats;
+  return c;
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTrip) {
+  const ckpt::Checkpoint c = sample_checkpoint();
+  const std::string bytes = ckpt::encode_checkpoint(c);
+  const ckpt::Checkpoint back = ckpt::decode_checkpoint(bytes, lib());
+  EXPECT_EQ(back.stage, c.stage);
+  EXPECT_EQ(back.spec_hash, c.spec_hash);
+  EXPECT_EQ(arch_bytes(back.arch), arch_bytes(c.arch));
+  EXPECT_EQ(back.placed, c.placed);
+  EXPECT_EQ(back.sched_evals, c.sched_evals);
+  EXPECT_EQ(back.clusters_with_misses, c.clusters_with_misses);
+  EXPECT_EQ(back.committed_tardiness, c.committed_tardiness);
+  EXPECT_EQ(back.committed_estimate, c.committed_estimate);
+  EXPECT_EQ(back.committed_failures, c.committed_failures);
+  EXPECT_EQ(back.stats.sched_evals, c.stats.sched_evals);
+  EXPECT_EQ(back.stats.repair_moves, c.stats.repair_moves);
+  EXPECT_DOUBLE_EQ(back.stats.allocation_seconds, c.stats.allocation_seconds);
+  EXPECT_EQ(back.merge_report.passes, c.merge_report.passes);
+  EXPECT_EQ(back.merge_report.merges_accepted, c.merge_report.merges_accepted);
+  // Re-encoding the decoded checkpoint reproduces the exact bytes.
+  EXPECT_EQ(ckpt::encode_checkpoint(back), bytes);
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const ckpt::Checkpoint c = sample_checkpoint();
+  TempFile f("ckpt_test_saveload");
+  ckpt::save_checkpoint(f.path, c);
+  const ckpt::Checkpoint back = ckpt::load_checkpoint(f.path, lib());
+  EXPECT_EQ(ckpt::encode_checkpoint(back), ckpt::encode_checkpoint(c));
+}
+
+// Every corruption mode fails with a typed Error — never a crash, never a
+// silently restarted search.
+TEST(CheckpointTest, CorruptionFailsLoudly) {
+  const std::string good = ckpt::encode_checkpoint(sample_checkpoint());
+
+  EXPECT_THROW(ckpt::decode_checkpoint("", lib()), Error);
+
+  // Truncations at every interesting boundary, plus mid-payload.
+  for (std::size_t cut : {std::size_t{2}, std::size_t{10}, std::size_t{19},
+                          good.size() - 1, good.size() / 2}) {
+    EXPECT_THROW(ckpt::decode_checkpoint(good.substr(0, cut), lib()), Error)
+        << "cut at " << cut;
+  }
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(ckpt::decode_checkpoint(bad_magic, lib()), Error);
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(0x7f);  // unsupported version
+  EXPECT_THROW(ckpt::decode_checkpoint(bad_version, lib()), Error);
+
+  // A flipped payload byte is caught by the CRC.
+  std::string flipped = good;
+  flipped[good.size() - 5] ^= 0x01;
+  EXPECT_THROW(ckpt::decode_checkpoint(flipped, lib()), Error);
+
+  std::string trailing = good + "garbage";
+  EXPECT_THROW(ckpt::decode_checkpoint(trailing, lib()), Error);
+}
+
+TEST(CheckpointTest, LoadMissingFileThrows) {
+  EXPECT_THROW(ckpt::load_checkpoint("ckpt_test_missing.ckpt", lib()), Error);
+}
+
+TEST(CheckpointTest, WrongSpecHashRejected) {
+  ckpt::Checkpoint c = sample_checkpoint();
+  EXPECT_NO_THROW(ckpt::check_spec_hash(c, c.spec_hash));
+  EXPECT_THROW(ckpt::check_spec_hash(c, c.spec_hash + 1), Error);
+}
+
+TEST(CheckpointTest, FingerprintSeparatesSpecsAndParams) {
+  const Specification a = quickstart_spec(lib());
+  const Specification b = base_station_spec(lib());
+  CrusadeParams params;
+  const std::uint64_t fa = Crusade::fingerprint(a, lib(), params);
+  EXPECT_EQ(fa, Crusade::fingerprint(a, lib(), params));  // stable
+  EXPECT_NE(fa, Crusade::fingerprint(b, lib(), params));  // spec-sensitive
+  CrusadeParams tweaked;
+  tweaked.enable_reconfig = false;
+  EXPECT_NE(fa, Crusade::fingerprint(a, lib(), tweaked));  // param-sensitive
+  CrusadeParams budget;
+  budget.alloc.max_iterations = 17;
+  EXPECT_NE(fa, Crusade::fingerprint(a, lib(), budget));
+}
+
+// --- determinism + resume equivalence (the tentpole's core claim) ---------
+
+TEST(CheckpointTest, SynthesisIsDeterministic) {
+  for (const Specification& spec :
+       {quickstart_spec(lib()), base_station_spec(lib())}) {
+    const CrusadeResult a = run_once(spec);
+    const CrusadeResult b = run_once(spec);
+    EXPECT_EQ(arch_bytes(a.arch), arch_bytes(b.arch)) << spec.name;
+    EXPECT_EQ(a.stats.sched_evals, b.stats.sched_evals) << spec.name;
+    EXPECT_EQ(a.stats.repair_moves, b.stats.repair_moves) << spec.name;
+    EXPECT_EQ(a.cost.total(), b.cost.total()) << spec.name;
+    EXPECT_EQ(a.feasible, b.feasible) << spec.name;
+  }
+}
+
+TEST(CheckpointTest, ResumeFromEveryCheckpointIsBitIdentical) {
+  const Specification spec = base_station_spec(lib());
+
+  CrusadeParams record;
+  record.checkpoint.every_evals = 1;  // checkpoint at every commit boundary
+  std::vector<ckpt::Checkpoint> trail;
+  record.checkpoint.on_write = [&](const ckpt::Checkpoint& c) {
+    trail.push_back(c);
+  };
+  const CrusadeResult baseline = Crusade(spec, lib(), record).run();
+  ASSERT_FALSE(trail.empty());
+
+  const std::uint64_t hash = Crusade::fingerprint(spec, lib(), CrusadeParams{});
+  const std::string want_arch = arch_bytes(baseline.arch);
+
+  bool saw_alloc = false, saw_merge_done = false;
+  for (std::size_t i = 0; i < trail.size(); ++i) {
+    const ckpt::Checkpoint& c = trail[i];
+    EXPECT_EQ(c.spec_hash, hash);
+    saw_alloc |= c.stage == ckpt::Stage::Allocation;
+    saw_merge_done |= c.stage == ckpt::Stage::MergeDone;
+
+    // Round-trip through the file format, exactly as the CLI does.
+    const ckpt::Checkpoint loaded =
+        ckpt::decode_checkpoint(ckpt::encode_checkpoint(c), lib());
+    CrusadeParams resume;
+    resume.resume = &loaded;
+    const CrusadeResult r = Crusade(spec, lib(), resume).run();
+    EXPECT_TRUE(r.resumed);
+    EXPECT_EQ(arch_bytes(r.arch), want_arch)
+        << "checkpoint " << i << " stage " << ckpt::to_string(c.stage);
+    EXPECT_EQ(r.stats.sched_evals, baseline.stats.sched_evals) << i;
+    EXPECT_EQ(r.stats.repair_moves, baseline.stats.repair_moves) << i;
+    EXPECT_EQ(r.merge_report.merges_accepted,
+              baseline.merge_report.merges_accepted)
+        << i;
+    EXPECT_EQ(r.cost.total(), baseline.cost.total()) << i;
+    EXPECT_EQ(r.feasible, baseline.feasible) << i;
+  }
+  EXPECT_TRUE(saw_alloc);       // allocation-stage checkpoints were taken
+  EXPECT_TRUE(saw_merge_done);  // and the final merge boundary
+}
+
+TEST(CheckpointTest, ResumeWithWrongSpecThrows) {
+  const Specification spec = quickstart_spec(lib());
+  CrusadeParams record;
+  std::vector<ckpt::Checkpoint> trail;
+  record.checkpoint.every_evals = 1;
+  record.checkpoint.on_write = [&](const ckpt::Checkpoint& c) {
+    trail.push_back(c);
+  };
+  (void)Crusade(spec, lib(), record).run();
+  ASSERT_FALSE(trail.empty());
+
+  const Specification other = base_station_spec(lib());
+  CrusadeParams resume;
+  resume.resume = &trail.front();
+  EXPECT_THROW(Crusade(other, lib(), resume).run(), Error);
+}
+
+// --- anytime semantics ----------------------------------------------------
+
+TEST(AnytimeTest, PreTriggeredStopStillReturnsCompleteResult) {
+  RunController control;
+  control.request_stop();  // fires before the first budget poll
+  CrusadeParams params;
+  params.control = &control;
+  const CrusadeResult r = run_once(base_station_spec(lib()), params);
+
+  EXPECT_TRUE(r.stopped);
+  EXPECT_TRUE(r.diagnosis.deadline_stopped);
+  EXPECT_FALSE(r.diagnosis.empty());
+  // The anytime contract: never an empty or schedule-less result.
+  EXPECT_FALSE(r.arch.pes.empty());
+  EXPECT_FALSE(r.schedule.timelines.empty());
+  EXPECT_GT(r.cost.total(), 0);
+}
+
+TEST(AnytimeTest, ExpiredDeadlineBehavesLikeStop) {
+  RunController control;
+  control.set_deadline_ms(1);
+  // Busy-wait past the deadline so it has expired before synthesis starts.
+  while (!control.deadline_expired()) {
+  }
+  CrusadeParams params;
+  params.control = &control;
+  const CrusadeResult r = run_once(base_station_spec(lib()), params);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_FALSE(r.arch.pes.empty());
+}
+
+TEST(AnytimeTest, UntriggeredControlChangesNothing) {
+  RunController control;  // armed with nothing: never fires
+  CrusadeParams params;
+  params.control = &control;
+  const CrusadeResult with = run_once(quickstart_spec(lib()), params);
+  const CrusadeResult without = run_once(quickstart_spec(lib()));
+  EXPECT_FALSE(with.stopped);
+  EXPECT_EQ(arch_bytes(with.arch), arch_bytes(without.arch));
+  EXPECT_EQ(with.stats.sched_evals, without.stats.sched_evals);
+}
+
+TEST(AnytimeTest, StoppedRunsDoNotCheckpointWrapUpStates) {
+  // Wrap-up states after the control fires are off the uninterrupted
+  // trajectory, so the policy must not record them (resume equivalence).
+  const Specification spec = base_station_spec(lib());
+
+  CrusadeParams clean;
+  clean.checkpoint.every_evals = 1;
+  std::vector<ckpt::Checkpoint> clean_trail;
+  clean.checkpoint.on_write = [&](const ckpt::Checkpoint& c) {
+    clean_trail.push_back(c);
+  };
+  const CrusadeResult baseline = Crusade(spec, lib(), clean).run();
+
+  RunController control;
+  control.request_stop();
+  CrusadeParams stopped;
+  stopped.control = &control;
+  stopped.checkpoint.every_evals = 1;
+  std::vector<ckpt::Checkpoint> stopped_trail;
+  stopped.checkpoint.on_write = [&](const ckpt::Checkpoint& c) {
+    stopped_trail.push_back(c);
+  };
+  (void)Crusade(spec, lib(), stopped).run();
+
+  // Every checkpoint a stopped run does write must also be a state the
+  // clean run passed through (prefix property on the committed arch).
+  ASSERT_LE(stopped_trail.size(), clean_trail.size());
+  for (std::size_t i = 0; i < stopped_trail.size(); ++i) {
+    EXPECT_EQ(arch_bytes(stopped_trail[i].arch),
+              arch_bytes(clean_trail[i].arch))
+        << i;
+  }
+  (void)baseline;
+}
+
+}  // namespace
+}  // namespace crusade

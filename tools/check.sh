@@ -5,9 +5,13 @@
 #      a real parser (skipped when neither python3 nor jq is available)
 #   3. clang-tidy over the library/tool sources (skipped when not installed)
 #   4. cppcheck over the same sources (skipped when not installed)
-#   5. ASan/UBSan configuration build + entire test suite
-#   6. fault-injection harness under ASan/UBSan (the mutated-spec paths are
+#   5. kill/resume smoke: `crusade soak` SIGKILLs synthesis children at
+#      random points and asserts resumed runs finish bit-identical
+#   6. ASan/UBSan configuration build + entire test suite
+#   7. fault-injection harness under ASan/UBSan (the mutated-spec paths are
 #      exactly where memory bugs would hide)
+#   8. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
+#      the Debug ASan build can miss) + entire test suite
 #
 #   tools/check.sh            # everything
 #   tools/check.sh --fast     # CI build + tests only
@@ -63,6 +67,12 @@ else
   echo "cppcheck: skipped (not installed)"
 fi
 
+echo "=== kill/resume smoke (crusade soak) ==="
+./build-ci/tools/crusade generate --tasks 40 --seed 7 -o build-ci/soak.spec \
+  > /dev/null
+./build-ci/tools/crusade soak build-ci/soak.spec --kills 5 \
+  --checkpoint-every 10
+
 if [[ "$fast" == 1 ]]; then
   echo "check.sh: CI suite green (sanitizer pass skipped)"
   exit 0
@@ -76,5 +86,10 @@ ctest --preset asan -j "$(nproc)"
 echo "=== fault injection under ASan/UBSan ==="
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/inject_test
+
+echo "=== UBSan-only configuration (optimized) ==="
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$(nproc)"
+ctest --preset ubsan -j "$(nproc)"
 
 echo "check.sh: all configurations green"

@@ -4,23 +4,44 @@
 //   crusade run <file.spec> [--no-reconfig] [--ft] [--boot-req <time>]
 //               [--power-cap <mW>] [--dump-schedule] [--write-spec <out>]
 //               [--trace <out.json>] [--stats] [--json]
+//               [--deadline-ms <n>] [--checkpoint <file>]
+//               [--checkpoint-every <evals>] [--resume]
 //   crusade trace <file.spec> [-o <trace.json>] [--no-reconfig]
 //               [--boot-req <time>] [--json]
 //   crusade validate <file.spec> [--no-reconfig] [--boot-req <time>]
 //   crusade generate (--profile <name> [--scale <f>] | --tasks <n>)
 //               [--seed <n>] [-o <file.spec>]
+//   crusade soak <file.spec> [--kills <n>] [--checkpoint-every <evals>]
+//               [--seed <n>]
 //   crusade lint <file.spec> [--json]
 //   crusade info <file.spec>
 //   crusade profiles
+//
+// `crusade run` exit codes (mirrors lint's 0/1/2 plus the anytime case):
+//   0  feasible architecture, search ran to completion
+//   1  infeasible result (honest diagnosis printed)
+//   2  operational error: bad arguments, unreadable spec, corrupt or
+//      mismatched checkpoint
+//   3  anytime result: the wall-clock deadline or a SIGINT/SIGTERM stop
+//      truncated the search; the best architecture found so far was
+//      reported (check `feasible` in --json for its quality)
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <random>
 #include <set>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "analyze/analyzer.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/serialize.hpp"
 #include "core/crusade.hpp"
 #include "core/field_upgrade.hpp"
 #include "core/report.hpp"
@@ -29,6 +50,7 @@
 #include "json_writer.hpp"
 #include "obs/obs.hpp"
 #include "tgff/profiles.hpp"
+#include "util/atomic_file.hpp"
 
 using namespace crusade;
 
@@ -40,19 +62,76 @@ int usage(const char* argv0) {
                "  %s run <file.spec> [--no-reconfig] [--ft] "
                "[--boot-req <time>] [--power-cap <mW>] [--dump-schedule] "
                "[--write-spec <out>] [--trace <out.json>] [--stats] "
-               "[--json]\n"
+               "[--json] [--deadline-ms <n>] [--checkpoint <file>] "
+               "[--checkpoint-every <evals>] [--resume]\n"
                "  %s trace <file.spec> [-o <trace.json>] [--no-reconfig] "
                "[--boot-req <time>] [--json]\n"
                "  %s validate <file.spec> [--no-reconfig] "
                "[--boot-req <time>]\n"
                "  %s generate (--profile <name> [--scale <f>] | --tasks <n>) "
                "[--seed <n>] [-o <file.spec>]\n"
+               "  %s soak <file.spec> [--kills <n>] "
+               "[--checkpoint-every <evals>] [--seed <n>]\n"
                "  %s upgrade <deployed.spec> <new.spec>\n"
                "  %s lint <file.spec> [--json]\n"
                "  %s info <file.spec>\n"
-               "  %s profiles\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               "  %s profiles\n"
+               "run exit codes: 0 feasible, 1 infeasible, 2 operational "
+               "error, 3 deadline/stop-truncated anytime result\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
   return 2;
+}
+
+/// Shared anytime control: `--deadline-ms` arms the wall clock; the first
+/// SIGINT/SIGTERM requests a cooperative stop (synthesis wraps up and
+/// reports the best architecture so far), the second falls back to the
+/// default handler and kills the process.
+RunController g_control;
+
+extern "C" void handle_stop_signal(int sig) {
+  g_control.request_stop();          // async-signal-safe: one atomic store
+  std::signal(sig, SIG_DFL);         // a second signal terminates for real
+}
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// FNV-1a of the canonical architecture serialization: two architectures
+/// hash equal iff their serialized bytes are identical, which is the
+/// bit-identity the soak harness asserts across crash/resume boundaries.
+std::uint64_t arch_hash(const Architecture& arch) {
+  ckpt::BinWriter w;
+  ckpt::write_architecture(w, arch);
+  return ckpt::fnv1a(w.bytes());
+}
+
+/// Deterministic fingerprint of everything a run's outcome promises:
+/// architecture bytes, feasibility, cost, the deterministic search
+/// counters, and the validator's verdict.  Two runs of the same search —
+/// interrupted or not — must produce equal signatures.
+std::string result_signature(const CrusadeResult& r) {
+  ckpt::BinWriter w;
+  ckpt::write_architecture(w, r.arch);
+  w.u8(r.feasible ? 1 : 0);
+  w.f64(r.cost.total());
+  w.i64(r.stats.sched_evals);
+  w.i64(r.stats.repair_moves);
+  w.i64(r.stats.merges_tried);
+  w.i64(r.stats.merges_accepted);
+  w.i64(r.stats.merge_reschedules);
+  w.i64(r.stats.mode_consolidations);
+  w.u8(r.validation.clean() ? 1 : 0);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(ckpt::fnv1a(w.bytes())));
+  return buf;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
 }
 
 struct Args {
@@ -82,12 +161,13 @@ struct Args {
 /// Serializes the observability event sink to a Chrome trace-event file
 /// (chrome://tracing, https://ui.perfetto.dev).  Returns 0 on success.
 int write_trace_file(const std::string& path, bool quiet) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write trace file %s\n", path.c_str());
+  try {
+    atomic_write_file(path, obs::trace_json() + "\n");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: cannot write trace file %s: %s\n",
+                 path.c_str(), e.what());
     return 1;
   }
-  out << obs::trace_json() << "\n";
   if (!quiet) {
     std::printf("trace: %zu spans -> %s (load in chrome://tracing or "
                 "https://ui.perfetto.dev)\n",
@@ -101,12 +181,18 @@ int write_trace_file(const std::string& path, bool quiet) {
 
 int cmd_run(int argc, char** argv) {
   const Args args = Args::parse(
-      argc, argv, {"--boot-req", "--power-cap", "--write-spec", "--trace"});
+      argc, argv,
+      {"--boot-req", "--power-cap", "--write-spec", "--trace",
+       "--deadline-ms", "--checkpoint", "--checkpoint-every"});
   if (args.positional.size() != 1) return usage(argv[0]);
   const ResourceLibrary lib = telecom_1999();
   Specification spec = read_specification_file(args.positional[0], lib);
   if (args.options.count("--boot-req"))
     spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+
+  install_stop_handlers();
+  if (args.options.count("--deadline-ms"))
+    g_control.set_deadline_ms(std::stol(args.options.at("--deadline-ms")));
 
   const bool want_trace = args.options.count("--trace") != 0;
   const bool want_stats = args.flags.count("--stats") != 0;
@@ -120,6 +206,10 @@ int cmd_run(int argc, char** argv) {
   }
 
   if (args.flags.count("--ft")) {
+    if (args.options.count("--checkpoint") || args.flags.count("--resume"))
+      throw Error(
+          "--checkpoint/--resume are not supported with --ft "
+          "(the fault-tolerance pipeline has no checkpoint trajectory yet)");
     CrusadeFtParams params;
     params.base.enable_reconfig = !args.flags.count("--no-reconfig");
     if (args.options.count("--power-cap"))
@@ -148,16 +238,46 @@ int cmd_run(int argc, char** argv) {
   params.enable_reconfig = !args.flags.count("--no-reconfig");
   if (args.options.count("--power-cap"))
     params.alloc.power_cap_mw = std::stod(args.options.at("--power-cap"));
+  params.control = &g_control;
+  if (args.options.count("--checkpoint")) {
+    params.checkpoint.path = args.options.at("--checkpoint");
+    if (args.options.count("--checkpoint-every"))
+      params.checkpoint.every_evals =
+          std::stoll(args.options.at("--checkpoint-every"));
+  } else if (args.flags.count("--resume") ||
+             args.options.count("--checkpoint-every")) {
+    throw Error("--resume/--checkpoint-every need --checkpoint <file>");
+  }
+  // Load-and-verify BEFORE synthesis: a corrupt, truncated, or foreign
+  // checkpoint is an operational error (exit 2, via the Error path in
+  // main), never a silent restart from scratch.
+  ckpt::Checkpoint loaded;
+  if (args.flags.count("--resume")) {
+    loaded = ckpt::load_checkpoint(params.checkpoint.path, lib);
+    ckpt::check_spec_hash(loaded, Crusade::fingerprint(spec, lib, params));
+    params.resume = &loaded;
+  }
   const CrusadeResult r = Crusade(spec, lib, params).run();
+  // Exit-code contract (usage text): truncation outranks the feasibility
+  // bit — a deadline-stopped run reports the best architecture so far and
+  // exits 3 so scripts can tell "anytime answer" from "final answer".
+  const int exit_code = r.stopped ? 3 : (r.feasible ? 0 : 1);
   if (want_trace && write_trace_file(args.options.at("--trace"), want_json))
-    return 1;
+    return 2;
   if (want_json) {
     // Machine-readable envelope; the stats sub-document comes straight from
     // RunStats::to_json so CLI and library schemas cannot drift.
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                  static_cast<unsigned long long>(arch_hash(r.arch)));
     tools::JsonWriter w;
     w.begin_object()
         .key("spec").value(args.positional[0])
         .key("feasible").value(r.feasible)
+        .key("stopped").value(r.stopped)
+        .key("resumed").value(r.resumed)
+        .key("validation_clean").value(r.validation.clean())
+        .key("arch_hash").value(std::string(hash_hex))
         .key("cost").value(r.cost.total(), 2)
         .key("power_mw").value(r.power_mw, 2)
         .key("pes").value(r.pe_count)
@@ -167,7 +287,7 @@ int cmd_run(int argc, char** argv) {
       w.key("trace_file").value(args.options.at("--trace"));
     w.key("stats").raw(r.stats.to_json()).end_object();
     std::printf("%s\n", w.str().c_str());
-    return r.feasible ? 0 : 1;
+    return exit_code;
   }
   std::printf("%s", describe_result(r).c_str());
   if (want_stats) std::printf("%s", r.stats.table().c_str());
@@ -181,7 +301,7 @@ int cmd_run(int argc, char** argv) {
   }
   if (args.options.count("--write-spec"))
     write_specification_file(args.options.at("--write-spec"), spec, lib);
-  return r.feasible ? 0 : 1;
+  return exit_code;
 }
 
 /// `crusade trace`: synthesize with tracing enabled, print the phase/counter
@@ -394,6 +514,155 @@ int cmd_lint(int argc, char** argv) {
   return report.has_warnings() ? 1 : 0;
 }
 
+/// `crusade soak`: the crash/resume soak harness (DESIGN.md §11).  Runs the
+/// synthesis once uninterrupted to get the reference result, then forks
+/// child synthesis processes that checkpoint as they go, SIGKILLs each at a
+/// uniformly random point, resumes the survivor from its checkpoint, and
+/// asserts (a) every checkpoint left on disk after a kill is absent or
+/// fully loadable — never corrupt, and (b) every lineage that runs to
+/// completion produces a result signature (architecture bytes, feasibility,
+/// cost, search counters, validator verdict) bit-identical to the
+/// uninterrupted baseline's.
+int cmd_soak(int argc, char** argv) {
+  const Args args =
+      Args::parse(argc, argv, {"--kills", "--checkpoint-every", "--seed"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  const Specification spec = read_specification_file(args.positional[0], lib);
+  const int kills = args.options.count("--kills")
+                        ? std::stoi(args.options.at("--kills"))
+                        : 20;
+  const std::int64_t every =
+      args.options.count("--checkpoint-every")
+          ? std::stoll(args.options.at("--checkpoint-every"))
+          : 25;
+  const std::uint64_t seed = args.options.count("--seed")
+                                 ? std::stoull(args.options.at("--seed"))
+                                 : 12345;
+
+  const CrusadeParams params;  // defaults; the fingerprint pins them
+  const auto t0 = std::chrono::steady_clock::now();
+  const CrusadeResult baseline = Crusade(spec, lib, params).run();
+  const double base_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::string expect = result_signature(baseline);
+  if (!baseline.validation.clean())
+    throw Error(
+        "soak needs a spec whose baseline result is validator-clean; this "
+        "one is not (" +
+        std::string(baseline.feasible ? "feasible" : "infeasible") +
+        ") — pick or generate a feasible specification");
+  std::printf("soak: baseline %s in %.3fs, signature %s\n",
+              baseline.feasible ? "feasible" : "infeasible", base_seconds,
+              expect.c_str());
+
+  const std::string ckpt_path = args.positional[0] + ".soak.ckpt";
+  const std::string sig_path = args.positional[0] + ".soak.sig";
+  std::remove(ckpt_path.c_str());
+  std::remove(sig_path.c_str());
+
+  const std::uint64_t spec_hash = Crusade::fingerprint(spec, lib, params);
+  std::mt19937_64 rng(seed);
+  int killed = 0, completions = 0, resumed_kills = 0, attempts = 0;
+  // Kills landing after a child already finished count as completions, not
+  // kills; the guard bounds the loop if the spec synthesizes much faster
+  // than the baseline suggested.
+  const int max_attempts = kills * 5 + 50;
+  while (killed < kills && attempts < max_attempts) {
+    ++attempts;
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid < 0) throw Error("soak: fork failed");
+    if (pid == 0) {
+      // Child: resume from the lineage's checkpoint if one exists, run to
+      // completion, publish the result signature atomically.  _exit (not
+      // exit) so the parent's stdio buffers are not flushed twice.
+      try {
+        CrusadeParams p = params;
+        p.checkpoint.path = ckpt_path;
+        p.checkpoint.every_evals = every;
+        ckpt::Checkpoint c;
+        if (file_exists(ckpt_path)) {
+          c = ckpt::load_checkpoint(ckpt_path, lib);
+          ckpt::check_spec_hash(c, spec_hash);
+          p.resume = &c;
+        }
+        const CrusadeResult r = Crusade(spec, lib, p).run();
+        atomic_write_file(sig_path, result_signature(r));
+        _exit(0);
+      } catch (...) {
+        _exit(90);
+      }
+    }
+    const bool was_resume = file_exists(ckpt_path);
+    const double frac =
+        std::uniform_real_distribution<double>(0.0, 1.1)(rng);
+    const double wait_s = frac * std::max(base_seconds, 0.002);
+    ::usleep(static_cast<useconds_t>(wait_s * 1e6));
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status)) {
+      if (WEXITSTATUS(status) != 0)
+        throw Error("soak: child synthesis failed (exit " +
+                    std::to_string(WEXITSTATUS(status)) + ")");
+      // Finished before the kill arrived: the lineage's final answer must
+      // match the uninterrupted baseline bit for bit.
+      if (read_file(sig_path) != expect)
+        throw Error(
+            "soak: completed child's result differs from the uninterrupted "
+            "baseline (determinism or resume bug)");
+      ++completions;
+      std::remove(ckpt_path.c_str());  // start a fresh lineage
+      std::remove(sig_path.c_str());
+    } else {
+      ++killed;
+      if (was_resume) ++resumed_kills;
+      // Crash-safety invariant: whatever instant the SIGKILL hit, the
+      // checkpoint file is either absent or a complete, CRC-clean,
+      // fingerprint-matching snapshot.  load_checkpoint throws otherwise.
+      if (file_exists(ckpt_path)) {
+        const ckpt::Checkpoint c = ckpt::load_checkpoint(ckpt_path, lib);
+        ckpt::check_spec_hash(c, spec_hash);
+      }
+    }
+  }
+  if (killed < kills)
+    throw Error("soak: only " + std::to_string(killed) + "/" +
+                std::to_string(kills) + " kills landed in " +
+                std::to_string(attempts) +
+                " attempts — the spec synthesizes too fast; use a larger "
+                "one (crusade generate)");
+
+  // Drain the surviving lineage to completion in-process and hold it to
+  // the same bit-identity bar (also covers the no-checkpoint-yet case,
+  // which must simply reproduce the baseline from scratch).
+  {
+    CrusadeParams p = params;
+    ckpt::Checkpoint c;
+    if (file_exists(ckpt_path)) {
+      c = ckpt::load_checkpoint(ckpt_path, lib);
+      ckpt::check_spec_hash(c, spec_hash);
+      p.resume = &c;
+    }
+    const CrusadeResult r = Crusade(spec, lib, p).run();
+    if (result_signature(r) != expect)
+      throw Error(
+          "soak: final resumed result differs from the uninterrupted "
+          "baseline");
+    ++completions;
+  }
+  std::remove(ckpt_path.c_str());
+  std::remove(sig_path.c_str());
+  std::printf(
+      "soak PASS: %d SIGKILLs (%d on resumed runs), %d completions, every "
+      "checkpoint loadable, every completed result bit-identical to the "
+      "baseline\n",
+      killed, resumed_kills, completions);
+  return 0;
+}
+
 int cmd_profiles() {
   std::printf("paper example profiles (Tables 2-3):\n");
   for (const ExampleProfile& p : paper_profiles())
@@ -412,13 +681,17 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(argc, argv);
     if (cmd == "validate") return cmd_validate(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "soak") return cmd_soak(argc, argv);
     if (cmd == "upgrade") return cmd_upgrade(argc, argv);
     if (cmd == "lint") return cmd_lint(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "profiles") return cmd_profiles();
   } catch (const Error& e) {
+    // Operational errors — unreadable/invalid input, corrupt or mismatched
+    // checkpoint, failed soak invariant — exit 2 (same slot lint uses for
+    // hard errors), leaving 1 to mean an honest infeasible verdict.
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 2;
   }
   return usage(argv[0]);
 }
