@@ -43,6 +43,7 @@ const std::vector<DiagnosticInfo>& diagnostic_catalog() {
       {"A022", Severity::Error, "task-no-pe", "§2.2"},
       {"A030", Severity::Warning, "compat-contradiction", "§4.1"},
       {"A031", Severity::Warning, "boot-exceeds-slack", "§4.3/§4.4"},
+      {"A040", Severity::Error, "invalid-unavailability", "§6"},
   };
   return catalog;
 }
@@ -200,6 +201,7 @@ class Analyzer {
     // but its diagnostics are dropped when the caller disabled them.
     for (int g = 0; g < graph_count(); ++g) check_structure(g);
     if (!opt_.structure) report_.diagnostics.clear();
+    check_dependability();
     for (int g = 0; g < graph_count(); ++g) compute_bounds(g);
     if (opt_.bounds)
       for (int g = 0; g < graph_count(); ++g) check_bounds(g);
@@ -376,6 +378,29 @@ class Analyzer {
                    graph.name() + "'",
                "§2.1");
       }
+  }
+
+  // --- A040: fault-tolerance inputs ------------------------------------
+  // A malformed unavailability requirement would otherwise surface only
+  // deep inside the CRUSADE-FT Markov solver (or, worse, as a NaN compared
+  // against a NaN, silently "meeting" the requirement).  The same rule as
+  // Specification::validate, phrased so NaN fails it.
+  void check_dependability() {
+    const auto& req = spec_.unavailability_requirement;
+    if (req.empty()) return;
+    if (req.size() != spec_.graphs.size()) {
+      emit("A040", Severity::Error, 0,
+           "unavailability requirement count " + std::to_string(req.size()) +
+               " != graph count " + std::to_string(spec_.graphs.size()),
+           "§6");
+      return;
+    }
+    for (std::size_t g = 0; g < req.size(); ++g)
+      if (!(req[g] >= 0 && req[g] <= 1))
+        emit("A040", Severity::Error, graph_line(static_cast<int>(g)),
+             "graph '" + spec_.graphs[g].name() +
+                 "' unavailability requirement is outside [0,1]",
+             "§6");
   }
 
   /// Cheapest possible communication for an edge: free on a shared PE,

@@ -1,15 +1,38 @@
 #include "ft/crusade_ft.hpp"
 
+#include <chrono>
+
+#include "obs/obs.hpp"
+
 namespace crusade {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 CrusadeFt::CrusadeFt(const Specification& spec, const ResourceLibrary& lib,
                      CrusadeFtParams params)
     : spec_(spec), lib_(lib), params_(std::move(params)) {}
 
 CrusadeFtResult CrusadeFt::run() {
+  const auto run_start = std::chrono::steady_clock::now();
   CrusadeFtResult result;
-  result.ft_spec =
-      add_fault_tolerance(spec_, lib_, params_.ft, &result.transform);
+
+  {
+    OBS_SPAN("phase.ft.transform");
+    const auto t0 = std::chrono::steady_clock::now();
+    result.ft_spec =
+        add_fault_tolerance(spec_, lib_, params_.ft, &result.transform);
+    result.synthesis.stats.ft_transform_seconds = seconds_since(t0);
+  }
+  obs::count("ft.check_tasks", result.transform.assertions_added +
+                                   result.transform.duplicate_compare_added);
+  obs::count("ft.checks_shared", result.transform.checks_shared);
 
   if (result.ft_spec.unavailability_requirement.empty()) {
     result.ft_spec.unavailability_requirement.resize(
@@ -23,16 +46,63 @@ CrusadeFtResult CrusadeFt::run() {
   // §6: clustering keys on fault-tolerance levels — realized here by running
   // the priority machinery over the augmented graphs, whose check tasks and
   // assertion overheads are first-class tasks with deadlines.
+  const double ft_transform_seconds =
+      result.synthesis.stats.ft_transform_seconds;
   Crusade crusade(result.ft_spec, lib_, params_.base);
   result.synthesis = crusade.run();
+  result.synthesis.stats.ft_transform_seconds = ft_transform_seconds;
 
   // Dependability: service modules, Markov availability, spares (§6).
   FlatSpec flat(result.ft_spec);
-  result.dependability =
-      provision_spares(result.synthesis.arch, flat,
-                       result.synthesis.task_cluster, params_.dependability);
+  {
+    OBS_SPAN("phase.ft.dependability");
+    const auto t0 = std::chrono::steady_clock::now();
+    result.dependability =
+        provision_spares(result.synthesis.arch, flat,
+                         result.synthesis.task_cluster,
+                         params_.dependability);
+    result.synthesis.stats.ft_dependability_seconds = seconds_since(t0);
+  }
+  int spares = 0;
+  for (const ServiceModule& module : result.dependability.modules)
+    spares += module.spares;
+  result.synthesis.stats.ft_spares = spares;
+  obs::count("ft.spares", spares);
+  result.synthesis.stats.ft_check_tasks =
+      result.transform.assertions_added +
+      result.transform.duplicate_compare_added;
+  result.synthesis.stats.ft_checks_shared = result.transform.checks_shared;
   result.synthesis.cost = result.synthesis.arch.cost();
   result.total_cost = result.synthesis.cost.total();
+
+  // Optional survivability self-check: prove the FT provisions on this very
+  // result by replaying the schedule under injected faults (src/sim).
+  if (params_.survive_check && result.synthesis.feasible) {
+    OBS_SPAN("phase.sim.sweep");
+    const auto t0 = std::chrono::steady_clock::now();
+    SurvivalInput input;
+    input.flat = &flat;
+    input.arch = &result.synthesis.arch;
+    input.task_cluster = &result.synthesis.task_cluster;
+    input.schedule = &result.synthesis.schedule;
+    input.graph_unavailability = result.dependability.graph_unavailability;
+    input.boot_time_requirement = result.ft_spec.boot_time_requirement;
+    // Per-PE spare view of the service modules.
+    input.pe_spares.assign(result.synthesis.arch.pes.size(), 0);
+    for (const ServiceModule& module : result.dependability.modules)
+      for (const int pe : module.pes)
+        input.pe_spares[static_cast<std::size_t>(pe)] = module.spares;
+    CampaignParams campaign;
+    campaign.seeds = params_.survive_seeds;
+    campaign.seed_base = params_.survive_seed_base;
+    campaign.sim = params_.survive;
+    result.survival = run_campaign(input, campaign);
+    result.synthesis.stats.survive_seconds = seconds_since(t0);
+    result.synthesis.stats.survive_scenarios = result.survival.scenarios;
+    result.synthesis.stats.survive_ft_lies = result.survival.ft_lies;
+  }
+
+  result.synthesis.stats.total_seconds = seconds_since(run_start);
   return result;
 }
 

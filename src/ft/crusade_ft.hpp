@@ -11,6 +11,7 @@
 #include "core/crusade.hpp"
 #include "ft/dependability.hpp"
 #include "ft/transform.hpp"
+#include "sim/campaign.hpp"
 
 namespace crusade {
 
@@ -23,6 +24,14 @@ struct CrusadeFtParams {
   /// every third graph held to 4 minutes/year (transmission-class), per §7.
   double default_unavailability = 12.0 / (365.25 * 24 * 60);
   double strict_unavailability = 4.0 / (365.25 * 24 * 60);
+  /// Self-check: after a feasible synthesis, replay a small seeded fault
+  /// campaign (src/sim) against the result; outcomes land in
+  /// CrusadeFtResult::survival.  Off by default — it costs a schedule
+  /// replay per scenario.
+  bool survive_check = false;
+  int survive_seeds = 32;
+  std::uint64_t survive_seed_base = 1;
+  SimParams survive;
 };
 
 struct CrusadeFtResult {
@@ -30,6 +39,9 @@ struct CrusadeFtResult {
   CrusadeResult synthesis;
   FtTransformReport transform;
   DependabilityReport dependability;
+  /// Survivability self-check results; empty (scenarios == 0) unless
+  /// params.survive_check was set and synthesis was feasible.
+  CampaignResult survival;
   double total_cost = 0;  ///< architecture + spares
 };
 

@@ -9,8 +9,14 @@ namespace crusade {
 
 double module_unavailability(double fit_total, double mttr_hours,
                              int spares) {
-  CRUSADE_REQUIRE(fit_total >= 0, "negative FIT");
-  CRUSADE_REQUIRE(mttr_hours > 0, "MTTR must be positive");
+  // The guards are written so NaN inputs fail them too (`!(x op y)` rather
+  // than the complementary comparison): a NaN FIT rate from a corrupted
+  // spec must become a typed Error here, never a NaN unavailability inside
+  // a DependabilityReport.
+  CRUSADE_REQUIRE(std::isfinite(fit_total) && fit_total >= 0,
+                  "FIT rate must be finite and non-negative");
+  CRUSADE_REQUIRE(std::isfinite(mttr_hours) && mttr_hours > 0,
+                  "MTTR must be finite and positive");
   CRUSADE_REQUIRE(spares >= 0, "negative spares");
   const double lambda = fit_total * 1e-9;  // failures per hour
   const double mu = 1.0 / mttr_hours;      // repairs per hour
@@ -24,9 +30,15 @@ double module_unavailability(double fit_total, double mttr_hours,
   for (int k = 1; k <= n; ++k) {
     pi[k] = pi[k - 1] * ((n - (k - 1)) * lambda) / mu;
     sum += pi[k];
+    // Absurd lambda/mu ratios (e.g. an astronomically large but still
+    // finite FIT) can overflow the unnormalized chain; the limit of
+    // pi[n]/sum as the ratio grows is 1 (the module is essentially always
+    // down), so clamp there instead of letting inf/inf become NaN.
+    if (!std::isfinite(sum)) return 1.0;
   }
   // Down only when every unit (active + spares) has failed.
-  return pi[n] / sum;
+  const double u = pi[n] / sum;
+  return std::clamp(u, 0.0, 1.0);
 }
 
 std::vector<ServiceModule> form_service_modules(

@@ -57,21 +57,29 @@ Specification add_fault_tolerance(const Specification& spec,
 
     // Decide which tasks carry their own check.  Reverse topological order:
     // an error-transparent task within max_transparency_hops of a checked
-    // successor shares that check (§6 error transparency).
+    // successor shares that check (§6 error transparency).  `delegate`
+    // records which successor a shared-coverage task forwards its errors to,
+    // so coverage can later be resolved to a concrete check task.
     const auto order = graph.topo_order();
     std::vector<int> hops_to_check(graph.task_count(), 1 << 20);
     std::vector<char> own_check(graph.task_count(), 0);
+    std::vector<int> delegate(graph.task_count(), -1);
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const int t = *it;
       int best = 1 << 20;
+      int via_dst = -1;
       for (int eid : graph.out_edges()[t]) {
         const int dst = graph.edge(eid).dst;
         const int via = own_check[dst] ? 1 : hops_to_check[dst] + 1;
-        best = std::min(best, via);
+        if (via < best) {
+          best = via;
+          via_dst = dst;
+        }
       }
       if (graph.task(t).error_transparent &&
           best <= params.max_transparency_hops) {
         hops_to_check[t] = best;
+        delegate[t] = via_dst;
         ++local.checks_shared;
       } else {
         own_check[t] = 1;
@@ -79,6 +87,8 @@ Specification add_fault_tolerance(const Specification& spec,
       }
     }
 
+    // Check task (local index) guarding each own-check task.
+    std::vector<int> checker(graph.task_count(), -1);
     for (int t = 0; t < graph.task_count(); ++t) {
       if (!own_check[t]) continue;
       // By value: add_task below may reallocate the task vector.
@@ -96,15 +106,20 @@ Specification add_fault_tolerance(const Specification& spec,
         assertion.pins = std::max(1, checked.pins / 4);
         assertion.deadline = check_deadline(graph, t);
         assertion.has_assertion = true;
+        assertion.checks = t;
         const int aid = ft.add_task(std::move(assertion));
         ft.add_edge(t, aid, params.check_edge_bytes);
         ft.add_exclusion(t, aid);  // checker must sit on a different PE
+        ft.task(t).covered_by = aid;
+        checker[t] = aid;
         ++local.assertions_added;
       } else {
         // Duplicate-and-compare: replicate the task with its inputs and
         // compare both outputs on a small task.
         Task duplicate = checked;
         duplicate.name = checked.name + ".dup";
+        duplicate.duplicate_of = t;
+        duplicate.covered_by = -1;  // set to the comparator below
         // Exclusions are symmetric relations; rebuild them for the copy
         // rather than inheriting one-directional references.
         const std::vector<int> inherited = std::move(duplicate.exclusions);
@@ -123,12 +138,40 @@ Specification add_fault_tolerance(const Specification& spec,
         compare.pfus = std::max(1, checked.pfus / 16);
         compare.pins = std::max(1, checked.pins / 4);
         compare.deadline = check_deadline(graph, t);
+        compare.checks = t;
         const int cid = ft.add_task(std::move(compare));
         ft.add_edge(t, cid, params.check_edge_bytes);
         ft.add_edge(did, cid, params.check_edge_bytes);
-        ft.add_exclusion(t, did);  // replicas on distinct PEs
+        // Replicas and their comparator pairwise on distinct PEs: one PE
+        // death may silence at most one of the three, so the comparator
+        // either runs (and flags the mismatch/absence) or its own missing
+        // report is the signal — never both replica and judge at once.
+        ft.add_exclusion(t, did);
+        ft.add_exclusion(t, cid);
+        ft.add_exclusion(did, cid);
+        ft.task(t).covered_by = cid;
+        ft.task(did).covered_by = cid;
+        checker[t] = cid;
         ++local.duplicate_compare_added;
       }
+    }
+
+    // Resolve shared coverage: an error-transparent task without its own
+    // check forwards errors along its delegate chain until a task with a
+    // concrete checker is reached.  Record the covering check and pin it to
+    // a different PE — a PE fault taking out both the producer and its only
+    // observer would otherwise escape undetected (the runtime counterpart
+    // of the §6 exclusion constraint, exercised by src/sim).
+    for (int t = 0; t < graph.task_count(); ++t) {
+      if (own_check[t]) continue;
+      int root = t;
+      while (root >= 0 && !own_check[root]) root = delegate[root];
+      CRUSADE_REQUIRE(root >= 0 && checker[root] >= 0,
+                      "ft transform: task '" + graph.task(t).name +
+                          "' has no resolvable covering check");
+      const int cov = checker[root];
+      ft.task(t).covered_by = cov;
+      ft.add_exclusion(t, cov);
     }
     out.graphs.push_back(std::move(ft));
   }

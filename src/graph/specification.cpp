@@ -59,8 +59,11 @@ void Specification::validate(int pe_type_count) const {
   if (!unavailability_requirement.empty() &&
       unavailability_requirement.size() != graphs.size())
     throw Error("unavailability requirement arity != graph count");
+  // Negated-range form so NaN (which fails every comparison) is rejected
+  // rather than slipping past `u < 0 || u > 1`.
   for (double u : unavailability_requirement)
-    if (u < 0 || u > 1) throw Error("unavailability requirement out of [0,1]");
+    if (!(u >= 0 && u <= 1))
+      throw Error("unavailability requirement out of [0,1]");
   if (boot_time_requirement <= 0)
     throw Error("boot time requirement must be positive");
   hyperperiod();  // throws on overflow / bad periods

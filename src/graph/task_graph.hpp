@@ -66,6 +66,21 @@ struct Task {
   /// duplicate-and-compare pair is used instead.
   bool has_assertion = true;
 
+  /// §6 fault-tolerance roles, attached by add_fault_tolerance (in-memory
+  /// only, never part of the spec file format).  All are local task indices
+  /// within the same graph, -1 when the role does not apply:
+  ///  * `checks`       — on a check task (assertion or comparator): the task
+  ///                      whose results it directly validates;
+  ///  * `covered_by`   — on a covered task: the check task that observes its
+  ///                      faults (its own checker, or the shared downstream
+  ///                      check reached over an error-transparent path);
+  ///  * `duplicate_of` — on a duplicate-and-compare replica: the original.
+  /// The survivability simulator (src/sim) keys its detection model on
+  /// these, so they must survive graph copies (plain value fields do).
+  int checks = -1;
+  int covered_by = -1;
+  int duplicate_of = -1;
+
   /// Whether this task runs on CPUs (vs. hardware-only); derived from the
   /// execution vector.
   bool feasible_on(PeTypeId pe) const {

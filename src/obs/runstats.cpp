@@ -17,6 +17,9 @@ std::vector<std::pair<std::string, double>> RunStats::phase_rows() const {
       {"repair", repair_seconds},
       {"validation", validation_seconds},
       {"diagnosis", diagnosis_seconds},
+      {"ft.transform", ft_transform_seconds},
+      {"ft.dependability", ft_dependability_seconds},
+      {"survive", survive_seconds},
       {"total", total_seconds},
   };
 }
@@ -38,6 +41,11 @@ std::vector<std::pair<std::string, std::int64_t>> RunStats::counter_rows()
       {"merge.reschedules", merge_reschedules},
       {"merge.consolidations", mode_consolidations},
       {"interface.candidates", interface_candidates},
+      {"ft.check_tasks", ft_check_tasks},
+      {"ft.checks_shared", ft_checks_shared},
+      {"ft.spares", ft_spares},
+      {"survive.scenarios", survive_scenarios},
+      {"survive.ft_lies", survive_ft_lies},
   };
 }
 

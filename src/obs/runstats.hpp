@@ -29,7 +29,11 @@ struct RunStats {
   double repair_seconds = 0;      ///< final schedule repair
   double validation_seconds = 0;  ///< independent self-check
   double diagnosis_seconds = 0;   ///< infeasibility diagnosis
-  double total_seconds = 0;       ///< whole Crusade::run
+  // CRUSADE-FT phases (zero on plain Crusade runs):
+  double ft_transform_seconds = 0;      ///< §6 check-task augmentation
+  double ft_dependability_seconds = 0;  ///< Markov analysis + spares
+  double survive_seconds = 0;           ///< survivability self-check sweep
+  double total_seconds = 0;  ///< whole Crusade::run (or CrusadeFt::run)
 
   // --- search-effort counters ---
   std::int64_t sched_evals = 0;        ///< allocator schedule evaluations
@@ -50,6 +54,12 @@ struct RunStats {
   std::int64_t merge_reschedules = 0;
   std::int64_t mode_consolidations = 0;
   std::int64_t interface_candidates = 0;  ///< interface options priced
+  // CRUSADE-FT effort (zero on plain Crusade runs):
+  std::int64_t ft_check_tasks = 0;     ///< assertions + comparators added
+  std::int64_t ft_checks_shared = 0;   ///< checks saved by transparency
+  std::int64_t ft_spares = 0;          ///< standby spares provisioned
+  std::int64_t survive_scenarios = 0;  ///< self-check scenarios replayed
+  std::int64_t survive_ft_lies = 0;    ///< hard failures among them
 
   /// Phase rows in pipeline order (name, seconds), total last.
   std::vector<std::pair<std::string, double>> phase_rows() const;

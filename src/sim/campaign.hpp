@@ -1,0 +1,47 @@
+// Seed-driven fault campaign: draws hundreds of scenarios from a synthesized
+// architecture's fault surface (which PEs host work, which edges cross
+// links, which modes reconfigure) and replays each through the survivability
+// simulator.  Same seed_base + seeds => bit-identical outcomes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/survive.hpp"
+
+namespace crusade {
+
+struct CampaignParams {
+  int seeds = 100;  ///< scenarios drawn (a fault-free baseline is always run)
+  std::uint64_t seed_base = 1;
+  SimParams sim;
+};
+
+struct CampaignResult {
+  int scenarios = 0;  ///< simulated, including the baseline replay
+  int masked = 0;
+  int degraded = 0;
+  int ft_lies = 0;
+  int transients = 0;  ///< TransientTask scenarios drawn
+  /// Transients whose covering check ran on a different PE than the faulted
+  /// task — the acceptance bar is transients_cross_pe == transients.
+  int transients_cross_pe = 0;
+  std::vector<ScenarioOutcome> outcomes;
+
+  bool clean() const { return ft_lies == 0; }
+};
+
+/// Deterministically derives one scenario from a seed.  The fault surface
+/// (candidate PEs, tasks, edges, modes) comes from the input architecture;
+/// kinds without candidates (e.g. ReconfigRetry on a reconfiguration-free
+/// design) are never drawn.  Returns FaultKind::None when the architecture
+/// exposes no fault surface at all.
+FaultScenario draw_scenario(const SurvivalInput& input, std::uint64_t seed,
+                            const SimParams& params = {});
+
+/// Baseline replay plus `seeds` drawn scenarios.  Never throws for healthy
+/// inputs; scenario verdicts (including FT-LIE) are data, not errors.
+CampaignResult run_campaign(const SurvivalInput& input,
+                            const CampaignParams& params = {});
+
+}  // namespace crusade

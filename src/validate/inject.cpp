@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <iterator>
+#include <limits>
 #include <vector>
 
 namespace crusade {
@@ -162,6 +163,38 @@ Mutation shrink_deadline(Specification& spec, Rng& rng) {
   return m;
 }
 
+Mutation perturb_unavailability(Specification& spec, Rng& rng) {
+  Mutation m{MutationKind::PerturbUnavailability, "", false};
+  auto& req = spec.unavailability_requirement;
+  const double r = rng.uniform();
+  if (req.empty()) {
+    // Attach a requirement vector of the wrong arity, or one poisoned
+    // entry; both must be caught before any Markov math runs.
+    req.assign(spec.graphs.size() + (r < 0.5 ? 1 : 0), 12.0 / 525600.0);
+    if (r >= 0.5) req[pick(rng, static_cast<int>(req.size()))] = -0.25;
+    m.description = str("attach unavailability vector of arity %zu%s",
+                        req.size(), r < 0.5 ? " (wrong)" : " (negative entry)");
+    m.applied = true;
+    return m;
+  }
+  const int g = pick(rng, static_cast<int>(req.size()));
+  if (r < 0.25) {
+    req[g] = std::numeric_limits<double>::quiet_NaN();
+    m.description = str("unavailability[%d] := NaN", g);
+  } else if (r < 0.5) {
+    req[g] = -req[g] - 0.1;
+    m.description = str("unavailability[%d] := %g (negative)", g, req[g]);
+  } else if (r < 0.75) {
+    req[g] = 1.0 + rng.uniform_real(0.1, 10.0);
+    m.description = str("unavailability[%d] := %g (>1)", g, req[g]);
+  } else {
+    req.push_back(0.5);
+    m.description = str("unavailability arity grown to %zu", req.size());
+  }
+  m.applied = true;
+  return m;
+}
+
 }  // namespace
 
 const char* to_string(MutationKind kind) {
@@ -171,6 +204,7 @@ const char* to_string(MutationKind kind) {
     case MutationKind::PerturbExec: return "perturb-exec";
     case MutationKind::PerturbPeriod: return "perturb-period";
     case MutationKind::ShrinkDeadline: return "shrink-deadline";
+    case MutationKind::PerturbUnavailability: return "perturb-unavailability";
     case MutationKind::CorruptSpecLine: return "corrupt-spec-line";
     case MutationKind::CorruptSpecToken: return "corrupt-spec-token";
   }
@@ -179,11 +213,12 @@ const char* to_string(MutationKind kind) {
 
 Mutation mutate_specification(Specification& spec, Rng& rng) {
   if (spec.graphs.empty()) return {MutationKind::DropEdge, "", false};
-  switch (pick(rng, 5)) {
+  switch (pick(rng, 6)) {
     case 0: return drop_edge(spec, rng);
     case 1: return duplicate_edge(spec, rng);
     case 2: return perturb_exec(spec, rng);
     case 3: return perturb_period(spec, rng);
+    case 4: return perturb_unavailability(spec, rng);
     default: return shrink_deadline(spec, rng);
   }
 }

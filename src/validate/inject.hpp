@@ -30,6 +30,7 @@ enum class MutationKind {
   PerturbExec,
   PerturbPeriod,
   ShrinkDeadline,
+  PerturbUnavailability,  ///< §6 per-graph unavailability requirements
   CorruptSpecLine,
   CorruptSpecToken,
 };

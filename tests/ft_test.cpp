@@ -2,6 +2,9 @@
 // availability, service modules, spares, and the CRUSADE-FT driver.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "ft/crusade_ft.hpp"
 #include "tgff/generator.hpp"
 
@@ -169,6 +172,64 @@ TEST(DependabilityTest, SparesImproveAvailabilityMonotonically) {
     prev = u;
   }
   EXPECT_DOUBLE_EQ(module_unavailability(0, 2.0, 0), 0);
+}
+
+TEST(DependabilityTest, DegenerateInputsBecomeTypedErrors) {
+  // Corrupted FIT/MTTR values must surface as crusade::Error before any
+  // Markov arithmetic runs — never as a NaN/inf unavailability that would
+  // quietly poison a DependabilityReport's "meets requirements" verdict.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(module_unavailability(nan, 2.0, 0), Error);
+  EXPECT_THROW(module_unavailability(inf, 2.0, 0), Error);
+  EXPECT_THROW(module_unavailability(-1.0, 2.0, 0), Error);
+  EXPECT_THROW(module_unavailability(-inf, 2.0, 0), Error);
+  EXPECT_THROW(module_unavailability(5000, 0.0, 0), Error);
+  EXPECT_THROW(module_unavailability(5000, -2.0, 0), Error);
+  EXPECT_THROW(module_unavailability(5000, nan, 0), Error);
+  EXPECT_THROW(module_unavailability(5000, inf, 0), Error);
+  EXPECT_THROW(module_unavailability(5000, 2.0, -1), Error);
+}
+
+TEST(DependabilityTest, ExtremeFiniteInputsStayInUnitInterval) {
+  // Huge-but-finite FIT rates overflow the unnormalized birth–death chain;
+  // the limit of U as lambda/mu grows is 1, and the clamp must hold at the
+  // spare cap too (spares only shrink U, never push it out of [0,1]).
+  DependabilityParams params;
+  for (const double fit : {1e300, 1e18, 7.2e9}) {
+    for (int spares = 0; spares <= params.max_spares_per_module; ++spares) {
+      const double u = module_unavailability(fit, 2.0, spares);
+      EXPECT_TRUE(std::isfinite(u)) << "fit " << fit << " spares " << spares;
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+  // Tiny MTTR (near-instant repair) and denormal FIT are fine too.
+  EXPECT_EQ(module_unavailability(0.0, 1e-300, 3), 0.0);
+  const double u = module_unavailability(1e-300, 1e-12, 0);
+  EXPECT_TRUE(std::isfinite(u) && u >= 0 && u <= 1);
+}
+
+TEST(DependabilityTest, NanRequirementRejectedBeforeSynthesis) {
+  // A NaN per-graph requirement passes naive `u < 0 || u > 1` screens; the
+  // validator's negated-range form must reject it (and ±inf, and arity
+  // mismatches) with a typed Error.
+  SpecGenerator gen(lib());
+  SpecGenConfig cfg;
+  cfg.total_tasks = 20;
+  cfg.seed = 95;
+  const Specification base = gen.generate(cfg);
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), -0.1,
+                           1.5}) {
+    Specification spec = base;
+    spec.unavailability_requirement.assign(spec.graphs.size(), 1e-3);
+    spec.unavailability_requirement.back() = bad;
+    EXPECT_THROW(spec.validate(lib().pe_count()), Error) << bad;
+  }
+  Specification arity = base;
+  arity.unavailability_requirement.assign(arity.graphs.size() + 1, 1e-3);
+  EXPECT_THROW(arity.validate(lib().pe_count()), Error);
 }
 
 TEST(DependabilityTest, ProvisionSparesMeetsRequirement) {

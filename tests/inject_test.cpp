@@ -9,12 +9,16 @@
 // run across structural and text-level corruption.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "analyze/analyzer.hpp"
 #include "core/crusade.hpp"
 #include "example_specs.hpp"
+#include "ft/crusade_ft.hpp"
 #include "graph/spec_io.hpp"
 #include "util/rng.hpp"
 #include "validate/inject.hpp"
@@ -145,6 +149,116 @@ TEST(InjectTest, TextCorruptionNeverCrashesTheParser) {
   // comment, duplicated edge line) must still reach synthesis.
   EXPECT_GT(parse_rejected, 0);
   EXPECT_GT(parsed, 0);
+}
+
+/// A DependabilityReport that reaches the caller must be self-consistent:
+/// every unavailability a finite probability, every meets flag derived from
+/// the numbers it sits next to.  NaN poisoning any of them is the exact
+/// "meets requirements" lie the Markov hardening exists to prevent.
+void expect_consistent_report(const CrusadeFtResult& r,
+                              const std::string& context) {
+  for (const ServiceModule& m : r.dependability.modules) {
+    EXPECT_TRUE(std::isfinite(m.unavailability) && m.unavailability >= 0 &&
+                m.unavailability <= 1)
+        << context << " module unavailability " << m.unavailability;
+    EXPECT_TRUE(std::isfinite(m.fit_total)) << context;
+  }
+  const auto& dep = r.dependability;
+  ASSERT_EQ(dep.graph_unavailability.size(), dep.graph_meets.size())
+      << context;
+  bool all = true;
+  for (std::size_t g = 0; g < dep.graph_unavailability.size(); ++g) {
+    const double u = dep.graph_unavailability[g];
+    EXPECT_TRUE(std::isfinite(u) && u >= 0 && u <= 1)
+        << context << " graph " << g << " unavailability " << u;
+    if (g < r.ft_spec.unavailability_requirement.size()) {
+      const double req = r.ft_spec.unavailability_requirement[g];
+      EXPECT_EQ(dep.graph_meets[g] != 0, !(req > 0 && u > req))
+          << context << " graph " << g << " meets flag inconsistent";
+    }
+    all = all && dep.graph_meets[g] != 0;
+  }
+  EXPECT_EQ(dep.meets_requirements, all) << context;
+}
+
+/// FT-relevant mutations: FIT rates (library), MTTR (parameters) and
+/// per-graph unavailability requirements (specification).  Every mutant is
+/// lint-caught, a typed Error, or yields a self-consistent report — never a
+/// crash or a NaN-backed "meets requirements".
+TEST(InjectTest, FtFieldMutationsNeverCrashOrLie) {
+  const Specification bases[] = {quickstart_spec(lib()),
+                                 fault_tolerant_sonet_spec(lib())};
+  int rejected = 0, reported = 0, lint_caught = 0;
+  const double kPoison[] = {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -100.0, 0.0, 1e300};
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      Rng rng(0xFA017 ^ (seed * 2654435761u + b));
+      Specification mutant = bases[b];
+      ResourceLibrary mlib = lib();
+      CrusadeFtParams params;
+      params.base.alloc.max_iterations = 400;
+      params.base.merge.budget = 60;
+      std::string context =
+          "ft seed " + std::to_string(seed) + " base " + std::to_string(b);
+
+      const int family = static_cast<int>(rng.uniform_int(0, 2));
+      const double poison =
+          kPoison[rng.uniform_int(0, std::size(kPoison) - 1)];
+      if (family == 0) {
+        // Unavailability requirements (spec-level, lint-visible as A040).
+        mutant.unavailability_requirement.assign(mutant.graphs.size(),
+                                                 12.0 / 525600.0);
+        const auto g = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(mutant.graphs.size()) - 1));
+        mutant.unavailability_requirement[g] = poison;
+        context += " unavailability := " + std::to_string(poison);
+      } else if (family == 1) {
+        params.dependability.mttr_hours =
+            rng.chance(0.5) ? poison : -poison;
+        context += " mttr := " +
+                   std::to_string(params.dependability.mttr_hours);
+      } else {
+        // FIT rates: rebuild the library with one poisoned type.
+        ResourceLibrary lib2;
+        lib2.assumed_ports = mlib.assumed_ports;
+        const int target = static_cast<int>(
+            rng.uniform_int(0, mlib.pe_count() + mlib.link_count() - 1));
+        for (int i = 0; i < mlib.pe_count(); ++i) {
+          PeType pe = mlib.pe(i);
+          if (i == target) pe.fit_rate = poison;
+          lib2.add_pe(pe);
+        }
+        for (int i = 0; i < mlib.link_count(); ++i) {
+          LinkType link = mlib.link(i);
+          if (mlib.pe_count() + i == target) link.fit_rate = poison;
+          lib2.add_link(link);
+        }
+        mlib = lib2;
+        context += " fit := " + std::to_string(poison);
+      }
+
+      const AnalysisReport lint = analyze_specification(mutant, mlib);
+      if (lint.has_errors()) ++lint_caught;
+      try {
+        const CrusadeFtResult r = CrusadeFt(mutant, mlib, params).run();
+        ++reported;
+        expect_consistent_report(r, context);
+        EXPECT_FALSE(lint.has_errors())
+            << context << "\nlint claimed infeasibility:\n" << lint.summary();
+      } catch (const Error&) {
+        ++rejected;  // typed rejection is an honest outcome
+      }
+    }
+  }
+  EXPECT_EQ(rejected + reported, 120);
+  // The poison list guarantees both honest outcomes occur: NaN/negative
+  // values must be rejected, zero-FIT / huge-but-finite values must flow
+  // through to a (clamped, finite) report.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(reported, 0);
+  EXPECT_GT(lint_caught, 0);
 }
 
 TEST(InjectTest, MutatorsAreDeterministic) {

@@ -15,6 +15,7 @@
 
 #include "core/crusade.hpp"
 #include "example_specs.hpp"
+#include "ft/crusade_ft.hpp"
 #include "json_writer.hpp"
 #include "obs/obs.hpp"
 #include "obs/runstats.hpp"
@@ -408,6 +409,53 @@ TEST_F(ObsTest, RunStatsMatchesAllocatorTallyOnPaperExample) {
        {"phase.preflight", "phase.clustering", "phase.allocation",
         "phase.reconfig", "phase.interface", "phase.validation"})
     EXPECT_EQ(phase_spans[phase], 1) << phase;
+}
+
+TEST_F(ObsTest, FtAndSurvivePhasesLandInStatsAndTrace) {
+  const ResourceLibrary lib = telecom_1999();
+  const Specification spec = quickstart_spec(lib);
+  CrusadeFtParams params;
+  params.survive_check = true;
+  params.survive_seeds = 16;
+  const CrusadeFtResult result = CrusadeFt(spec, lib, params).run();
+  ASSERT_TRUE(result.synthesis.feasible);
+
+  // RunStats JSON round-trips the FT/survive phase laps and counters.
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(result.synthesis.stats.to_json()).parse(doc));
+  const JsonValue& phases = doc.at("phases");
+  EXPECT_GT(phases.at("ft.transform").number, 0.0);
+  EXPECT_GE(phases.at("ft.dependability").number, 0.0);
+  EXPECT_GT(phases.at("survive").number, 0.0);
+  const JsonValue& counters = doc.at("counters");
+  const int checks = result.transform.assertions_added +
+                     result.transform.duplicate_compare_added;
+  EXPECT_EQ(counters.at("ft.check_tasks").number, checks);
+  EXPECT_EQ(counters.at("ft.checks_shared").number,
+            result.transform.checks_shared);
+  EXPECT_GE(counters.at("ft.spares").number, 0);
+  EXPECT_EQ(counters.at("survive.scenarios").number,
+            result.survival.scenarios);
+  EXPECT_EQ(counters.at("survive.ft_lies").number, 0);
+
+  // The obs registry carries the same tallies...
+  EXPECT_EQ(obs::counter_value("ft.check_tasks"), checks);
+  EXPECT_EQ(obs::counter_value("sim.scenarios"), result.survival.scenarios);
+  EXPECT_EQ(obs::counter_value("sim.masked"), result.survival.masked);
+  EXPECT_EQ(obs::counter_value("sim.ft_lie"), 0);
+
+  // ...and the trace records the FT/sim phase spans (one sweep wrapping one
+  // campaign wrapping per-scenario spans).
+  JsonValue trace;
+  ASSERT_TRUE(JsonParser(obs::trace_json()).parse(trace));
+  std::map<std::string, int> spans;
+  for (const JsonValue& ev : trace.at("traceEvents").items)
+    ++spans[ev.at("name").text];
+  EXPECT_EQ(spans["phase.ft.transform"], 1);
+  EXPECT_EQ(spans["phase.ft.dependability"], 1);
+  EXPECT_EQ(spans["phase.sim.sweep"], 1);
+  EXPECT_EQ(spans["phase.sim.campaign"], 1);
+  EXPECT_EQ(spans["sim.scenario"], result.survival.scenarios);
 }
 
 TEST_F(ObsTest, DisabledRunReportsPhaseTimesButNoGatedCounters) {

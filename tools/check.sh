@@ -7,11 +7,13 @@
 #   4. cppcheck over the same sources (skipped when not installed)
 #   5. kill/resume smoke: `crusade soak` SIGKILLs synthesis children at
 #      random points and asserts resumed runs finish bit-identical
-#   6. ASan/UBSan configuration build + entire test suite
-#   7. fault-injection harness under ASan/UBSan (the mutated-spec paths are
-#      exactly where memory bugs would hide)
-#   8. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
-#      the Debug ASan build can miss) + entire test suite
+#   6. survivability smoke: fixed-seed `crusade survive` campaign run twice,
+#      JSON byte-identical, strict parse-back (0 FT-LIE, transients cross-PE)
+#   7. ASan/UBSan configuration build + entire test suite
+#   8. fault-injection harness + survive campaign under ASan/UBSan (the
+#      mutated-spec and fault-replay paths are where memory bugs would hide)
+#   9. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
+#      the Debug ASan build can miss) + entire test suite + survive campaign
 #
 #   tools/check.sh            # everything
 #   tools/check.sh --fast     # CI build + tests only
@@ -73,6 +75,33 @@ echo "=== kill/resume smoke (crusade soak) ==="
 ./build-ci/tools/crusade soak build-ci/soak.spec --kills 5 \
   --checkpoint-every 10
 
+echo "=== survivability smoke (crusade survive) ==="
+# Fixed-seed campaign, run twice: the JSON reports must be byte-identical
+# (no wall-clock times, no nondeterminism), the campaign clean (exit 0 is
+# the no-FT-LIE verdict), and every transient caught cross-PE.
+./build-ci/tools/crusade survive data/figure2.spec --seeds 150 --json \
+  > build-ci/survive.json
+./build-ci/tools/crusade survive data/figure2.spec --seeds 150 --json \
+  > build-ci/survive-rerun.json
+cmp build-ci/survive.json build-ci/survive-rerun.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/survive.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["feasible"], "figure2 must synthesize under CRUSADE-FT"
+assert doc["scenarios"] == doc["seeds"] + 1, doc["scenarios"]
+assert doc["ft_lies"] == 0, f'{doc["ft_lies"]} FT-LIE verdicts'
+assert doc["masked"] + doc["degraded_honest"] == doc["scenarios"]
+assert doc["transients_cross_pe"] == doc["transients"], \
+    "transient caught by a checker on the faulted PE"
+for out in doc["outcomes"]:
+    assert out["verdict"] in ("masked", "degraded-honest"), out
+EOF
+  echo "survive JSON: deterministic, clean, transients all cross-PE (python3)"
+else
+  echo "survive JSON: deterministic and clean (parse-back skipped, no python3)"
+fi
+
 if [[ "$fast" == 1 ]]; then
   echo "check.sh: CI suite green (sanitizer pass skipped)"
   exit 0
@@ -87,9 +116,19 @@ echo "=== fault injection under ASan/UBSan ==="
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/inject_test
 
+echo "=== survivability campaign under ASan/UBSan ==="
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-asan/tools/crusade survive data/figure2.spec --seeds 150 \
+  > /dev/null
+
 echo "=== UBSan-only configuration (optimized) ==="
 cmake --preset ubsan
 cmake --build --preset ubsan -j "$(nproc)"
 ctest --preset ubsan -j "$(nproc)"
+
+echo "=== survivability campaign under UBSan (optimized) ==="
+UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-ubsan/tools/crusade survive data/figure2.spec --seeds 150 \
+  > /dev/null
 
 echo "check.sh: all configurations green"

@@ -13,6 +13,10 @@
 //               [--seed <n>] [-o <file.spec>]
 //   crusade soak <file.spec> [--kills <n>] [--checkpoint-every <evals>]
 //               [--seed <n>]
+//   crusade ft <file.spec> [--no-reconfig] [--boot-req <time>]
+//               [--power-cap <mW>] [--stats] [--json]
+//   crusade survive <file.spec> [--seeds <n>] [--seed-base <n>]
+//               [--no-reconfig] [--boot-req <time>] [--json]
 //   crusade lint <file.spec> [--json]
 //   crusade info <file.spec>
 //   crusade profiles
@@ -73,13 +77,17 @@ int usage(const char* argv0) {
                "  %s soak <file.spec> [--kills <n>] "
                "[--checkpoint-every <evals>] [--seed <n>]\n"
                "  %s upgrade <deployed.spec> <new.spec>\n"
+               "  %s ft <file.spec> [--no-reconfig] [--boot-req <time>] "
+               "[--power-cap <mW>] [--stats] [--json]\n"
+               "  %s survive <file.spec> [--seeds <n>] [--seed-base <n>] "
+               "[--no-reconfig] [--boot-req <time>] [--json]\n"
                "  %s lint <file.spec> [--json]\n"
                "  %s info <file.spec>\n"
                "  %s profiles\n"
                "run exit codes: 0 feasible, 1 infeasible, 2 operational "
                "error, 3 deadline/stop-truncated anytime result\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -302,6 +310,202 @@ int cmd_run(int argc, char** argv) {
   if (args.options.count("--write-spec"))
     write_specification_file(args.options.at("--write-spec"), spec, lib);
   return exit_code;
+}
+
+/// Unavailabilities are ~1e-8; fixed-point %.6f would print them as zero.
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6e", v);
+  return buf;
+}
+
+/// `crusade ft`: CRUSADE-FT synthesis with the transform report, per-module
+/// unavailability and spare cost exposed — scriptable like run/lint/trace.
+/// Exit codes: 0 feasible and every unavailability requirement met, 1 honest
+/// negative, 2 operational error (via the Error path in main).
+int cmd_ft(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--boot-req", "--power-cap"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec = read_specification_file(args.positional[0], lib);
+  if (args.options.count("--boot-req"))
+    spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+  const bool want_json = args.flags.count("--json") != 0;
+  const bool want_stats = args.flags.count("--stats") != 0;
+  if (want_stats) {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  CrusadeFtParams params;
+  params.base.enable_reconfig = !args.flags.count("--no-reconfig");
+  if (args.options.count("--power-cap"))
+    params.base.alloc.power_cap_mw = std::stod(args.options.at("--power-cap"));
+  const CrusadeFtResult r = CrusadeFt(spec, lib, params).run();
+
+  int spares = 0;
+  for (const ServiceModule& m : r.dependability.modules) spares += m.spares;
+  const bool ok = r.synthesis.feasible && r.dependability.meets_requirements;
+  if (want_json) {
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("spec").value(args.positional[0])
+        .key("feasible").value(r.synthesis.feasible)
+        .key("meets_requirements").value(r.dependability.meets_requirements)
+        .key("total_cost").value(r.total_cost, 2)
+        .key("spare_cost").value(r.dependability.total_spare_cost, 2)
+        .key("transform").begin_object()
+            .key("assertions").value(r.transform.assertions_added)
+            .key("duplicate_compare").value(r.transform.duplicate_compare_added)
+            .key("checks_shared").value(r.transform.checks_shared)
+            .key("tasks_before").value(r.transform.tasks_before)
+            .key("tasks_after").value(r.transform.tasks_after)
+        .end_object()
+        .key("modules").begin_array();
+    for (const ServiceModule& m : r.dependability.modules)
+      w.begin_object()
+          .key("pes").value(static_cast<int>(m.pes.size()))
+          .key("spares").value(m.spares)
+          .key("fit_total").value(m.fit_total, 1)
+          .key("unavailability").raw(sci(m.unavailability))
+          .key("spare_cost").value(m.spare_cost, 2)
+          .end_object();
+    w.end_array().key("graphs").begin_array();
+    for (std::size_t g = 0; g < r.dependability.graph_unavailability.size();
+         ++g)
+      w.begin_object()
+          .key("unavailability")
+          .raw(sci(r.dependability.graph_unavailability[g]))
+          .key("requirement")
+          .raw(sci(g < r.ft_spec.unavailability_requirement.size()
+                       ? r.ft_spec.unavailability_requirement[g]
+                       : 0))
+          .key("meets").value(r.dependability.graph_meets[g] != 0)
+          .end_object();
+    w.end_array()
+        .key("stats").raw(r.synthesis.stats.to_json())
+        .end_object();
+    std::printf("%s\n", w.str().c_str());
+    return ok ? 0 : 1;
+  }
+  std::printf("%s", describe_result(r.synthesis).c_str());
+  std::printf("fault tolerance: %d assertions, %d duplicate-and-compare, "
+              "%d shared; %zu service modules, %d spares ($%.2f); "
+              "availability %s\n",
+              r.transform.assertions_added,
+              r.transform.duplicate_compare_added, r.transform.checks_shared,
+              r.dependability.modules.size(), spares,
+              r.dependability.total_spare_cost,
+              r.dependability.meets_requirements ? "met" : "MISSED");
+  for (std::size_t g = 0; g < r.dependability.graph_unavailability.size();
+       ++g)
+    std::printf("  graph %zu: unavailability %s (requirement %s) %s\n", g,
+                sci(r.dependability.graph_unavailability[g]).c_str(),
+                sci(g < r.ft_spec.unavailability_requirement.size()
+                        ? r.ft_spec.unavailability_requirement[g]
+                        : 0)
+                    .c_str(),
+                r.dependability.graph_meets[g] ? "ok" : "MISSED");
+  if (want_stats) std::printf("%s", r.synthesis.stats.table().c_str());
+  return ok ? 0 : 1;
+}
+
+/// `crusade survive`: CRUSADE-FT synthesis followed by a seeded fault
+/// campaign replaying the synthesized schedule under injected faults
+/// (src/sim).  The JSON output is deterministic — same spec + seeds gives
+/// byte-identical bytes (no wall times, no pointers) — so scripts can diff
+/// reruns.  Exit codes: 0 campaign clean, 1 infeasible synthesis or any
+/// FT-LIE verdict, 2 operational error.
+int cmd_survive(int argc, char** argv) {
+  const Args args =
+      Args::parse(argc, argv, {"--seeds", "--seed-base", "--boot-req"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec = read_specification_file(args.positional[0], lib);
+  if (args.options.count("--boot-req"))
+    spec.boot_time_requirement = parse_time(args.options.at("--boot-req"));
+  const bool want_json = args.flags.count("--json") != 0;
+
+  CrusadeFtParams params;
+  params.base.enable_reconfig = !args.flags.count("--no-reconfig");
+  params.survive_check = true;
+  params.survive_seeds = 100;
+  if (args.options.count("--seeds"))
+    params.survive_seeds = std::stoi(args.options.at("--seeds"));
+  if (args.options.count("--seed-base"))
+    params.survive_seed_base = std::stoull(args.options.at("--seed-base"));
+  const CrusadeFtResult r = CrusadeFt(spec, lib, params).run();
+  if (!r.synthesis.feasible) {
+    if (want_json) {
+      tools::JsonWriter w;
+      w.begin_object()
+          .key("spec").value(args.positional[0])
+          .key("feasible").value(false)
+          .key("scenarios").value(0)
+          .end_object();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("survive: synthesis infeasible; nothing to simulate\n%s",
+                  describe_result(r.synthesis).c_str());
+    }
+    return 1;
+  }
+
+  const CampaignResult& c = r.survival;
+  if (want_json) {
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("spec").value(args.positional[0])
+        .key("feasible").value(true)
+        .key("seeds").value(params.survive_seeds)
+        .key("seed_base").value(static_cast<long long>(params.survive_seed_base))
+        .key("scenarios").value(c.scenarios)
+        .key("masked").value(c.masked)
+        .key("degraded_honest").value(c.degraded)
+        .key("ft_lies").value(c.ft_lies)
+        .key("transients").value(c.transients)
+        .key("transients_cross_pe").value(c.transients_cross_pe)
+        .key("outcomes").begin_array();
+    for (const ScenarioOutcome& o : c.outcomes)
+      w.begin_object()
+          .key("seed").value(static_cast<long long>(o.scenario.seed))
+          .key("kind").value(to_string(o.scenario.kind))
+          .key("pe").value(o.scenario.pe)
+          .key("mode").value(o.scenario.mode)
+          .key("task").value(o.scenario.task)
+          .key("edge").value(o.scenario.edge)
+          .key("frame").value(o.scenario.frame)
+          .key("at_ns").value(static_cast<long long>(o.scenario.at))
+          .key("drops").value(o.scenario.drops)
+          .key("verdict").value(to_string(o.verdict))
+          .key("detected").value(o.detected)
+          .key("checker_task").value(o.checker_task)
+          .key("checker_pe").value(o.checker_pe)
+          .key("faulted_pe").value(o.faulted_pe)
+          .key("deadline_misses").value(o.deadline_misses)
+          .key("frames_lost").value(o.frames_lost)
+          .key("retries").value(o.retries)
+          .key("worst_boot_ns").value(static_cast<long long>(o.worst_boot))
+          .key("detail").value(o.detail)
+          .end_object();
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return c.clean() ? 0 : 1;
+  }
+
+  std::printf("survive: %d scenarios on %s — %d masked, %d degraded-honest, "
+              "%d FT-LIE\n",
+              c.scenarios, args.positional[0].c_str(), c.masked, c.degraded,
+              c.ft_lies);
+  if (c.transients > 0)
+    std::printf("  transients: %d/%d observed by a checker on a different "
+                "PE\n",
+                c.transients_cross_pe, c.transients);
+  for (const ScenarioOutcome& o : c.outcomes)
+    if (o.verdict == Verdict::FtLie)
+      std::printf("  FT-LIE seed %llu (%s): %s\n",
+                  static_cast<unsigned long long>(o.scenario.seed),
+                  to_string(o.scenario.kind), o.detail.c_str());
+  return c.clean() ? 0 : 1;
 }
 
 /// `crusade trace`: synthesize with tracing enabled, print the phase/counter
@@ -683,6 +887,8 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "soak") return cmd_soak(argc, argv);
     if (cmd == "upgrade") return cmd_upgrade(argc, argv);
+    if (cmd == "ft") return cmd_ft(argc, argv);
+    if (cmd == "survive") return cmd_survive(argc, argv);
     if (cmd == "lint") return cmd_lint(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "profiles") return cmd_profiles();
