@@ -1,0 +1,209 @@
+// Service load bench: stands up an in-process serve::Service and measures
+// end-to-end job latency under increasing offered submission rates, plus
+// the latency of result-cache hits.  This is the number the daemon's
+// admission-control hint (retry_after_ms) and DESIGN.md §13's "bounded
+// wait" claim rest on, so the bench also reports how many submissions the
+// bounded queue rejected at each rate — an overloaded service that stays
+// honest shows up as rejections, not as unbounded p99.
+//
+// Latency per completed job is wait_ms + run_ms from JobStatus (admission
+// to terminal, excluding client transport).  Cache-hit latency is measured
+// client-side around submit(), since hits never enqueue.  Scale job counts
+// with CRUSADE_SCALE.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "example_specs.hpp"
+#include "graph/spec_io.hpp"
+#include "resources/resource_library.hpp"
+#include "serve/service.hpp"
+
+using namespace crusade;
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct SweepPoint {
+  int offered_qps = 0;
+  int submitted = 0;
+  int completed = 0;
+  int rejected_busy = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Offer `jobs` lint submissions at `qps`, each with a unique body so the
+/// result cache cannot absorb them, then wait for every admitted job.
+SweepPoint sweep(serve::Service& service, const std::string& base_spec,
+                 int qps, int jobs) {
+  SweepPoint point;
+  point.offered_qps = qps;
+  const auto gap = std::chrono::duration<double>(1.0 / qps);
+  std::vector<std::uint64_t> admitted;
+  auto next = std::chrono::steady_clock::now();
+  for (int i = 0; i < jobs; ++i) {
+    std::this_thread::sleep_until(next);
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        gap);
+    serve::SubmitRequest req;
+    req.kind = serve::JobKind::Lint;
+    // Unique trailing comment: lint keys the cache on the spec text.
+    req.spec_text =
+        base_spec + "# load-" + std::to_string(qps) + "-" + std::to_string(i) +
+        "\n";
+    const serve::SubmitOutcome out = service.submit(req);
+    ++point.submitted;
+    if (out.busy) {
+      ++point.rejected_busy;
+    } else if (out.admitted || out.cached) {
+      admitted.push_back(out.id);
+    }
+  }
+  std::vector<double> latencies;
+  for (const std::uint64_t id : admitted) {
+    serve::JobStatus status;
+    std::string body;
+    if (service.wait_result(id, 60000, &status, &body)) {
+      ++point.completed;
+      latencies.push_back(static_cast<double>(status.wait_ms + status.run_ms));
+    }
+  }
+  point.p50_ms = percentile(latencies, 0.50);
+  point.p99_ms = percentile(latencies, 0.99);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::workload_scale(0.25);
+  const ResourceLibrary lib = telecom_1999();
+  std::ostringstream spec_stream;
+  write_specification(spec_stream, quickstart_spec(lib), lib);
+  const std::string spec = spec_stream.str();
+
+  serve::ServiceConfig config;
+  config.spool_dir = "/tmp/crusaded.bench.spool";
+  config.workers = 4;
+  config.queue_capacity = 64;
+  serve::Service service(config);
+
+  // Cold synthesis: first submission of the quickstart spec does real work
+  // and seeds the cache.
+  serve::SubmitRequest synth;
+  synth.kind = serve::JobKind::Run;
+  synth.spec_text = spec;
+  const auto cold_start = std::chrono::steady_clock::now();
+  const serve::SubmitOutcome cold = service.submit(synth);
+  serve::JobStatus cold_status;
+  std::string cold_body;
+  if (!cold.admitted ||
+      !service.wait_result(cold.id, 60000, &cold_status, &cold_body)) {
+    std::fprintf(stderr, "cold synthesis submission failed: %s\n",
+                 cold.error.c_str());
+    return 1;
+  }
+  const double cold_ms = ms_since(cold_start);
+
+  // Cache hits: identical resubmissions answer from the cache without
+  // enqueueing, so time submit() itself.
+  const int hit_count = 20 + static_cast<int>(180 * scale);
+  std::vector<double> hit_ms;
+  for (int i = 0; i < hit_count; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const serve::SubmitOutcome out = service.submit(synth);
+    if (!out.cached) {
+      std::fprintf(stderr, "resubmission %d missed the cache\n", i);
+      return 1;
+    }
+    hit_ms.push_back(ms_since(start));
+  }
+
+  // Offered-rate sweep on lint jobs (cheap enough that queueing, not the
+  // worker fork, dominates at the high end).
+  const int jobs_per_point = 40 + static_cast<int>(160 * scale);
+  std::vector<SweepPoint> points;
+  for (const int qps : {25, 100, 400})
+    points.push_back(sweep(service, spec, qps, jobs_per_point));
+
+  const serve::ServiceStats stats = service.stats();
+  service.stop(true);
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open BENCH_serve.json for writing\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"serve_load\",\n"
+               "  \"scale\": %.2f,\n"
+               "  \"workers\": %d,\n"
+               "  \"queue_capacity\": %d,\n"
+               "  \"cold_synthesis_ms\": %.2f,\n"
+               "  \"cache_hits\": %d,\n"
+               "  \"cache_hit_p50_ms\": %.4f,\n"
+               "  \"cache_hit_p99_ms\": %.4f,\n"
+               "  \"sweep\": [\n",
+               scale, config.workers, config.queue_capacity, cold_ms,
+               hit_count, percentile(hit_ms, 0.50), percentile(hit_ms, 0.99));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(json,
+                 "    {\"offered_qps\": %d, \"submitted\": %d, "
+                 "\"completed\": %d, \"rejected_busy\": %d, "
+                 "\"p50_ms\": %.2f, \"p99_ms\": %.2f}%s\n",
+                 p.offered_qps, p.submitted, p.completed, p.rejected_busy,
+                 p.p50_ms, p.p99_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"total_finished\": %lld,\n"
+               "  \"total_rejected_busy\": %lld\n"
+               "}\n",
+               static_cast<long long>(stats.finished),
+               static_cast<long long>(stats.rejected_busy));
+  std::fclose(json);
+
+  std::printf("serve load bench (scale=%.2f, %d workers)\n", scale,
+              config.workers);
+  std::printf("  cold synthesis: %.2f ms; cache hit p50=%.4f ms p99=%.4f ms "
+              "(%d hits)\n",
+              cold_ms, percentile(hit_ms, 0.50), percentile(hit_ms, 0.99),
+              hit_count);
+  for (const SweepPoint& p : points)
+    std::printf("  %4d qps offered: %d/%d completed, %d busy-rejected, "
+                "p50=%.2f ms p99=%.2f ms\n",
+                p.offered_qps, p.completed, p.submitted, p.rejected_busy,
+                p.p50_ms, p.p99_ms);
+  std::printf("wrote BENCH_serve.json\n");
+
+  // Honesty check: every admitted job must have completed, and every
+  // submission must be accounted for as completed or busy-rejected.
+  for (const SweepPoint& p : points)
+    if (p.completed + p.rejected_busy != p.submitted) {
+      std::fprintf(stderr, "lost jobs at %d qps: %d + %d != %d\n",
+                   p.offered_qps, p.completed, p.rejected_busy, p.submitted);
+      return 1;
+    }
+  return 0;
+}

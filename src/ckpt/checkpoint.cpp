@@ -113,6 +113,47 @@ Checkpoint load_checkpoint(const std::string& path,
   }
 }
 
+CheckpointInfo peek_checkpoint(const std::string& path) {
+  std::string bytes;
+  try {
+    bytes = read_file(path);
+  } catch (const Error& e) {
+    throw Error("cannot read checkpoint: " + std::string(e.what()));
+  }
+  if (bytes.size() < kHeaderBytes)
+    throw Error("checkpoint file " + path + ": truncated: " +
+                std::to_string(bytes.size()) +
+                " bytes is shorter than the header");
+  BinReader header(bytes);
+  for (char m : kMagic)
+    if (static_cast<char>(header.u8()) != m)
+      throw Error("checkpoint file " + path +
+                  ": not a checkpoint file (bad magic)");
+  CheckpointInfo info;
+  info.version = header.u32();
+  if (info.version != kCheckpointVersion)
+    throw Error("checkpoint file " + path + ": unsupported version " +
+                std::to_string(info.version));
+  const std::uint32_t stored_crc = header.u32();
+  info.payload_bytes = header.u64();
+  if (bytes.size() != kHeaderBytes + info.payload_bytes)
+    throw Error("checkpoint file " + path + ": truncated: header declares " +
+                std::to_string(info.payload_bytes) +
+                " payload bytes, file has " +
+                std::to_string(bytes.size() - kHeaderBytes));
+  const std::string payload = bytes.substr(kHeaderBytes);
+  if (crc32(payload) != stored_crc)
+    throw Error("checkpoint file " + path + ": corrupt: payload CRC mismatch");
+  BinReader r(payload);
+  const std::uint8_t stage = r.u8();
+  if (stage > static_cast<std::uint8_t>(Stage::MergeDone))
+    throw Error("checkpoint file " + path + ": corrupt: unknown stage " +
+                std::to_string(stage));
+  info.stage = static_cast<Stage>(stage);
+  info.spec_hash = r.u64();
+  return info;
+}
+
 void check_spec_hash(const Checkpoint& c, std::uint64_t expected) {
   if (c.spec_hash != expected)
     throw Error(

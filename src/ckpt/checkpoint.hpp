@@ -104,4 +104,21 @@ Checkpoint load_checkpoint(const std::string& path,
 /// produce an architecture belonging to neither run.
 void check_spec_hash(const Checkpoint& c, std::uint64_t expected);
 
+/// Integrity summary of a checkpoint file, verified without materializing
+/// the architecture (no ResourceLibrary needed): header fields plus the
+/// leading payload fields.  The daemon's restart recovery uses this to
+/// decide resume-vs-fresh for every spooled job before paying for a full
+/// decode inside a worker.
+struct CheckpointInfo {
+  std::uint32_t version = 0;
+  Stage stage = Stage::Allocation;
+  std::uint64_t spec_hash = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Reads and integrity-checks a checkpoint file (magic, version, length,
+/// CRC) and returns the summary above.  Throws the same typed Errors as
+/// load_checkpoint on truncation/corruption/version mismatch.
+CheckpointInfo peek_checkpoint(const std::string& path);
+
 }  // namespace crusade::ckpt

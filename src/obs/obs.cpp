@@ -120,6 +120,15 @@ void count(const char* name, std::int64_t delta) {
   counter_registry().slot(name).fetch_add(delta, std::memory_order_relaxed);
 }
 
+void record_peak(const char* name, std::int64_t value) {
+  if (!enabled()) return;
+  std::atomic<std::int64_t>& slot = counter_registry().slot(name);
+  std::int64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
 std::int64_t counter_value(const std::string& name) {
   CounterRegistry& r = counter_registry();
   std::shared_lock lock(r.mutex);

@@ -1,0 +1,60 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace crusade::serve {
+
+namespace {
+
+/// RAII socket so every exit path closes the fd.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Response Client::call(const Request& request) const {
+  std::signal(SIGPIPE, SIG_IGN);  // a dead daemon must be an Error, not death
+  Fd sock;
+  sock.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (sock.fd < 0) throw_io_error("client: socket", errno);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof addr.sun_path)
+    throw Error("client: socket path too long: " + socket_path_);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0)
+    throw IoError("client: no daemon at " + socket_path_ +
+                      " (start one with `crusaded`): " + std::strerror(errno),
+                  errno);
+  write_all(sock.fd, encode_request(request));
+  Response response;
+  if (!read_response(sock.fd, &response))
+    throw Error("client: daemon closed the connection without replying");
+  return response;
+}
+
+bool Client::ping() const {
+  try {
+    Request ping;
+    ping.verb = "PING";
+    return call(ping).ok;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace crusade::serve

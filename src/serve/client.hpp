@@ -1,0 +1,30 @@
+// Client side of the crusaded socket protocol: one connection per call,
+// blocking, typed errors.  The CLI's submit/status/result/cancel/shutdown
+// commands are thin wrappers over this.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace crusade::serve {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+
+  /// Connects, sends one request, reads one response, disconnects.  Throws
+  /// Error when the daemon is unreachable or the reply frame is malformed.
+  Response call(const Request& request) const;
+
+  /// True when a daemon answers a PING on the socket.
+  bool ping() const;
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+};
+
+}  // namespace crusade::serve

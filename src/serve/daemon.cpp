@@ -1,0 +1,285 @@
+#include "serve/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+#include "util/run_control.hpp"
+
+namespace crusade::serve {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw Error("serve: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// True when something is listening on `path` right now.
+bool socket_live(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr = make_addr(path);
+  const bool live =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  ::close(fd);
+  return live;
+}
+
+Response err(const char* code, const std::string& message) {
+  Response r;
+  r.ok = false;
+  r.code = code;
+  tools::JsonWriter w;
+  w.begin_object().key("error").value(message).end_object();
+  r.body = w.str();
+  return r;
+}
+
+Response ok(std::string body) {
+  Response r;
+  r.ok = true;
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : cfg_(std::move(config)), service_(cfg_.service) {
+  if (cfg_.socket_path.empty())
+    throw Error("serve: socket_path is required");
+  // A handler writing to a client that hung up must get EPIPE, not die.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  struct stat st;
+  if (::stat(cfg_.socket_path.c_str(), &st) == 0) {
+    if (socket_live(cfg_.socket_path))
+      throw Error("serve: a daemon is already listening on " +
+                  cfg_.socket_path);
+    ::unlink(cfg_.socket_path.c_str());  // stale socket from a dead daemon
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_io_error("serve: socket", errno);
+  sockaddr_un addr = make_addr(cfg_.socket_path);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_io_error("serve: bind " + cfg_.socket_path, e);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+    throw_io_error("serve: listen", e);
+  }
+}
+
+Daemon::~Daemon() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(cfg_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : handlers_)
+    if (t.joinable()) t.join();
+  service_.stop(false);
+}
+
+void Daemon::request_shutdown(bool drain) {
+  shutdown_drain_.store(drain, std::memory_order_relaxed);
+  shutdown_requested_.store(true, std::memory_order_release);
+}
+
+void Daemon::run() {
+  const StopHub& hub = StopHub::instance();
+  while (true) {
+    if (shutdown_requested_.load(std::memory_order_acquire)) break;
+    if (hub.signalled()) {
+      // First signal: graceful drain.  Second: hard stop — park the queue,
+      // truncate running workers to best-so-far.
+      request_shutdown(hub.notifications() < 2);
+      break;
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR)
+      throw_io_error("serve: poll", errno);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_io_error("serve: accept", errno);
+    }
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    open_fds_.insert(fd);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+
+  ::close(listen_fd_);
+  ::unlink(cfg_.socket_path.c_str());
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+  service_.stop(shutdown_drain_.load(std::memory_order_relaxed));
+}
+
+void Daemon::handle_connection(int fd) {
+  while (true) {
+    Request request;
+    Response response;
+    try {
+      if (!read_request(fd, &request)) break;  // clean EOF
+      response = dispatch(request);
+    } catch (const Error& e) {
+      // Malformed frame: answer honestly if the pipe still works, then
+      // drop the connection — resynchronizing a broken frame stream is
+      // guesswork.
+      try {
+        write_all(fd, encode_response(err("bad-request", e.what())));
+      } catch (const Error&) {
+      }
+      break;
+    }
+    try {
+      write_all(fd, encode_response(response));
+    } catch (const Error&) {
+      break;  // client hung up mid-reply
+    }
+    if (request.verb == "SHUTDOWN") break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lk(handlers_mu_);
+  open_fds_.erase(fd);
+}
+
+Response Daemon::dispatch(const Request& request) {
+  if (request.verb == "PING") return ok("{\"ok\":true}");
+
+  if (request.verb == "SUBMIT") {
+    const SubmitRequest submit = parse_submit_request(request);
+    const SubmitOutcome outcome = service_.submit(submit);
+    if (outcome.busy) {
+      tools::JsonWriter w;
+      w.begin_object()
+          .key("error").value("queue full")
+          .key("retry_after_ms")
+          .value(static_cast<long long>(outcome.retry_after_ms))
+          .end_object();
+      Response r;
+      r.ok = false;
+      r.code = "busy";
+      r.body = w.str();
+      return r;
+    }
+    if (outcome.shutting_down)
+      return err("shutting-down", "the daemon is shutting down");
+    if (!outcome.admitted) return err("bad-request", outcome.error);
+
+    const long wait_ms = request.get_long_or("wait_ms", 0);
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("id").value(static_cast<unsigned long long>(outcome.id))
+        .key("cached").value(outcome.cached);
+    if (wait_ms > 0 || outcome.cached) {
+      JobStatus status;
+      std::string body;
+      if (service_.wait_result(outcome.id, wait_ms, &status, &body)) {
+        w.key("outcome").value(to_string(status.outcome))
+            .key("attempts").value(status.attempts)
+            .key("detail").value(status.detail)
+            .key("result").raw(body.empty() ? "null" : body);
+      } else {
+        w.key("pending").value(true);
+      }
+    }
+    w.end_object();
+    return ok(w.str());
+  }
+
+  if (request.verb == "STATUS") {
+    if (!request.has("id")) {
+      tools::JsonWriter w;
+      w.begin_object().key("jobs").begin_array();
+      for (const JobStatus& job : service_.jobs()) w.raw(to_json(job));
+      w.end_array().key("stats").raw(to_json(service_.stats())).end_object();
+      return ok(w.str());
+    }
+    const auto id = static_cast<std::uint64_t>(request.get_long("id"));
+    const auto status = service_.status(id);
+    if (!status.has_value()) return err("not-found", "unknown job id");
+    return ok(to_json(*status));
+  }
+
+  if (request.verb == "RESULT") {
+    const auto id = static_cast<std::uint64_t>(request.get_long("id"));
+    const long wait_ms = request.get_long_or("wait_ms", 0);
+    JobStatus status;
+    std::string body;
+    if (!service_.status(id).has_value())
+      return err("not-found", "unknown job id");
+    if (!service_.wait_result(id, wait_ms, &status, &body))
+      return err("pending", "job is not terminal yet");
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("id").value(static_cast<unsigned long long>(id))
+        .key("outcome").value(to_string(status.outcome))
+        .key("attempts").value(status.attempts)
+        .key("cached").value(status.cached)
+        .key("detail").value(status.detail)
+        .key("result").raw(body.empty() ? "null" : body)
+        .end_object();
+    return ok(w.str());
+  }
+
+  if (request.verb == "CANCEL") {
+    const auto id = static_cast<std::uint64_t>(request.get_long("id"));
+    if (!service_.cancel(id)) return err("not-found", "unknown job id");
+    tools::JsonWriter w;
+    w.begin_object()
+        .key("id").value(static_cast<unsigned long long>(id))
+        .key("cancelled").value(true)
+        .end_object();
+    return ok(w.str());
+  }
+
+  if (request.verb == "STATS") return ok(to_json(service_.stats()));
+
+  if (request.verb == "SHUTDOWN") {
+    const bool drain = request.get_long_or("drain", 1) != 0;
+    request_shutdown(drain);
+    tools::JsonWriter w;
+    w.begin_object().key("stopping").value(true).key("drain").value(drain)
+        .end_object();
+    return ok(w.str());
+  }
+
+  return err("bad-request", "unknown verb '" + request.verb + "'");
+}
+
+}  // namespace crusade::serve

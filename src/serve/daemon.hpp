@@ -1,0 +1,70 @@
+// The crusaded daemon: an AF_UNIX socket front-end over serve::Service
+// (DESIGN.md §13).
+//
+// One accept loop, one short-lived handler thread per connection.  Handlers
+// only parse frames and call into the Service — every heavy job runs in a
+// supervised forked worker, so a slow or hostile client can never stall
+// synthesis, and a crashing job can never take the daemon down.
+//
+// Shutdown is signal-driven through StopHub: the first SIGTERM/SIGINT stops
+// accepting and drains the queue (every admitted job completes, honoring
+// the admission promise); a second signal hard-stops — queued jobs are
+// parked back to the spool for the next incarnation and running workers
+// return their best-so-far architectures.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace crusade::serve {
+
+struct DaemonConfig {
+  /// AF_UNIX socket path.  A pre-existing socket file is probed: a live
+  /// daemon makes construction fail honestly; a stale file (no listener)
+  /// is removed and replaced.
+  std::string socket_path;
+  ServiceConfig service;
+};
+
+class Daemon {
+ public:
+  /// Binds + listens.  Throws Error when the socket is taken by a live
+  /// daemon or cannot be created.
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Serves until a StopHub signal or a SHUTDOWN request, then stops the
+  /// service (drain on the first signal, hard on the second) and returns.
+  void run();
+
+  /// Asks a running run() loop to exit (drain shutdown).  Safe from other
+  /// threads — the tests drive the daemon this way.
+  void request_shutdown(bool drain);
+
+  Service& service() { return service_; }
+  const std::string& socket_path() const { return cfg_.socket_path; }
+
+ private:
+  void handle_connection(int fd);
+  Response dispatch(const Request& request);
+
+  DaemonConfig cfg_;
+  Service service_;
+  int listen_fd_ = -1;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shutdown_drain_{true};
+  std::vector<std::thread> handlers_;
+  std::set<int> open_fds_;  ///< live connections, shutdown()-able on exit
+  std::mutex handlers_mu_;
+};
+
+}  // namespace crusade::serve

@@ -1,0 +1,262 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace crusade::serve {
+
+namespace {
+
+/// Header tokens must stay single-line and space-free; values are numbers
+/// and enum words, so anything else is a protocol violation, not data to
+/// escape.
+void require_token_safe(const std::string& s, const char* what) {
+  for (char c : s)
+    if (c == ' ' || c == '\n' || c == '\r' || c == '=' || c == '\0')
+      throw Error(std::string("protocol: ") + what +
+                  " contains a framing character");
+}
+
+long parse_long_field(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0')
+    throw Error("protocol: field " + key + "=" + value +
+                " is not an integer");
+  return v;
+}
+
+/// Splits "VERB k=v k=v" into verb + field map.
+void parse_header(const std::string& line, std::string* verb,
+                  std::map<std::string, std::string>* fields) {
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    if (verb->empty() && token.find('=') == std::string::npos) {
+      *verb = token;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw Error("protocol: malformed header token '" + token + "'");
+    (*fields)[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  if (verb->empty()) throw Error("protocol: empty header line");
+}
+
+/// Reads one byte at a time up to the newline (headers are tens of bytes;
+/// simplicity beats buffering here).  Returns false on EOF before any byte.
+bool read_header_line(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 0) {
+      if (line->empty()) return false;
+      throw Error("protocol: connection closed mid-header");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("protocol: header read failed", errno);
+    }
+    if (c == '\n') return true;
+    line->push_back(c);
+    if (line->size() > kMaxHeaderBytes)
+      throw Error("protocol: header exceeds " +
+                  std::to_string(kMaxHeaderBytes) + " bytes");
+  }
+}
+
+std::string read_exact(int fd, std::size_t want) {
+  std::string out;
+  out.resize(want);
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::read(fd, out.data() + got, want - got);
+    if (n == 0) throw Error("protocol: connection closed mid-body");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("protocol: body read failed", errno);
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+std::size_t body_length(const std::map<std::string, std::string>& fields) {
+  const auto it = fields.find("body");
+  if (it == fields.end()) throw Error("protocol: frame missing body=N");
+  const long n = parse_long_field("body", it->second);
+  if (n < 0 || static_cast<std::size_t>(n) > kMaxBodyBytes)
+    throw Error("protocol: body length " + it->second + " out of range");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::Run: return "run";
+    case JobKind::Lint: return "lint";
+    case JobKind::Validate: return "validate";
+    case JobKind::Survive: return "survive";
+  }
+  return "?";
+}
+
+JobKind kind_from_string(const std::string& name) {
+  if (name == "run") return JobKind::Run;
+  if (name == "lint") return JobKind::Lint;
+  if (name == "validate") return JobKind::Validate;
+  if (name == "survive") return JobKind::Survive;
+  throw Error("unknown job kind '" + name +
+              "' (want run, lint, validate, or survive)");
+}
+
+const std::string& Request::get(const std::string& key) const {
+  const auto it = fields.find(key);
+  if (it == fields.end())
+    throw Error("protocol: " + verb + " frame missing field " + key);
+  return it->second;
+}
+
+long Request::get_long(const std::string& key) const {
+  return parse_long_field(key, get(key));
+}
+
+long Request::get_long_or(const std::string& key, long fallback) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  return parse_long_field(key, it->second);
+}
+
+std::string encode_request(const Request& request) {
+  require_token_safe(request.verb, "verb");
+  std::string out = request.verb;
+  for (const auto& [key, value] : request.fields) {
+    if (key == "body") continue;  // recomputed below
+    require_token_safe(key, "field key");
+    require_token_safe(value, "field value");
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += " body=" + std::to_string(request.body.size()) + "\n";
+  out += request.body;
+  return out;
+}
+
+std::string encode_response(const Response& response) {
+  Request frame;
+  frame.verb = response.ok ? "OK" : "ERR";
+  if (!response.ok)
+    frame.fields["code"] = response.code.empty() ? "error" : response.code;
+  frame.body = response.body;
+  return encode_request(frame);
+}
+
+Request decode_frame(const std::string& bytes) {
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string::npos)
+    throw Error("protocol: frame has no header terminator");
+  if (nl > kMaxHeaderBytes)
+    throw Error("protocol: header exceeds " +
+                std::to_string(kMaxHeaderBytes) + " bytes");
+  Request out;
+  parse_header(bytes.substr(0, nl), &out.verb, &out.fields);
+  const std::size_t want = body_length(out.fields);
+  if (bytes.size() - nl - 1 != want)
+    throw Error("protocol: frame body is " +
+                std::to_string(bytes.size() - nl - 1) + " bytes, header says " +
+                std::to_string(want));
+  out.body = bytes.substr(nl + 1);
+  return out;
+}
+
+Request make_submit_request(const SubmitRequest& submit) {
+  Request r;
+  r.verb = "SUBMIT";
+  r.fields["kind"] = to_string(submit.kind);
+  r.fields["priority"] = std::to_string(submit.priority);
+  r.fields["deadline_ms"] = std::to_string(submit.deadline_ms);
+  r.fields["reconfig"] = submit.enable_reconfig ? "1" : "0";
+  r.fields["seeds"] = std::to_string(submit.survive_seeds);
+  if (submit.fault_crash_attempts > 0)
+    r.fields["fault_crash"] = std::to_string(submit.fault_crash_attempts);
+  if (submit.fault_hang_attempts > 0)
+    r.fields["fault_hang"] = std::to_string(submit.fault_hang_attempts);
+  r.body = submit.spec_text;
+  return r;
+}
+
+SubmitRequest parse_submit_request(const Request& request) {
+  SubmitRequest s;
+  s.kind = kind_from_string(request.get("kind"));
+  s.priority = static_cast<int>(request.get_long_or("priority", 0));
+  s.deadline_ms = request.get_long_or("deadline_ms", 0);
+  if (s.deadline_ms < 0) throw Error("protocol: negative deadline_ms");
+  s.enable_reconfig = request.get_long_or("reconfig", 1) != 0;
+  s.survive_seeds = static_cast<int>(request.get_long_or("seeds", 32));
+  if (s.survive_seeds < 1 || s.survive_seeds > 100000)
+    throw Error("protocol: seeds out of range");
+  s.fault_crash_attempts =
+      static_cast<int>(request.get_long_or("fault_crash", 0));
+  s.fault_hang_attempts =
+      static_cast<int>(request.get_long_or("fault_hang", 0));
+  s.spec_text = request.body;
+  return s;
+}
+
+void write_all(int fd, const std::string& bytes) {
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("protocol: write failed", errno);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_request(int fd, Request* out) {
+  std::string line;
+  if (!read_header_line(fd, &line)) return false;
+  out->verb.clear();
+  out->fields.clear();
+  parse_header(line, &out->verb, &out->fields);
+  out->body = read_exact(fd, body_length(out->fields));
+  return true;
+}
+
+bool read_response(int fd, Response* out) {
+  Request frame;
+  if (!read_request(fd, &frame)) return false;
+  if (frame.verb == "OK") {
+    out->ok = true;
+    out->code.clear();
+  } else if (frame.verb == "ERR") {
+    out->ok = false;
+    const auto it = frame.fields.find("code");
+    out->code = it == frame.fields.end() ? "error" : it->second;
+  } else {
+    throw Error("protocol: expected OK/ERR, got '" + frame.verb + "'");
+  }
+  out->body = std::move(frame.body);
+  return true;
+}
+
+}  // namespace crusade::serve

@@ -1,0 +1,107 @@
+// Wire protocol for the crusaded synthesis service (DESIGN.md §13).
+//
+// Deliberately not JSON on the request path: requests carry a multi-line
+// specification body, and the daemon must parse hostile input with the same
+// rigor the spec parser applies.  The framing is a single header line of
+// space-separated `key=value` tokens followed by an exact-length body:
+//
+//   SUBMIT kind=run priority=3 deadline_ms=250 reconfig=1 body=812\n
+//   <812 bytes of specification text>
+//
+// Responses use the same frame with a JSON body, so clients get structured
+// data while the framing layer stays a 30-line parser:
+//
+//   OK body=93\n{"id":7,...}
+//   ERR code=busy body=41\n{"error":"...","retry_after_ms":120}
+//
+// Every length is bounded (header 4 KiB, body 32 MiB) and every parse
+// failure is a typed Error — a malformed or truncated frame can never hang
+// or crash the daemon, only earn a `bad-request` reply.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace crusade::serve {
+
+/// Hard caps on frame sizes; violators are rejected before allocation.
+inline constexpr std::size_t kMaxHeaderBytes = 4096;
+inline constexpr std::size_t kMaxBodyBytes = 32u << 20;
+
+/// What a submitted job asks the service to do.
+enum class JobKind : std::uint8_t { Run, Lint, Validate, Survive };
+
+const char* to_string(JobKind kind);
+/// Throws Error on an unknown kind name.
+JobKind kind_from_string(const std::string& name);
+
+/// A synthesis/lint/validate/survive request as admitted by the service.
+struct SubmitRequest {
+  JobKind kind = JobKind::Run;
+  /// Higher runs sooner; FIFO within one priority.
+  int priority = 0;
+  /// End-to-end deadline from admission, milliseconds; 0 = none.  An
+  /// expired job is not killed: the remaining budget (floored at 1 ms) is
+  /// armed on the worker's RunController so the job returns its best-so-far
+  /// validator-checked architecture (degraded-honest).
+  long deadline_ms = 0;
+  bool enable_reconfig = true;
+  /// Survive jobs: seeded campaign size.
+  int survive_seeds = 32;
+  /// Fault injection for the supervision tests and the load smoke (the
+  /// same ethos as src/validate's mutators): the first N attempts of this
+  /// job crash mid-run / hang until the watchdog fires.  0 in production.
+  int fault_crash_attempts = 0;
+  int fault_hang_attempts = 0;
+  std::string spec_text;
+};
+
+/// A parsed request frame.
+struct Request {
+  std::string verb;  ///< SUBMIT STATUS RESULT CANCEL STATS SHUTDOWN
+  std::map<std::string, std::string> fields;
+  std::string body;
+
+  bool has(const std::string& key) const { return fields.count(key) != 0; }
+  /// Field access with typed parsing; throws Error on absence/garbage.
+  const std::string& get(const std::string& key) const;
+  long get_long(const std::string& key) const;
+  long get_long_or(const std::string& key, long fallback) const;
+};
+
+/// A response frame: `OK`/`ERR code=...` plus a JSON body.
+struct Response {
+  bool ok = false;
+  /// Machine-readable failure class when !ok: busy, bad-request, not-found,
+  /// pending, shutting-down, error.
+  std::string code;
+  std::string body;
+};
+
+// --- framing ---------------------------------------------------------------
+
+std::string encode_request(const Request& request);
+std::string encode_response(const Response& response);
+
+/// Parses a complete in-memory frame (the spool format): header line +
+/// exact-length body, no trailing bytes.  Throws Error on any deviation.
+Request decode_frame(const std::string& bytes);
+
+/// Builds the wire Request for a SubmitRequest (body = spec text).
+Request make_submit_request(const SubmitRequest& submit);
+/// Parses a SUBMIT wire request back into a SubmitRequest; throws Error on
+/// missing/malformed fields.
+SubmitRequest parse_submit_request(const Request& request);
+
+// --- fd transport ----------------------------------------------------------
+
+/// Writes the whole buffer, retrying short writes/EINTR.  Throws IoError.
+void write_all(int fd, const std::string& bytes);
+
+/// Reads one frame.  Returns false on clean EOF before any byte; throws
+/// Error on malformed/oversized/truncated frames.
+bool read_request(int fd, Request* out);
+bool read_response(int fd, Response* out);
+
+}  // namespace crusade::serve

@@ -1,0 +1,904 @@
+#include "serve/service.hpp"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "ckpt/serialize.hpp"
+#include "core/crusade.hpp"
+#include "graph/spec_io.hpp"
+#include "obs/obs.hpp"
+#include "serve/worker.hpp"
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+
+namespace crusade::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long elapsed_ms(Clock::time_point since) {
+  return static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               Clock::now() - since)
+                               .count());
+}
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw_io_error("serve: mkdir " + path, errno);
+}
+
+/// mkdir -p for the spool root (tests use nested temp paths).
+void make_dirs(const std::string& path) {
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    std::size_t slash = path.find('/', pos + 1);
+    if (slash == std::string::npos) slash = path.size();
+    const std::string prefix = path.substr(0, slash);
+    if (!prefix.empty() && prefix != "/") make_dir(prefix);
+    pos = slash;
+  }
+}
+
+std::vector<std::string> list_dir(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) throw_io_error("serve: opendir " + path, errno);
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void remove_if_exists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    // Best-effort cleanup; a stale spool file is re-scanned (and skipped as
+    // already-terminal or re-run idempotently) on the next start.
+  }
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string failure_body(JobKind kind, const char* klass,
+                         const std::string& message, int attempts) {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("kind").value(to_string(kind))
+      .key("error").value(message)
+      .key("error_class").value(klass)
+      .key("attempts").value(attempts)
+      .end_object();
+  return w.str();
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+  }
+  return "?";
+}
+
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::None: return "none";
+    case JobOutcome::Ok: return "ok";
+    case JobOutcome::Masked: return "masked";
+    case JobOutcome::DegradedHonest: return "degraded-honest";
+    case JobOutcome::FailedHonest: return "failed-honest";
+    case JobOutcome::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string to_json(const JobStatus& s) {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("id").value(static_cast<unsigned long long>(s.id))
+      .key("kind").value(to_string(s.kind))
+      .key("state").value(to_string(s.state))
+      .key("outcome").value(to_string(s.outcome))
+      .key("priority").value(s.priority)
+      .key("attempts").value(s.attempts)
+      .key("cached").value(s.cached)
+      .key("recovered").value(s.recovered)
+      .key("cancel_requested").value(s.cancel_requested)
+      .key("finish_seq").value(s.finish_seq)
+      .key("wait_ms").value(static_cast<long long>(s.wait_ms))
+      .key("run_ms").value(static_cast<long long>(s.run_ms))
+      .key("detail").value(s.detail)
+      .end_object();
+  return w.str();
+}
+
+std::string to_json(const ServiceStats& s) {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("submitted").value(static_cast<long long>(s.submitted))
+      .key("admitted").value(static_cast<long long>(s.admitted))
+      .key("rejected_busy").value(static_cast<long long>(s.rejected_busy))
+      .key("rejected_bad").value(static_cast<long long>(s.rejected_bad))
+      .key("cache_hits").value(static_cast<long long>(s.cache_hits))
+      .key("completed_ok").value(static_cast<long long>(s.completed_ok))
+      .key("masked").value(static_cast<long long>(s.masked))
+      .key("degraded_honest").value(static_cast<long long>(s.degraded_honest))
+      .key("failed_honest").value(static_cast<long long>(s.failed_honest))
+      .key("cancelled").value(static_cast<long long>(s.cancelled))
+      .key("retries").value(static_cast<long long>(s.retries))
+      .key("crashes").value(static_cast<long long>(s.crashes))
+      .key("watchdog_kills").value(static_cast<long long>(s.watchdog_kills))
+      .key("recovered").value(static_cast<long long>(s.recovered))
+      .key("queue_depth").value(s.queue_depth)
+      .key("queue_peak").value(s.queue_peak)
+      .key("running").value(s.running)
+      .key("wait_ms_max").value(static_cast<long long>(s.wait_ms_max))
+      .key("wait_ms_total").value(s.wait_ms_total, 1)
+      .key("run_ms_total").value(s.run_ms_total, 1)
+      .key("finished").value(static_cast<long long>(s.finished))
+      .end_object();
+  return w.str();
+}
+
+struct Service::Job {
+  std::uint64_t id = 0;
+  SubmitRequest req;
+  /// 0 when the result must not be cached (fault injection, unparseable
+  /// recovered spec).
+  std::uint64_t cache_key = 0;
+  JobState state = JobState::Queued;
+  JobOutcome outcome = JobOutcome::None;
+  int attempts = 0;
+  bool cached = false;
+  bool recovered = false;
+  bool cancel_requested = false;
+  int finish_seq = 0;
+  Clock::time_point submitted_at = Clock::now();
+  Clock::time_point started_at{};
+  long wait_ms = 0;
+  long run_ms = 0;
+  pid_t child_pid = 0;
+  std::string body;
+  std::string detail;
+};
+
+struct Service::CacheEntry {
+  std::string body;
+  std::list<std::uint64_t>::iterator lru_pos;
+};
+
+Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
+  if (cfg_.spool_dir.empty()) throw Error("serve: spool_dir is required");
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.max_attempts < 1) cfg_.max_attempts = 1;
+  make_dirs(cfg_.spool_dir);
+  make_dir(cfg_.spool_dir + "/jobs");
+  make_dir(cfg_.spool_dir + "/cache");
+  paused_ = cfg_.start_paused;
+  recover_spool();
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Service::~Service() { stop(false); }
+
+/// The cache key binds everything that shapes a canonical answer: the job
+/// kind, the search fingerprint (spec + library + search parameters — see
+/// Crusade::fingerprint), and the survive campaign size.  Fault-injected
+/// requests are never keyed: a cache hit would silently skip the injection.
+/// Throws Error (propagating the parse failure) for run/validate/survive
+/// specs that do not parse.
+std::uint64_t Service::compute_cache_key(const SubmitRequest& req) const {
+  if (req.fault_crash_attempts > 0 || req.fault_hang_attempts > 0) return 0;
+  std::uint64_t base = 0;
+  if (req.kind == JobKind::Lint) {
+    base = ckpt::fnv1a(req.spec_text);
+  } else {
+    const ResourceLibrary lib = telecom_1999();
+    std::istringstream in(req.spec_text);
+    const Specification spec = read_specification(in, lib);
+    CrusadeParams params;
+    params.enable_reconfig = req.enable_reconfig;
+    base = Crusade::fingerprint(spec, lib, params);
+  }
+  std::string mix = std::string(to_string(req.kind)) + ":" + hex16(base) +
+                    ":r" + (req.enable_reconfig ? "1" : "0");
+  if (req.kind == JobKind::Survive)
+    mix += ":s" + std::to_string(req.survive_seeds);
+  const std::uint64_t key = ckpt::fnv1a(mix);
+  return key == 0 ? 1 : key;
+}
+
+SubmitOutcome Service::submit(const SubmitRequest& request) {
+  obs::count("serve.submitted");
+  SubmitOutcome out;
+
+  // Parse + fingerprint outside the lock: spec parsing is the expensive
+  // part of admission and must not serialize submitters.
+  std::uint64_t key = 0;
+  try {
+    key = compute_cache_key(request);
+  } catch (const Error& e) {
+    obs::count("serve.rejected_bad");
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.submitted;
+    ++stats_.rejected_bad;
+    out.error = std::string("bad specification: ") + e.what();
+    return out;
+  }
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      obs::count("serve.rejected_shutdown");
+      out.shutting_down = true;
+      return out;
+    }
+    if (key != 0) {
+      const auto hit = cache_.find(key);
+      if (hit != cache_.end()) {
+        cache_lru_.splice(cache_lru_.begin(), cache_lru_, hit->second.lru_pos);
+        id = next_id_++;
+        Job& job = jobs_[id];
+        job.id = id;
+        job.req = request;
+        job.cache_key = key;
+        job.state = JobState::Done;
+        job.outcome = JobOutcome::Ok;
+        job.cached = true;
+        job.body = hit->second.body;
+        job.detail = "served from result cache";
+        job.finish_seq = ++finish_seq_;
+        ++stats_.cache_hits;
+        ++stats_.finished;
+        ++stats_.completed_ok;
+        obs::count("serve.cache_hits");
+        out.admitted = true;
+        out.cached = true;
+        out.id = id;
+        return out;
+      }
+    }
+    if (static_cast<int>(queue_.size()) >= cfg_.queue_capacity) {
+      ++stats_.rejected_busy;
+      obs::count("serve.rejected_busy");
+      out.busy = true;
+      out.retry_after_ms = busy_retry_hint_locked();
+      return out;
+    }
+    id = next_id_++;
+    Job& job = jobs_[id];
+    job.id = id;
+    job.req = request;
+    job.cache_key = key;
+    job.submitted_at = Clock::now();
+    queue_.insert({-static_cast<long long>(request.priority), id});
+    stats_.queue_depth = static_cast<int>(queue_.size());
+    if (stats_.queue_depth > stats_.queue_peak)
+      stats_.queue_peak = stats_.queue_depth;
+    obs::record_peak("serve.queue_depth_peak", stats_.queue_depth);
+  }
+
+  // Spool the admitted job before acknowledging it, so a daemon crash after
+  // this point cannot lose it.  A spool failure (disk full) is an honest
+  // rejection: the job is withdrawn, never half-admitted.
+  try {
+    std::lock_guard<std::mutex> lk(mu_);
+    spool_job(jobs_.at(id));
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.erase({-static_cast<long long>(request.priority), id});
+    stats_.queue_depth = static_cast<int>(queue_.size());
+    jobs_.erase(id);
+    ++stats_.rejected_bad;
+    obs::count("serve.rejected_bad");
+    out.error = std::string("spool write failed: ") + e.what();
+    return out;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.admitted;
+  }
+  obs::count("serve.admitted");
+  work_cv_.notify_one();
+  out.admitted = true;
+  out.id = id;
+  return out;
+}
+
+bool Service::cancel(std::uint64_t id) {
+  bool finalize_queued = false;
+  pid_t kill_pid = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = it->second;
+    if (job.state == JobState::Done) return true;  // idempotent
+    job.cancel_requested = true;
+    if (job.state == JobState::Queued) {
+      // Remove from the ready queue so no worker picks it up; terminal
+      // Cancelled below (outside the lock — finalize locks itself).
+      queue_.erase({-static_cast<long long>(job.req.priority), id});
+      stats_.queue_depth = static_cast<int>(queue_.size());
+      finalize_queued = true;
+    } else {
+      kill_pid = job.child_pid;  // speed up the cooperative stop
+    }
+  }
+  obs::count("serve.cancel_requests");
+  if (finalize_queued) {
+    finalize(id, JobOutcome::Cancelled,
+             failure_body(JobKind::Run, "cancelled", "cancelled while queued",
+                          0),
+             "cancelled while queued", false);
+  } else if (kill_pid > 0) {
+    ::kill(kill_pid, SIGTERM);
+  }
+  work_cv_.notify_all();  // interrupt a backoff sleep
+  return true;
+}
+
+std::optional<JobStatus> Service::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot_locked(it->second);
+}
+
+std::vector<JobStatus> Service::jobs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot_locked(job));
+  return out;
+}
+
+std::optional<std::string> Service::result_body(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::Done)
+    return std::nullopt;
+  return it->second.body;
+}
+
+bool Service::wait_result(std::uint64_t id, long timeout_ms,
+                          JobStatus* status_out, std::string* body_out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  while (true) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    if (it->second.state == JobState::Done) {
+      if (status_out != nullptr) *status_out = snapshot_locked(it->second);
+      if (body_out != nullptr) *body_out = it->second.body;
+      return true;
+    }
+    if (done_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        Clock::now() >= deadline) {
+      const auto again = jobs_.find(id);
+      if (again != jobs_.end() && again->second.state == JobState::Done) {
+        if (status_out != nullptr) *status_out = snapshot_locked(again->second);
+        if (body_out != nullptr) *body_out = again->second.body;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+int Service::recovered_jobs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recovered_;
+}
+
+void Service::resume_workers() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void Service::stop(bool drain) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    drain_ = drain;
+    if (!drain) {
+      // Park queued jobs for the next incarnation: their spool files stay
+      // put, the recovery scan re-admits them.  In-memory they simply stay
+      // Queued; the process is going away.
+      queue_.clear();
+      stats_.queue_depth = 0;
+    }
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+void Service::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (stopping_ && (!drain_ || queue_.empty())) return;
+    if (queue_.empty() || (paused_ && !stopping_)) continue;
+    const auto it = queue_.begin();
+    const std::uint64_t id = it->second;
+    queue_.erase(it);
+    stats_.queue_depth = static_cast<int>(queue_.size());
+    lk.unlock();
+    run_supervised(id);
+    lk.lock();
+  }
+}
+
+void Service::run_supervised(std::uint64_t id) {
+  while (true) {
+    SubmitRequest req;
+    int attempt = 0;
+    long deadline_ms = 0;
+    Clock::time_point submitted_at;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      Job& job = jobs_.at(id);
+      if (job.state == JobState::Done) return;
+      if (job.cancel_requested && job.attempts == 0) {
+        lk.unlock();
+        finalize(id, JobOutcome::Cancelled,
+                 failure_body(job.req.kind, "cancelled",
+                              "cancelled before execution", 0),
+                 "cancelled before execution", false);
+        return;
+      }
+      attempt = ++job.attempts;
+      if (job.state == JobState::Queued) {
+        job.state = JobState::Running;
+        job.started_at = Clock::now();
+        job.wait_ms = elapsed_ms(job.submitted_at);
+        ++stats_.running;
+        if (job.wait_ms > stats_.wait_ms_max) stats_.wait_ms_max = job.wait_ms;
+        stats_.wait_ms_total += static_cast<double>(job.wait_ms);
+        obs::count("serve.wait_ms", job.wait_ms);
+      }
+      req = job.req;
+      deadline_ms = job.req.deadline_ms;
+      submitted_at = job.submitted_at;
+    }
+
+    // Remaining end-to-end budget.  An already-expired job still gets 1 ms:
+    // the worker arms the controller, the first stop poll trips, and the
+    // job returns its best-so-far instead of being dropped (degraded-honest
+    // beats lost).
+    long remaining_ms = 0;
+    if (deadline_ms > 0) {
+      remaining_ms = deadline_ms - elapsed_ms(submitted_at);
+      if (remaining_ms < 1) remaining_ms = 1;
+    }
+
+    obs::Span span("serve.attempt");
+    obs::count("serve.attempts");
+    const std::string result_path = result_spool_path(id);
+    const std::string ckpt_path = ckpt_spool_path(id);
+    remove_if_exists(result_path);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: single-threaded from here (fork drops the siblings).
+      run_worker_attempt(req, attempt, result_path, ckpt_path, remaining_ms,
+                         cfg_.checkpoint_every);
+    }
+    if (pid < 0) {
+      finalize(id, JobOutcome::FailedHonest,
+               failure_body(req.kind, "fork-failed", std::strerror(errno),
+                            attempt),
+               "fork failed", false);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      jobs_.at(id).child_pid = pid;
+    }
+
+    // Supervise: poll for exit, fire the watchdog past the deadline (plus
+    // grace) or the attempt timeout, escalate SIGTERM -> SIGKILL for workers
+    // that ignore the cooperative stop.
+    const long watchdog_ms = remaining_ms > 0
+                                 ? remaining_ms + cfg_.watchdog_grace_ms
+                                 : cfg_.attempt_timeout_ms;
+    const Clock::time_point attempt_start = Clock::now();
+    bool term_sent = false;
+    bool watchdog_fired = false;
+    Clock::time_point term_at{};
+    bool killed = false;
+    int wait_status = 0;
+    while (true) {
+      const pid_t reaped = ::waitpid(pid, &wait_status, WNOHANG);
+      if (reaped == pid) break;
+      if (reaped < 0 && errno != EINTR) {
+        wait_status = -1;
+        break;
+      }
+      bool want_term = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        const Job& job = jobs_.at(id);
+        want_term = job.cancel_requested || (stopping_ && !drain_);
+      }
+      const long running_ms = elapsed_ms(attempt_start);
+      if (!term_sent && running_ms >= watchdog_ms) {
+        watchdog_fired = true;
+        want_term = true;
+      }
+      if (want_term && !term_sent) {
+        ::kill(pid, SIGTERM);
+        term_sent = true;
+        term_at = Clock::now();
+      }
+      if (term_sent && !killed && elapsed_ms(term_at) >= cfg_.term_grace_ms) {
+        ::kill(pid, SIGKILL);
+        killed = true;
+      }
+      ::usleep(2000);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      jobs_.at(id).child_pid = 0;
+      if (watchdog_fired) ++stats_.watchdog_kills;
+    }
+    if (watchdog_fired) obs::count("serve.watchdog_kills");
+
+    if (classify_attempt(id, attempt, wait_status, watchdog_fired)) return;
+
+    // Retry with capped exponential backoff; a cancellation or hard stop
+    // interrupts the sleep (the loop head then resolves it).
+    long backoff = cfg_.backoff_base_ms;
+    for (int i = 1; i < attempt && backoff < cfg_.backoff_cap_ms; ++i)
+      backoff *= 2;
+    if (backoff > cfg_.backoff_cap_ms) backoff = cfg_.backoff_cap_ms;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      ++stats_.retries;
+      work_cv_.wait_for(lk, std::chrono::milliseconds(backoff), [this, id] {
+        return jobs_.at(id).cancel_requested || (stopping_ && !drain_);
+      });
+      if (stopping_ && !drain_ && !jobs_.at(id).cancel_requested) {
+        // Hard stop mid-retry: leave the job non-terminal in memory (the
+        // process is exiting) and keep its spool files so the next
+        // incarnation resumes it from the checkpoint.
+        return;
+      }
+      if (jobs_.at(id).cancel_requested) {
+        lk.unlock();
+        finalize(id, JobOutcome::Cancelled,
+                 failure_body(req.kind, "cancelled",
+                              "cancelled during retry backoff", attempt),
+                 "cancelled during retry backoff", false);
+        return;
+      }
+    }
+    obs::count("serve.retries");
+  }
+}
+
+bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
+                               bool watchdog_fired) {
+  const std::string result_path = result_spool_path(id);
+  const bool exited = wait_status >= 0 && WIFEXITED(wait_status);
+  const int code = exited ? WEXITSTATUS(wait_status) : -1;
+
+  bool cancel_requested = false;
+  std::uint64_t cache_key = 0;
+  JobKind kind = JobKind::Run;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const Job& job = jobs_.at(id);
+    cancel_requested = job.cancel_requested;
+    cache_key = job.cache_key;
+    kind = job.req.kind;
+  }
+
+  if (exited && (code == kWorkerDone || code == kWorkerTruncated ||
+                 code == kWorkerBadSpec)) {
+    std::string body;
+    try {
+      body = read_file(result_path);
+    } catch (const Error&) {
+      // The exit code promised a body but there is none (lost in a race
+      // with SIGKILL, spool wiped): treat as a crash so the retry budget
+      // decides, never fabricate a result.
+      body.clear();
+    }
+    if (!body.empty()) {
+      if (code == kWorkerDone) {
+        if (cache_key != 0) cache_insert(cache_key, body);
+        finalize(id, attempt > 1 ? JobOutcome::Masked : JobOutcome::Ok,
+                 std::move(body),
+                 attempt > 1 ? "recovered after " +
+                                   std::to_string(attempt - 1) +
+                                   " crashed attempt(s)"
+                             : "",
+                 false);
+        return true;
+      }
+      if (code == kWorkerTruncated) {
+        finalize(id, JobOutcome::DegradedHonest, std::move(body),
+                 cancel_requested
+                     ? "cancelled: best-so-far architecture returned"
+                     : "deadline: best-so-far architecture returned",
+                 false);
+        return true;
+      }
+      // Bad spec is deterministic — retrying cannot change the verdict.
+      finalize(id, JobOutcome::FailedHonest, std::move(body),
+               "specification rejected", false);
+      return true;
+    }
+  }
+
+  // Crash (signal, unexpected exception, injected fault, lost body).
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.crashes;
+  }
+  obs::count("serve.crashes");
+  if (cancel_requested) {
+    finalize(id, JobOutcome::Cancelled,
+             failure_body(kind, "cancelled",
+                          "cancelled; the worker produced no result", attempt),
+             "cancelled; worker produced no result", false);
+    return true;
+  }
+  if (attempt >= cfg_.max_attempts) {
+    std::string how;
+    if (exited)
+      how = "worker exited with code " + std::to_string(code);
+    else if (wait_status >= 0 && WIFSIGNALED(wait_status))
+      how = std::string("worker killed by signal ") +
+            std::to_string(WTERMSIG(wait_status));
+    else
+      how = "worker lost";
+    if (watchdog_fired) how += " (watchdog)";
+    finalize(id, JobOutcome::FailedHonest,
+             failure_body(kind, "crash-budget",
+                          how + " after " + std::to_string(attempt) +
+                              " attempt(s)",
+                          attempt),
+             how, false);
+    return true;
+  }
+  return false;
+}
+
+void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
+                       std::string detail, bool keep_spool) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Job& job = jobs_.at(id);
+    if (job.state == JobState::Done) return;  // idempotence guard
+    if (job.state == JobState::Running) {
+      --stats_.running;
+      job.run_ms = elapsed_ms(job.started_at);
+      stats_.run_ms_total += static_cast<double>(job.run_ms);
+    }
+    job.state = JobState::Done;
+    job.outcome = outcome;
+    job.body = std::move(body);
+    job.detail = std::move(detail);
+    job.finish_seq = ++finish_seq_;
+    ++stats_.finished;
+    switch (outcome) {
+      case JobOutcome::Ok: ++stats_.completed_ok; break;
+      case JobOutcome::Masked: ++stats_.masked; break;
+      case JobOutcome::DegradedHonest: ++stats_.degraded_honest; break;
+      case JobOutcome::FailedHonest: ++stats_.failed_honest; break;
+      case JobOutcome::Cancelled: ++stats_.cancelled; break;
+      case JobOutcome::None: break;
+    }
+  }
+  switch (outcome) {
+    case JobOutcome::Ok: obs::count("serve.ok"); break;
+    case JobOutcome::Masked: obs::count("serve.masked"); break;
+    case JobOutcome::DegradedHonest: obs::count("serve.degraded_honest"); break;
+    case JobOutcome::FailedHonest: obs::count("serve.failed_honest"); break;
+    case JobOutcome::Cancelled: obs::count("serve.cancelled"); break;
+    case JobOutcome::None: break;
+  }
+  if (!keep_spool) {
+    remove_if_exists(job_spool_path(id));
+    remove_if_exists(ckpt_spool_path(id));
+    remove_if_exists(result_spool_path(id));
+  }
+  done_cv_.notify_all();
+}
+
+void Service::cache_insert(std::uint64_t key, const std::string& body) {
+  std::vector<std::uint64_t> evicted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cfg_.cache_capacity == 0) return;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_pos);
+      return;
+    }
+    cache_lru_.push_front(key);
+    cache_[key] = CacheEntry{body, cache_lru_.begin()};
+    while (cache_.size() > cfg_.cache_capacity) {
+      const std::uint64_t victim = cache_lru_.back();
+      cache_lru_.pop_back();
+      cache_.erase(victim);
+      evicted.push_back(victim);
+    }
+  }
+  obs::count("serve.cache_inserts");
+  // Persist outside the lock; a full disk costs only the persistence (the
+  // in-memory entry still serves hits this incarnation).
+  try {
+    atomic_write_file(cache_path(key), body);
+  } catch (const Error&) {
+    obs::count("serve.cache_persist_failures");
+  }
+  for (const std::uint64_t victim : evicted)
+    remove_if_exists(cache_path(victim));
+}
+
+void Service::recover_spool() {
+  // Cache first: <16-hex-key>.res files, oldest names evicted if over
+  // capacity (names sort deterministically; LRU order is lost across a
+  // restart, which only costs eviction precision).
+  for (const std::string& name : list_dir(cfg_.spool_dir + "/cache")) {
+    if (name.size() != 20 || name.substr(16) != ".res") continue;
+    const std::uint64_t key =
+        std::strtoull(name.substr(0, 16).c_str(), nullptr, 16);
+    if (key == 0) continue;
+    if (cache_.size() >= cfg_.cache_capacity) {
+      remove_if_exists(cfg_.spool_dir + "/cache/" + name);
+      continue;
+    }
+    try {
+      const std::string body = read_file(cfg_.spool_dir + "/cache/" + name);
+      cache_lru_.push_front(key);
+      cache_[key] = CacheEntry{body, cache_lru_.begin()};
+    } catch (const Error&) {
+      remove_if_exists(cfg_.spool_dir + "/cache/" + name);
+    }
+  }
+
+  // Jobs: every *.job file is a wire-format frame of the original SUBMIT
+  // plus the assigned id; re-admit each one.  Their checkpoints (if any)
+  // make the resume cheap.  A corrupt spool entry is renamed aside, never
+  // silently deleted and never allowed to block recovery of the rest.
+  std::uint64_t max_id = 0;
+  for (const std::string& name : list_dir(cfg_.spool_dir + "/jobs")) {
+    if (name.size() < 5 || name.substr(name.size() - 4) != ".job") continue;
+    const std::string path = cfg_.spool_dir + "/jobs/" + name;
+    try {
+      const Request frame = decode_frame(read_file(path));
+      if (frame.verb != "JOB") throw Error("spool: not a JOB frame");
+      const std::uint64_t id =
+          static_cast<std::uint64_t>(frame.get_long("id"));
+      if (id == 0 || jobs_.count(id) != 0)
+        throw Error("spool: bad or duplicate id");
+      Job& job = jobs_[id];
+      job.id = id;
+      job.req = parse_submit_request(frame);
+      job.recovered = true;
+      job.submitted_at = Clock::now();  // the deadline budget restarts
+      try {
+        job.cache_key = compute_cache_key(job.req);
+      } catch (const Error&) {
+        job.cache_key = 0;  // ran before, so run again; just never cache it
+      }
+      queue_.insert({-static_cast<long long>(job.req.priority), id});
+      if (id > max_id) max_id = id;
+      ++recovered_;
+      ++stats_.recovered;
+      obs::count("serve.recovered");
+    } catch (const Error&) {
+      ::rename(path.c_str(), (path + ".corrupt").c_str());
+    }
+  }
+  if (max_id >= next_id_) next_id_ = max_id + 1;
+  stats_.queue_depth = static_cast<int>(queue_.size());
+  if (stats_.queue_depth > stats_.queue_peak)
+    stats_.queue_peak = stats_.queue_depth;
+}
+
+void Service::spool_job(const Job& job) {
+  Request frame = make_submit_request(job.req);
+  frame.verb = "JOB";
+  frame.fields["id"] = std::to_string(job.id);
+  atomic_write_file(job_spool_path(job.id), encode_request(frame));
+}
+
+std::string Service::job_spool_path(std::uint64_t id) const {
+  return cfg_.spool_dir + "/jobs/" + std::to_string(id) + ".job";
+}
+
+std::string Service::ckpt_spool_path(std::uint64_t id) const {
+  return cfg_.spool_dir + "/jobs/" + std::to_string(id) + ".ckpt";
+}
+
+std::string Service::result_spool_path(std::uint64_t id) const {
+  return cfg_.spool_dir + "/jobs/" + std::to_string(id) + ".result";
+}
+
+std::string Service::cache_path(std::uint64_t key) const {
+  return cfg_.spool_dir + "/cache/" + hex16(key) + ".res";
+}
+
+/// Honest retry-after: (queued ahead / workers + 1) slots times the average
+/// observed job duration, clamped to something a client can act on.
+long Service::busy_retry_hint_locked() const {
+  double avg_ms = 50.0;
+  if (stats_.finished > 0)
+    avg_ms = stats_.run_ms_total / static_cast<double>(stats_.finished);
+  if (avg_ms < 10.0) avg_ms = 10.0;
+  const double slots =
+      static_cast<double>(queue_.size()) / static_cast<double>(cfg_.workers) +
+      1.0;
+  long hint = static_cast<long>(avg_ms * slots);
+  if (hint < 10) hint = 10;
+  if (hint > 60000) hint = 60000;
+  return hint;
+}
+
+JobStatus Service::snapshot_locked(const Job& job) const {
+  JobStatus s;
+  s.id = job.id;
+  s.kind = job.req.kind;
+  s.state = job.state;
+  s.outcome = job.outcome;
+  s.priority = job.req.priority;
+  s.attempts = job.attempts;
+  s.cached = job.cached;
+  s.recovered = job.recovered;
+  s.cancel_requested = job.cancel_requested;
+  s.finish_seq = job.finish_seq;
+  s.wait_ms = job.state == JobState::Queued ? elapsed_ms(job.submitted_at)
+                                            : job.wait_ms;
+  s.run_ms = job.state == JobState::Running ? elapsed_ms(job.started_at)
+                                            : job.run_ms;
+  s.detail = job.detail;
+  return s;
+}
+
+}  // namespace crusade::serve

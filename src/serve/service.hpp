@@ -1,0 +1,239 @@
+// The multi-tenant synthesis service behind crusaded (DESIGN.md §13).
+//
+// Robustness is the design driver, in the same discipline the paper applies
+// to the embedded architectures it synthesizes:
+//
+//  * Bounded priority queue with admission control.  A full queue earns an
+//    honest typed ServiceBusy rejection with a retry-after hint — never a
+//    silent drop, never unbounded memory.
+//  * Per-request deadlines and cancellation ride the library's existing
+//    RunController anytime machinery: an expired or cancelled job returns
+//    its best-so-far validator-checked architecture (degraded-honest), not
+//    a kill.
+//  * Supervised workers with real crash isolation.  Every attempt runs in a
+//    forked process; a worker that throws, segfaults, or trips the watchdog
+//    is reaped and the job retried with capped exponential backoff from its
+//    last checkpoint (src/ckpt), then marked failed-honest after
+//    max_attempts.  One tenant's crash can never take the daemon — or
+//    another tenant's job — down.
+//  * Result cache keyed on Crusade::fingerprint: identical re-submissions
+//    return the original bytes instantly.  Cache entries and queued jobs
+//    are spooled to disk (atomic_write_file), so in-flight work survives a
+//    daemon restart and is re-admitted on construction.
+//
+// Every job therefore ends in exactly one of: ok (canonical answer, masked
+// if retries were needed), degraded-honest (best-so-far under a deadline or
+// cancellation), failed-honest (crash budget exhausted, bad spec), or
+// cancelled-before-start.  Nothing is lost, duplicated, or silently
+// truncated — the serve_test 100-job crash campaign is the enforcement.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace crusade::serve {
+
+struct ServiceConfig {
+  /// Spool directory (jobs/ + cache/ are created inside).  Required.
+  std::string spool_dir;
+  int workers = 2;
+  /// Admission bound on QUEUED jobs (running jobs do not count).
+  int queue_capacity = 16;
+  /// Attempts per job before failed-honest (>= 1).
+  int max_attempts = 3;
+  /// Capped exponential backoff between attempts: base * 2^(attempt-1).
+  long backoff_base_ms = 20;
+  long backoff_cap_ms = 1000;
+  /// Watchdog slack beyond a job's deadline before SIGTERM; jobs without a
+  /// deadline get attempt_timeout_ms.
+  long watchdog_grace_ms = 2000;
+  long attempt_timeout_ms = 60000;
+  /// SIGTERM -> SIGKILL escalation window for workers that ignore the
+  /// cooperative stop.
+  long term_grace_ms = 1000;
+  /// Result-cache entry bound; least-recently-used entries (and their
+  /// spool files) are evicted past it.
+  std::size_t cache_capacity = 256;
+  /// Checkpoint cadence inside run/validate workers.
+  std::int64_t checkpoint_every = 200;
+  /// Tests: hold workers until resume_workers() so queue order and
+  /// admission control can be asserted deterministically.
+  bool start_paused = false;
+};
+
+enum class JobState : std::uint8_t { Queued, Running, Done };
+enum class JobOutcome : std::uint8_t {
+  None,            ///< not terminal yet
+  Ok,              ///< canonical answer, first attempt
+  Masked,          ///< canonical answer after crash retries
+  DegradedHonest,  ///< best-so-far under deadline/cancel truncation
+  FailedHonest,    ///< crash budget exhausted, bad spec, spool failure
+  Cancelled,       ///< cancelled while still queued (nothing ran)
+};
+
+const char* to_string(JobState state);
+const char* to_string(JobOutcome outcome);
+
+struct JobStatus;
+struct ServiceStats;
+/// JSON envelopes for the daemon's STATUS/STATS replies.
+std::string to_json(const JobStatus& status);
+std::string to_json(const ServiceStats& stats);
+
+/// Point-in-time public view of one job.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobKind kind = JobKind::Run;
+  JobState state = JobState::Queued;
+  JobOutcome outcome = JobOutcome::None;
+  int priority = 0;
+  int attempts = 0;
+  bool cached = false;     ///< served from the result cache
+  bool recovered = false;  ///< re-admitted from the spool at startup
+  bool cancel_requested = false;
+  /// Dense completion sequence (1-based) — the order jobs finished, which
+  /// the priority tests assert against.
+  int finish_seq = 0;
+  long wait_ms = 0;  ///< admission -> first fork (queued: so-far)
+  long run_ms = 0;   ///< first fork -> terminal
+  std::string detail;  ///< failure/cancellation explanation
+};
+
+/// submit() verdict: exactly one of admitted / busy / rejected is true.
+struct SubmitOutcome {
+  bool admitted = false;
+  /// ServiceBusy: the bounded queue is full (or the service is draining).
+  /// retry_after_ms is the honest hint — expected time for a slot to free.
+  bool busy = false;
+  bool shutting_down = false;
+  long retry_after_ms = 0;
+  /// Bad request (unparseable spec for run/validate/survive, spool write
+  /// failure): the message says why.  No job was created.
+  std::string error;
+  std::uint64_t id = 0;
+  /// The result cache already held the canonical answer; the job is
+  /// immediately terminal and result_body(id) returns the original bytes.
+  bool cached = false;
+};
+
+/// Monotonic service counters (see also the serve.* obs counters).
+struct ServiceStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected_busy = 0;
+  std::int64_t rejected_bad = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t completed_ok = 0;
+  std::int64_t masked = 0;
+  std::int64_t degraded_honest = 0;
+  std::int64_t failed_honest = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t retries = 0;
+  std::int64_t crashes = 0;
+  std::int64_t watchdog_kills = 0;
+  std::int64_t recovered = 0;
+  int queue_depth = 0;
+  int queue_peak = 0;
+  int running = 0;
+  long wait_ms_max = 0;
+  double wait_ms_total = 0;
+  double run_ms_total = 0;
+  std::int64_t finished = 0;  ///< terminal jobs (denominator for averages)
+};
+
+class Service {
+ public:
+  /// Creates spool directories, reloads the persisted result cache, and
+  /// re-admits every job still spooled from a previous incarnation (their
+  /// checkpoints make the resume cheap).  Throws Error when the spool
+  /// cannot be created.
+  explicit Service(ServiceConfig config);
+  ~Service();  // stop(false) if still running
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  SubmitOutcome submit(const SubmitRequest& request);
+  /// Cooperative cancel.  Queued: terminal Cancelled immediately.  Running:
+  /// SIGTERM to the worker, which returns best-so-far (DegradedHonest).
+  /// False when the id is unknown.
+  bool cancel(std::uint64_t id);
+  std::optional<JobStatus> status(std::uint64_t id) const;
+  std::vector<JobStatus> jobs() const;
+  /// Terminal result body (JSON) once the job is Done.
+  std::optional<std::string> result_body(std::uint64_t id) const;
+  /// Blocks until the job is terminal or timeout_ms elapses.  Returns true
+  /// with the status + body on terminal.
+  bool wait_result(std::uint64_t id, long timeout_ms, JobStatus* status_out,
+                   std::string* body_out);
+  ServiceStats stats() const;
+  int recovered_jobs() const;
+
+  /// Releases workers held by ServiceConfig::start_paused.
+  void resume_workers();
+
+  /// Stops the service.  drain=true: no new admissions, queued + running
+  /// jobs complete normally, then workers exit (graceful daemon shutdown).
+  /// drain=false: queued jobs are parked back to the spool for the next
+  /// incarnation, running workers get a SIGTERM and report best-so-far.
+  /// Idempotent.
+  void stop(bool drain);
+
+ private:
+  struct Job;
+  struct CacheEntry;
+
+  void worker_loop();
+  void run_supervised(std::uint64_t id);
+  /// Cache key for a request: kind + Crusade::fingerprint (+ seeds for
+  /// survive), 0 = never cache.  Throws Error when the spec does not parse
+  /// (except lint, which keys on the raw text).
+  std::uint64_t compute_cache_key(const SubmitRequest& request) const;
+  /// Classifies one reaped attempt; returns true when the job is terminal.
+  bool classify_attempt(std::uint64_t id, int attempt, int wait_status,
+                        bool watchdog_fired);
+  void finalize(std::uint64_t id, JobOutcome outcome, std::string body,
+                std::string detail, bool keep_spool);
+  void cache_insert(std::uint64_t key, const std::string& body);
+  void recover_spool();
+  void spool_job(const Job& job);
+  std::string job_spool_path(std::uint64_t id) const;
+  std::string ckpt_spool_path(std::uint64_t id) const;
+  std::string result_spool_path(std::uint64_t id) const;
+  std::string cache_path(std::uint64_t key) const;
+  long busy_retry_hint_locked() const;
+  JobStatus snapshot_locked(const Job& job) const;
+
+  ServiceConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue/pause/stop changes
+  std::condition_variable done_cv_;  ///< waiters: job terminal transitions
+  std::map<std::uint64_t, Job> jobs_;
+  /// Ready queue ordered (-priority, id): highest priority first, FIFO
+  /// within a priority (ids are monotonic).
+  std::set<std::pair<long long, std::uint64_t>> queue_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::list<std::uint64_t> cache_lru_;  ///< front = most recent
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+  std::uint64_t next_id_ = 1;
+  int finish_seq_ = 0;
+  int recovered_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool drain_ = false;
+};
+
+}  // namespace crusade::serve

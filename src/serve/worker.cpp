@@ -1,0 +1,296 @@
+#include "serve/worker.hpp"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analyze/analyzer.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/serialize.hpp"
+#include "core/crusade.hpp"
+#include "ft/crusade_ft.hpp"
+#include "graph/spec_io.hpp"
+#include "util/atomic_file.hpp"
+#include "util/json_writer.hpp"
+#include "util/run_control.hpp"
+
+namespace crusade::serve {
+
+namespace {
+
+/// The worker's own controller: SIGTERM from the supervisor (cancellation,
+/// watchdog, daemon hard stop) becomes a cooperative stop so the search
+/// wraps up and reports its best-so-far architecture instead of dying.
+RunController* g_worker_control = nullptr;
+
+extern "C" void worker_stop_signal(int) {
+  if (g_worker_control != nullptr) g_worker_control->request_stop();
+}
+
+extern "C" void worker_ignore_signal(int) {}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Deterministic fingerprint of everything a run's outcome promises —
+/// architecture bytes, feasibility, cost, search counters, validator
+/// verdict.  The serve tests hold cached results and crash-resumed results
+/// to bit-identity with a fresh run through this value (the same contract
+/// `crusade soak` enforces).
+std::string run_signature(const CrusadeResult& r) {
+  ckpt::BinWriter w;
+  ckpt::write_architecture(w, r.arch);
+  w.u8(r.feasible ? 1 : 0);
+  w.f64(r.cost.total());
+  w.i64(r.stats.sched_evals);
+  w.i64(r.stats.repair_moves);
+  w.i64(r.stats.merges_tried);
+  w.i64(r.stats.merges_accepted);
+  w.i64(r.stats.merge_reschedules);
+  w.i64(r.stats.mode_consolidations);
+  w.u8(r.validation.clean() ? 1 : 0);
+  return hex64(ckpt::fnv1a(w.bytes()));
+}
+
+[[noreturn]] void finish(const std::string& result_path,
+                         const std::string& body, int exit_code) {
+  // A full spool disk must not look like a worker crash loop: the typed
+  // DiskFullError is reported as a bad-spool body-less exit the supervisor
+  // maps to failed-honest.
+  try {
+    atomic_write_file(result_path, body);
+  } catch (const Error&) {
+    ::_exit(kWorkerException);
+  }
+  ::_exit(exit_code);
+}
+
+std::string error_body(JobKind kind, const char* klass,
+                       const std::string& message, int attempt) {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("kind").value(to_string(kind))
+      .key("error").value(message)
+      .key("error_class").value(klass)
+      .key("attempt").value(attempt)
+      .end_object();
+  return w.str();
+}
+
+[[noreturn]] void run_lint(const SubmitRequest& request, int attempt,
+                           const std::string& result_path) {
+  // Mirrors `crusade lint`: parse without the validation pass so every
+  // problem is reported with line anchors; an unparseable spec is itself a
+  // complete, honest lint answer (A000), never a bad-spec rejection.
+  AnalysisReport report;
+  SpecSourceMap source;
+  const ResourceLibrary lib = telecom_1999();
+  try {
+    SpecReadOptions read_options;
+    read_options.source_map = &source;
+    read_options.validate = false;
+    std::istringstream in(request.spec_text);
+    const Specification spec = read_specification(in, lib, read_options);
+    AnalyzeOptions analyze_options;
+    analyze_options.source = &source;
+    report = analyze_specification(spec, lib, analyze_options);
+  } catch (const Error& e) {
+    report.diagnostics.push_back(parse_error_diagnostic(e));
+  }
+  const std::string report_json = report.to_json();
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("lint")
+      .key("clean").value(!report.has_errors() && !report.has_warnings())
+      .key("errors").value(report.count(Severity::Error))
+      .key("warnings").value(report.count(Severity::Warning))
+      .key("notes").value(report.count(Severity::Note))
+      .key("signature").value(hex64(ckpt::fnv1a(report_json)))
+      .key("attempt").value(attempt)
+      .key("report").raw(report_json)
+      .end_object();
+  finish(result_path, w.str(), kWorkerDone);
+}
+
+[[noreturn]] void run_synthesis(const SubmitRequest& request, int attempt,
+                                const std::string& result_path,
+                                const std::string& ckpt_path,
+                                long deadline_ms,
+                                std::int64_t checkpoint_every,
+                                RunController& control) {
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec;
+  try {
+    std::istringstream in(request.spec_text);
+    spec = read_specification(in, lib);
+  } catch (const Error& e) {
+    finish(result_path,
+           error_body(request.kind, "bad-spec", e.what(), attempt),
+           kWorkerBadSpec);
+  }
+
+  CrusadeParams params;
+  params.enable_reconfig = request.enable_reconfig;
+  params.control = &control;
+  params.checkpoint.path = ckpt_path;
+  params.checkpoint.every_evals = checkpoint_every;
+  if (request.fault_crash_attempts >= attempt) {
+    // Injected mid-job crash for the supervision tests: die right after the
+    // first on-trajectory checkpoint lands on disk, so the retry has real
+    // progress to resume from.
+    params.checkpoint.on_write = [](const ckpt::Checkpoint&) {
+      ::_exit(kWorkerInjectedCrash);
+    };
+    params.checkpoint.every_evals = 1;
+  }
+
+  // A previous attempt's checkpoint is this attempt's head start.  Anything
+  // wrong with it — truncated by the crash window, foreign fingerprint —
+  // means starting fresh, never resuming a lie.
+  ckpt::Checkpoint resume_from;
+  bool resuming = false;
+  const std::uint64_t spec_hash = Crusade::fingerprint(spec, lib, params);
+  if (std::ifstream(ckpt_path).good()) {
+    try {
+      resume_from = ckpt::load_checkpoint(ckpt_path, lib);
+      ckpt::check_spec_hash(resume_from, spec_hash);
+      params.resume = &resume_from;
+      resuming = true;
+    } catch (const Error&) {
+      resuming = false;
+      params.resume = nullptr;
+    }
+  }
+  (void)resuming;
+
+  if (deadline_ms > 0) control.set_deadline_ms(deadline_ms);
+
+  CrusadeResult r;
+  try {
+    r = Crusade(spec, lib, params).run();
+  } catch (const Error&) {
+    ::_exit(kWorkerException);  // unexpected: crash-isolated, retried
+  }
+
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("kind").value(to_string(request.kind))
+      .key("feasible").value(r.feasible)
+      .key("stopped").value(r.stopped)
+      .key("resumed").value(r.resumed)
+      .key("validation_clean").value(r.validation.clean())
+      .key("violations").value(static_cast<int>(r.validation.violations.size()))
+      .key("arch_hash").value(hex64(arch_fingerprint(r.arch)))
+      .key("signature").value(run_signature(r))
+      .key("cost").value(r.cost.total(), 2)
+      .key("power_mw").value(r.power_mw, 2)
+      .key("pes").value(r.pe_count)
+      .key("links").value(r.link_count)
+      .key("modes").value(r.mode_count)
+      .key("attempt").value(attempt)
+      .key("stats").raw(r.stats.to_json())
+      .end_object();
+  finish(result_path, w.str(), r.stopped ? kWorkerTruncated : kWorkerDone);
+}
+
+[[noreturn]] void run_survive(const SubmitRequest& request, int attempt,
+                              const std::string& result_path,
+                              long deadline_ms, RunController& control) {
+  const ResourceLibrary lib = telecom_1999();
+  Specification spec;
+  try {
+    std::istringstream in(request.spec_text);
+    spec = read_specification(in, lib);
+  } catch (const Error& e) {
+    finish(result_path,
+           error_body(request.kind, "bad-spec", e.what(), attempt),
+           kWorkerBadSpec);
+  }
+  CrusadeFtParams params;
+  params.base.enable_reconfig = request.enable_reconfig;
+  params.base.control = &control;
+  params.survive_check = true;
+  params.survive_seeds = request.survive_seeds;
+  if (deadline_ms > 0) control.set_deadline_ms(deadline_ms);
+
+  CrusadeFtResult r;
+  try {
+    r = CrusadeFt(spec, lib, params).run();
+  } catch (const Error&) {
+    ::_exit(kWorkerException);
+  }
+  const CampaignResult& c = r.survival;
+  ckpt::BinWriter sig;
+  ckpt::write_architecture(sig, r.synthesis.arch);
+  sig.i32(c.scenarios);
+  sig.i32(c.masked);
+  sig.i32(c.degraded);
+  sig.i32(c.ft_lies);
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("kind").value("survive")
+      .key("feasible").value(r.synthesis.feasible)
+      .key("stopped").value(r.synthesis.stopped)
+      .key("clean").value(r.synthesis.feasible && c.clean())
+      .key("scenarios").value(c.scenarios)
+      .key("masked").value(c.masked)
+      .key("degraded_honest").value(c.degraded)
+      .key("ft_lies").value(c.ft_lies)
+      .key("signature").value(hex64(ckpt::fnv1a(sig.bytes())))
+      .key("attempt").value(attempt)
+      .end_object();
+  finish(result_path, w.str(),
+         r.synthesis.stopped ? kWorkerTruncated : kWorkerDone);
+}
+
+}  // namespace
+
+std::uint64_t arch_fingerprint(const Architecture& arch) {
+  ckpt::BinWriter w;
+  ckpt::write_architecture(w, arch);
+  return ckpt::fnv1a(w.bytes());
+}
+
+void run_worker_attempt(const SubmitRequest& request, int attempt,
+                        const std::string& result_path,
+                        const std::string& ckpt_path, long deadline_ms,
+                        std::int64_t checkpoint_every) {
+  // The child inherited the daemon's signal dispositions and StopHub state;
+  // both belong to the parent.  Re-route SIGTERM/SIGINT to THIS job's
+  // controller so a cancellation stops exactly this search.
+  StopHub::instance().reset();
+  static RunController control;
+  g_worker_control = &control;
+  std::signal(SIGTERM, worker_stop_signal);
+  std::signal(SIGINT, worker_stop_signal);
+
+  if (request.fault_hang_attempts >= attempt) {
+    // Injected stuck worker: ignore the cooperative SIGTERM so only the
+    // supervisor's SIGKILL escalation can clear the slot — exactly the
+    // failure the watchdog exists for.
+    std::signal(SIGTERM, worker_ignore_signal);
+    std::signal(SIGINT, worker_ignore_signal);
+    while (true) ::usleep(50 * 1000);
+  }
+
+  switch (request.kind) {
+    case JobKind::Lint:
+      run_lint(request, attempt, result_path);
+    case JobKind::Survive:
+      run_survive(request, attempt, result_path, deadline_ms, control);
+    case JobKind::Run:
+    case JobKind::Validate:
+      run_synthesis(request, attempt, result_path, ckpt_path, deadline_ms,
+                    checkpoint_every, control);
+  }
+  ::_exit(kWorkerException);  // unreachable: every kind above is noreturn
+}
+
+}  // namespace crusade::serve

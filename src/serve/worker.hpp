@@ -1,0 +1,60 @@
+// Child-side job execution for the crusaded service (DESIGN.md §13).
+//
+// The supervisor (serve/service.cpp) runs every job attempt in a forked
+// worker process: crash isolation is real — a worker that throws, corrupts
+// itself, or hangs dies alone, and the supervisor retries the job from its
+// last checkpoint.  This header is the code that runs INSIDE the child: it
+// parses the spec, runs the requested pipeline with the per-job
+// RunController (deadline armed, SIGTERM routed to a cooperative stop so a
+// cancelled job returns its best-so-far validator-checked architecture),
+// writes the result JSON atomically into the spool, and reports its fate
+// through the exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/architecture.hpp"
+#include "serve/protocol.hpp"
+
+namespace crusade::serve {
+
+/// Worker exit codes — the supervisor's classification contract.  Anything
+/// else (signals included) is a crash and triggers a retry.
+enum WorkerExit : int {
+  /// Result body written; canonical complete answer (feasible or an honest
+  /// infeasibility verdict).  Cacheable.
+  kWorkerDone = 0,
+  /// Result body written; the search was truncated by the deadline or a
+  /// cancellation SIGTERM and the body carries the best-so-far
+  /// architecture.  Not cacheable (it is not the canonical answer).
+  kWorkerTruncated = 3,
+  /// Result body written; the specification itself was rejected (parse or
+  /// validation error).  Deterministic — never retried.
+  kWorkerBadSpec = 4,
+  /// An unexpected exception escaped the pipeline; no body.  Retryable.
+  kWorkerException = 70,
+  /// Injected fault (SubmitRequest::fault_crash_attempts) fired.
+  kWorkerInjectedCrash = 99,
+};
+
+/// Runs one attempt of `request` to completion in the current process and
+/// _exit()s with a WorkerExit code.  `attempt` is 1-based; `deadline_ms`
+/// is the remaining end-to-end budget (0 = none).  Run/validate jobs
+/// checkpoint into `ckpt_path` every `checkpoint_every` evaluations and
+/// resume from it when a loadable fingerprint-matching checkpoint is
+/// already there (a previous attempt's progress).  The result body is
+/// written atomically to `result_path` before exiting.
+[[noreturn]] void run_worker_attempt(const SubmitRequest& request,
+                                     int attempt,
+                                     const std::string& result_path,
+                                     const std::string& ckpt_path,
+                                     long deadline_ms,
+                                     std::int64_t checkpoint_every);
+
+/// FNV-1a of the canonical architecture serialization — the bit-identity
+/// key the soak harness and the serve tests compare across crash/resume
+/// and cache boundaries.
+std::uint64_t arch_fingerprint(const Architecture& arch);
+
+}  // namespace crusade::serve

@@ -16,7 +16,7 @@ namespace crusade {
 
 namespace {
 
-std::string errno_text() { return std::strerror(errno); }
+std::string errno_text(int err) { return std::strerror(err); }
 
 /// Directory part of a path ("." when the path has no slash), for the
 /// temp-file sibling and the post-rename directory fsync.
@@ -29,22 +29,38 @@ std::string dir_of(const std::string& path) {
 
 }  // namespace
 
+bool is_disk_full_errno(int err) {
+#ifdef EDQUOT
+  if (err == EDQUOT) return true;
+#endif
+  return err == ENOSPC;
+}
+
+[[noreturn]] void throw_io_error(const std::string& what, int err) {
+  if (is_disk_full_errno(err))
+    throw DiskFullError(what + ": " + errno_text(err), err);
+  throw IoError(what + ": " + errno_text(err), err);
+}
+
 void atomic_write_file(const std::string& path, const std::string& contents) {
   // The temp file must live in the same directory: rename(2) is only atomic
   // within one filesystem, and a sibling keeps it so.  The pid suffix keeps
-  // concurrent writers (soak harness children) from clobbering each other's
-  // in-flight temporaries.
+  // concurrent writers (soak harness children, daemon workers) from
+  // clobbering each other's in-flight temporaries.
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0)
-    throw Error("atomic write: cannot create " + tmp + ": " + errno_text());
+  if (fd < 0) throw_io_error("atomic write: cannot create " + tmp, errno);
 
-  auto fail = [&](const std::string& step) -> Error {
-    const std::string why = errno_text();
+  // Every failure past this point unlinks the temporary first: a full disk
+  // (ENOSPC surfaces at write, fsync, or close time depending on the
+  // filesystem) must never leave a partial spool/cache entry behind, and
+  // the typed DiskFullError tells the caller which failure this was.
+  auto fail = [&](const std::string& step) {
+    const int err = errno;
     ::close(fd);
     ::unlink(tmp.c_str());
-    return Error("atomic write: " + step + " " + tmp + ": " + why);
+    throw_io_error("atomic write: " + step + " " + tmp, err);
   };
 
   const char* data = contents.data();
@@ -53,7 +69,7 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
     const ssize_t n = ::write(fd, data, left);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw fail("cannot write");
+      fail("cannot write");
     }
     data += n;
     left -= static_cast<std::size_t>(n);
@@ -61,23 +77,32 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
   // fsync BEFORE rename: otherwise the rename can reach disk ahead of the
   // data and a crash exposes an empty (torn) file under the final name —
   // exactly the artifact this helper exists to rule out.
-  if (::fsync(fd) != 0) throw fail("cannot fsync");
+  if (::fsync(fd) != 0) fail("cannot fsync");
   if (::close(fd) != 0) {
+    const int err = errno;
     ::unlink(tmp.c_str());
-    throw Error("atomic write: cannot close " + tmp + ": " + errno_text());
+    throw_io_error("atomic write: cannot close " + tmp, err);
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string why = errno_text();
+    const int err = errno;
     ::unlink(tmp.c_str());
-    throw Error("atomic write: cannot rename " + tmp + " -> " + path + ": " +
-                why);
+    throw_io_error("atomic write: cannot rename " + tmp + " -> " + path, err);
   }
-  // Persist the directory entry; failure here is not fatal to the caller
-  // (the file content is already safe), so a directory that cannot be
-  // opened (e.g. no read permission) is tolerated.
+  // Persist the directory entry so the rename itself survives a power
+  // loss.  A directory that cannot be opened (e.g. no read permission) is
+  // tolerated — the file content is already safe — but an fsync that fails
+  // with a data-integrity errno (out of space, I/O error) is reported: the
+  // caller believes the entry durable and it is not.
   const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
-    ::fsync(dfd);
+    if (::fsync(dfd) != 0) {
+      const int err = errno;
+      ::close(dfd);
+      if (is_disk_full_errno(err) || err == EIO)
+        throw_io_error("atomic write: cannot fsync directory " + dir_of(path),
+                       err);
+      return;  // e.g. EINVAL on filesystems that reject directory fsync
+    }
     ::close(dfd);
   }
 }

@@ -16,9 +16,24 @@ namespace crusade {
 /// file in the same directory, is flushed to stable storage (fsync), and is
 /// renamed over `path` in one atomic step (POSIX rename semantics); the
 /// containing directory is fsynced afterwards so the rename itself survives
-/// a power loss.  Throws Error (util/error.hpp) with the failing step and
-/// errno text on any failure, after removing the temporary file.
+/// a power loss.  Throws a typed IoError (util/error.hpp) with the failing
+/// step, errno text and number on any failure, after removing the temporary
+/// file — DiskFullError when the filesystem is out of space (ENOSPC/EDQUOT),
+/// so spool/cache writers never leave a partial entry and can distinguish
+/// "disk full" from other failures.  A directory fsync that fails with a
+/// data-integrity errno (ENOSPC/EDQUOT/EIO) is also reported; benign
+/// refusals (permissions, unsupported) are tolerated because the file data
+/// itself is already durable.
 void atomic_write_file(const std::string& path, const std::string& contents);
+
+/// True for the errno values that mean "filesystem out of space"
+/// (ENOSPC, and EDQUOT where defined) — the classification
+/// atomic_write_file uses to pick DiskFullError over plain IoError.
+bool is_disk_full_errno(int err);
+
+/// Throws DiskFullError when `err` is a disk-full errno, IoError otherwise;
+/// the message is `what` + ": " + strerror(err).
+[[noreturn]] void throw_io_error(const std::string& what, int err);
 
 /// Reads a whole file into a string.  Throws Error when the file cannot be
 /// opened or read.

@@ -16,6 +16,29 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Filesystem failure carrying the errno it happened with, so callers that
+/// must react differently to "disk full" vs "permission denied" (the
+/// daemon's spool/cache writers) can branch on the type or the code instead
+/// of parsing message text.
+class IoError : public Error {
+ public:
+  IoError(const std::string& what, int error_number)
+      : Error(what), errno_(error_number) {}
+  int error_number() const { return errno_; }
+
+ private:
+  int errno_;
+};
+
+/// The write could not be completed because the filesystem is out of space
+/// (ENOSPC or the quota equivalent EDQUOT).  atomic_write_file throws this
+/// after removing its temporary, so a full disk never leaves a partial
+/// spool or cache entry behind.
+class DiskFullError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* expr, const char* file,
                                         int line, const std::string& msg) {

@@ -18,6 +18,53 @@
 
 namespace crusade {
 
+/// Process-wide signal rendezvous for multi-job hosts (the `crusaded`
+/// daemon, the one-shot CLI).  A signal handler may only perform
+/// async-signal-safe work, so the handler calls notify() — two relaxed
+/// atomic stores — and everything else polls.  Controllers that should
+/// honour a process-level stop (the single job of a one-shot CLI run)
+/// attach themselves with RunController::attach_process_stop; controllers
+/// that must NOT be stopped by a process signal (daemon jobs, which are
+/// cancelled individually through their own request_stop and whose host
+/// drains the queue on SIGTERM instead) simply never attach.  This is what
+/// routes stop requests per job: cancelling one request calls that job's
+/// controller, and a SIGTERM to the daemon reaches only the daemon's
+/// shutdown poll, never a running job's search.
+class StopHub {
+ public:
+  static StopHub& instance() {
+    static StopHub hub;
+    return hub;
+  }
+
+  /// Async-signal-safe: record that a stop signal arrived.
+  void notify(int sig) {
+    last_signal_.store(sig, std::memory_order_relaxed);
+    notifications_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool signalled() const {
+    return notifications_.load(std::memory_order_relaxed) > 0;
+  }
+  int notifications() const {
+    return notifications_.load(std::memory_order_relaxed);
+  }
+  int last_signal() const {
+    return last_signal_.load(std::memory_order_relaxed);
+  }
+
+  /// Forked children and tests start from a clean slate: a SIGTERM the
+  /// parent daemon absorbed must not read as "stop" inside a fresh worker.
+  void reset() {
+    notifications_.store(0, std::memory_order_relaxed);
+    last_signal_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> notifications_{0};
+  std::atomic<int> last_signal_{0};
+};
+
 class RunController {
  public:
   /// Arm a wall-clock deadline `ms` milliseconds from now; <= 0 disarms.
@@ -31,11 +78,18 @@ class RunController {
     has_deadline_ = true;
   }
 
-  /// Cooperative stop request (SIGINT/SIGTERM handler, another thread).
+  /// Cooperative stop request (per-job cancellation, another thread).
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  /// Opt in to process-level stop signals: should_stop() also fires once
+  /// `hub` has been notified (SIGINT/SIGTERM).  One-shot CLI runs attach
+  /// their single controller; daemon job controllers never attach, so a
+  /// signal to the daemon cannot stop another tenant's job.
+  void attach_process_stop(const StopHub* hub) { hub_ = hub; }
+
   bool stop_requested() const {
-    return stop_.load(std::memory_order_relaxed);
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    return hub_ != nullptr && hub_->signalled();
   }
   bool deadline_expired() const {
     return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
@@ -65,6 +119,7 @@ class RunController {
   mutable std::atomic<bool> triggered_{false};
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
+  const StopHub* hub_ = nullptr;
 };
 
 }  // namespace crusade

@@ -350,6 +350,65 @@ TEST(CheckpointTest, ResumeWithWrongSpecThrows) {
   EXPECT_THROW(Crusade(other, lib(), resume).run(), Error);
 }
 
+// --- peek_checkpoint (the daemon's cheap spool integrity probe) ------------
+
+TEST(CheckpointTest, PeekMatchesSavedHeaderWithoutLibrary) {
+  const Specification spec = quickstart_spec(lib());
+  CrusadeParams record;
+  std::vector<ckpt::Checkpoint> trail;
+  record.checkpoint.every_evals = 1;
+  record.checkpoint.on_write = [&](const ckpt::Checkpoint& c) {
+    trail.push_back(c);
+  };
+  (void)Crusade(spec, lib(), record).run();
+  ASSERT_FALSE(trail.empty());
+
+  TempFile f("ckpt_test_peek");
+  ckpt::save_checkpoint(f.path, trail.back());
+  const ckpt::CheckpointInfo info = ckpt::peek_checkpoint(f.path);
+  EXPECT_EQ(info.version, ckpt::kCheckpointVersion);
+  EXPECT_EQ(info.stage, trail.back().stage);
+  EXPECT_EQ(info.spec_hash, trail.back().spec_hash);
+  EXPECT_GT(info.payload_bytes, 0u);
+}
+
+TEST(CheckpointTest, PeekFailsLoudlyOnEveryCorruptionMode) {
+  const Specification spec = quickstart_spec(lib());
+  CrusadeParams record;
+  std::vector<ckpt::Checkpoint> trail;
+  record.checkpoint.every_evals = 1;
+  record.checkpoint.on_write = [&](const ckpt::Checkpoint& c) {
+    trail.push_back(c);
+  };
+  (void)Crusade(spec, lib(), record).run();
+  ASSERT_FALSE(trail.empty());
+  const std::string good = ckpt::encode_checkpoint(trail.back());
+
+  TempFile f("ckpt_test_peek_corrupt");
+  EXPECT_THROW(ckpt::peek_checkpoint(f.path), Error);  // missing file
+
+  atomic_write_file(f.path, good.substr(0, 10));  // truncated header
+  EXPECT_THROW(ckpt::peek_checkpoint(f.path), Error);
+
+  atomic_write_file(f.path, good.substr(0, good.size() - 1));  // short payload
+  EXPECT_THROW(ckpt::peek_checkpoint(f.path), Error);
+
+  std::string flipped = good;
+  flipped[good.size() / 2] ^= 0x40;  // payload bit flip -> CRC mismatch
+  atomic_write_file(f.path, flipped);
+  EXPECT_THROW(ckpt::peek_checkpoint(f.path), Error);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  atomic_write_file(f.path, bad_magic);
+  EXPECT_THROW(ckpt::peek_checkpoint(f.path), Error);
+
+  // The pristine bytes still peek (the corruption tests above did not pass
+  // by accident).
+  atomic_write_file(f.path, good);
+  EXPECT_EQ(ckpt::peek_checkpoint(f.path).spec_hash, trail.back().spec_hash);
+}
+
 // --- anytime semantics ----------------------------------------------------
 
 TEST(AnytimeTest, PreTriggeredStopStillReturnsCompleteResult) {

@@ -473,5 +473,21 @@ TEST_F(ObsTest, DisabledRunReportsPhaseTimesButNoGatedCounters) {
   EXPECT_EQ(obs::event_count(), 0u);
 }
 
+// --- high-watermark counters (serve.queue_depth_peak) ----------------------
+
+TEST_F(ObsTest, RecordPeakKeepsHighWatermark) {
+  obs::record_peak("test.peak", 5);
+  EXPECT_EQ(obs::counter_value("test.peak"), 5);
+  obs::record_peak("test.peak", 3);  // lower samples never regress the peak
+  EXPECT_EQ(obs::counter_value("test.peak"), 5);
+  obs::record_peak("test.peak", 9);
+  EXPECT_EQ(obs::counter_value("test.peak"), 9);
+  obs::record_peak("test.peak", 9);
+  EXPECT_EQ(obs::counter_value("test.peak"), 9);
+  obs::set_enabled(false);
+  obs::record_peak("test.peak", 100);  // disabled: single relaxed load only
+  EXPECT_EQ(obs::counter_value("test.peak"), 9);
+}
+
 }  // namespace
 }  // namespace crusade

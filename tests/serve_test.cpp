@@ -1,0 +1,721 @@
+// Tests for the crusaded synthesis service (src/serve, DESIGN.md §13):
+// protocol framing, priority queue ordering, admission control, deadline
+// truncation to best-so-far, supervised crash retry with checkpoint resume,
+// watchdog escalation, the crash-budget failed-honest path, result-cache
+// bit-identity, spool-backed restart recovery, cancellation of queued and
+// running jobs, daemon+client socket round-trips, and the 100-job mixed
+// crash campaign the acceptance criteria name: zero lost, zero duplicated,
+// every job terminal with an honest outcome.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_specs.hpp"
+#include "graph/spec_io.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "tgff/generator.hpp"
+#include "util/error.hpp"
+
+namespace crusade::serve {
+namespace {
+
+const ResourceLibrary& lib() {
+  static const ResourceLibrary l = telecom_1999();
+  return l;
+}
+
+std::string spec_text(const Specification& spec) {
+  std::ostringstream out;
+  write_specification(out, spec, lib());
+  return out.str();
+}
+
+/// Small spec (~0.5 s headroom per run) for throughput-heavy tests.
+const std::string& quickstart_text() {
+  static const std::string text = spec_text(quickstart_spec(lib()));
+  return text;
+}
+
+/// Larger synthetic spec whose synthesis takes long enough that a 1 ms
+/// deadline reliably truncates the search.
+const std::string& big_text() {
+  static const std::string text = [] {
+    SpecGenConfig config;
+    config.total_tasks = 400;
+    config.seed = 42;
+    SpecGenerator gen(lib());
+    return spec_text(gen.generate(config));
+  }();
+  return text;
+}
+
+/// Unique temp spool dir per test, removed recursively on destruction.
+struct TempSpool {
+  explicit TempSpool(const std::string& stem) {
+    path = stem + "." + std::to_string(::getpid()) + ".spool-test";
+    std::system(("rm -rf " + path).c_str());
+  }
+  ~TempSpool() { std::system(("rm -rf " + path).c_str()); }
+  std::string path;
+};
+
+ServiceConfig fast_config(const std::string& spool) {
+  ServiceConfig cfg;
+  cfg.spool_dir = spool;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.max_attempts = 3;
+  cfg.backoff_base_ms = 1;
+  cfg.backoff_cap_ms = 10;
+  cfg.checkpoint_every = 5;
+  return cfg;
+}
+
+SubmitRequest make_request(const std::string& text,
+                           JobKind kind = JobKind::Run) {
+  SubmitRequest req;
+  req.kind = kind;
+  req.spec_text = text;
+  return req;
+}
+
+JobStatus wait_terminal(Service& service, std::uint64_t id,
+                        long timeout_ms = 60000) {
+  JobStatus status;
+  std::string body;
+  EXPECT_TRUE(service.wait_result(id, timeout_ms, &status, &body))
+      << "job " << id << " not terminal within " << timeout_ms << " ms";
+  return status;
+}
+
+std::string json_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t start = at + needle.size();
+  std::size_t end = start;
+  if (body[start] == '"') {
+    ++start;
+    end = body.find('"', start);
+  } else {
+    end = body.find_first_of(",}", start);
+  }
+  return body.substr(start, end - start);
+}
+
+// --- protocol framing ------------------------------------------------------
+
+TEST(ServeProtocolTest, SubmitRoundTrips) {
+  SubmitRequest submit;
+  submit.kind = JobKind::Survive;
+  submit.priority = 7;
+  submit.deadline_ms = 1234;
+  submit.enable_reconfig = false;
+  submit.survive_seeds = 9;
+  submit.spec_text = "graph g {\n  period 1ms\n}\n";
+  const Request wire = make_submit_request(submit);
+  const Request decoded = decode_frame(encode_request(wire));
+  const SubmitRequest back = parse_submit_request(decoded);
+  EXPECT_EQ(back.kind, JobKind::Survive);
+  EXPECT_EQ(back.priority, 7);
+  EXPECT_EQ(back.deadline_ms, 1234);
+  EXPECT_FALSE(back.enable_reconfig);
+  EXPECT_EQ(back.survive_seeds, 9);
+  EXPECT_EQ(back.spec_text, submit.spec_text);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTrips) {
+  Response r;
+  r.ok = false;
+  r.code = "busy";
+  r.body = "{\"retry_after_ms\":120}";
+  const Request frame = decode_frame(encode_response(r));
+  EXPECT_EQ(frame.verb, "ERR");
+  EXPECT_EQ(frame.get("code"), "busy");
+  EXPECT_EQ(frame.body, r.body);
+}
+
+TEST(ServeProtocolTest, MalformedFramesThrowTyped) {
+  EXPECT_THROW(decode_frame("no newline at all"), Error);
+  EXPECT_THROW(decode_frame("SUBMIT kind=run\nmissing body field"), Error);
+  EXPECT_THROW(decode_frame("SUBMIT body=5\nabc"), Error);   // short body
+  EXPECT_THROW(decode_frame("SUBMIT body=-1\n"), Error);     // negative
+  EXPECT_THROW(decode_frame("SUBMIT body=99999999999\n"), Error);
+  EXPECT_THROW(decode_frame("body=0\n"), Error);             // no verb
+  EXPECT_THROW(kind_from_string("frobnicate"), Error);
+  Request bad;
+  bad.verb = "SUBMIT";
+  bad.fields["kind"] = "run";
+  bad.fields["deadline_ms"] = "-5";
+  EXPECT_THROW(parse_submit_request(bad), Error);
+  bad.fields["deadline_ms"] = "soon";
+  EXPECT_THROW(parse_submit_request(bad), Error);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsFramingCharacters) {
+  Request r;
+  r.verb = "SUB MIT";
+  EXPECT_THROW(encode_request(r), Error);
+}
+
+// --- queue ordering & admission control ------------------------------------
+
+TEST(ServeServiceTest, PriorityOrderWithFifoTiebreak) {
+  TempSpool spool("serve_test_priority");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.workers = 1;            // serialize execution to observe queue order
+  cfg.start_paused = true;    // admit everything before any job runs
+  Service service(cfg);
+
+  SubmitRequest low = make_request(quickstart_text(), JobKind::Lint);
+  low.priority = 0;
+  SubmitRequest high = make_request(quickstart_text(), JobKind::Lint);
+  high.priority = 5;
+  SubmitRequest mid = make_request(quickstart_text(), JobKind::Lint);
+  mid.priority = 2;
+
+  // Vary the spec per submission so the cache cannot short-circuit order.
+  low.spec_text += "\n# low-a\n";
+  const auto a = service.submit(low);
+  low.spec_text += "# low-b\n";
+  const auto b = service.submit(low);
+  high.spec_text += "\n# high\n";
+  const auto c = service.submit(high);
+  mid.spec_text += "\n# mid\n";
+  const auto d = service.submit(mid);
+  ASSERT_TRUE(a.admitted && b.admitted && c.admitted && d.admitted);
+
+  service.resume_workers();
+  const JobStatus sa = wait_terminal(service, a.id);
+  const JobStatus sb = wait_terminal(service, b.id);
+  const JobStatus sc = wait_terminal(service, c.id);
+  const JobStatus sd = wait_terminal(service, d.id);
+
+  // Highest priority first, then FIFO within a priority class.
+  EXPECT_LT(sc.finish_seq, sd.finish_seq);
+  EXPECT_LT(sd.finish_seq, sa.finish_seq);
+  EXPECT_LT(sa.finish_seq, sb.finish_seq);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, AdmissionControlRejectsHonestlyAtCapacity) {
+  TempSpool spool("serve_test_busy");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.queue_capacity = 2;
+  cfg.start_paused = true;
+  Service service(cfg);
+
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Lint);
+  req.spec_text += "\n# one\n";
+  ASSERT_TRUE(service.submit(req).admitted);
+  req.spec_text += "# two\n";
+  ASSERT_TRUE(service.submit(req).admitted);
+  req.spec_text += "# three\n";
+  const SubmitOutcome rejected = service.submit(req);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_TRUE(rejected.busy);
+  EXPECT_GT(rejected.retry_after_ms, 0);
+  EXPECT_EQ(service.stats().rejected_busy, 1);
+
+  // Capacity frees as jobs drain; the same request is then admitted.
+  service.resume_workers();
+  SubmitOutcome retried;
+  for (int i = 0; i < 200; ++i) {
+    retried = service.submit(req);
+    if (retried.admitted) break;
+    ::usleep(20 * 1000);
+  }
+  EXPECT_TRUE(retried.admitted);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, UnparseableSynthesisSpecRejectedUpFront) {
+  TempSpool spool("serve_test_badspec");
+  Service service(fast_config(spool.path));
+  const SubmitOutcome out =
+      service.submit(make_request("graph nonsense {{{", JobKind::Run));
+  EXPECT_FALSE(out.admitted);
+  EXPECT_FALSE(out.busy);
+  EXPECT_FALSE(out.error.empty());
+  EXPECT_EQ(service.stats().rejected_bad, 1);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, UnparseableLintSpecIsAnHonestLintAnswer) {
+  TempSpool spool("serve_test_lintbad");
+  Service service(fast_config(spool.path));
+  const SubmitOutcome out =
+      service.submit(make_request("graph nonsense {{{", JobKind::Lint));
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id);
+  EXPECT_EQ(status.outcome, JobOutcome::Ok);
+  const auto body = service.result_body(out.id);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_NE(body->find("A000"), std::string::npos);
+  service.stop(true);
+}
+
+// --- deadlines & cancellation ----------------------------------------------
+
+TEST(ServeServiceTest, DeadlineReturnsBestSoFarDegradedHonest) {
+  TempSpool spool("serve_test_deadline");
+  ServiceConfig cfg = fast_config(spool.path);
+  // Under test is the worker's cooperative deadline stop, not the watchdog:
+  // give the wrap-up (best-so-far validation of a 400-task spec) a generous
+  // grace so sanitizer builds don't SIGKILL it mid-answer.
+  cfg.watchdog_grace_ms = 60000;
+  cfg.term_grace_ms = 60000;
+  Service service(cfg);
+  SubmitRequest req = make_request(big_text(), JobKind::Run);
+  req.deadline_ms = 1;
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id);
+  EXPECT_EQ(status.outcome, JobOutcome::DegradedHonest) << status.detail;
+  const auto body = service.result_body(out.id);
+  ASSERT_TRUE(body.has_value());
+  // The body is a complete best-so-far answer, not an error: truncated flag
+  // set, architecture hash present.
+  EXPECT_EQ(json_field(*body, "stopped"), "true");
+  EXPECT_FALSE(json_field(*body, "arch_hash").empty());
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, CancelQueuedJobNeverRuns) {
+  TempSpool spool("serve_test_cancelq");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.start_paused = true;
+  Service service(cfg);
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(out.admitted);
+  EXPECT_TRUE(service.cancel(out.id));
+  const JobStatus status = wait_terminal(service, out.id, 2000);
+  EXPECT_EQ(status.outcome, JobOutcome::Cancelled);
+  EXPECT_EQ(status.attempts, 0);
+  service.resume_workers();
+  service.stop(true);
+  EXPECT_EQ(service.stats().cancelled, 1);
+}
+
+TEST(ServeServiceTest, CancelUnknownIdReturnsFalse) {
+  TempSpool spool("serve_test_cancelu");
+  Service service(fast_config(spool.path));
+  EXPECT_FALSE(service.cancel(424242));
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, CancelRunningHungWorkerIsReaped) {
+  TempSpool spool("serve_test_cancelr");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.term_grace_ms = 100;      // hang ignores SIGTERM; escalate fast
+  cfg.attempt_timeout_ms = 60000;
+  Service service(cfg);
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_hang_attempts = 99;
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  // Give the worker time to fork and enter its hang loop.
+  for (int i = 0; i < 200; ++i) {
+    const auto status = service.status(out.id);
+    ASSERT_TRUE(status.has_value());
+    if (status->state == JobState::Running) break;
+    ::usleep(10 * 1000);
+  }
+  EXPECT_TRUE(service.cancel(out.id));
+  const JobStatus status = wait_terminal(service, out.id, 20000);
+  EXPECT_EQ(status.outcome, JobOutcome::Cancelled);
+  service.stop(true);
+}
+
+// --- supervised crash retry ------------------------------------------------
+
+TEST(ServeServiceTest, CrashedWorkerRetriedFromCheckpointThenMasked) {
+  TempSpool spool("serve_test_crash");
+  Service service(fast_config(spool.path));
+
+  // Baseline: the canonical answer for this spec, no faults.
+  const SubmitOutcome clean =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(clean.admitted);
+  const JobStatus clean_status = wait_terminal(service, clean.id);
+  EXPECT_EQ(clean_status.outcome, JobOutcome::Ok);
+  const std::string clean_body = *service.result_body(clean.id);
+
+  // Same spec with one injected mid-run crash: the retry resumes from the
+  // crashed attempt's checkpoint and must land on the identical answer.
+  SubmitRequest faulty = make_request(quickstart_text(), JobKind::Run);
+  faulty.fault_crash_attempts = 1;
+  const SubmitOutcome out = service.submit(faulty);
+  ASSERT_TRUE(out.admitted);
+  EXPECT_FALSE(out.cached);  // fault injection must bypass the cache
+  const JobStatus status = wait_terminal(service, out.id);
+  EXPECT_EQ(status.outcome, JobOutcome::Masked) << status.detail;
+  EXPECT_EQ(status.attempts, 2);
+  const std::string body = *service.result_body(out.id);
+  EXPECT_EQ(json_field(body, "resumed"), "true");
+  // Bit-identity across the crash/resume boundary (DESIGN.md §11).
+  EXPECT_EQ(json_field(body, "signature"), json_field(clean_body, "signature"));
+  EXPECT_EQ(json_field(body, "arch_hash"), json_field(clean_body, "arch_hash"));
+  EXPECT_GE(service.stats().crashes, 1);
+  EXPECT_GE(service.stats().retries, 1);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, CrashBudgetExhaustedIsFailedHonest) {
+  TempSpool spool("serve_test_budget");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.max_attempts = 2;
+  Service service(cfg);
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_crash_attempts = 99;  // every attempt dies
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id);
+  EXPECT_EQ(status.outcome, JobOutcome::FailedHonest);
+  EXPECT_EQ(status.attempts, 2);
+  const auto body = service.result_body(out.id);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(json_field(*body, "error_class"), "crash-budget");
+  EXPECT_EQ(service.stats().crashes, 2);
+  EXPECT_EQ(service.stats().failed_honest, 1);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, WatchdogReapsHungWorker) {
+  TempSpool spool("serve_test_watchdog");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.max_attempts = 1;
+  cfg.attempt_timeout_ms = 200;
+  cfg.term_grace_ms = 100;
+  Service service(cfg);
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_hang_attempts = 99;
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id, 30000);
+  EXPECT_EQ(status.outcome, JobOutcome::FailedHonest);
+  EXPECT_NE(status.detail.find("watchdog"), std::string::npos);
+  EXPECT_GE(service.stats().watchdog_kills, 1);
+  service.stop(true);
+}
+
+// --- result cache ----------------------------------------------------------
+
+TEST(ServeServiceTest, CacheHitReturnsBitIdenticalBytesInstantly) {
+  TempSpool spool("serve_test_cache");
+  Service service(fast_config(spool.path));
+  const SubmitOutcome first =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(first.admitted);
+  wait_terminal(service, first.id);
+  const std::string original = *service.result_body(first.id);
+
+  const SubmitOutcome second =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(second.admitted);
+  EXPECT_TRUE(second.cached);
+  const JobStatus status = wait_terminal(service, second.id, 1000);
+  EXPECT_EQ(status.outcome, JobOutcome::Ok);
+  EXPECT_TRUE(status.cached);
+  EXPECT_EQ(status.attempts, 0);  // nothing ran
+  EXPECT_EQ(*service.result_body(second.id), original);  // byte-identical
+  EXPECT_EQ(service.stats().cache_hits, 1);
+
+  // Different kind, same spec: a different key — no false sharing.
+  const SubmitOutcome survive = service.submit(
+      make_request(quickstart_text(), JobKind::Validate));
+  ASSERT_TRUE(survive.admitted);
+  EXPECT_FALSE(survive.cached);
+  wait_terminal(service, survive.id);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, CachePersistsAcrossRestart) {
+  TempSpool spool("serve_test_cache_restart");
+  std::string original;
+  {
+    Service service(fast_config(spool.path));
+    const SubmitOutcome first =
+        service.submit(make_request(quickstart_text(), JobKind::Run));
+    ASSERT_TRUE(first.admitted);
+    wait_terminal(service, first.id);
+    original = *service.result_body(first.id);
+    service.stop(true);
+  }
+  // A fresh incarnation on the same spool serves the hit from disk.
+  Service service(fast_config(spool.path));
+  const SubmitOutcome again =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(again.admitted);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(*service.result_body(again.id), original);
+  service.stop(true);
+}
+
+// --- restart recovery ------------------------------------------------------
+
+TEST(ServeServiceTest, QueuedJobsSurviveHardStopAndRecover) {
+  TempSpool spool("serve_test_recover");
+  std::vector<std::uint64_t> ids;
+  {
+    ServiceConfig cfg = fast_config(spool.path);
+    cfg.start_paused = true;  // nothing runs; everything stays spooled
+    Service service(cfg);
+    for (int i = 0; i < 3; ++i) {
+      SubmitRequest req = make_request(quickstart_text(), JobKind::Lint);
+      req.spec_text += "\n# job " + std::to_string(i) + "\n";
+      const SubmitOutcome out = service.submit(req);
+      ASSERT_TRUE(out.admitted);
+      ids.push_back(out.id);
+    }
+    service.stop(false);  // hard stop: park the queue in the spool
+  }
+  Service service(fast_config(spool.path));
+  EXPECT_EQ(service.recovered_jobs(), 3);
+  for (const std::uint64_t id : ids) {
+    const JobStatus status = wait_terminal(service, id);
+    EXPECT_EQ(status.outcome, JobOutcome::Ok);
+    EXPECT_TRUE(status.recovered);
+  }
+  service.stop(true);  // join workers so every spool cleanup has landed
+  // Everything terminal: the spool owes the next incarnation nothing.
+  Service empty(fast_config(spool.path));
+  EXPECT_EQ(empty.recovered_jobs(), 0);
+  empty.stop(true);
+}
+
+TEST(ServeServiceTest, CorruptSpoolEntryQuarantinedNotFatal) {
+  TempSpool spool("serve_test_corrupt");
+  {
+    Service service(fast_config(spool.path));
+    service.stop(true);
+  }
+  std::ofstream(spool.path + "/jobs/7.job") << "JOB id=7 body=9999\nshort";
+  Service service(fast_config(spool.path));
+  EXPECT_EQ(service.recovered_jobs(), 0);
+  // Still fully operational.
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  EXPECT_TRUE(out.admitted);
+  wait_terminal(service, out.id);
+  service.stop(true);
+}
+
+// --- graceful shutdown -----------------------------------------------------
+
+TEST(ServeServiceTest, DrainStopCompletesEveryAdmittedJob) {
+  TempSpool spool("serve_test_drain");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.start_paused = true;
+  Service service(cfg);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    SubmitRequest req = make_request(quickstart_text(), JobKind::Lint);
+    req.spec_text += "\n# drain " + std::to_string(i) + "\n";
+    const SubmitOutcome out = service.submit(req);
+    ASSERT_TRUE(out.admitted);
+    ids.push_back(out.id);
+  }
+  service.resume_workers();
+  service.stop(true);  // drain: blocks until the queue is empty
+  for (const std::uint64_t id : ids) {
+    const auto status = service.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::Done);
+    EXPECT_EQ(status->outcome, JobOutcome::Ok);
+  }
+  // Draining honoured the admission promise; nothing parked, nothing lost.
+  EXPECT_EQ(service.stats().finished, 6);
+}
+
+TEST(ServeServiceTest, SubmitAfterStopIsRejectedAsShuttingDown) {
+  TempSpool spool("serve_test_shut");
+  Service service(fast_config(spool.path));
+  service.stop(true);
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  EXPECT_FALSE(out.admitted);
+  EXPECT_TRUE(out.shutting_down);
+}
+
+// --- the 100-job mixed crash campaign (acceptance criteria) ----------------
+
+TEST(ServeServiceTest, HundredJobCampaignZeroLostZeroDuplicated) {
+  TempSpool spool("serve_test_campaign");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.workers = 4;
+  cfg.queue_capacity = 128;
+  cfg.term_grace_ms = 200;
+  cfg.attempt_timeout_ms = 30000;
+  Service service(cfg);
+
+  constexpr int kJobs = 100;
+  std::vector<std::uint64_t> ids;
+  std::set<std::uint64_t> unique_ids;
+  int expect_crashers = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    SubmitRequest req;
+    switch (i % 5) {
+      case 0: req.kind = JobKind::Run; break;
+      case 1: req.kind = JobKind::Lint; break;
+      case 2: req.kind = JobKind::Validate; break;
+      case 3: req.kind = JobKind::Run; break;
+      case 4:
+        req.kind = (i % 25 == 4) ? JobKind::Survive : JobKind::Run;
+        req.survive_seeds = 3;
+        break;
+    }
+    req.spec_text = quickstart_text() + "\n# campaign job " +
+                    std::to_string(i) + "\n";
+    req.priority = i % 3;
+    if (i % 5 == 3) {
+      req.fault_crash_attempts = 1;  // injected worker crash
+      ++expect_crashers;
+    }
+    if (i % 10 == 7) req.deadline_ms = 1 + i % 5;  // short deadlines
+    const SubmitOutcome out = service.submit(req);
+    ASSERT_TRUE(out.admitted) << "job " << i << ": " << out.error;
+    ids.push_back(out.id);
+    unique_ids.insert(out.id);
+  }
+  ASSERT_EQ(unique_ids.size(), ids.size());  // zero duplicated
+
+  int ok = 0, masked = 0, degraded = 0, failed = 0, cancelled = 0;
+  for (const std::uint64_t id : ids) {
+    const JobStatus status = wait_terminal(service, id, 120000);
+    ASSERT_EQ(status.state, JobState::Done);      // zero lost
+    ASSERT_NE(status.outcome, JobOutcome::None);  // every end is honest
+    switch (status.outcome) {
+      case JobOutcome::Ok: ++ok; break;
+      case JobOutcome::Masked: ++masked; break;
+      case JobOutcome::DegradedHonest: ++degraded; break;
+      case JobOutcome::FailedHonest: ++failed; break;
+      case JobOutcome::Cancelled: ++cancelled; break;
+      case JobOutcome::None: break;
+    }
+    // Terminal jobs always carry a result body.
+    EXPECT_TRUE(service.result_body(id).has_value());
+  }
+  service.stop(true);
+
+  EXPECT_EQ(ok + masked + degraded + failed + cancelled, kJobs);
+  EXPECT_EQ(cancelled, 0);           // nobody cancelled anything
+  EXPECT_EQ(failed, 0);              // every crash was masked within budget
+  EXPECT_GE(masked, expect_crashers / 2);  // crash injection really fired
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.finished, kJobs);
+  EXPECT_GE(stats.crashes, expect_crashers);
+  EXPECT_GE(stats.retries, expect_crashers);
+}
+
+// --- daemon + client over the socket ---------------------------------------
+
+TEST(ServeDaemonTest, SocketEndToEnd) {
+  TempSpool spool("serve_test_daemon");
+  const std::string socket_path =
+      spool.path + ".sock";  // short path (AF_UNIX limit)
+  DaemonConfig cfg;
+  cfg.socket_path = socket_path;
+  cfg.service = fast_config(spool.path);
+  Daemon daemon(cfg);
+  std::thread runner([&daemon] { daemon.run(); });
+
+  Client client(socket_path);
+  ASSERT_TRUE(client.ping());
+
+  // Submit-and-wait round trip.
+  SubmitRequest submit = make_request(quickstart_text(), JobKind::Run);
+  Request wire = make_submit_request(submit);
+  wire.fields["wait_ms"] = "60000";
+  const Response done = client.call(wire);
+  ASSERT_TRUE(done.ok) << done.body;
+  EXPECT_EQ(json_field(done.body, "outcome"), "ok");
+  const std::string id = json_field(done.body, "id");
+  ASSERT_FALSE(id.empty());
+
+  // STATUS/RESULT agree with the submit reply.
+  Request status_req;
+  status_req.verb = "STATUS";
+  status_req.fields["id"] = id;
+  const Response status = client.call(status_req);
+  ASSERT_TRUE(status.ok);
+  EXPECT_EQ(json_field(status.body, "state"), "done");
+
+  Request result_req;
+  result_req.verb = "RESULT";
+  result_req.fields["id"] = id;
+  const Response result = client.call(result_req);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(json_field(result.body, "outcome"), "ok");
+
+  // Unknown ids and verbs earn typed errors, not hangs or disconnects.
+  Request missing;
+  missing.verb = "RESULT";
+  missing.fields["id"] = "999999";
+  const Response not_found = client.call(missing);
+  EXPECT_FALSE(not_found.ok);
+  EXPECT_EQ(not_found.code, "not-found");
+
+  Request bogus;
+  bogus.verb = "FROBNICATE";
+  const Response bad = client.call(bogus);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, "bad-request");
+
+  // Cached resubmission over the wire is byte-identical.
+  const Response cached = client.call(wire);
+  ASSERT_TRUE(cached.ok);
+  EXPECT_EQ(json_field(cached.body, "cached"), "true");
+  EXPECT_EQ(json_field(cached.body, "result"),
+            json_field(done.body, "result"));
+
+  Request shutdown;
+  shutdown.verb = "SHUTDOWN";
+  const Response stopping = client.call(shutdown);
+  EXPECT_TRUE(stopping.ok);
+  runner.join();
+  EXPECT_FALSE(client.ping());  // socket gone after shutdown
+}
+
+TEST(ServeDaemonTest, SecondDaemonOnLiveSocketRefused) {
+  TempSpool spool("serve_test_daemon2");
+  DaemonConfig cfg;
+  cfg.socket_path = spool.path + ".sock";
+  cfg.service = fast_config(spool.path);
+  Daemon daemon(cfg);
+  std::thread runner([&daemon] { daemon.run(); });
+  Client client(cfg.socket_path);
+  ASSERT_TRUE(client.ping());
+
+  DaemonConfig rival = cfg;
+  rival.service.spool_dir = spool.path + ".rival";
+  EXPECT_THROW({ Daemon second(rival); }, Error);
+  std::system(("rm -rf " + rival.service.spool_dir).c_str());
+
+  daemon.request_shutdown(true);
+  runner.join();
+
+  // A stale socket file from a dead daemon is reclaimed, not fatal.
+  std::ofstream(cfg.socket_path) << "";
+  Daemon reborn(cfg);
+  std::thread runner2([&reborn] { reborn.run(); });
+  EXPECT_TRUE(client.ping());
+  reborn.request_shutdown(true);
+  runner2.join();
+}
+
+}  // namespace
+}  // namespace crusade::serve

@@ -2,10 +2,16 @@
 // integer math and the table formatter.
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <csignal>
+
 #include <set>
 
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
 #include "util/math.hpp"
 #include "util/periodic.hpp"
+#include "util/run_control.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
@@ -239,6 +245,64 @@ TEST(TimeFormat, HumanReadable) {
   EXPECT_EQ(format_time(kMinute), "60s");
   EXPECT_EQ(format_time(kNoTime), "-");
   EXPECT_EQ(format_time(1'500'000), "1.5ms");
+}
+
+// --- typed I/O errors (serve spool/cache hardening) ------------------------
+
+TEST(IoErrorTest, CarriesErrnoAndClassifiesDiskFull) {
+  EXPECT_TRUE(is_disk_full_errno(ENOSPC));
+#ifdef EDQUOT
+  EXPECT_TRUE(is_disk_full_errno(EDQUOT));
+#endif
+  EXPECT_FALSE(is_disk_full_errno(EACCES));
+  EXPECT_FALSE(is_disk_full_errno(EIO));
+
+  try {
+    throw_io_error("spool write", ENOSPC);
+    FAIL() << "throw_io_error returned";
+  } catch (const DiskFullError& e) {
+    EXPECT_EQ(e.error_number(), ENOSPC);
+    EXPECT_NE(std::string(e.what()).find("spool write"), std::string::npos);
+  }
+  try {
+    throw_io_error("spool write", EACCES);
+    FAIL() << "throw_io_error returned";
+  } catch (const DiskFullError&) {
+    FAIL() << "EACCES misclassified as disk-full";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.error_number(), EACCES);
+  }
+  // DiskFullError remains catchable as the general classes.
+  EXPECT_THROW(throw_io_error("x", ENOSPC), IoError);
+  EXPECT_THROW(throw_io_error("x", ENOSPC), Error);
+}
+
+// --- StopHub routing (multi-job signal handling) ---------------------------
+
+TEST(StopHubTest, OnlyAttachedControllersObserveProcessSignals) {
+  StopHub::instance().reset();
+  RunController attached;
+  RunController detached;  // a daemon job's controller: never attaches
+  attached.attach_process_stop(&StopHub::instance());
+
+  EXPECT_FALSE(attached.stop_requested());
+  EXPECT_FALSE(detached.stop_requested());
+
+  StopHub::instance().notify(SIGTERM);
+  EXPECT_TRUE(attached.stop_requested());
+  // The signal must not leak into jobs that did not opt in — this is what
+  // lets the daemon cancel one request without stopping another.
+  EXPECT_FALSE(detached.stop_requested());
+  EXPECT_EQ(StopHub::instance().last_signal(), SIGTERM);
+  EXPECT_EQ(StopHub::instance().notifications(), 1);
+
+  StopHub::instance().reset();
+  EXPECT_FALSE(attached.stop_requested());
+
+  // Per-job cancellation still works independently of the hub.
+  detached.request_stop();
+  EXPECT_TRUE(detached.stop_requested());
+  EXPECT_FALSE(attached.stop_requested());
 }
 
 }  // namespace

@@ -14,6 +14,10 @@
 #      mutated-spec and fault-replay paths are where memory bugs would hide)
 #   9. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
 #      the Debug ASan build can miss) + entire test suite + survive campaign
+#  10. TSan configuration: serve_test (the one multi-threaded subsystem)
+#      plus a live `crusaded` daemon driven by a `crusade submit` loop —
+#      races between the supervisor, workers, and socket handlers surface
+#      here, not in the single-threaded suites
 #
 #   tools/check.sh            # everything
 #   tools/check.sh --fast     # CI build + tests only
@@ -121,6 +125,34 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tools/crusade survive data/figure2.spec --seeds 150 \
   > /dev/null
 
+echo "=== serve daemon load smoke under ASan/UBSan ==="
+# Real daemon, real socket, concurrent clients: start crusaded, fire a
+# submit loop (synthesis, lint, and cached resubmissions), then drain.
+# Any heap error in the supervisor/worker/cache paths aborts the daemon
+# and the final submit --wait fails.
+asan_sock="build-asan/crusaded.sock"
+asan_spool="build-asan/crusaded.spool"
+rm -rf "$asan_spool" "$asan_sock"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-asan/tools/crusaded --socket "$asan_sock" --spool "$asan_spool" \
+  --workers 2 > build-asan/crusaded.log 2>&1 &
+asan_daemon=$!
+for _ in $(seq 50); do
+  [[ -S "$asan_sock" ]] && break
+  sleep 0.1
+done
+./build-asan/tools/crusade generate --tasks 40 --seed 7 \
+  -o build-asan/serve-smoke.spec > /dev/null
+for i in $(seq 10); do
+  ./build-asan/tools/crusade submit build-asan/serve-smoke.spec \
+    --socket "$asan_sock" --wait > /dev/null
+  ./build-asan/tools/crusade submit build-asan/serve-smoke.spec \
+    --socket "$asan_sock" --kind lint --wait > /dev/null
+done
+./build-asan/tools/crusade shutdown --socket "$asan_sock" > /dev/null
+wait "$asan_daemon"
+echo "serve smoke: 20 jobs served under ASan/UBSan, daemon drained clean"
+
 echo "=== UBSan-only configuration (optimized) ==="
 cmake --preset ubsan
 cmake --build --preset ubsan -j "$(nproc)"
@@ -130,5 +162,45 @@ echo "=== survivability campaign under UBSan (optimized) ==="
 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-ubsan/tools/crusade survive data/figure2.spec --seeds 150 \
   > /dev/null
+
+echo "=== thread sanitizer configuration (serve subsystem) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target serve_test crusaded
+# die_after_fork=0: the service forks worker attempts from a process that
+# legitimately runs supervisor threads; the forked child execs no threads.
+TSAN_OPTIONS="halt_on_error=1 die_after_fork=0" ./build-tsan/tests/serve_test
+
+echo "=== serve daemon load smoke under TSan ==="
+tsan_sock="build-tsan/crusaded.sock"
+tsan_spool="build-tsan/crusaded.spool"
+rm -rf "$tsan_spool" "$tsan_sock"
+TSAN_OPTIONS="halt_on_error=1 die_after_fork=0" \
+  ./build-tsan/tools/crusaded --socket "$tsan_sock" --spool "$tsan_spool" \
+  --workers 4 > build-tsan/crusaded.log 2>&1 &
+tsan_daemon=$!
+for _ in $(seq 50); do
+  [[ -S "$tsan_sock" ]] && break
+  sleep 0.1
+done
+./build-ci/tools/crusade generate --tasks 40 --seed 7 \
+  -o build-tsan/serve-smoke.spec > /dev/null
+# Concurrent submit loops: four clients hammering the daemon at once so
+# the queue, cache, and supervisor paths actually interleave under TSan.
+tsan_clients=()
+for client in 1 2 3 4; do
+  (
+    for i in $(seq 5); do
+      ./build-ci/tools/crusade submit build-tsan/serve-smoke.spec \
+        --socket "$tsan_sock" --priority "$client" --wait > /dev/null
+      ./build-ci/tools/crusade submit build-tsan/serve-smoke.spec \
+        --socket "$tsan_sock" --kind lint --wait > /dev/null
+    done
+  ) &
+  tsan_clients+=("$!")
+done
+for pid in "${tsan_clients[@]}"; do wait "$pid"; done
+./build-ci/tools/crusade shutdown --socket "$tsan_sock" > /dev/null
+wait "$tsan_daemon"
+echo "serve smoke: 40 concurrent jobs served under TSan, daemon drained clean"
 
 echo "check.sh: all configurations green"

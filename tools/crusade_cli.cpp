@@ -37,6 +37,7 @@
 #include <iostream>
 #include <map>
 #include <random>
+#include <sstream>
 #include <set>
 #include <vector>
 
@@ -53,6 +54,8 @@
 #include "graph/spec_io.hpp"
 #include "json_writer.hpp"
 #include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "util/run_control.hpp"
 #include "tgff/profiles.hpp"
 #include "util/atomic_file.hpp"
 
@@ -84,10 +87,20 @@ int usage(const char* argv0) {
                "  %s lint <file.spec> [--json]\n"
                "  %s info <file.spec>\n"
                "  %s profiles\n"
+               "  %s submit <file.spec> [--kind run|lint|validate|survive] "
+               "[--priority <n>] [--deadline-ms <n>] [--no-reconfig] "
+               "[--seeds <n>] [--wait] [--timeout-ms <n>] [--socket <path>]\n"
+               "  %s status [id] [--socket <path>]\n"
+               "  %s result <id> [--wait] [--timeout-ms <n>] "
+               "[--socket <path>]\n"
+               "  %s cancel <id> [--socket <path>]\n"
+               "  %s shutdown [--hard] [--socket <path>]\n"
                "run exit codes: 0 feasible, 1 infeasible, 2 operational "
-               "error, 3 deadline/stop-truncated anytime result\n",
+               "error, 3 deadline/stop-truncated anytime result\n"
+               "submit/result --wait exit codes: 0 ok/masked, 1 "
+               "failed-honest/cancelled, 3 degraded-honest, 4 busy/pending\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -98,11 +111,16 @@ int usage(const char* argv0) {
 RunController g_control;
 
 extern "C" void handle_stop_signal(int sig) {
-  g_control.request_stop();          // async-signal-safe: one atomic store
+  // Async-signal-safe: two relaxed atomic stores.  The controller observes
+  // the hub through attach_process_stop — signals are routed per-process
+  // here, per-job inside the crusaded daemon, so a daemon cancellation can
+  // never stop an unrelated request.
+  StopHub::instance().notify(sig);
   std::signal(sig, SIG_DFL);         // a second signal terminates for real
 }
 
 void install_stop_handlers() {
+  g_control.attach_process_stop(&StopHub::instance());
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
 }
@@ -867,6 +885,156 @@ int cmd_soak(int argc, char** argv) {
   return 0;
 }
 
+// --- crusaded client commands (DESIGN.md §13) ------------------------------
+
+constexpr const char* kDefaultSocket = "/tmp/crusaded.sock";
+
+std::string socket_option(const Args& args) {
+  const auto it = args.options.find("--socket");
+  return it == args.options.end() ? kDefaultSocket : it->second;
+}
+
+/// Minimal extraction of a top-level "key":"value" string from a response
+/// body — enough to map the daemon's outcome word to an exit code without
+/// growing a JSON parser (the full body is printed verbatim for machines).
+std::string json_string_field(const std::string& body,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = body.find('"', start);
+  if (end == std::string::npos) return "";
+  return body.substr(start, end - start);
+}
+
+/// Shared exit-code contract for submit/result: mirrors `crusade run`
+/// (0 canonical, 1 failed-honest, 3 degraded-honest/cancelled best-so-far,
+/// 4 busy/pending — try again later, 2 operational error).
+int outcome_exit_code(const std::string& outcome) {
+  if (outcome == "ok" || outcome == "masked") return 0;
+  if (outcome == "degraded-honest") return 3;
+  if (outcome.empty()) return 4;  // still pending
+  return 1;                       // failed-honest, cancelled
+}
+
+int print_error_response(const serve::Response& response) {
+  std::fprintf(stderr, "error (%s): %s\n", response.code.c_str(),
+               response.body.c_str());
+  if (response.code == "busy" || response.code == "pending" ||
+      response.code == "shutting-down")
+    return 4;
+  return 2;
+}
+
+int cmd_submit(int argc, char** argv) {
+  const Args args = Args::parse(
+      argc, argv,
+      {"--kind", "--priority", "--deadline-ms", "--seeds", "--timeout-ms",
+       "--socket", "--fault-crash", "--fault-hang"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+
+  serve::SubmitRequest submit;
+  if (args.options.count("--kind"))
+    submit.kind = serve::kind_from_string(args.options.at("--kind"));
+  if (args.options.count("--priority"))
+    submit.priority = std::stoi(args.options.at("--priority"));
+  if (args.options.count("--deadline-ms"))
+    submit.deadline_ms = std::stol(args.options.at("--deadline-ms"));
+  submit.enable_reconfig = args.flags.count("--no-reconfig") == 0;
+  if (args.options.count("--seeds"))
+    submit.survive_seeds = std::stoi(args.options.at("--seeds"));
+  // Fault injection (tests, the check.sh load smoke): crash/hang the first
+  // N attempts so the daemon's supervision is exercised end to end.
+  if (args.options.count("--fault-crash"))
+    submit.fault_crash_attempts = std::stoi(args.options.at("--fault-crash"));
+  if (args.options.count("--fault-hang"))
+    submit.fault_hang_attempts = std::stoi(args.options.at("--fault-hang"));
+  {
+    std::ifstream in(args.positional[0]);
+    if (!in) throw Error("cannot open " + args.positional[0]);
+    std::ostringstream text;
+    text << in.rdbuf();
+    submit.spec_text = text.str();
+  }
+
+  serve::Request request = serve::make_submit_request(submit);
+  if (args.flags.count("--wait")) {
+    long timeout_ms = 600000;
+    if (args.options.count("--timeout-ms"))
+      timeout_ms = std::stol(args.options.at("--timeout-ms"));
+    request.fields["wait_ms"] = std::to_string(timeout_ms);
+  }
+
+  const serve::Response response =
+      serve::Client(socket_option(args)).call(request);
+  if (!response.ok) return print_error_response(response);
+  std::printf("%s\n", response.body.c_str());
+  if (!args.flags.count("--wait")) return 0;
+  return outcome_exit_code(json_string_field(response.body, "outcome"));
+}
+
+int cmd_status(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--socket"});
+  serve::Request request;
+  request.verb = "STATUS";
+  if (args.positional.size() == 1)
+    request.fields["id"] = args.positional[0];
+  else if (!args.positional.empty())
+    return usage(argv[0]);
+  const serve::Response response =
+      serve::Client(socket_option(args)).call(request);
+  if (!response.ok) return print_error_response(response);
+  std::printf("%s\n", response.body.c_str());
+  return 0;
+}
+
+int cmd_result(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--socket", "--timeout-ms"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  serve::Request request;
+  request.verb = "RESULT";
+  request.fields["id"] = args.positional[0];
+  if (args.flags.count("--wait")) {
+    long timeout_ms = 600000;
+    if (args.options.count("--timeout-ms"))
+      timeout_ms = std::stol(args.options.at("--timeout-ms"));
+    request.fields["wait_ms"] = std::to_string(timeout_ms);
+  }
+  const serve::Response response =
+      serve::Client(socket_option(args)).call(request);
+  if (!response.ok) return print_error_response(response);
+  std::printf("%s\n", response.body.c_str());
+  return outcome_exit_code(json_string_field(response.body, "outcome"));
+}
+
+int cmd_cancel(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--socket"});
+  if (args.positional.size() != 1) return usage(argv[0]);
+  serve::Request request;
+  request.verb = "CANCEL";
+  request.fields["id"] = args.positional[0];
+  const serve::Response response =
+      serve::Client(socket_option(args)).call(request);
+  if (!response.ok) return print_error_response(response);
+  std::printf("%s\n", response.body.c_str());
+  return 0;
+}
+
+int cmd_shutdown(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--socket"});
+  serve::Request request;
+  request.verb = "SHUTDOWN";
+  // Default is the graceful drain; --hard parks queued jobs back to the
+  // spool and truncates running workers to their best-so-far answers.
+  request.fields["drain"] = args.flags.count("--hard") ? "0" : "1";
+  const serve::Response response =
+      serve::Client(socket_option(args)).call(request);
+  if (!response.ok) return print_error_response(response);
+  std::printf("%s\n", response.body.c_str());
+  return 0;
+}
+
 int cmd_profiles() {
   std::printf("paper example profiles (Tables 2-3):\n");
   for (const ExampleProfile& p : paper_profiles())
@@ -892,6 +1060,11 @@ int main(int argc, char** argv) {
     if (cmd == "lint") return cmd_lint(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "profiles") return cmd_profiles();
+    if (cmd == "submit") return cmd_submit(argc, argv);
+    if (cmd == "status") return cmd_status(argc, argv);
+    if (cmd == "result") return cmd_result(argc, argv);
+    if (cmd == "cancel") return cmd_cancel(argc, argv);
+    if (cmd == "shutdown") return cmd_shutdown(argc, argv);
   } catch (const Error& e) {
     // Operational errors — unreadable/invalid input, corrupt or mismatched
     // checkpoint, failed soak invariant — exit 2 (same slot lint uses for

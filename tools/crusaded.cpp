@@ -1,0 +1,115 @@
+// crusaded: the multi-tenant synthesis daemon (DESIGN.md §13).
+//
+//   crusaded [--socket <path>] [--spool <dir>] [--workers <n>]
+//            [--queue-cap <n>] [--max-attempts <n>] [--cache-cap <n>]
+//            [--checkpoint-every <evals>] [--attempt-timeout-ms <n>]
+//            [--obs]
+//
+// Accepts submit/status/result/cancel jobs from `crusade submit` and
+// friends over a local socket.  Every job attempt runs in a supervised
+// forked worker: a crash is retried from the last checkpoint with capped
+// exponential backoff, a deadline or cancellation returns the best-so-far
+// validator-checked architecture, and a full queue earns an honest busy
+// rejection with a retry-after hint.  The first SIGTERM/SIGINT drains the
+// queue and exits; a second hard-stops, parking queued jobs in the spool
+// for the next incarnation.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "serve/daemon.hpp"
+#include "util/error.hpp"
+#include "util/run_control.hpp"
+
+using namespace crusade;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crusaded [--socket <path>] [--spool <dir>] "
+               "[--workers <n>] [--queue-cap <n>] [--max-attempts <n>] "
+               "[--cache-cap <n>] [--checkpoint-every <evals>] "
+               "[--attempt-timeout-ms <n>] [--obs]\n");
+  return 2;
+}
+
+extern "C" void daemon_stop_signal(int sig) {
+  // First signal: drain.  Second: hard stop (both observed by the accept
+  // loop's StopHub poll).  Third: the default disposition kills for real.
+  StopHub::instance().notify(sig);
+  if (StopHub::instance().notifications() >= 2) std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::DaemonConfig cfg;
+  cfg.socket_path = "/tmp/crusaded.sock";
+  cfg.service.spool_dir = "/tmp/crusaded.spool";
+  bool obs_on = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") cfg.socket_path = value();
+    else if (a == "--spool") cfg.service.spool_dir = value();
+    else if (a == "--workers") cfg.service.workers = std::atoi(value());
+    else if (a == "--queue-cap")
+      cfg.service.queue_capacity = std::atoi(value());
+    else if (a == "--max-attempts")
+      cfg.service.max_attempts = std::atoi(value());
+    else if (a == "--cache-cap")
+      cfg.service.cache_capacity =
+          static_cast<std::size_t>(std::atol(value()));
+    else if (a == "--checkpoint-every")
+      cfg.service.checkpoint_every = std::atol(value());
+    else if (a == "--attempt-timeout-ms")
+      cfg.service.attempt_timeout_ms = std::atol(value());
+    else if (a == "--obs") obs_on = true;
+    else return usage();
+  }
+
+  if (obs_on) obs::set_enabled(true);
+  std::signal(SIGINT, daemon_stop_signal);
+  std::signal(SIGTERM, daemon_stop_signal);
+
+  try {
+    serve::Daemon daemon(cfg);
+    const int recovered = daemon.service().recovered_jobs();
+    std::printf("crusaded: listening on %s (spool %s, %d workers%s)\n",
+                cfg.socket_path.c_str(), cfg.service.spool_dir.c_str(),
+                cfg.service.workers,
+                recovered > 0
+                    ? (", " + std::to_string(recovered) + " jobs recovered")
+                          .c_str()
+                    : "");
+    std::fflush(stdout);
+    daemon.run();
+    const serve::ServiceStats stats = daemon.service().stats();
+    std::printf("crusaded: stopped (%lld finished: %lld ok, %lld masked, "
+                "%lld degraded-honest, %lld failed-honest, %lld cancelled; "
+                "%lld cache hits, %lld crashes supervised)\n",
+                static_cast<long long>(stats.finished),
+                static_cast<long long>(stats.completed_ok),
+                static_cast<long long>(stats.masked),
+                static_cast<long long>(stats.degraded_honest),
+                static_cast<long long>(stats.failed_honest),
+                static_cast<long long>(stats.cancelled),
+                static_cast<long long>(stats.cache_hits),
+                static_cast<long long>(stats.crashes));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "crusaded: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
