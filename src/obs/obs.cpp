@@ -1,5 +1,7 @@
 #include "obs/obs.hpp"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -56,15 +58,48 @@ struct EventSink {
   std::map<std::thread::id, std::uint32_t> thread_index;
 };
 
-CounterRegistry& counter_registry() {
+CounterRegistry*& counter_registry_ptr() {
   static CounterRegistry* r = new CounterRegistry;
-  return *r;
+  return r;
 }
 
-EventSink& sink() {
+CounterRegistry& counter_registry() { return *counter_registry_ptr(); }
+
+EventSink*& sink_ptr() {
   static EventSink* s = new EventSink;
-  return *s;
+  return s;
 }
+
+EventSink& sink() { return *sink_ptr(); }
+
+/// fork() safety for multithreaded hosts (the crusaded daemon forks a
+/// worker child per job attempt).  Only the forking thread survives in the
+/// child, so a registry or sink lock held by any OTHER thread at fork time
+/// would stay locked forever in the child — counter_value() takes the
+/// registry lock unconditionally for RunStats, so the first synthesis in
+/// the child would deadlock, the supervisor's watchdog would SIGKILL a
+/// healthy worker, and the crash-retry budget would burn down to a bogus
+/// failed-honest.  Locking the registry across the fork (the classic
+/// prepare/parent/child pattern) does NOT work here: pthread rwlocks track
+/// writer identity and waiting-writer handoffs, neither of which survives
+/// into the child.  Instead the child abandons the inherited objects —
+/// whatever lock or mid-mutation state they carry belongs to threads that
+/// no longer exist — and starts from fresh ones.  Cost: one small leaked
+/// object per forked worker (which _exit()s shortly anyway); counters in
+/// the child restart from zero, which is exactly what per-run RunStats
+/// deltas want.  glibc handles the malloc locks itself, and user child
+/// handlers run after malloc is reinitialized, so allocating here is safe.
+void fork_child() {
+  counter_registry_ptr() = new CounterRegistry;
+  sink_ptr() = new EventSink;
+}
+
+[[maybe_unused]] const int g_fork_guard = [] {
+  counter_registry_ptr();  // settle the static-init guards pre-fork
+  sink_ptr();
+  ::pthread_atfork(nullptr, nullptr, &fork_child);
+  return 0;
+}();
 
 std::string json_escape_str(const std::string& s) {
   std::string out;

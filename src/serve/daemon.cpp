@@ -101,9 +101,26 @@ Daemon::~Daemon() {
     std::lock_guard<std::mutex> lk(handlers_mu_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : handlers_)
-    if (t.joinable()) t.join();
+  reap_handlers(true);
   service_.stop(false);
+}
+
+void Daemon::reap_handlers(bool all) {
+  // Splice matching handlers out under the lock, join outside it: a handler
+  // still running its epilogue takes handlers_mu_ to drop its fd, so
+  // joining under the lock could deadlock in the `all` case.
+  std::list<Handler> finished;
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    for (auto it = handlers_.begin(); it != handlers_.end();) {
+      if (all || it->done.load(std::memory_order_acquire))
+        finished.splice(finished.end(), handlers_, it++);
+      else
+        ++it;
+    }
+  }
+  for (Handler& handler : finished)
+    if (handler.thread.joinable()) handler.thread.join();
 }
 
 void Daemon::request_shutdown(bool drain) {
@@ -121,6 +138,7 @@ void Daemon::run() {
       request_shutdown(hub.notifications() < 2);
       break;
     }
+    reap_handlers(false);  // each poll tick: join handlers that finished
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
     if (ready < 0 && errno != EINTR)
@@ -133,7 +151,9 @@ void Daemon::run() {
     }
     std::lock_guard<std::mutex> lk(handlers_mu_);
     open_fds_.insert(fd);
-    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+    Handler& handler = handlers_.emplace_back();
+    handler.thread = std::thread(
+        [this, fd, &handler] { handle_connection(fd, &handler.done); });
   }
 
   ::close(listen_fd_);
@@ -143,13 +163,11 @@ void Daemon::run() {
     std::lock_guard<std::mutex> lk(handlers_mu_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : handlers_)
-    if (t.joinable()) t.join();
-  handlers_.clear();
+  reap_handlers(true);
   service_.stop(shutdown_drain_.load(std::memory_order_relaxed));
 }
 
-void Daemon::handle_connection(int fd) {
+void Daemon::handle_connection(int fd, std::atomic<bool>* done) {
   while (true) {
     Request request;
     Response response;
@@ -174,8 +192,11 @@ void Daemon::handle_connection(int fd) {
     if (request.verb == "SHUTDOWN") break;
   }
   ::close(fd);
-  std::lock_guard<std::mutex> lk(handlers_mu_);
-  open_fds_.erase(fd);
+  {
+    std::lock_guard<std::mutex> lk(handlers_mu_);
+    open_fds_.erase(fd);
+  }
+  done->store(true, std::memory_order_release);  // last store: reapable now
 }
 
 Response Daemon::dispatch(const Request& request) {

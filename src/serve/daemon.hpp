@@ -14,11 +14,11 @@
 #pragma once
 
 #include <atomic>
+#include <list>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "serve/service.hpp"
 
@@ -54,7 +54,19 @@ class Daemon {
   const std::string& socket_path() const { return cfg_.socket_path; }
 
  private:
-  void handle_connection(int fd);
+  /// One per live connection.  `done` is the handler thread's last store —
+  /// once true the thread is past all shared state and join() is instant —
+  /// so the accept loop can reap finished handlers as it goes instead of
+  /// accumulating a kernel task + stack per connection until shutdown.
+  struct Handler {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle_connection(int fd, std::atomic<bool>* done);
+  /// Joins and drops finished handlers (all of them when `all` — shutdown,
+  /// where the sockets have been shut down and every handler is exiting).
+  void reap_handlers(bool all);
   Response dispatch(const Request& request);
 
   DaemonConfig cfg_;
@@ -62,7 +74,7 @@ class Daemon {
   int listen_fd_ = -1;
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> shutdown_drain_{true};
-  std::vector<std::thread> handlers_;
+  std::list<Handler> handlers_;  ///< list: reaping never moves live nodes
   std::set<int> open_fds_;  ///< live connections, shutdown()-able on exit
   std::mutex handlers_mu_;
 };

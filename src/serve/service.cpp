@@ -192,6 +192,7 @@ Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   if (cfg_.spool_dir.empty()) throw Error("serve: spool_dir is required");
   if (cfg_.workers < 1) cfg_.workers = 1;
   if (cfg_.max_attempts < 1) cfg_.max_attempts = 1;
+  if (cfg_.terminal_retain < 1) cfg_.terminal_retain = 1;
   make_dirs(cfg_.spool_dir);
   make_dir(cfg_.spool_dir + "/jobs");
   make_dir(cfg_.spool_dir + "/cache");
@@ -276,6 +277,7 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
         ++stats_.cache_hits;
         ++stats_.finished;
         ++stats_.completed_ok;
+        note_terminal_locked(id);
         obs::count("serve.cache_hits");
         out.admitted = true;
         out.cached = true;
@@ -296,32 +298,29 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
     job.req = request;
     job.cache_key = key;
     job.submitted_at = Clock::now();
+
+    // Spool BEFORE the job becomes visible to workers (queue_ insert +
+    // notify).  Publishing first would let an already-awake worker run —
+    // even finish — the job ahead of its spool write: the crash-durability
+    // invariant breaks, finalize()'s spool cleanup races the write into an
+    // orphan .job that a restart re-admits as a duplicate, and the failure
+    // path's jobs_.erase would yank the job out from under a running
+    // worker.  A spool failure (disk full) is an honest rejection: the job
+    // is withdrawn before anything could have observed it.
+    try {
+      spool_job(job);
+    } catch (const Error& e) {
+      jobs_.erase(id);
+      ++stats_.rejected_bad;
+      obs::count("serve.rejected_bad");
+      out.error = std::string("spool write failed: ") + e.what();
+      return out;
+    }
     queue_.insert({-static_cast<long long>(request.priority), id});
     stats_.queue_depth = static_cast<int>(queue_.size());
     if (stats_.queue_depth > stats_.queue_peak)
       stats_.queue_peak = stats_.queue_depth;
     obs::record_peak("serve.queue_depth_peak", stats_.queue_depth);
-  }
-
-  // Spool the admitted job before acknowledging it, so a daemon crash after
-  // this point cannot lose it.  A spool failure (disk full) is an honest
-  // rejection: the job is withdrawn, never half-admitted.
-  try {
-    std::lock_guard<std::mutex> lk(mu_);
-    spool_job(jobs_.at(id));
-  } catch (const Error& e) {
-    std::lock_guard<std::mutex> lk(mu_);
-    queue_.erase({-static_cast<long long>(request.priority), id});
-    stats_.queue_depth = static_cast<int>(queue_.size());
-    jobs_.erase(id);
-    ++stats_.rejected_bad;
-    obs::count("serve.rejected_bad");
-    out.error = std::string("spool write failed: ") + e.what();
-    return out;
-  }
-
-  {
-    std::lock_guard<std::mutex> lk(mu_);
     ++stats_.admitted;
   }
   obs::count("serve.admitted");
@@ -333,6 +332,7 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
 
 bool Service::cancel(std::uint64_t id) {
   bool finalize_queued = false;
+  JobKind queued_kind = JobKind::Run;
   pid_t kill_pid = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -346,6 +346,7 @@ bool Service::cancel(std::uint64_t id) {
       // Cancelled below (outside the lock — finalize locks itself).
       queue_.erase({-static_cast<long long>(job.req.priority), id});
       stats_.queue_depth = static_cast<int>(queue_.size());
+      queued_kind = job.req.kind;
       finalize_queued = true;
     } else {
       kill_pid = job.child_pid;  // speed up the cooperative stop
@@ -354,7 +355,7 @@ bool Service::cancel(std::uint64_t id) {
   obs::count("serve.cancel_requests");
   if (finalize_queued) {
     finalize(id, JobOutcome::Cancelled,
-             failure_body(JobKind::Run, "cancelled", "cancelled while queued",
+             failure_body(queued_kind, "cancelled", "cancelled while queued",
                           0),
              "cancelled while queued", false);
   } else if (kill_pid > 0) {
@@ -478,7 +479,9 @@ void Service::run_supervised(std::uint64_t id) {
     Clock::time_point submitted_at;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      Job& job = jobs_.at(id);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) return;  // terminal + evicted
+      Job& job = it->second;
       if (job.state == JobState::Done) return;
       if (job.cancel_requested && job.attempts == 0) {
         lk.unlock();
@@ -519,6 +522,14 @@ void Service::run_supervised(std::uint64_t id) {
     const std::string ckpt_path = ckpt_spool_path(id);
     remove_if_exists(result_path);
 
+    // fork() from a multithreaded daemon: the child may only touch state
+    // whose locks are guaranteed free.  obs registers a pthread_atfork
+    // child handler (obs.cpp) that swaps in fresh registry/sink objects —
+    // the inherited ones may carry locks held by threads that did not
+    // survive the fork — and glibc reinitializes malloc; the Service's own
+    // mu_ is never needed by the child (run_worker_attempt is
+    // self-contained and resets the inherited signal/StopHub state first
+    // thing).
     const pid_t pid = ::fork();
     if (pid == 0) {
       // Child: single-threaded from here (fork drops the siblings).
@@ -534,7 +545,8 @@ void Service::run_supervised(std::uint64_t id) {
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
-      jobs_.at(id).child_pid = pid;
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end()) it->second.child_pid = pid;
     }
 
     // Supervise: poll for exit, fire the watchdog past the deadline (plus
@@ -559,8 +571,9 @@ void Service::run_supervised(std::uint64_t id) {
       bool want_term = false;
       {
         std::lock_guard<std::mutex> lk(mu_);
-        const Job& job = jobs_.at(id);
-        want_term = job.cancel_requested || (stopping_ && !drain_);
+        const auto it = jobs_.find(id);
+        want_term = it == jobs_.end() || it->second.cancel_requested ||
+                    (stopping_ && !drain_);
       }
       const long running_ms = elapsed_ms(attempt_start);
       if (!term_sent && running_ms >= watchdog_ms) {
@@ -580,7 +593,8 @@ void Service::run_supervised(std::uint64_t id) {
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
-      jobs_.at(id).child_pid = 0;
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end()) it->second.child_pid = 0;
       if (watchdog_fired) ++stats_.watchdog_kills;
     }
     if (watchdog_fired) obs::count("serve.watchdog_kills");
@@ -597,15 +611,19 @@ void Service::run_supervised(std::uint64_t id) {
       std::unique_lock<std::mutex> lk(mu_);
       ++stats_.retries;
       work_cv_.wait_for(lk, std::chrono::milliseconds(backoff), [this, id] {
-        return jobs_.at(id).cancel_requested || (stopping_ && !drain_);
+        const auto it = jobs_.find(id);
+        return it == jobs_.end() || it->second.cancel_requested ||
+               (stopping_ && !drain_);
       });
-      if (stopping_ && !drain_ && !jobs_.at(id).cancel_requested) {
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) return;  // terminal + evicted
+      if (stopping_ && !drain_ && !it->second.cancel_requested) {
         // Hard stop mid-retry: leave the job non-terminal in memory (the
         // process is exiting) and keep its spool files so the next
         // incarnation resumes it from the checkpoint.
         return;
       }
-      if (jobs_.at(id).cancel_requested) {
+      if (it->second.cancel_requested) {
         lk.unlock();
         finalize(id, JobOutcome::Cancelled,
                  failure_body(req.kind, "cancelled",
@@ -629,7 +647,9 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
   JobKind kind = JobKind::Run;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const Job& job = jobs_.at(id);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return true;  // terminal + evicted
+    const Job& job = it->second;
     cancel_requested = job.cancel_requested;
     cache_key = job.cache_key;
     kind = job.req.kind;
@@ -711,7 +731,9 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
                        std::string detail, bool keep_spool) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    Job& job = jobs_.at(id);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;  // evicted: already terminal long ago
+    Job& job = it->second;
     if (job.state == JobState::Done) return;  // idempotence guard
     if (job.state == JobState::Running) {
       --stats_.running;
@@ -732,6 +754,7 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
       case JobOutcome::Cancelled: ++stats_.cancelled; break;
       case JobOutcome::None: break;
     }
+    note_terminal_locked(id);
   }
   switch (outcome) {
     case JobOutcome::Ok: obs::count("serve.ok"); break;
@@ -747,6 +770,22 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
     remove_if_exists(result_spool_path(id));
   }
   done_cv_.notify_all();
+}
+
+/// Terminal jobs are retained for a bounded window (cfg_.terminal_retain,
+/// clamped >= 1 so the job just finalized is never its own victim), then
+/// forgotten oldest-first.  Eviction only ever removes Done jobs, and every
+/// worker-side lookup treats a missing id as "already terminal", so a
+/// supervisor racing a very small retention window degrades to a no-op,
+/// never an exception on a worker thread.
+void Service::note_terminal_locked(std::uint64_t id) {
+  terminal_order_.push_back(id);
+  while (terminal_order_.size() > cfg_.terminal_retain) {
+    const std::uint64_t victim = terminal_order_.front();
+    terminal_order_.pop_front();
+    jobs_.erase(victim);
+    obs::count("serve.terminal_evicted");
+  }
 }
 
 void Service::cache_insert(std::uint64_t key, const std::string& body) {

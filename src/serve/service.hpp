@@ -19,7 +19,13 @@
 //  * Result cache keyed on Crusade::fingerprint: identical re-submissions
 //    return the original bytes instantly.  Cache entries and queued jobs
 //    are spooled to disk (atomic_write_file), so in-flight work survives a
-//    daemon restart and is re-admitted on construction.
+//    daemon restart and is re-admitted on construction.  A job is spooled
+//    before it ever becomes visible to a worker: admission acknowledged
+//    implies crash-durable.
+//  * Bounded retention everywhere: the cache is LRU-capped, and terminal
+//    jobs (with their result bodies) are kept for the last terminal_retain
+//    completions, then forgotten oldest-first — a long-lived daemon's
+//    memory never grows with its lifetime.
 //
 // Every job therefore ends in exactly one of: ok (canonical answer, masked
 // if retries were needed), degraded-honest (best-so-far under a deadline or
@@ -31,6 +37,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <mutex>
@@ -66,6 +73,11 @@ struct ServiceConfig {
   /// Result-cache entry bound; least-recently-used entries (and their
   /// spool files) are evicted past it.
   std::size_t cache_capacity = 256;
+  /// Terminal-job retention bound (>= 1): finished jobs (and their result
+  /// bodies) stay queryable until this many newer jobs have finished, then
+  /// are forgotten oldest-first — status/result for an evicted id answers
+  /// not-found.  Keeps a long-lived daemon's jobs_ map bounded.
+  std::size_t terminal_retain = 1024;
   /// Checkpoint cadence inside run/validate workers.
   std::int64_t checkpoint_every = 200;
   /// Tests: hold workers until resume_workers() so queue order and
@@ -206,6 +218,9 @@ class Service {
                         bool watchdog_fired);
   void finalize(std::uint64_t id, JobOutcome outcome, std::string body,
                 std::string detail, bool keep_spool);
+  /// Records a job as terminal and evicts the oldest terminal jobs past
+  /// ServiceConfig::terminal_retain.  Caller holds mu_.
+  void note_terminal_locked(std::uint64_t id);
   void cache_insert(std::uint64_t key, const std::string& body);
   void recover_spool();
   void spool_job(const Job& job);
@@ -226,6 +241,8 @@ class Service {
   std::set<std::pair<long long, std::uint64_t>> queue_;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::list<std::uint64_t> cache_lru_;  ///< front = most recent
+  /// Terminal jobs in completion order; the eviction window for jobs_.
+  std::deque<std::uint64_t> terminal_order_;
   ServiceStats stats_;
   std::vector<std::thread> workers_;
   std::uint64_t next_id_ = 1;

@@ -310,6 +310,67 @@ TEST(ServeServiceTest, CancelQueuedJobNeverRuns) {
   EXPECT_EQ(service.stats().cancelled, 1);
 }
 
+TEST(ServeServiceTest, CancelledQueuedJobReportsItsOwnKind) {
+  TempSpool spool("serve_test_cancelkind");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.start_paused = true;
+  Service service(cfg);
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  ASSERT_TRUE(out.admitted);
+  EXPECT_TRUE(service.cancel(out.id));
+  const JobStatus status = wait_terminal(service, out.id, 2000);
+  EXPECT_EQ(status.outcome, JobOutcome::Cancelled);
+  const auto body = service.result_body(out.id);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(json_field(*body, "kind"), "lint");
+  service.resume_workers();
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, AdmittedJobIsSpooledBeforeWorkersCanSeeIt) {
+  // Crash durability: the spool write happens inside the admission
+  // critical section, so by the time submit() returns an id the .job file
+  // is on disk — a daemon crash in the very next instruction loses nothing.
+  TempSpool spool("serve_test_spoolfirst");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.start_paused = true;  // workers held: only admission has run
+  Service service(cfg);
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(out.admitted);
+  const std::string path =
+      spool.path + "/jobs/" + std::to_string(out.id) + ".job";
+  EXPECT_TRUE(std::ifstream(path).good()) << path << " not spooled";
+  service.resume_workers();
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, TerminalJobsEvictedPastRetentionBound) {
+  TempSpool spool("serve_test_retain");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.terminal_retain = 2;
+  Service service(cfg);
+  const SubmitOutcome first =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  ASSERT_TRUE(first.admitted);
+  wait_terminal(service, first.id);
+  // Identical re-submissions are cache hits: instantly terminal, each one
+  // advancing the retention window deterministically.
+  const SubmitOutcome second =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  ASSERT_TRUE(second.cached);
+  const SubmitOutcome third =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  ASSERT_TRUE(third.cached);
+  EXPECT_FALSE(service.status(first.id).has_value())
+      << "oldest terminal job should have been evicted";
+  EXPECT_TRUE(service.status(second.id).has_value());
+  EXPECT_TRUE(service.status(third.id).has_value());
+  EXPECT_TRUE(service.result_body(third.id).has_value());
+  service.stop(true);
+}
+
 TEST(ServeServiceTest, CancelUnknownIdReturnsFalse) {
   TempSpool spool("serve_test_cancelu");
   Service service(fast_config(spool.path));
