@@ -599,7 +599,7 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
     if (!accepted) {
       ++outcome.clusters_with_misses;
       if (std::getenv("CRUSADE_DEBUG"))
-        std::fprintf(
+        std::fprintf(  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG is set
             stderr,
             "[alloc] cluster %d (graph %d, %zu tasks) committed dirty: "
             "best(tard=%lld est=%lld fail=%d) vs base(tard=%lld est=%lld "
@@ -613,7 +613,7 @@ AllocationOutcome Allocator::run(const std::vector<Cluster>& clusters,
             candidates.size());
     }
     if (std::getenv("CRUSADE_DEBUG") && candidates[best].created_mode)
-      std::fprintf(stderr, "[alloc] cluster %d -> new mode (graph %d)\n",
+      std::fprintf(stderr, "[alloc] cluster %d -> new mode (graph %d)\n",  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG is set
                    cluster.id, cluster.graph);
     outcome.arch = std::move(candidates[best].arch);
     outcome.schedule = std::move(best_schedule);
@@ -812,7 +812,7 @@ void Allocator::repair(AllocationOutcome& outcome,
     problem.task_optimistic = &optimistic_exec_;
     ScheduleResult schedule = evaluate(problem);
     if (std::getenv("CRUSADE_DEBUG"))
-      std::fprintf(stderr, "[rewire] batch of %d: fail %d->%d\n",
+      std::fprintf(stderr, "[rewire] batch of %d: fail %d->%d\n",  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG is set
                    rewired_count, outcome.schedule.placement_failures,
                    schedule.placement_failures);
     if (schedule.placement_failures >= outcome.schedule.placement_failures &&

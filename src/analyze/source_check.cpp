@@ -1,0 +1,573 @@
+#include "analyze/source_check.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+
+namespace crusade {
+
+namespace {
+
+// --- rule catalog ----------------------------------------------------------
+
+const std::vector<CheckRule> kRules = {
+    {"C000", "bad-suppression",
+     "a check-allow without a reason (or naming an unknown rule) is silence "
+     "without accountability"},
+    {"C001", "unordered-iteration",
+     "iterating std::unordered_{map,set} in decision-making code feeds "
+     "hash-order nondeterminism into the search and breaks bit-identical "
+     "checkpoint/resume and canonical answers"},
+    {"C002", "wall-clock",
+     "system_clock/time()/rand() outside obs/serve timing code makes "
+     "results depend on when or where they ran; search code must use "
+     "util/rng.hpp (seeded) and steady_clock (timing only)"},
+    {"C003", "raw-file-write",
+     "direct ofstream/fopen writes can tear on crash; every artifact goes "
+     "through atomic_write_file (temp + fsync + rename)"},
+    {"C004", "library-exit",
+     "exit()/abort()/printf/cout/cerr in library code kills or pollutes "
+     "the host (daemon, tests); libraries report through typed Error and "
+     "returned values only"},
+    {"C005", "thread-detach",
+     "a detached thread outlives scrutiny — no join, no error propagation, "
+     "a use-after-free at shutdown; keep the handle and join it"},
+    {"C006", "signal-unsafe-call",
+     "signal handlers run between any two instructions; anything beyond "
+     "the async-signal-safe allowlist (StopHub::notify and friends) can "
+     "deadlock on a lock the interrupted thread holds"},
+};
+
+// --- path scoping ----------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string normalize(std::string path) {
+  while (starts_with(path, "./")) path = path.substr(2);
+  return path;
+}
+
+/// C001 scope: the subsystems whose control flow decides the architecture.
+bool in_decision_code(const std::string& path) {
+  static const char* kDirs[] = {"src/alloc/", "src/sched/",    "src/core/",
+                                "src/reconfig/", "src/fpga/",  "src/ft/",
+                                "src/ckpt/"};
+  for (const char* dir : kDirs)
+    if (path.find(dir) != std::string::npos) return true;
+  return false;
+}
+
+bool in_timing_code(const std::string& path) {
+  return path.find("src/obs/") != std::string::npos ||
+         path.find("src/serve/") != std::string::npos;
+}
+
+bool is_atomic_file_impl(const std::string& path) {
+  return path.find("src/util/atomic_file.") != std::string::npos;
+}
+
+bool in_library_code(const std::string& path) {
+  return path.find("src/") != std::string::npos;
+}
+
+// --- comment/string stripping ----------------------------------------------
+
+/// Splits into lines, replacing the interior of comments, string literals
+/// (including raw strings) and char literals with spaces so rule regexes
+/// only ever match code.  Line count and column positions are preserved.
+std::vector<std::string> strip_to_code(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  enum class State { Code, Line, Block, Str, Chr, Raw } state = State::Code;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::Line) state = State::Code;
+      lines.push_back(line);
+      line.clear();
+      continue;
+    }
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::Line;
+          line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::Block;
+          line += "  ";
+          ++i;
+        } else if (c == '"' &&
+                   (i == 0 || text[i - 1] != 'R')) {  // plain string
+          state = State::Str;
+          line += '"';
+        } else if (c == '"') {  // R"delim( ... )delim"
+          state = State::Raw;
+          raw_delim = ")";
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          raw_delim += '"';
+          line += '"';
+        } else if (c == '\'') {
+          state = State::Chr;
+          line += '\'';
+        } else {
+          line += c;
+        }
+        break;
+      case State::Line:
+        line += ' ';
+        break;
+      case State::Block:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          line += "  ";
+          ++i;
+        } else {
+          line += ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          line += "  ";
+          ++i;
+          if (next == '\0') break;
+        } else if (c == '"') {
+          state = State::Code;
+          line += '"';
+        } else {
+          line += ' ';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          line += "  ";
+          ++i;
+          if (next == '\0') break;
+        } else if (c == '\'') {
+          state = State::Code;
+          line += '\'';
+        } else {
+          line += ' ';
+        }
+        break;
+      case State::Raw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          line += std::string(raw_delim.size(), ' ');
+          line.back() = '"';
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else {
+          line += ' ';
+        }
+        break;
+    }
+  }
+  if (!line.empty() || text.empty() || text.back() != '\n')
+    lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty() || text.empty() || text.back() != '\n')
+    lines.push_back(line);
+  return lines;
+}
+
+// --- suppressions -----------------------------------------------------------
+
+struct Suppression {
+  int line = 0;  ///< 1-based raw line the directive sits on
+  std::string id;
+  std::string reason;  ///< empty = malformed (C000)
+  bool used = false;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+bool known_rule(const std::string& id) {
+  for (const CheckRule& rule : kRules)
+    if (id == rule.id) return true;
+  return false;
+}
+
+std::vector<Suppression> find_suppressions(
+    const std::vector<std::string>& raw_lines) {
+  static const std::regex kDirective(
+      R"(check-allow\(([A-Za-z0-9_-]+)\)\s*:?\s*(.*)$)");
+  std::vector<Suppression> out;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, kDirective)) continue;
+    Suppression s;
+    s.line = static_cast<int>(i) + 1;
+    s.id = m[1].str();
+    s.reason = trim(m[2].str());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// --- the engine -------------------------------------------------------------
+
+struct Engine {
+  const std::string path;
+  const std::vector<std::string> raw;
+  const std::vector<std::string> code;
+  std::vector<Suppression> suppressions;
+  std::vector<CheckFinding> findings;
+
+  Engine(std::string p, const std::string& text)
+      : path(std::move(p)),
+        raw(split_lines(text)),
+        code(strip_to_code(text)),
+        suppressions(find_suppressions(raw)) {}
+
+  /// Records a finding at 1-based `line`, resolving suppressions: a
+  /// well-formed check-allow for the same rule on the finding's line or
+  /// the line directly above silences it (and is marked used).
+  void report(const char* id, int line, std::string message) {
+    CheckFinding f;
+    f.file = path;
+    f.line = line;
+    f.id = id;
+    f.message = std::move(message);
+    for (Suppression& s : suppressions) {
+      if (s.id == id && !s.reason.empty() &&
+          (s.line == line || s.line == line - 1)) {
+        f.suppressed = true;
+        f.reason = s.reason;
+        s.used = true;
+        break;
+      }
+    }
+    findings.push_back(std::move(f));
+  }
+
+  void scan_token_rule(const char* id, const std::regex& re,
+                       const char* what) {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(code[i], m, re))
+        report(id, static_cast<int>(i) + 1,
+               std::string(what) + " (matched '" + trim(m[0].str()) + "')");
+    }
+  }
+
+  void check_suppression_hygiene() {
+    for (const Suppression& s : suppressions) {
+      if (!known_rule(s.id))
+        report("C000", s.line,
+               "check-allow names unknown rule '" + s.id + "'");
+      else if (s.reason.empty())
+        report("C000", s.line,
+               "check-allow(" + s.id + ") carries no reason — every "
+               "suppression must say why the rule does not apply");
+    }
+  }
+
+  void check_unordered_iteration() {
+    static const std::regex kDecl(
+        R"(std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+([A-Za-z_]\w*)\s*[;{=(])");
+    std::set<std::string> names;
+    for (const std::string& line : code) {
+      auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
+      for (auto it = begin; it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+    }
+    if (names.empty()) return;
+    static const std::regex kRangeFor(R"(for\s*\([^;()]*:\s*([A-Za-z_]\w*)\s*\))");
+    // Only begin(): iteration starts there, while a lone `it == m.end()`
+    // is the harmless keyed-lookup idiom.
+    static const std::regex kBegin(R"(([A-Za-z_]\w*)\.c?begin\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (const auto& re : {kRangeFor, kBegin}) {
+        auto begin = std::sregex_iterator(code[i].begin(), code[i].end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          const std::string name = (*it)[1].str();
+          if (names.count(name) != 0)
+            report("C001", static_cast<int>(i) + 1,
+                   "iteration over unordered container '" + name +
+                       "' in decision-making code — hash order is not "
+                       "deterministic; use std::map/std::set or sort first");
+        }
+      }
+    }
+  }
+
+  void check_signal_handlers() {
+    // Handlers = functions registered via signal()/sigaction.sa_handler.
+    static const std::regex kRegister(
+        R"(\bsignal\s*\(\s*[A-Za-z_]\w*\s*,\s*&?\s*([A-Za-z_]\w*)\s*\))");
+    static const std::regex kSaHandler(
+        R"(\.sa_handler\s*=\s*&?\s*([A-Za-z_]\w*))");
+    std::set<std::string> handlers;
+    for (const std::string& line : code) {
+      for (const auto& re : {kRegister, kSaHandler}) {
+        auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          const std::string name = (*it)[1].str();
+          if (name != "SIG_IGN" && name != "SIG_DFL") handlers.insert(name);
+        }
+      }
+    }
+    if (handlers.empty()) return;
+
+    // Anything a handler may call.  The repo's sanctioned rendezvous is
+    // StopHub::notify() (two relaxed atomic stores); the rest are the
+    // POSIX async-signal-safe primitives the handlers legitimately use.
+    static const std::set<std::string> kAllowed = {
+        "instance", "notify",      "notifications", "request_stop",
+        "signal",   "sigaction",   "raise",        "kill",
+        "_exit",    "write",       "load",         "store",
+        "fetch_add", "fetch_sub",  "exchange",     "compare_exchange_weak",
+        "compare_exchange_strong"};
+    static const std::set<std::string> kKeywords = {
+        "if", "while", "for", "switch", "return", "sizeof", "static_cast",
+        "reinterpret_cast", "const_cast", "defined"};
+    static const std::regex kCall(R"(([A-Za-z_]\w*)\s*\()");
+
+    for (const std::string& name : handlers) {
+      const std::regex def("void\\s+" + name + "\\s*\\(\\s*int\\b");
+      // Find the definition line, then brace-track its body.
+      int body_start = -1;
+      for (std::size_t i = 0; i < code.size(); ++i) {
+        if (std::regex_search(code[i], def)) {
+          body_start = static_cast<int>(i);
+          break;
+        }
+      }
+      if (body_start < 0) continue;  // declared elsewhere; out of scope
+      int depth = 0;
+      bool entered = false;
+      for (std::size_t i = static_cast<std::size_t>(body_start);
+           i < code.size(); ++i) {
+        for (const char c : code[i]) {
+          if (c == '{') {
+            ++depth;
+            entered = true;
+          } else if (c == '}') {
+            --depth;
+          }
+        }
+        // Scan calls on every line of the body (including the opening
+        // line, where one-line handlers live).
+        auto begin = std::sregex_iterator(code[i].begin(), code[i].end(),
+                                          kCall);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          const std::string callee = (*it)[1].str();
+          if (callee == name || kKeywords.count(callee) != 0 ||
+              kAllowed.count(callee) != 0) {
+            continue;
+          }
+          report("C006", static_cast<int>(i) + 1,
+                 "signal handler '" + name + "' calls '" + callee +
+                     "', which is not on the async-signal-safe allowlist");
+        }
+        if (entered && depth == 0) break;
+      }
+    }
+  }
+
+  void run() {
+    check_suppression_hygiene();
+
+    if (in_decision_code(path)) check_unordered_iteration();
+
+    if (!in_timing_code(path)) {
+      static const std::regex kWallClock(
+          R"(std::chrono::system_clock|\btime\s*\(|\bgettimeofday\s*\(|\bsrand\s*\(|\brand\s*\(|std::random_device|\blocaltime\s*\()");
+      scan_token_rule("C002", kWallClock,
+                      "wall-clock/libc randomness in deterministic code");
+    }
+
+    if (!is_atomic_file_impl(path)) {
+      static const std::regex kRawWrite(
+          R"(std::ofstream|\bofstream\s+\w|\bfopen\s*\(|\bfreopen\s*\()");
+      scan_token_rule("C003", kRawWrite,
+                      "direct file write bypasses atomic_write_file");
+    }
+
+    if (in_library_code(path)) {
+      static const std::regex kLibExit(
+          R"(\bexit\s*\(|\babort\s*\(|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\(|std::cout|std::cerr)");
+      scan_token_rule("C004", kLibExit,
+                      "process exit / stdio output in library code");
+    }
+
+    {
+      static const std::regex kDetach(R"(\.\s*detach\s*\(\s*\))");
+      scan_token_rule("C005", kDetach, "naked std::thread::detach()");
+    }
+
+    check_signal_handlers();
+
+    std::sort(findings.begin(), findings.end(),
+              [](const CheckFinding& a, const CheckFinding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                return a.id < b.id;
+              });
+  }
+};
+
+// --- tree walking -----------------------------------------------------------
+
+void list_sources(const std::string& dir, const std::string& rel,
+                  std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;  // caller decides whether absence matters
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string full = dir + "/" + name;
+    const std::string rel_path = rel.empty() ? name : rel + "/" + name;
+    DIR* sub = ::opendir(full.c_str());
+    if (sub != nullptr) {
+      ::closedir(sub);
+      list_sources(full, rel_path, out);
+      continue;
+    }
+    const auto dot = name.rfind('.');
+    if (dot == std::string::npos) continue;
+    const std::string ext = name.substr(dot);
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      out->push_back(rel_path);
+  }
+}
+
+}  // namespace
+
+const std::vector<CheckRule>& check_rule_catalog() { return kRules; }
+
+int CheckReport::errors() const {
+  int n = 0;
+  for (const CheckFinding& f : findings)
+    if (!f.suppressed) ++n;
+  return n;
+}
+
+int CheckReport::suppressions() const {
+  int n = 0;
+  for (const CheckFinding& f : findings)
+    if (f.suppressed) ++n;
+  return n;
+}
+
+int CheckReport::count_id(const std::string& id) const {
+  int n = 0;
+  for (const CheckFinding& f : findings)
+    if (!f.suppressed && f.id == id) ++n;
+  return n;
+}
+
+std::string CheckReport::summary() const {
+  std::string out;
+  for (const CheckFinding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": ";
+    out += f.suppressed ? "allowed" : "error";
+    out += ": " + f.id + ": " + f.message;
+    if (f.suppressed) out += " [" + f.reason + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CheckReport::to_json() const {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("tool").value("crusade-check")
+      .key("files").value(files_scanned)
+      .key("errors").value(errors())
+      .key("suppressed").value(suppressions());
+  w.key("rules").begin_array();
+  for (const CheckRule& rule : kRules) {
+    w.begin_object()
+        .key("id").value(rule.id)
+        .key("name").value(rule.name)
+        .key("rationale").value(rule.rationale)
+        .end_object();
+  }
+  w.end_array();
+  w.key("findings").begin_array();
+  for (const CheckFinding& f : findings) {
+    w.begin_object()
+        .key("file").value(f.file)
+        .key("line").value(f.line)
+        .key("id").value(f.id)
+        .key("message").value(f.message)
+        .key("suppressed").value(f.suppressed)
+        .key("reason").value(f.reason)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+CheckReport check_source(const std::string& path, const std::string& text) {
+  Engine engine(normalize(path), text);
+  engine.run();
+  CheckReport report;
+  report.files_scanned = 1;
+  report.findings = std::move(engine.findings);
+  return report;
+}
+
+CheckReport check_tree(const std::string& root) {
+  std::vector<std::string> files;
+  bool any_root = false;
+  for (const char* top : {"src", "tools"}) {
+    const std::string dir = root + "/" + top;
+    DIR* probe = ::opendir(dir.c_str());
+    if (probe == nullptr) continue;
+    ::closedir(probe);
+    any_root = true;
+    list_sources(dir, top, &files);
+  }
+  if (!any_root)
+    throw Error("crusade-check: no src/ or tools/ under '" + root + "'");
+  std::sort(files.begin(), files.end());
+
+  CheckReport report;
+  for (const std::string& rel : files) {
+    const std::string text = read_file(root + "/" + rel);
+    CheckReport one = check_source(rel, text);
+    report.files_scanned += one.files_scanned;
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(one.findings.begin()),
+                           std::make_move_iterator(one.findings.end()));
+  }
+  return report;
+}
+
+}  // namespace crusade

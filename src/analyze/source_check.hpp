@@ -1,0 +1,75 @@
+// Repo-invariant static analysis over CRUSADE's own sources
+// (`crusade-check`, DESIGN.md §14).
+//
+// `crusade lint` (§9) proves properties of *specifications* before the
+// search runs; this module applies the same "prove it before you run it"
+// discipline to the codebase itself.  The guarantees built in PRs 4–6 —
+// bit-identical checkpoint/resume, canonical cached answers, honest typed
+// errors — rest on source-level invariants that no generic tool expresses:
+// no iteration over hash containers in decision-making code (iteration
+// order would leak into search decisions and break bit-identity), no
+// wall-clock or libc randomness outside timing code, every artifact write
+// funneled through atomic_file, no printf/exit in library code, no naked
+// thread detach, nothing but async-signal-safe calls in signal handlers.
+//
+// Each rule has a stable id (C001…), fires as a line-anchored diagnostic,
+// and can be suppressed in place with a *reasoned* annotation:
+//
+//   std::fprintf(stderr, ...);  // check-allow(C004): env-gated debug aid
+//
+// A reasonless or unknown-rule suppression is itself an error (C000).
+// Suppressions are counted and reported in --json so they can be pinned by
+// tests — silence is never free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crusade {
+
+/// Catalog entry for one source rule.
+struct CheckRule {
+  const char* id;         ///< stable id, e.g. "C001"
+  const char* name;       ///< short kebab name, e.g. "unordered-iteration"
+  const char* rationale;  ///< why violating it endangers a repo guarantee
+};
+
+/// Every rule crusade-check can fire, C000 first.
+const std::vector<CheckRule>& check_rule_catalog();
+
+struct CheckFinding {
+  std::string file;  ///< path label as passed to check_source
+  int line = 0;      ///< 1-based source line
+  std::string id;    ///< rule id
+  std::string message;
+  bool suppressed = false;  ///< an in-scope check-allow covered it
+  std::string reason;       ///< the suppression's reason text
+};
+
+struct CheckReport {
+  std::vector<CheckFinding> findings;  ///< file order, then line order
+  int files_scanned = 0;
+
+  /// Unsuppressed findings — the count that decides the exit code.
+  int errors() const;
+  /// Findings silenced by a reasoned check-allow.
+  int suppressions() const;
+  int count_id(const std::string& id) const;  ///< unsuppressed, per rule
+
+  /// One line per finding: "src/x.cpp:12: error: C004: ..."; suppressed
+  /// findings render as "allowed" with their reason.
+  std::string summary() const;
+  std::string to_json() const;
+};
+
+/// Checks one in-memory file.  `path` decides which rules apply (rule
+/// scopes are path-prefix based, e.g. C001 only inside the decision-making
+/// subsystems); use repo-relative paths like "src/alloc/allocation.cpp".
+CheckReport check_source(const std::string& path, const std::string& text);
+
+/// Walks `root`/src and `root`/tools (every *.hpp / *.cpp, sorted, so
+/// reports are byte-stable) and checks each file.  Throws Error when a
+/// directory or file cannot be read.
+CheckReport check_tree(const std::string& root);
+
+}  // namespace crusade

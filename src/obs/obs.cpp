@@ -7,12 +7,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <sstream>
 #include <thread>
 
+#include "util/sync.hpp"
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crusade::obs {
 
@@ -34,16 +34,19 @@ std::atomic<std::int64_t> g_epoch_ns{0};
 /// Counter registry: name -> lock-free atomic.  The shared_mutex protects
 /// only the map shape; increments on registered counters never contend.
 struct CounterRegistry {
-  std::shared_mutex mutex;
-  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> values;
+  util::SharedMutex mutex;
+  /// Guards only the map shape; the pointed-to atomics are lock-free and
+  /// deliberately outlive the lock (slot() hands out stable references).
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> values
+      CRUSADE_GUARDED_BY(mutex);
 
   std::atomic<std::int64_t>& slot(const char* name) {
     {
-      std::shared_lock lock(mutex);
+      util::ReaderLock lock(mutex);
       auto it = values.find(name);
       if (it != values.end()) return *it->second;
     }
-    std::unique_lock lock(mutex);
+    util::WriterLock lock(mutex);
     auto& ptr = values[name];
     if (!ptr) ptr = std::make_unique<std::atomic<std::int64_t>>(0);
     return *ptr;
@@ -51,11 +54,12 @@ struct CounterRegistry {
 };
 
 struct EventSink {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::size_t capacity = 262144;
-  std::size_t dropped = 0;
-  std::map<std::thread::id, std::uint32_t> thread_index;
+  util::Mutex mutex;
+  std::vector<TraceEvent> events CRUSADE_GUARDED_BY(mutex);
+  std::size_t capacity CRUSADE_GUARDED_BY(mutex) = 262144;
+  std::size_t dropped CRUSADE_GUARDED_BY(mutex) = 0;
+  std::map<std::thread::id, std::uint32_t> thread_index
+      CRUSADE_GUARDED_BY(mutex);
 };
 
 CounterRegistry*& counter_registry_ptr() {
@@ -137,14 +141,14 @@ void set_enabled(bool on) {
 void reset() {
   {
     EventSink& s = sink();
-    std::lock_guard lock(s.mutex);
+    util::MutexLock lock(s.mutex);
     s.events.clear();
     s.dropped = 0;
     s.thread_index.clear();
   }
   {
     CounterRegistry& r = counter_registry();
-    std::unique_lock lock(r.mutex);
+    util::WriterLock lock(r.mutex);
     r.values.clear();
   }
   g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
@@ -166,7 +170,7 @@ void record_peak(const char* name, std::int64_t value) {
 
 std::int64_t counter_value(const std::string& name) {
   CounterRegistry& r = counter_registry();
-  std::shared_lock lock(r.mutex);
+  util::ReaderLock lock(r.mutex);
   auto it = r.values.find(name);
   return it == r.values.end()
              ? 0
@@ -175,7 +179,7 @@ std::int64_t counter_value(const std::string& name) {
 
 std::vector<std::pair<std::string, std::int64_t>> counters() {
   CounterRegistry& r = counter_registry();
-  std::shared_lock lock(r.mutex);
+  util::ReaderLock lock(r.mutex);
   std::vector<std::pair<std::string, std::int64_t>> out;
   out.reserve(r.values.size());
   for (const auto& [name, value] : r.values)
@@ -192,7 +196,7 @@ Span::~Span() {
   // (its start was real), keeping nesting in the trace consistent.
   const std::int64_t end = now_ns();
   EventSink& s = sink();
-  std::lock_guard lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   if (s.events.size() >= s.capacity) {
     ++s.dropped;
     return;
@@ -210,25 +214,25 @@ Span::~Span() {
 
 std::vector<TraceEvent> events() {
   EventSink& s = sink();
-  std::lock_guard lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   return s.events;
 }
 
 std::size_t event_count() {
   EventSink& s = sink();
-  std::lock_guard lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   return s.events.size();
 }
 
 std::size_t dropped_events() {
   EventSink& s = sink();
-  std::lock_guard lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   return s.dropped;
 }
 
 void set_event_capacity(std::size_t cap) {
   EventSink& s = sink();
-  std::lock_guard lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   s.capacity = cap;
 }
 

@@ -110,7 +110,7 @@ ScheduleResult run_list_scheduler(const SchedProblem& problem,
     if (start == kNoTime) {
       ++result.placement_failures;
       if (std::getenv("CRUSADE_DEBUG_SCHED"))
-        std::fprintf(stderr,
+        std::fprintf(stderr,  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG_SCHED is set
                      "[sched] reboot fail: res=%d mode=%d boot=%lld "
                      "period=%lld\n",
                      res, mode, static_cast<long long>(boot),
@@ -151,7 +151,7 @@ ScheduleResult run_list_scheduler(const SchedProblem& problem,
           ++result.placement_failures;
           result.failed_edges.push_back(eid);
           if (std::getenv("CRUSADE_DEBUG_SCHED"))
-            std::fprintf(stderr,
+            std::fprintf(stderr,  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG_SCHED is set
                          "[sched] edge %d fail: link=%d comm=%lld "
                          "period=%lld windows=%zu\n",
                          eid, link, static_cast<long long>(comm),
@@ -231,7 +231,7 @@ ScheduleResult run_list_scheduler(const SchedProblem& problem,
     if (start == kNoTime) {
       ++result.placement_failures;
       if (std::getenv("CRUSADE_DEBUG_SCHED"))
-        std::fprintf(stderr,
+        std::fprintf(stderr,  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG_SCHED is set
                      "[sched] task %d fail: res=%d preempt=%d conc=%d "
                      "exec=%lld dur=%lld period=%lld mode=%d windows=%zu\n",
                      tid, res, info.preemptive ? 1 : 0,
@@ -286,7 +286,7 @@ ScheduleResult run_list_scheduler(const SchedProblem& problem,
       if (deadline != kNoTime && estimate[tid] > deadline) {
         result.estimated_tardiness += estimate[tid] - deadline;
         if (std::getenv("CRUSADE_DEBUG_SCHED"))
-          std::fprintf(stderr,
+          std::fprintf(stderr,  // check-allow(C004): stderr debug aid, dead unless CRUSADE_DEBUG_SCHED is set
                        "[sched] estimate miss: task %d est=%lld dl=%lld "
                        "ready=%lld opt=%lld\n",
                        tid, static_cast<long long>(estimate[tid]),

@@ -38,7 +38,7 @@ Response Client::call(const Request& request) const {
   if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
       0)
     throw IoError("client: no daemon at " + socket_path_ +
-                      " (start one with `crusaded`): " + std::strerror(errno),
+                      " (start one with `crusaded`): " + errno_message(errno),
                   errno);
   write_all(sock.fd, encode_request(request));
   Response response;

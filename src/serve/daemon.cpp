@@ -98,7 +98,7 @@ Daemon::~Daemon() {
     ::unlink(cfg_.socket_path.c_str());
   }
   {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    util::MutexLock lk(handlers_mu_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   reap_handlers(true);
@@ -111,7 +111,7 @@ void Daemon::reap_handlers(bool all) {
   // joining under the lock could deadlock in the `all` case.
   std::list<Handler> finished;
   {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    util::MutexLock lk(handlers_mu_);
     for (auto it = handlers_.begin(); it != handlers_.end();) {
       if (all || it->done.load(std::memory_order_acquire))
         finished.splice(finished.end(), handlers_, it++);
@@ -149,7 +149,7 @@ void Daemon::run() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       throw_io_error("serve: accept", errno);
     }
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    util::MutexLock lk(handlers_mu_);
     open_fds_.insert(fd);
     Handler& handler = handlers_.emplace_back();
     handler.thread = std::thread(
@@ -160,7 +160,7 @@ void Daemon::run() {
   ::unlink(cfg_.socket_path.c_str());
   listen_fd_ = -1;
   {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    util::MutexLock lk(handlers_mu_);
     for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   reap_handlers(true);
@@ -193,7 +193,7 @@ void Daemon::handle_connection(int fd, std::atomic<bool>* done) {
   }
   ::close(fd);
   {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
+    util::MutexLock lk(handlers_mu_);
     open_fds_.erase(fd);
   }
   done->store(true, std::memory_order_release);  // last store: reapable now

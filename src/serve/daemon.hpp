@@ -15,12 +15,13 @@
 
 #include <atomic>
 #include <list>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "serve/service.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crusade::serve {
 
@@ -63,20 +64,26 @@ class Daemon {
     std::atomic<bool> done{false};
   };
 
-  void handle_connection(int fd, std::atomic<bool>* done);
+  void handle_connection(int fd, std::atomic<bool>* done)
+      CRUSADE_EXCLUDES(handlers_mu_);
   /// Joins and drops finished handlers (all of them when `all` — shutdown,
   /// where the sockets have been shut down and every handler is exiting).
-  void reap_handlers(bool all);
+  /// Splices under handlers_mu_, joins outside it: a handler's epilogue
+  /// takes the same lock to drop its fd.
+  void reap_handlers(bool all) CRUSADE_EXCLUDES(handlers_mu_);
   Response dispatch(const Request& request);
 
   DaemonConfig cfg_;
   Service service_;
+  /// Accept loop + destructor only (single-threaded use; the handler
+  /// threads never touch it).
   int listen_fd_ = -1;
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> shutdown_drain_{true};
-  std::list<Handler> handlers_;  ///< list: reaping never moves live nodes
-  std::set<int> open_fds_;  ///< live connections, shutdown()-able on exit
-  std::mutex handlers_mu_;
+  std::list<Handler> handlers_ CRUSADE_GUARDED_BY(handlers_mu_);
+  /// Live connections, shutdown()-able on exit.
+  std::set<int> open_fds_ CRUSADE_GUARDED_BY(handlers_mu_);
+  util::Mutex handlers_mu_;
 };
 
 }  // namespace crusade::serve

@@ -196,6 +196,10 @@ Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   make_dirs(cfg_.spool_dir);
   make_dir(cfg_.spool_dir + "/jobs");
   make_dir(cfg_.spool_dir + "/cache");
+  // Hold mu_ through recovery and worker creation: freshly spawned workers
+  // block on their first lock until construction finishes, so none can
+  // observe a half-recovered spool.
+  util::MutexLock lk(mu_);
   paused_ = cfg_.start_paused;
   recover_spool();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
@@ -243,7 +247,7 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
     key = compute_cache_key(request);
   } catch (const Error& e) {
     obs::count("serve.rejected_bad");
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     ++stats_.submitted;
     ++stats_.rejected_bad;
     out.error = std::string("bad specification: ") + e.what();
@@ -252,7 +256,7 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
 
   std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     ++stats_.submitted;
     if (stopping_) {
       obs::count("serve.rejected_shutdown");
@@ -335,7 +339,7 @@ bool Service::cancel(std::uint64_t id) {
   JobKind queued_kind = JobKind::Run;
   pid_t kill_pid = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     Job& job = it->second;
@@ -366,14 +370,14 @@ bool Service::cancel(std::uint64_t id) {
 }
 
 std::optional<JobStatus> Service::status(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   return snapshot_locked(it->second);
 }
 
 std::vector<JobStatus> Service::jobs() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   std::vector<JobStatus> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(snapshot_locked(job));
@@ -381,7 +385,7 @@ std::vector<JobStatus> Service::jobs() const {
 }
 
 std::optional<std::string> Service::result_body(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second.state != JobState::Done)
     return std::nullopt;
@@ -390,7 +394,7 @@ std::optional<std::string> Service::result_body(std::uint64_t id) const {
 
 bool Service::wait_result(std::uint64_t id, long timeout_ms,
                           JobStatus* status_out, std::string* body_out) {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
   while (true) {
@@ -415,50 +419,71 @@ bool Service::wait_result(std::uint64_t id, long timeout_ms,
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return stats_;
 }
 
 int Service::recovered_jobs() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   return recovered_;
 }
 
 void Service::resume_workers() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     paused_ = false;
   }
   work_cv_.notify_all();
 }
 
 void Service::stop(bool drain) {
+  // Claim the worker threads under the lock: the first caller swaps the
+  // vector into a local and is the only one that joins.  The old shape —
+  // joining workers_ outside mu_ — let a concurrent stop() (daemon
+  // shutdown racing the destructor) join the same std::thread twice; the
+  // CRUSADE_GUARDED_BY annotation on workers_ is what makes that shape a
+  // compile error now.
+  std::vector<std::thread> claimed;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_ && workers_.empty()) return;
+    util::MutexLock lk(mu_);
+    if (!stopping_) drain_ = drain;
     stopping_ = true;
-    drain_ = drain;
     if (!drain) {
+      // A hard stop always takes effect, even during an in-progress drain
+      // (the daemon's second-signal escalation).  A later drain request
+      // never un-escalates a hard stop.
+      drain_ = false;
       // Park queued jobs for the next incarnation: their spool files stay
       // put, the recovery scan re-admits them.  In-memory they simply stay
       // Queued; the process is going away.
       queue_.clear();
       stats_.queue_depth = 0;
     }
+    claimed.swap(workers_);
   }
   work_cv_.notify_all();
   done_cv_.notify_all();
-  for (std::thread& worker : workers_)
+  for (std::thread& worker : claimed)
     if (worker.joinable()) worker.join();
-  workers_.clear();
+}
+
+/// work_cv_ wake condition: stop requested, or runnable work while not
+/// paused.  An annotated helper, not a lambda, so the analysis can prove
+/// the guarded reads happen under mu_ (util/sync.hpp).
+bool Service::worker_wakeup_locked() const {
+  return stopping_ || (!paused_ && !queue_.empty());
+}
+
+bool Service::retry_interrupted_locked(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() || it->second.cancel_requested ||
+         (stopping_ && !drain_);
 }
 
 void Service::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   while (true) {
-    work_cv_.wait(lk, [this] {
-      return stopping_ || (!paused_ && !queue_.empty());
-    });
+    while (!worker_wakeup_locked()) work_cv_.wait(lk);
     if (stopping_ && (!drain_ || queue_.empty())) return;
     if (queue_.empty() || (paused_ && !stopping_)) continue;
     const auto it = queue_.begin();
@@ -478,7 +503,7 @@ void Service::run_supervised(std::uint64_t id) {
     long deadline_ms = 0;
     Clock::time_point submitted_at;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       const auto it = jobs_.find(id);
       if (it == jobs_.end()) return;  // terminal + evicted
       Job& job = it->second;
@@ -538,13 +563,13 @@ void Service::run_supervised(std::uint64_t id) {
     }
     if (pid < 0) {
       finalize(id, JobOutcome::FailedHonest,
-               failure_body(req.kind, "fork-failed", std::strerror(errno),
+               failure_body(req.kind, "fork-failed", errno_message(errno),
                             attempt),
                "fork failed", false);
       return;
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       const auto it = jobs_.find(id);
       if (it != jobs_.end()) it->second.child_pid = pid;
     }
@@ -570,7 +595,7 @@ void Service::run_supervised(std::uint64_t id) {
       }
       bool want_term = false;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        util::MutexLock lk(mu_);
         const auto it = jobs_.find(id);
         want_term = it == jobs_.end() || it->second.cancel_requested ||
                     (stopping_ && !drain_);
@@ -592,7 +617,7 @@ void Service::run_supervised(std::uint64_t id) {
       ::usleep(2000);
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       const auto it = jobs_.find(id);
       if (it != jobs_.end()) it->second.child_pid = 0;
       if (watchdog_fired) ++stats_.watchdog_kills;
@@ -608,13 +633,12 @@ void Service::run_supervised(std::uint64_t id) {
       backoff *= 2;
     if (backoff > cfg_.backoff_cap_ms) backoff = cfg_.backoff_cap_ms;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       ++stats_.retries;
-      work_cv_.wait_for(lk, std::chrono::milliseconds(backoff), [this, id] {
-        const auto it = jobs_.find(id);
-        return it == jobs_.end() || it->second.cancel_requested ||
-               (stopping_ && !drain_);
-      });
+      const Clock::time_point wake_at =
+          Clock::now() + std::chrono::milliseconds(backoff);
+      while (!retry_interrupted_locked(id) && Clock::now() < wake_at)
+        work_cv_.wait_until(lk, wake_at);
       const auto it = jobs_.find(id);
       if (it == jobs_.end()) return;  // terminal + evicted
       if (stopping_ && !drain_ && !it->second.cancel_requested) {
@@ -646,7 +670,7 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
   std::uint64_t cache_key = 0;
   JobKind kind = JobKind::Run;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return true;  // terminal + evicted
     const Job& job = it->second;
@@ -695,7 +719,7 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
 
   // Crash (signal, unexpected exception, injected fault, lost body).
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     ++stats_.crashes;
   }
   obs::count("serve.crashes");
@@ -730,7 +754,7 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
 void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
                        std::string detail, bool keep_spool) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return;  // evicted: already terminal long ago
     Job& job = it->second;
@@ -791,7 +815,7 @@ void Service::note_terminal_locked(std::uint64_t id) {
 void Service::cache_insert(std::uint64_t key, const std::string& body) {
   std::vector<std::uint64_t> evicted;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (cfg_.cache_capacity == 0) return;
     const auto it = cache_.find(key);
     if (it != cache_.end()) {

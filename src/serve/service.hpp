@@ -35,12 +35,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -49,6 +47,8 @@
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace crusade::serve {
 
@@ -177,80 +177,96 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
-  SubmitOutcome submit(const SubmitRequest& request);
+  SubmitOutcome submit(const SubmitRequest& request) CRUSADE_EXCLUDES(mu_);
   /// Cooperative cancel.  Queued: terminal Cancelled immediately.  Running:
   /// SIGTERM to the worker, which returns best-so-far (DegradedHonest).
   /// False when the id is unknown.
-  bool cancel(std::uint64_t id);
-  std::optional<JobStatus> status(std::uint64_t id) const;
-  std::vector<JobStatus> jobs() const;
+  bool cancel(std::uint64_t id) CRUSADE_EXCLUDES(mu_);
+  std::optional<JobStatus> status(std::uint64_t id) const
+      CRUSADE_EXCLUDES(mu_);
+  std::vector<JobStatus> jobs() const CRUSADE_EXCLUDES(mu_);
   /// Terminal result body (JSON) once the job is Done.
-  std::optional<std::string> result_body(std::uint64_t id) const;
+  std::optional<std::string> result_body(std::uint64_t id) const
+      CRUSADE_EXCLUDES(mu_);
   /// Blocks until the job is terminal or timeout_ms elapses.  Returns true
   /// with the status + body on terminal.
   bool wait_result(std::uint64_t id, long timeout_ms, JobStatus* status_out,
-                   std::string* body_out);
-  ServiceStats stats() const;
-  int recovered_jobs() const;
+                   std::string* body_out) CRUSADE_EXCLUDES(mu_);
+  ServiceStats stats() const CRUSADE_EXCLUDES(mu_);
+  int recovered_jobs() const CRUSADE_EXCLUDES(mu_);
 
   /// Releases workers held by ServiceConfig::start_paused.
-  void resume_workers();
+  void resume_workers() CRUSADE_EXCLUDES(mu_);
 
   /// Stops the service.  drain=true: no new admissions, queued + running
   /// jobs complete normally, then workers exit (graceful daemon shutdown).
   /// drain=false: queued jobs are parked back to the spool for the next
   /// incarnation, running workers get a SIGTERM and report best-so-far.
-  /// Idempotent.
-  void stop(bool drain);
+  /// Idempotent — and safe against concurrent callers (the worker vector
+  /// is claimed under mu_, so exactly one caller joins each thread).
+  void stop(bool drain) CRUSADE_EXCLUDES(mu_);
 
  private:
   struct Job;
   struct CacheEntry;
 
-  void worker_loop();
-  void run_supervised(std::uint64_t id);
+  void worker_loop() CRUSADE_EXCLUDES(mu_);
+  void run_supervised(std::uint64_t id) CRUSADE_EXCLUDES(mu_);
   /// Cache key for a request: kind + Crusade::fingerprint (+ seeds for
   /// survive), 0 = never cache.  Throws Error when the spec does not parse
   /// (except lint, which keys on the raw text).
   std::uint64_t compute_cache_key(const SubmitRequest& request) const;
   /// Classifies one reaped attempt; returns true when the job is terminal.
   bool classify_attempt(std::uint64_t id, int attempt, int wait_status,
-                        bool watchdog_fired);
+                        bool watchdog_fired) CRUSADE_EXCLUDES(mu_);
   void finalize(std::uint64_t id, JobOutcome outcome, std::string body,
-                std::string detail, bool keep_spool);
+                std::string detail, bool keep_spool) CRUSADE_EXCLUDES(mu_);
   /// Records a job as terminal and evicts the oldest terminal jobs past
-  /// ServiceConfig::terminal_retain.  Caller holds mu_.
-  void note_terminal_locked(std::uint64_t id);
-  void cache_insert(std::uint64_t key, const std::string& body);
-  void recover_spool();
+  /// ServiceConfig::terminal_retain.
+  void note_terminal_locked(std::uint64_t id) CRUSADE_REQUIRES(mu_);
+  void cache_insert(std::uint64_t key, const std::string& body)
+      CRUSADE_EXCLUDES(mu_);
+  void recover_spool() CRUSADE_REQUIRES(mu_);
   void spool_job(const Job& job);
   std::string job_spool_path(std::uint64_t id) const;
   std::string ckpt_spool_path(std::uint64_t id) const;
   std::string result_spool_path(std::uint64_t id) const;
   std::string cache_path(std::uint64_t key) const;
-  long busy_retry_hint_locked() const;
-  JobStatus snapshot_locked(const Job& job) const;
+  long busy_retry_hint_locked() const CRUSADE_REQUIRES(mu_);
+  JobStatus snapshot_locked(const Job& job) const CRUSADE_REQUIRES(mu_);
+  /// work_cv_ predicates (annotated helpers, not lambdas — see
+  /// util/sync.hpp on why the analysis needs this shape).
+  bool worker_wakeup_locked() const CRUSADE_REQUIRES(mu_);
+  /// True when a retry backoff sleep for `id` should end early (job gone,
+  /// cancelled, or hard stop).
+  bool retry_interrupted_locked(std::uint64_t id) const CRUSADE_REQUIRES(mu_);
 
   ServiceConfig cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers: queue/pause/stop changes
-  std::condition_variable done_cv_;  ///< waiters: job terminal transitions
-  std::map<std::uint64_t, Job> jobs_;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  ///< workers: queue/pause/stop changes
+  util::CondVar done_cv_;  ///< waiters: job terminal transitions
+  std::map<std::uint64_t, Job> jobs_ CRUSADE_GUARDED_BY(mu_);
   /// Ready queue ordered (-priority, id): highest priority first, FIFO
   /// within a priority (ids are monotonic).
-  std::set<std::pair<long long, std::uint64_t>> queue_;
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
-  std::list<std::uint64_t> cache_lru_;  ///< front = most recent
+  std::set<std::pair<long long, std::uint64_t>> queue_ CRUSADE_GUARDED_BY(mu_);
+  /// Keyed lookups only — never iterated (iteration order would leak into
+  /// nothing today, but crusade-check C001 enforces the habit in the
+  /// decision-making subsystems).
+  std::unordered_map<std::uint64_t, CacheEntry> cache_ CRUSADE_GUARDED_BY(mu_);
+  std::list<std::uint64_t> cache_lru_ CRUSADE_GUARDED_BY(mu_);  ///< front = MRU
   /// Terminal jobs in completion order; the eviction window for jobs_.
-  std::deque<std::uint64_t> terminal_order_;
-  ServiceStats stats_;
-  std::vector<std::thread> workers_;
-  std::uint64_t next_id_ = 1;
-  int finish_seq_ = 0;
-  int recovered_ = 0;
-  bool paused_ = false;
-  bool stopping_ = false;
-  bool drain_ = false;
+  std::deque<std::uint64_t> terminal_order_ CRUSADE_GUARDED_BY(mu_);
+  ServiceStats stats_ CRUSADE_GUARDED_BY(mu_);
+  /// Joined exactly once: stop() claims the vector by swapping it out under
+  /// mu_, so concurrent stop() calls (destructor vs. daemon shutdown) can
+  /// never both join the same thread.
+  std::vector<std::thread> workers_ CRUSADE_GUARDED_BY(mu_);
+  std::uint64_t next_id_ CRUSADE_GUARDED_BY(mu_) = 1;
+  int finish_seq_ CRUSADE_GUARDED_BY(mu_) = 0;
+  int recovered_ CRUSADE_GUARDED_BY(mu_) = 0;
+  bool paused_ CRUSADE_GUARDED_BY(mu_) = false;
+  bool stopping_ CRUSADE_GUARDED_BY(mu_) = false;
+  bool drain_ CRUSADE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace crusade::serve

@@ -6,7 +6,6 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -16,7 +15,7 @@ namespace crusade {
 
 namespace {
 
-std::string errno_text(int err) { return std::strerror(err); }
+std::string errno_text(int err) { return errno_message(err); }
 
 /// Directory part of a path ("." when the path has no slash), for the
 /// temp-file sibling and the post-rename directory fsync.

@@ -32,7 +32,7 @@ void atomic_write_file(const std::string& path, const std::string& contents);
 bool is_disk_full_errno(int err);
 
 /// Throws DiskFullError when `err` is a disk-full errno, IoError otherwise;
-/// the message is `what` + ": " + strerror(err).
+/// the message is `what` + ": " + errno_message(err).
 [[noreturn]] void throw_io_error(const std::string& what, int err);
 
 /// Reads a whole file into a string.  Throws Error when the file cannot be

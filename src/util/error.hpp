@@ -6,8 +6,18 @@
 
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace crusade {
+
+/// Thread-safe strerror replacement: formats an errno value through
+/// std::generic_category(), which owns its storage, instead of strerror's
+/// shared static buffer (clang-tidy concurrency-mt-unsafe).  Every
+/// message-building path in the library uses this; strerror itself only
+/// survives in single-threaded CLI glue.
+inline std::string errno_message(int error_number) {
+  return std::generic_category().message(error_number);
+}
 
 /// Thrown on specification errors (cyclic task graph, unknown PE type, ...)
 /// and on violated preconditions.

@@ -1,0 +1,147 @@
+// Annotated lock types carrying Clang Thread Safety proofs (DESIGN.md §14).
+//
+// libstdc++'s std::mutex has no capability attributes, so a
+// std::lock_guard<std::mutex> is invisible to -Wthread-safety: guarded
+// fields would warn on every correctly-locked access.  These thin wrappers
+// hold the annotations the standard types lack — zero overhead, the
+// std::mutex / std::condition_variable machinery underneath is unchanged —
+// so CRUSADE_GUARDED_BY contracts in src/serve and src/obs are actually
+// checkable.
+//
+// Usage mirrors the standard types:
+//
+//   util::Mutex mu_;
+//   int value_ CRUSADE_GUARDED_BY(mu_);
+//   ...
+//   util::MutexLock lk(mu_);     // scoped, like std::lock_guard
+//   while (!ready_locked()) cv_.wait(lk);
+//
+// Condition-variable predicates must be `*_locked()` member functions
+// annotated CRUSADE_REQUIRES(mu_) rather than lambdas: the analysis cannot
+// see that a predicate lambda runs under the re-acquired lock inside
+// std::condition_variable::wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace crusade::util {
+
+/// std::mutex with capability annotations.
+class CRUSADE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CRUSADE_ACQUIRE() { m_.lock(); }
+  void unlock() CRUSADE_RELEASE() { m_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// Scoped lock over Mutex (std::unique_lock underneath, so it can be
+/// temporarily dropped around fork/finalize windows and handed to CondVar).
+class CRUSADE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CRUSADE_ACQUIRE(mu) : lk_(mu.m_) {}
+  ~MutexLock() CRUSADE_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Manual drop/re-take for "call out without the lock" windows
+  /// (Service::run_supervised forks the worker outside the lock).
+  void unlock() CRUSADE_RELEASE() { lk_.unlock(); }
+  void lock() CRUSADE_ACQUIRE() { lk_.lock(); }
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable bound to MutexLock.  wait() keeps the capability
+/// held from the analysis's point of view — correct at every call site,
+/// since the lock is re-acquired before wait() returns.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lk) { cv_.wait(lk.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.native(), tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.native(), d);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::shared_mutex with capability annotations (the obs counter
+/// registry: many concurrent readers, rare shape-changing writers).
+class CRUSADE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CRUSADE_ACQUIRE() { m_.lock(); }
+  void unlock() CRUSADE_RELEASE() { m_.unlock(); }
+  void lock_shared() CRUSADE_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() CRUSADE_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock over SharedMutex.
+class CRUSADE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) CRUSADE_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() CRUSADE_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class CRUSADE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) CRUSADE_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() CRUSADE_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace crusade::util

@@ -1,0 +1,81 @@
+// Portable Clang Thread Safety Analysis annotations (DESIGN.md §14).
+//
+// The multi-threaded subsystems (src/serve, src/obs) carry guarantees —
+// bit-identical canonical answers, honest admission control, bounded
+// retention — that depend on lock discipline nothing used to check
+// statically: an unguarded field read would only surface (maybe) under
+// TSan or in a flaky soak run.  These macros expand to Clang's
+// -Wthread-safety attributes under Clang and to nothing elsewhere, so the
+// lock contracts are part of the type system wherever the analysis exists
+// and free everywhere else (the CI presets enable -Wthread-safety
+// -Wthread-safety-beta when the compiler is Clang; see CMakeLists.txt and
+// tools/check.sh).
+//
+// Conventions (see DESIGN.md §14 for the full catalog):
+//  * every mutex-guarded field is CRUSADE_GUARDED_BY(mu_);
+//  * every private helper that assumes the lock is held is named
+//    `*_locked()` and annotated CRUSADE_REQUIRES(mu_);
+//  * condition-variable wait predicates are `*_locked()` helpers, never
+//    lambdas — the analysis cannot see that a lambda body runs under the
+//    lock std::condition_variable::wait re-acquires;
+//  * raw std::mutex/std::lock_guard cannot carry the proof with libstdc++
+//    (its std::mutex has no capability attributes), so guarded code uses
+//    the annotated wrappers in util/sync.hpp instead.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CRUSADE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CRUSADE_THREAD_ANNOTATION
+#define CRUSADE_THREAD_ANNOTATION(x)  // expands to nothing outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define CRUSADE_CAPABILITY(x) CRUSADE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define CRUSADE_SCOPED_CAPABILITY CRUSADE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding the given capability.
+#define CRUSADE_GUARDED_BY(x) CRUSADE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be accessed while holding the given capability.
+#define CRUSADE_PT_GUARDED_BY(x) CRUSADE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (exclusively / shared) on entry and
+/// does not release it.
+#define CRUSADE_REQUIRES(...) \
+  CRUSADE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CRUSADE_REQUIRES_SHARED(...) \
+  CRUSADE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared).
+#define CRUSADE_ACQUIRE(...) \
+  CRUSADE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CRUSADE_ACQUIRE_SHARED(...) \
+  CRUSADE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive or shared).
+#define CRUSADE_RELEASE(...) \
+  CRUSADE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CRUSADE_RELEASE_SHARED(...) \
+  CRUSADE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// guard for public entry points that take the lock themselves).
+#define CRUSADE_EXCLUDES(...) \
+  CRUSADE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability that guards the returned data.
+#define CRUSADE_RETURN_CAPABILITY(x) \
+  CRUSADE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function.  Every use needs a
+/// comment explaining why the proof cannot be expressed (crusade-check
+/// treats a bare one like a reasonless suppression in review).
+#define CRUSADE_NO_THREAD_SAFETY_ANALYSIS \
+  CRUSADE_THREAD_ANNOTATION(no_thread_safety_analysis)

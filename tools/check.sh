@@ -1,38 +1,135 @@
 #!/usr/bin/env bash
 # Full verification sweep:
 #   1. CI configuration (-Werror) build + entire test suite
-#   2. `crusade trace` on a paper example, trace JSON round-tripped through
-#      a real parser (skipped when neither python3 nor jq is available)
-#   3. clang-tidy over the library/tool sources (skipped when not installed)
-#   4. cppcheck over the same sources (skipped when not installed)
-#   5. kill/resume smoke: `crusade soak` SIGKILLs synthesis children at
+#   2. crusade-check: the repo's own invariant linter (determinism, atomic
+#      writes, signal safety — DESIGN.md §14), --json round-tripped through
+#      a real parser
+#   3. `crusade trace` on a paper example, trace JSON round-tripped through
+#      a real parser
+#   4. clang-tidy over the library/tool sources (skipped when not installed)
+#   5. cppcheck over the same sources (skipped when not installed)
+#   6. kill/resume smoke: `crusade soak` SIGKILLs synthesis children at
 #      random points and asserts resumed runs finish bit-identical
-#   6. survivability smoke: fixed-seed `crusade survive` campaign run twice,
+#   7. survivability smoke: fixed-seed `crusade survive` campaign run twice,
 #      JSON byte-identical, strict parse-back (0 FT-LIE, transients cross-PE)
-#   7. ASan/UBSan configuration build + entire test suite
-#   8. fault-injection harness + survive campaign under ASan/UBSan (the
+#   8. ASan/UBSan configuration build + entire test suite
+#   9. fault-injection harness + survive campaign under ASan/UBSan (the
 #      mutated-spec and fault-replay paths are where memory bugs would hide)
-#   9. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
+#  10. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
 #      the Debug ASan build can miss) + entire test suite + survive campaign
-#  10. TSan configuration: serve_test (the one multi-threaded subsystem)
+#  11. TSan configuration: serve_test (the one multi-threaded subsystem)
 #      plus a live `crusaded` daemon driven by a `crusade submit` loop —
 #      races between the supervisor, workers, and socket handlers surface
 #      here, not in the single-threaded suites
 #
-#   tools/check.sh            # everything
-#   tools/check.sh --fast     # CI build + tests only
+# Every stage reports OK or an explicit "SKIPPED (<missing tool>)" line and
+# lands in the final summary table.  Nothing is ever skipped silently.
+#
+#   tools/check.sh                  # everything
+#   tools/check.sh --fast           # CI build + tests only
+#   tools/check.sh --require-tools  # a missing optional tool fails the run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+require_tools=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    --require-tools) require_tools=1 ;;
+    *)
+      echo "usage: tools/check.sh [--fast] [--require-tools]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "=== CI configuration (release, -Werror) ==="
+# --- stage bookkeeping -------------------------------------------------------
+# stage NAME opens a stage; stage_ok / stage_skip REASON close it.  A stage
+# left open when the script dies (set -e) is recorded as FAILED by the EXIT
+# trap, so the summary table always tells the truth about how far we got.
+stage_names=()
+stage_results=()
+current_stage=""
+
+stage() {
+  current_stage="$1"
+  echo "=== $1 ==="
+}
+
+stage_ok() {
+  stage_names+=("$current_stage")
+  stage_results+=("OK")
+  current_stage=""
+}
+
+stage_skip() {
+  local reason="$1"
+  if [[ "$require_tools" == 1 ]]; then
+    echo "FAILED: $current_stage needs $reason (--require-tools)" >&2
+    exit 3
+  fi
+  echo "SKIPPED: $current_stage ($reason)"
+  stage_names+=("$current_stage")
+  stage_results+=("SKIPPED ($reason)")
+  current_stage=""
+}
+
+summary() {
+  local rc=$?
+  if [[ -n "$current_stage" ]]; then
+    stage_names+=("$current_stage")
+    stage_results+=("FAILED")
+  fi
+  echo
+  echo "--- check.sh stage summary ---"
+  local i
+  for i in "${!stage_names[@]}"; do
+    printf '  %-52s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  done
+  if [[ $rc -eq 0 ]]; then
+    echo "check.sh: green"
+  else
+    echo "check.sh: FAILED (exit $rc)" >&2
+  fi
+}
+trap summary EXIT
+
+# --- stages ------------------------------------------------------------------
+
+stage "CI configuration (release, -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
 ctest --preset ci -j "$(nproc)"
+stage_ok
 
-echo "=== crusade trace (Chrome trace-event JSON round-trip) ==="
+stage "crusade-check (repo invariant linter)"
+./build-ci/tools/crusade_check --root . --json > build-ci/crusade-check.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/crusade-check.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["tool"] == "crusade-check", doc
+assert doc["errors"] == 0, f'{doc["errors"]} invariant errors'
+for f in doc["findings"]:
+    assert f["suppressed"] and f["reason"], f
+print(f'crusade-check JSON: {doc["files"]} files, 0 errors, '
+      f'{doc["suppressed"]} reasoned suppressions (python3)')
+EOF
+  stage_ok
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '.tool == "crusade-check" and .errors == 0 and
+         ([.findings[] | select(.suppressed | not)] | length == 0)' \
+    build-ci/crusade-check.json > /dev/null
+  echo "crusade-check JSON: 0 errors (jq)"
+  stage_ok
+else
+  # The linter itself ran (its exit code gated the redirect above); only
+  # the JSON round-trip needs a parser.
+  stage_skip "no python3 or jq for JSON round-trip"
+fi
+
+stage "crusade trace (Chrome trace-event JSON round-trip)"
 ./build-ci/tools/crusade trace data/figure2.spec -o build-ci/trace.json \
   > /dev/null
 if command -v python3 >/dev/null 2>&1; then
@@ -44,42 +141,48 @@ phases = {e["name"] for e in doc["traceEvents"]
 assert len(phases) >= 5, f"expected >=5 phase spans, got {sorted(phases)}"
 EOF
   echo "trace JSON: valid, >=5 phase spans (python3)"
+  stage_ok
 elif command -v jq >/dev/null 2>&1; then
   jq -e '[.traceEvents[].name | select(startswith("phase."))] | unique
          | length >= 5' build-ci/trace.json > /dev/null
   echo "trace JSON: valid, >=5 phase spans (jq)"
+  stage_ok
 else
-  echo "trace JSON: written, round-trip skipped (no python3 or jq)"
+  stage_skip "no python3 or jq for JSON round-trip"
 fi
 
-echo "=== clang-tidy ==="
+stage "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json comes from the CI configure above; analyze the
   # library and tool translation units (tests lean on gtest macros that
-  # trip several bugprone checks by design).
+  # trip several bugprone checks by design).  src/serve and src/obs carry
+  # stricter per-directory profiles (concurrency-*).
   mapfile -t tidy_sources < <(find src tools examples bench -name '*.cpp')
   clang-tidy -p build-ci --quiet "${tidy_sources[@]}"
   echo "clang-tidy: clean"
+  stage_ok
 else
-  echo "clang-tidy: skipped (not installed)"
+  stage_skip "clang-tidy not installed"
 fi
 
-echo "=== cppcheck ==="
+stage "cppcheck"
 if command -v cppcheck >/dev/null 2>&1; then
   cppcheck --enable=warning,performance,portability --error-exitcode=1 \
     --inline-suppr --std=c++20 --quiet -I src src tools examples bench
   echo "cppcheck: clean"
+  stage_ok
 else
-  echo "cppcheck: skipped (not installed)"
+  stage_skip "cppcheck not installed"
 fi
 
-echo "=== kill/resume smoke (crusade soak) ==="
+stage "kill/resume smoke (crusade soak)"
 ./build-ci/tools/crusade generate --tasks 40 --seed 7 -o build-ci/soak.spec \
   > /dev/null
 ./build-ci/tools/crusade soak build-ci/soak.spec --kills 5 \
   --checkpoint-every 10
+stage_ok
 
-echo "=== survivability smoke (crusade survive) ==="
+stage "survivability smoke (crusade survive)"
 # Fixed-seed campaign, run twice: the JSON reports must be byte-identical
 # (no wall-clock times, no nondeterminism), the campaign clean (exit 0 is
 # the no-FT-LIE verdict), and every transient caught cross-PE.
@@ -102,30 +205,35 @@ for out in doc["outcomes"]:
     assert out["verdict"] in ("masked", "degraded-honest"), out
 EOF
   echo "survive JSON: deterministic, clean, transients all cross-PE (python3)"
+  stage_ok
 else
-  echo "survive JSON: deterministic and clean (parse-back skipped, no python3)"
+  echo "survive JSON: deterministic and byte-identical (cmp)"
+  stage_skip "no python3 for strict parse-back"
 fi
 
 if [[ "$fast" == 1 ]]; then
-  echo "check.sh: CI suite green (sanitizer pass skipped)"
+  echo "check.sh: CI suite green (sanitizer pass skipped: --fast)"
   exit 0
 fi
 
-echo "=== address/undefined sanitizer configuration ==="
+stage "address/undefined sanitizer configuration"
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan -j "$(nproc)"
+stage_ok
 
-echo "=== fault injection under ASan/UBSan ==="
+stage "fault injection under ASan/UBSan"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tests/inject_test
+stage_ok
 
-echo "=== survivability campaign under ASan/UBSan ==="
+stage "survivability campaign under ASan/UBSan"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-asan/tools/crusade survive data/figure2.spec --seeds 150 \
   > /dev/null
+stage_ok
 
-echo "=== serve daemon load smoke under ASan/UBSan ==="
+stage "serve daemon load smoke under ASan/UBSan"
 # Real daemon, real socket, concurrent clients: start crusaded, fire a
 # submit loop (synthesis, lint, and cached resubmissions), then drain.
 # Any heap error in the supervisor/worker/cache paths aborts the daemon
@@ -152,25 +260,29 @@ done
 ./build-asan/tools/crusade shutdown --socket "$asan_sock" > /dev/null
 wait "$asan_daemon"
 echo "serve smoke: 20 jobs served under ASan/UBSan, daemon drained clean"
+stage_ok
 
-echo "=== UBSan-only configuration (optimized) ==="
+stage "UBSan-only configuration (optimized)"
 cmake --preset ubsan
 cmake --build --preset ubsan -j "$(nproc)"
 ctest --preset ubsan -j "$(nproc)"
+stage_ok
 
-echo "=== survivability campaign under UBSan (optimized) ==="
+stage "survivability campaign under UBSan (optimized)"
 UBSAN_OPTIONS=print_stacktrace=1 \
   ./build-ubsan/tools/crusade survive data/figure2.spec --seeds 150 \
   > /dev/null
+stage_ok
 
-echo "=== thread sanitizer configuration (serve subsystem) ==="
+stage "thread sanitizer configuration (serve subsystem)"
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target serve_test crusaded
 # die_after_fork=0: the service forks worker attempts from a process that
 # legitimately runs supervisor threads; the forked child execs no threads.
 TSAN_OPTIONS="halt_on_error=1 die_after_fork=0" ./build-tsan/tests/serve_test
+stage_ok
 
-echo "=== serve daemon load smoke under TSan ==="
+stage "serve daemon load smoke under TSan"
 tsan_sock="build-tsan/crusaded.sock"
 tsan_spool="build-tsan/crusaded.spool"
 rm -rf "$tsan_spool" "$tsan_sock"
@@ -202,5 +314,4 @@ for pid in "${tsan_clients[@]}"; do wait "$pid"; done
 ./build-ci/tools/crusade shutdown --socket "$tsan_sock" > /dev/null
 wait "$tsan_daemon"
 echo "serve smoke: 40 concurrent jobs served under TSan, daemon drained clean"
-
-echo "check.sh: all configurations green"
+stage_ok

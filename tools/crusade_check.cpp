@@ -1,0 +1,66 @@
+// crusade-check: repo-invariant linter over CRUSADE's own sources
+// (DESIGN.md §14).  Thin shell over analyze/source_check.hpp.
+//
+//   crusade_check [--root DIR] [--json] [--rules]
+//
+// Exit codes mirror `crusade lint`: 0 = clean, 1 = findings, 2 = usage or
+// internal error.
+#include <cstdio>
+#include <string>
+
+#include "analyze/source_check.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crusade_check [--root DIR] [--json] [--rules]\n"
+               "  --root DIR  repo root to scan (default: .)\n"
+               "  --json      machine-readable report on stdout\n"
+               "  --rules     print the rule catalog and exit\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  bool rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--rules") {
+      rules = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage();
+      root = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  if (rules) {
+    for (const crusade::CheckRule& rule : crusade::check_rule_catalog())
+      std::printf("%s %-20s %s\n", rule.id, rule.name, rule.rationale);
+    return 0;
+  }
+
+  try {
+    const crusade::CheckReport report = crusade::check_tree(root);
+    if (json) {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::fputs(report.summary().c_str(), stdout);
+      std::printf(
+          "crusade-check: %d file(s), %d error(s), %d suppression(s)\n",
+          report.files_scanned, report.errors(), report.suppressions());
+    }
+    return report.errors() == 0 ? 0 : 1;
+  } catch (const crusade::Error& e) {
+    std::fprintf(stderr, "crusade-check: %s\n", e.what());
+    return 2;
+  }
+}
