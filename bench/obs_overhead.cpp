@@ -117,7 +117,16 @@ int main() {
   const double a = median(set_a), b = median(set_b);
   const double enabled = median(set_enabled);
   const double noise_pct = 100.0 * (b > a ? b - a : a - b) / a;
-  const double enabled_pct = 100.0 * (enabled - a) / a;
+  // The raw enabled delta routinely lands below zero — enabled runs can
+  // measure *faster* than disabled ones when the delta is smaller than the
+  // A/B spread.  Reporting a negative overhead would be claiming tracing
+  // speeds synthesis up; the honest statement is "indistinguishable from
+  // noise", with the measured overhead clamped to zero in that case.
+  const double enabled_raw_pct = 100.0 * (enabled - a) / a;
+  const bool enabled_within_noise =
+      enabled_raw_pct <= noise_pct && -enabled_raw_pct <= noise_pct;
+  const double enabled_pct =
+      enabled_within_noise ? 0.0 : std::max(0.0, enabled_raw_pct);
 
   const long kOps = 50'000'000;
   const double span_ns = disabled_span_ns(kOps);
@@ -150,6 +159,8 @@ int main() {
       "  \"disabled_b_seconds\": %.4f,\n"
       "  \"noise_pct\": %.3f,\n"
       "  \"enabled_seconds\": %.4f,\n"
+      "  \"enabled_raw_pct\": %.3f,\n"
+      "  \"enabled_within_noise\": %s,\n"
       "  \"enabled_overhead_pct\": %.3f,\n"
       "  \"disabled_span_ns\": %.2f,\n"
       "  \"disabled_count_ns\": %.2f,\n"
@@ -160,7 +171,7 @@ int main() {
       "  \"stats\": %s\n"
       "}\n",
       scale, spec.total_tasks(), kReps, batch, a, b, noise_pct, enabled,
-      enabled_pct,
+      enabled_raw_pct, enabled_within_noise ? "true" : "false", enabled_pct,
       span_ns, count_ns, events_per_run,
       static_cast<long long>(counter_ops_per_run), est_overhead_pct,
       within_noise ? "true" : "false", stats_json.c_str());
@@ -170,9 +181,11 @@ int main() {
               scale, spec.total_tasks(), kReps, batch);
   std::printf("  disabled A/B: %.4fs / %.4fs (noise %.2f%%)\n", a, b,
               noise_pct);
-  std::printf("  enabled:      %.4fs (%+.2f%%, %zu events, %lld counts)\n",
-              enabled, enabled_pct, events_per_run,
-              static_cast<long long>(counter_ops_per_run));
+  std::printf("  enabled:      %.4fs (raw %+.2f%%, %s, %zu events, "
+              "%lld counts)\n",
+              enabled, enabled_raw_pct,
+              enabled_within_noise ? "within noise" : "above noise",
+              events_per_run, static_cast<long long>(counter_ops_per_run));
   std::printf("  disabled op:  span %.2f ns, count %.2f ns -> est %.4f%% "
               "of a run\n",
               span_ns, count_ns, est_overhead_pct);

@@ -53,8 +53,10 @@ struct SweepPoint {
 
 /// Offer `jobs` lint submissions at `qps`, each with a unique body so the
 /// result cache cannot absorb them, then wait for every admitted job.
+/// Per-job run times are appended to `run_ms_all` for the client-vs-daemon
+/// histogram agreement check.
 SweepPoint sweep(serve::Service& service, const std::string& base_spec,
-                 int qps, int jobs) {
+                 int qps, int jobs, std::vector<double>* run_ms_all) {
   SweepPoint point;
   point.offered_qps = qps;
   const auto gap = std::chrono::duration<double>(1.0 / qps);
@@ -85,6 +87,7 @@ SweepPoint sweep(serve::Service& service, const std::string& base_spec,
     if (service.wait_result(id, 60000, &status, &body)) {
       ++point.completed;
       latencies.push_back(static_cast<double>(status.wait_ms + status.run_ms));
+      run_ms_all->push_back(static_cast<double>(status.run_ms));
     }
   }
   point.p50_ms = percentile(latencies, 0.50);
@@ -141,12 +144,37 @@ int main() {
   // Offered-rate sweep on lint jobs (cheap enough that queueing, not the
   // worker fork, dominates at the high end).
   const int jobs_per_point = 40 + static_cast<int>(160 * scale);
+  std::vector<double> run_ms_all;
+  run_ms_all.push_back(static_cast<double>(cold_status.run_ms));
   std::vector<SweepPoint> points;
   for (const int qps : {25, 100, 400})
-    points.push_back(sweep(service, spec, qps, jobs_per_point));
+    points.push_back(sweep(service, spec, qps, jobs_per_point, &run_ms_all));
 
   const serve::ServiceStats stats = service.stats();
   service.stop(true);
+
+  // The daemon measured the same jobs with its own histograms.  Totals must
+  // match the client's books exactly; percentiles must agree within the
+  // histogram's documented error (quantiles err high by <= 12.5 %) plus the
+  // client's whole-millisecond rounding.
+  const double client_run_p50 = percentile(run_ms_all, 0.50);
+  const double client_run_p99 = percentile(run_ms_all, 0.99);
+  const double daemon_run_p50 =
+      static_cast<double>(stats.run_us.quantile(0.50)) / 1000.0;
+  const double daemon_run_p99 =
+      static_cast<double>(stats.run_us.quantile(0.99)) / 1000.0;
+  auto agrees = [](double daemon, double client) {
+    const double tolerance = std::max(3.0, 0.25 * client);
+    return daemon >= client - tolerance && daemon <= client + tolerance;
+  };
+  const bool totals_agree =
+      stats.run_us.total() == run_ms_all.size() &&
+      stats.queue_wait_us.total() == run_ms_all.size() &&
+      stats.e2e_us.total() ==
+          run_ms_all.size() + static_cast<std::size_t>(hit_count);
+  const bool histograms_agree = totals_agree &&
+                                agrees(daemon_run_p50, client_run_p50) &&
+                                agrees(daemon_run_p99, client_run_p99);
 
   std::FILE* json = std::fopen("BENCH_serve.json", "w");
   if (!json) {
@@ -178,10 +206,23 @@ int main() {
   std::fprintf(json,
                "  ],\n"
                "  \"total_finished\": %lld,\n"
-               "  \"total_rejected_busy\": %lld\n"
+               "  \"total_rejected_busy\": %lld,\n"
+               "  \"client_run_p50_ms\": %.2f,\n"
+               "  \"client_run_p99_ms\": %.2f,\n"
+               "  \"daemon\": {\n"
+               "    \"queue_wait_us\": %s,\n"
+               "    \"run_us\": %s,\n"
+               "    \"e2e_us\": %s\n"
+               "  },\n"
+               "  \"histograms_agree\": %s\n"
                "}\n",
                static_cast<long long>(stats.finished),
-               static_cast<long long>(stats.rejected_busy));
+               static_cast<long long>(stats.rejected_busy),
+               client_run_p50, client_run_p99,
+               stats.queue_wait_us.to_json().c_str(),
+               stats.run_us.to_json().c_str(),
+               stats.e2e_us.to_json().c_str(),
+               histograms_agree ? "true" : "false");
   std::fclose(json);
 
   std::printf("serve load bench (scale=%.2f, %d workers)\n", scale,
@@ -195,6 +236,10 @@ int main() {
                 "p50=%.2f ms p99=%.2f ms\n",
                 p.offered_qps, p.completed, p.submitted, p.rejected_busy,
                 p.p50_ms, p.p99_ms);
+  std::printf("  daemon run p50=%.2f ms p99=%.2f ms vs client p50=%.2f ms "
+              "p99=%.2f ms (%s)\n",
+              daemon_run_p50, daemon_run_p99, client_run_p50, client_run_p99,
+              histograms_agree ? "agree" : "DISAGREE");
   std::printf("wrote BENCH_serve.json\n");
 
   // Honesty check: every admitted job must have completed, and every
@@ -205,5 +250,17 @@ int main() {
                    p.offered_qps, p.completed, p.rejected_busy, p.submitted);
       return 1;
     }
+  // Second honesty check: the daemon's own histograms must tell the same
+  // story as the client's stopwatch.
+  if (!histograms_agree) {
+    std::fprintf(stderr,
+                 "daemon histograms disagree with client timings "
+                 "(totals %llu/%llu/%llu vs %zu jobs + %d hits)\n",
+                 static_cast<unsigned long long>(stats.queue_wait_us.total()),
+                 static_cast<unsigned long long>(stats.run_us.total()),
+                 static_cast<unsigned long long>(stats.e2e_us.total()),
+                 run_ms_all.size(), hit_count);
+    return 1;
+  }
   return 0;
 }

@@ -43,6 +43,11 @@ const std::vector<CheckRule> kRules = {
      "signal handlers run between any two instructions; anything beyond "
      "the async-signal-safe allowlist (StopHub::notify and friends) can "
      "deadlock on a lock the interrupted thread holds"},
+    {"C007", "obs-name-taxonomy",
+     "telemetry names are an API: a span/counter literal outside the "
+     "documented dotted taxonomy (phase.*, serve.*, ft.*, ... — see "
+     "DESIGN.md §15) silently falls out of trace viewers, stats "
+     "dashboards, and flight-recorder triage"},
 };
 
 // --- path scoping ----------------------------------------------------------
@@ -321,6 +326,41 @@ struct Engine {
     }
   }
 
+  /// C007: every span/counter name literal handed to the obs layer must be
+  /// a dotted lowercase path whose first component is a documented
+  /// subsystem.  The literals live inside strings — which strip_to_code
+  /// blanks — so the names come from the raw line, gated on the stripped
+  /// line still showing the call (comments and doc examples never do).
+  void check_obs_names() {
+    static const std::regex kCall(
+        R"((?:OBS_SPAN|obs::count|obs::record_peak|obs::Span\s+[A-Za-z_]\w*)\s*\(\s*")");
+    static const std::regex kLiteral(
+        R"((?:OBS_SPAN|obs::count|obs::record_peak|obs::Span\s+[A-Za-z_]\w*)\s*\(\s*"([^"]*)\")");
+    static const std::regex kName(R"([a-z0-9_]+(?:\.[a-z0-9_]+)+)");
+    static const std::set<std::string> kSubsystems = {
+        "phase", "alloc",    "sched", "merge",   "interface", "reconfig",
+        "fpga",  "ft",       "sim",   "survive", "serve",     "crusade"};
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (!std::regex_search(code[i], kCall)) continue;
+      auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(),
+                                        kLiteral);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        const auto dot = name.find('.');
+        const bool shaped = std::regex_match(name, kName);
+        const bool known =
+            dot != std::string::npos &&
+            kSubsystems.count(name.substr(0, dot)) != 0;
+        if (shaped && known) continue;
+        report("C007", static_cast<int>(i) + 1,
+               "obs name '" + name + "' is outside the telemetry taxonomy — " +
+                   (shaped ? "unknown subsystem '" + name.substr(0, dot) + "'"
+                           : std::string("names must be dotted lowercase "
+                                         "<subsystem>.<event>")));
+      }
+    }
+  }
+
   void check_signal_handlers() {
     // Handlers = functions registered via signal()/sigaction.sa_handler.
     static const std::regex kRegister(
@@ -425,6 +465,8 @@ struct Engine {
       static const std::regex kDetach(R"(\.\s*detach\s*\(\s*\))");
       scan_token_rule("C005", kDetach, "naked std::thread::detach()");
     }
+
+    if (in_library_code(path)) check_obs_names();
 
     check_signal_handlers();
 

@@ -1,0 +1,225 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <map>
+
+namespace crusade::obs {
+
+namespace {
+
+constexpr std::uint64_t kFlightMagic = 0x43525546'4c494748ull;  // "CRUFLIGH"
+constexpr std::uint32_t kFlightVersion = 1;
+constexpr std::uint32_t kMaxSlots = 1u << 16;
+
+// The on-disk layout.  Header and records are both exactly 64 bytes so a
+// record never straddles more pages than necessary and the cursor sits in
+// its own cache line's worth of header.
+struct FlightHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t pid;
+  std::uint32_t slot_count;
+  std::uint32_t reserved;
+  std::atomic<std::uint64_t> cursor;  // total records ever written
+  char pad[64 - 8 - 4 - 4 - 4 - 4 - 8];
+};
+static_assert(sizeof(FlightHeader) == 64, "flight header must be 64 bytes");
+
+constexpr std::size_t kNameBytes = 39;
+
+struct FlightRecord {
+  std::uint8_t type;
+  char name[kNameBytes];  // NUL-terminated, truncated if needed
+  std::int64_t value;
+  std::int64_t ts_ns;
+  char pad[8];
+};
+static_assert(sizeof(FlightRecord) == 64, "flight record must be 64 bytes");
+
+struct Ring {
+  FlightHeader* header = nullptr;
+  FlightRecord* slots = nullptr;
+  std::size_t map_len = 0;
+};
+
+// The armed ring, published with release so a reader that loads the pointer
+// (acquire) sees fully initialised header/slots fields.  Arm/disarm happen
+// on the worker main thread before/after the traced work, so writers never
+// race a concurrent disarm in practice.
+std::atomic<Ring*> g_ring{nullptr};
+
+void unmap_ring(Ring* ring) {
+  if (ring == nullptr) return;
+  if (ring->header != nullptr) {
+    ::munmap(static_cast<void*>(ring->header), ring->map_len);
+  }
+  delete ring;
+}
+
+bool printable_name(const char* name, std::size_t cap, std::size_t* len_out) {
+  for (std::size_t i = 0; i < cap; ++i) {
+    const char c = name[i];
+    if (c == '\0') {
+      *len_out = i;
+      return i > 0;
+    }
+    if (std::isprint(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return false;  // not NUL-terminated: torn record
+}
+
+}  // namespace
+
+bool arm_flight_recorder(const std::string& path, std::uint32_t slots) {
+  disarm_flight_recorder();
+  if (slots == 0 || slots > kMaxSlots) return false;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::size_t len = sizeof(FlightHeader) +
+                          static_cast<std::size_t>(slots) *
+                              sizeof(FlightRecord);
+  if (::ftruncate(fd, static_cast<off_t>(len)) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return false;
+  }
+  void* map = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    ::unlink(path.c_str());
+    return false;
+  }
+  auto* ring = new Ring;
+  ring->header = static_cast<FlightHeader*>(map);
+  ring->slots = reinterpret_cast<FlightRecord*>(
+      static_cast<char*>(map) + sizeof(FlightHeader));
+  ring->map_len = len;
+  ring->header->magic = kFlightMagic;
+  ring->header->version = kFlightVersion;
+  ring->header->pid = static_cast<std::uint32_t>(::getpid());
+  ring->header->slot_count = slots;
+  ring->header->reserved = 0;
+  ring->header->cursor.store(0, std::memory_order_relaxed);
+  g_ring.store(ring, std::memory_order_release);
+  return true;
+}
+
+void disarm_flight_recorder() {
+  Ring* ring = g_ring.exchange(nullptr, std::memory_order_acq_rel);
+  unmap_ring(ring);
+}
+
+bool flight_recorder_armed() {
+  return g_ring.load(std::memory_order_relaxed) != nullptr;
+}
+
+void flight_record(std::uint8_t type, const char* name, std::int64_t value,
+                   std::int64_t ts_ns) {
+  Ring* ring = g_ring.load(std::memory_order_acquire);
+  if (ring == nullptr || name == nullptr) return;
+  const std::uint64_t seq =
+      ring->header->cursor.fetch_add(1, std::memory_order_relaxed);
+  FlightRecord& rec = ring->slots[seq % ring->header->slot_count];
+  // A reader may observe this record half-written (ring wrap during read,
+  // or the writer killed mid-store); it validates before trusting.
+  rec.type = type;
+  std::size_t n = std::strlen(name);
+  n = std::min(n, kNameBytes - 1);
+  std::memcpy(rec.name, name, n);
+  std::memset(rec.name + n, 0, kNameBytes - n);
+  rec.value = value;
+  rec.ts_ns = ts_ns;
+}
+
+FlightSnapshot read_flight(const std::string& path) {
+  FlightSnapshot snap;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return snap;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      st.st_size < static_cast<off_t>(sizeof(FlightHeader))) {
+    ::close(fd);
+    return snap;
+  }
+  const std::size_t len = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return snap;
+  const auto* header = static_cast<const FlightHeader*>(map);
+  const std::uint32_t slots = header->slot_count;
+  if (header->magic != kFlightMagic || header->version != kFlightVersion ||
+      slots == 0 || slots > kMaxSlots ||
+      len < sizeof(FlightHeader) +
+                static_cast<std::size_t>(slots) * sizeof(FlightRecord)) {
+    ::munmap(map, len);
+    return snap;
+  }
+  snap.valid_ = true;
+  snap.pid_ = header->pid;
+  const std::uint64_t total =
+      header->cursor.load(std::memory_order_relaxed);
+  snap.total_ = total;
+  const auto* recs = reinterpret_cast<const FlightRecord*>(
+      static_cast<const char*>(map) + sizeof(FlightHeader));
+  // Replay oldest to newest.  When the ring wrapped, the oldest surviving
+  // record is at cursor % slots.
+  const std::uint64_t count = std::min<std::uint64_t>(total, slots);
+  const std::uint64_t first = total - count;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const FlightRecord& rec = recs[(first + i) % slots];
+    std::size_t name_len = 0;
+    if (rec.type != kFlightBegin && rec.type != kFlightEnd &&
+        rec.type != kFlightCount) {
+      continue;  // torn or empty slot
+    }
+    if (!printable_name(rec.name, kNameBytes, &name_len)) continue;
+    FlightEvent ev;
+    ev.type = rec.type;
+    ev.name.assign(rec.name, name_len);
+    ev.value = rec.value;
+    ev.ts_ns = rec.ts_ns;
+    snap.events_.push_back(std::move(ev));
+  }
+  ::munmap(map, len);
+  return snap;
+}
+
+std::vector<std::string> FlightSnapshot::span_stack() const {
+  std::vector<std::string> stack;
+  for (const auto& ev : events_) {
+    if (ev.type == kFlightBegin) {
+      stack.push_back(ev.name);
+    } else if (ev.type == kFlightEnd) {
+      // Close the innermost matching open span; ends whose begins fell off
+      // the ring simply don't match anything.
+      for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i] == ev.name) {
+          stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  return stack;
+}
+
+std::vector<std::pair<std::string, long long>> FlightSnapshot::counter_totals()
+    const {
+  std::map<std::string, long long> totals;
+  for (const auto& ev : events_) {
+    if (ev.type == kFlightCount) {
+      totals[ev.name] = static_cast<long long>(ev.value);
+    }
+  }
+  return {totals.begin(), totals.end()};
+}
+
+}  // namespace crusade::obs

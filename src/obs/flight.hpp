@@ -1,0 +1,91 @@
+// Crash flight recorder (DESIGN.md §15.4): a small mmap'd ring buffer of
+// recent span begin/end and counter events that survives SIGKILL.
+//
+// A worker arms the recorder against a file in the job spool before doing
+// any real work.  Every span begin/end and counter update appends a fixed
+// 64-byte record to the ring with a single relaxed fetch_add on the write
+// cursor — lock-free, allocation-free, and safe on the worker hot path.
+// Because the ring is a file-backed MAP_SHARED mapping, the dirtied pages
+// belong to the page cache, not the process: when the watchdog SIGKILLs a
+// hung worker the kernel still writes them back, so the supervisor can open
+// the same file afterwards and reconstruct the worker's last span stack and
+// counter totals.  Torn records (a writer killed mid-memcpy) are tolerated
+// by the reader, which validates each record before trusting it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crusade::obs {
+
+/// Record types stored in the ring.
+inline constexpr std::uint8_t kFlightBegin = 1;  ///< span opened
+inline constexpr std::uint8_t kFlightEnd = 2;    ///< span closed
+inline constexpr std::uint8_t kFlightCount = 3;  ///< counter running total
+
+/// Maps `path` as a flight-recorder ring with `slots` 64-byte records and
+/// routes subsequent span/counter events into it.  Returns false (leaving
+/// the recorder disarmed) if the file cannot be created or mapped —
+/// telemetry failures never fail the job.  Re-arming replaces the previous
+/// ring.
+bool arm_flight_recorder(const std::string& path, std::uint32_t slots = 256);
+
+/// Stops recording and unmaps the ring.  Safe to call when disarmed.
+void disarm_flight_recorder();
+
+/// True while a ring is armed in this process.
+bool flight_recorder_armed();
+
+/// Internal hook used by the obs span/counter paths; no-op when disarmed.
+/// `value` is the counter running total for kFlightCount, 0 otherwise.
+void flight_record(std::uint8_t type, const char* name, std::int64_t value,
+                   std::int64_t ts_ns);
+
+/// One validated record read back from a ring file.
+struct FlightEvent {
+  std::uint8_t type = 0;
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t ts_ns = 0;
+};
+
+/// Decoded, validated view of a flight-recorder file.
+class FlightSnapshot {
+ public:
+  /// False when the file was missing, unreadable, or not a flight ring.
+  bool valid() const { return valid_; }
+
+  /// Pid of the process that armed the ring (0 when invalid).
+  std::uint32_t pid() const { return pid_; }
+
+  /// Total records ever written (may exceed events().size() when the ring
+  /// wrapped or some records were torn).
+  std::uint64_t total_records() const { return total_; }
+
+  /// Validated events, oldest first.
+  const std::vector<FlightEvent>& events() const { return events_; }
+
+  /// The stack of spans that were open when recording stopped, outermost
+  /// first — reconstructed by replaying begin/end events.  Unmatched end
+  /// events (their begin fell off the ring) are ignored.
+  std::vector<std::string> span_stack() const;
+
+  /// Last-seen running total per counter name, sorted by name.
+  std::vector<std::pair<std::string, long long>> counter_totals() const;
+
+ private:
+  friend FlightSnapshot read_flight(const std::string& path);
+  bool valid_ = false;
+  std::uint32_t pid_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<FlightEvent> events_;
+};
+
+/// Reads and validates a flight-recorder file written by (possibly another)
+/// process.  Never throws; an unreadable or corrupt file yields an invalid
+/// snapshot.
+FlightSnapshot read_flight(const std::string& path);
+
+}  // namespace crusade::obs

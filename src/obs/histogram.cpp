@@ -1,0 +1,98 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crusade::obs {
+
+namespace {
+
+/// Position of the highest set bit (0-based).  Precondition: v != 0.
+std::size_t msb_position(std::uint64_t v) {
+  std::size_t h = 0;
+  while (v >>= 1) ++h;
+  return h;
+}
+
+}  // namespace
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  if (value < 8) return static_cast<std::size_t>(value);
+  const std::size_t h = msb_position(value);  // >= 3
+  const std::size_t sub =
+      static_cast<std::size_t>((value >> (h - 3)) & 7u);
+  const std::size_t index = 8 + (h - 3) * 8 + sub;
+  return std::min(index, kHistogramBuckets - 1);
+}
+
+std::uint64_t histogram_bucket_lo(std::size_t bucket) {
+  if (bucket < 8) return bucket;
+  const std::size_t shift = (bucket - 8) / 8;
+  const std::uint64_t sub = (bucket - 8) % 8;
+  return (8u + sub) << shift;
+}
+
+std::uint64_t histogram_bucket_hi(std::size_t bucket) {
+  if (bucket < 8) return bucket;
+  if (bucket + 1 >= kHistogramBuckets) return UINT64_MAX;
+  return histogram_bucket_lo(bucket + 1) - 1;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.counts_[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.max_ = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::uint64_t HistogramSnapshot::total() const {
+  std::uint64_t sum = 0;
+  for (const auto c : counts_) sum += c;
+  return sum;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation, 1-based: ceil(q * n), at least 1.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return std::min(histogram_bucket_hi(i), max_ == 0 ? UINT64_MAX : max_);
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot HistogramSnapshot::merge(
+    const HistogramSnapshot& other) const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.counts_[i] = counts_[i] + other.counts_[i];
+  }
+  out.max_ = std::max(max_, other.max_);
+  return out;
+}
+
+std::string HistogramSnapshot::to_json() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,"
+                "\"max\":%llu}",
+                static_cast<unsigned long long>(total()),
+                static_cast<unsigned long long>(quantile(0.50)),
+                static_cast<unsigned long long>(quantile(0.90)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return std::string(buf);
+}
+
+}  // namespace crusade::obs

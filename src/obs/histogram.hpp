@@ -1,0 +1,109 @@
+// Fixed-bucket log-scale latency histograms (DESIGN.md §15.3).
+//
+// A Histogram is a lock-free array of atomic bucket counters sized for
+// non-negative 64-bit values (microseconds in practice).  The bucket scheme
+// is log-linear: values 0..7 land in exact buckets, and every power-of-two
+// range [2^h, 2^(h+1)) above that is split into 8 equal sub-buckets, so a
+// reported quantile is never more than 12.5 % above the true value.  record()
+// is a single relaxed fetch_add on the hot path — safe from any thread and
+// from signal-free worker code, with no locks and no allocation.
+//
+// Snapshots are plain (non-atomic) copies used for quantile extraction,
+// merging (element-wise add, trivially commutative and associative) and JSON
+// serialization; the daemon keeps live Histogram members and hands
+// HistogramSnapshot values out through ServiceStats.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace crusade::obs {
+
+/// Number of buckets: 8 exact buckets for 0..7 plus 8 sub-buckets for each
+/// of the 61 power-of-two ranges [2^3, 2^63); top bucket absorbs overflow.
+inline constexpr std::size_t kHistogramBuckets = 8 + 61 * 8;
+
+/// Maps a value to its bucket index.  Values 0..7 map to themselves; a value
+/// v >= 8 with highest set bit h maps to 8 + (h-3)*8 + ((v >> (h-3)) & 7),
+/// i.e. the 3 bits below the leading bit select one of 8 sub-buckets.
+std::size_t histogram_bucket(std::uint64_t value);
+
+/// Inclusive lower bound of the value range covered by `bucket`.
+std::uint64_t histogram_bucket_lo(std::size_t bucket);
+
+/// Inclusive upper bound of the value range covered by `bucket` — the value
+/// quantile() reports, so estimates err high by at most one sub-bucket
+/// width (12.5 % relative for values >= 8, exact below).
+std::uint64_t histogram_bucket_hi(std::size_t bucket);
+
+class HistogramSnapshot;
+
+/// Live, thread-safe histogram.  All methods are lock-free.
+class Histogram {
+ public:
+  Histogram() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Records one observation.  Relaxed atomics only: totals are exact, the
+  /// max is maintained with a CAS loop, and no ordering is promised between
+  /// concurrent record() calls and snapshot().
+  void record(std::uint64_t value) {
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Copies the current counts into a plain snapshot.  Concurrent record()
+  /// calls may or may not be included; each one lands in exactly one later
+  /// snapshot delta.
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_;
+  std::atomic<std::uint64_t> max_;
+};
+
+/// Immutable-by-convention copy of a histogram's counts: quantiles, merge
+/// and JSON live here so they never race with writers.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() { counts_.fill(0); }
+
+  /// Total number of recorded observations.
+  std::uint64_t total() const;
+
+  /// Value at quantile q in [0,1] (0.5 = p50).  Returns the upper bound of
+  /// the bucket containing the q-th observation, clamped to the observed
+  /// max; 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Largest recorded value (exact, not bucketed); 0 when empty.
+  std::uint64_t max() const { return max_; }
+
+  /// Element-wise sum.  merge(a,b) == merge(b,a) and the operation is
+  /// associative, so per-worker histograms can be folded in any order.
+  HistogramSnapshot merge(const HistogramSnapshot& other) const;
+
+  /// {"count":N,"p50":..,"p90":..,"p99":..,"max":..} — the shape embedded
+  /// in serve stats JSON.
+  std::string to_json() const;
+
+  /// Raw bucket access for tests.
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return counts_[bucket];
+  }
+
+ private:
+  friend class Histogram;
+  std::array<std::uint64_t, kHistogramBuckets> counts_;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace crusade::obs

@@ -2,6 +2,8 @@
 
 #include <pthread.h>
 
+#include "obs/flight.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -96,6 +98,9 @@ EventSink& sink() { return *sink_ptr(); }
 void fork_child() {
   counter_registry_ptr() = new CounterRegistry;
   sink_ptr() = new EventSink;
+  // An inherited flight-recorder ring belongs to the parent's job context;
+  // the child must arm its own (run_worker_attempt does) or stay silent.
+  disarm_flight_recorder();
 }
 
 [[maybe_unused]] const int g_fork_guard = [] {
@@ -154,9 +159,18 @@ void reset() {
   g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
 }
 
+std::int64_t epoch_ns() {
+  return g_epoch_ns.load(std::memory_order_relaxed);
+}
+
 void count(const char* name, std::int64_t delta) {
   if (!enabled()) return;
-  counter_registry().slot(name).fetch_add(delta, std::memory_order_relaxed);
+  const std::int64_t total =
+      counter_registry().slot(name).fetch_add(delta,
+                                              std::memory_order_relaxed) +
+      delta;
+  if (flight_recorder_armed())
+    flight_record(kFlightCount, name, total, now_ns());
 }
 
 void record_peak(const char* name, std::int64_t value) {
@@ -188,13 +202,19 @@ std::vector<std::pair<std::string, std::int64_t>> counters() {
 }
 
 Span::Span(const char* name)
-    : name_(name), start_ns_(enabled() ? now_ns() : kDisabled) {}
+    : name_(name), start_ns_(enabled() ? now_ns() : kDisabled) {
+  // Flight hook sits behind the enabled check so the disabled path stays a
+  // single relaxed load + branch (the BENCH_obs ~3 ns/span contract).
+  if (start_ns_ != kDisabled && flight_recorder_armed())
+    flight_record(kFlightBegin, name_, 0, start_ns_);
+}
 
 Span::~Span() {
   if (start_ns_ == kDisabled) return;
   // Tracing may have been switched off mid-span; the span still closes
   // (its start was real), keeping nesting in the trace consistent.
   const std::int64_t end = now_ns();
+  if (flight_recorder_armed()) flight_record(kFlightEnd, name_, 0, end);
   EventSink& s = sink();
   util::MutexLock lock(s.mutex);
   if (s.events.size() >= s.capacity) {

@@ -40,6 +40,13 @@ void set_enabled(bool on);
 /// Call before a run you want an isolated trace of.
 void reset();
 
+/// The trace epoch in steady-clock nanoseconds (what event ts_ns values are
+/// relative to).  Steady-clock readings are CLOCK_MONOTONIC on Linux and so
+/// comparable across processes on one machine — a forked worker serializes
+/// its epoch alongside its events and the daemon rebases them onto its own
+/// timeline when merging job traces (DESIGN.md §15.2).
+std::int64_t epoch_ns();
+
 // --- counters -------------------------------------------------------------
 
 /// Adds `delta` to the named counter (no-op while disabled).

@@ -289,6 +289,13 @@ Response Daemon::dispatch(const Request& request) {
     return ok(w.str());
   }
 
+  if (request.verb == "TRACE") {
+    const auto id = static_cast<std::uint64_t>(request.get_long("id"));
+    auto trace = service_.job_trace_json(id);
+    if (!trace.has_value()) return err("not-found", "unknown job id");
+    return ok(std::move(*trace));
+  }
+
   if (request.verb == "STATS") return ok(to_json(service_.stats()));
 
   if (request.verb == "SHUTDOWN") {

@@ -59,7 +59,7 @@ struct SubmitRequest {
 
 /// A parsed request frame.
 struct Request {
-  std::string verb;  ///< SUBMIT STATUS RESULT CANCEL STATS SHUTDOWN
+  std::string verb;  ///< SUBMIT STATUS RESULT TRACE CANCEL STATS SHUTDOWN
   std::map<std::string, std::string> fields;
   std::string body;
 

@@ -17,6 +17,7 @@
 #include "ckpt/serialize.hpp"
 #include "core/crusade.hpp"
 #include "graph/spec_io.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "serve/worker.hpp"
 #include "util/atomic_file.hpp"
@@ -33,6 +34,22 @@ long elapsed_ms(Clock::time_point since) {
   return static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
                                Clock::now() - since)
                                .count());
+}
+
+std::uint64_t elapsed_us(Clock::time_point since) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - since)
+                      .count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+/// Absolute steady-clock nanoseconds — the same clock obs spans and worker
+/// trace epochs use, so job admission times and worker events live on one
+/// comparable timeline (obs::epoch_ns).
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
 }
 
 void make_dir(const std::string& path) {
@@ -129,7 +146,26 @@ std::string to_json(const JobStatus& s) {
       .key("wait_ms").value(static_cast<long long>(s.wait_ms))
       .key("run_ms").value(static_cast<long long>(s.run_ms))
       .key("detail").value(s.detail)
-      .end_object();
+      .key("history");
+  w.begin_array();
+  for (const AttemptRecord& a : s.history) {
+    w.begin_object()
+        .key("attempt").value(a.attempt)
+        .key("start_ms").value(static_cast<long long>(a.start_ms))
+        .key("end_ms").value(static_cast<long long>(a.end_ms))
+        .key("fate").value(a.fate)
+        .key("span_stack");
+    w.begin_array();
+    for (const std::string& span : a.crash_span_stack) w.value(span);
+    w.end_array();
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : a.crash_counters)
+      w.key(name).value(static_cast<long long>(value));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   return w.str();
 }
 
@@ -157,6 +193,9 @@ std::string to_json(const ServiceStats& s) {
       .key("wait_ms_total").value(s.wait_ms_total, 1)
       .key("run_ms_total").value(s.run_ms_total, 1)
       .key("finished").value(static_cast<long long>(s.finished))
+      .key("queue_wait_us").raw(s.queue_wait_us.to_json())
+      .key("run_us").raw(s.run_us.to_json())
+      .key("e2e_us").raw(s.e2e_us.to_json())
       .end_object();
   return w.str();
 }
@@ -175,12 +214,16 @@ struct Service::Job {
   bool cancel_requested = false;
   int finish_seq = 0;
   Clock::time_point submitted_at = Clock::now();
+  /// submitted_at on the absolute steady-clock axis — the merge base every
+  /// worker trace/flight timestamp is rebased against (job_trace_json).
+  std::int64_t submit_steady_ns = steady_now_ns();
   Clock::time_point started_at{};
   long wait_ms = 0;
   long run_ms = 0;
   pid_t child_pid = 0;
   std::string body;
   std::string detail;
+  std::vector<AttemptRecord> history;
 };
 
 struct Service::CacheEntry {
@@ -281,8 +324,15 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
         ++stats_.cache_hits;
         ++stats_.finished;
         ++stats_.completed_ok;
-        note_terminal_locked(id);
+        const Clock::time_point submitted_at = job.submitted_at;
+        std::vector<std::pair<std::uint64_t, int>> evicted;
+        note_terminal_locked(id, &evicted);
+        lk.unlock();
         obs::count("serve.cache_hits");
+        // A cache hit is a real end-to-end completion — near-zero latency,
+        // but it belongs in the distribution the bench compares against.
+        e2e_hist_.record(elapsed_us(submitted_at));
+        cleanup_telemetry(evicted);
         out.admitted = true;
         out.cached = true;
         out.id = id;
@@ -419,13 +469,211 @@ bool Service::wait_result(std::uint64_t id, long timeout_ms,
 }
 
 ServiceStats Service::stats() const {
-  util::MutexLock lk(mu_);
-  return stats_;
+  ServiceStats s;
+  {
+    util::MutexLock lk(mu_);
+    s = stats_;
+  }
+  // Histogram snapshots are taken outside mu_ — the histograms are their
+  // own (lock-free) synchronization domain.
+  s.queue_wait_us = queue_wait_hist_.snapshot();
+  s.run_us = run_hist_.snapshot();
+  s.e2e_us = e2e_hist_.snapshot();
+  return s;
 }
 
 int Service::recovered_jobs() const {
   util::MutexLock lk(mu_);
   return recovered_;
+}
+
+namespace {
+
+/// Parsed form of a worker's serialized trace file (worker_trace_text).
+struct ParsedWorkerTrace {
+  bool ok = false;
+  long long pid = 0;
+  std::int64_t epoch_ns = 0;
+  struct Ev {
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;
+    long long tid = 0;
+    std::string name;
+  };
+  std::vector<Ev> events;
+};
+
+ParsedWorkerTrace parse_worker_trace(const std::string& text) {
+  ParsedWorkerTrace out;
+  std::istringstream in(text);
+  std::string tag;
+  int version = 0;
+  int attempt = 0;
+  if (!(in >> tag >> version >> out.pid >> attempt >> out.epoch_ns) ||
+      tag != "CRUSADE-WORKER-TRACE" || version != 1) {
+    return out;
+  }
+  out.ok = true;
+  std::string line;
+  std::getline(in, line);  // consume the header's newline
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    char record = 0;
+    ls >> record;
+    if (record != 'E') continue;  // counter lines ride in the job history
+    ParsedWorkerTrace::Ev ev;
+    if (ls >> ev.ts_ns >> ev.dur_ns >> ev.tid >> ev.name)
+      out.events.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> Service::job_trace_json(std::uint64_t id) const {
+  std::vector<AttemptRecord> history;
+  std::int64_t submit_ns = 0;
+  long wait_ms = 0;
+  int attempts = 0;
+  JobKind kind = JobKind::Run;
+  JobState state = JobState::Queued;
+  bool cached = false;
+  {
+    util::MutexLock lk(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    const Job& job = it->second;
+    history = job.history;
+    submit_ns = job.submit_steady_ns;
+    wait_ms = job.state == JobState::Queued ? elapsed_ms(job.submitted_at)
+                                            : job.wait_ms;
+    attempts = job.attempts;
+    kind = job.req.kind;
+    state = job.state;
+    cached = job.cached;
+  }
+
+  tools::JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  const auto meta = [&w](long long pid, const std::string& name) {
+    w.begin_object()
+        .key("name").value("process_name")
+        .key("ph").value("M")
+        .key("pid").value(pid)
+        .key("tid").value(0)
+        .key("args").begin_object().key("name").value(name).end_object()
+        .end_object();
+  };
+  const auto span = [&w](long long pid, long long tid,
+                         const std::string& name, double ts_us,
+                         double dur_us) {
+    w.begin_object()
+        .key("name").value(name)
+        .key("cat").value("crusade")
+        .key("ph").value("X")
+        .key("pid").value(pid)
+        .key("tid").value(tid)
+        .key("ts").value(ts_us, 3)
+        .key("dur").value(dur_us < 0.0 ? 0.0 : dur_us, 3)
+        .end_object();
+  };
+
+  // Row 1: the daemon's side of the story — queue wait, each supervised
+  // attempt (with fate), and the backoff gaps between retries.
+  meta(1, "crusaded");
+  const long queue_end_ms = history.empty() ? wait_ms : history.front().start_ms;
+  if (queue_end_ms > 0 || !history.empty())
+    span(1, 0, "serve.queue_wait", 0.0,
+         static_cast<double>(queue_end_ms) * 1000.0);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const AttemptRecord& a = history[i];
+    const long end_ms = a.end_ms >= a.start_ms ? a.end_ms : a.start_ms;
+    w.begin_object()
+        .key("name").value("serve.attempt")
+        .key("cat").value("crusade")
+        .key("ph").value("X")
+        .key("pid").value(1)
+        .key("tid").value(0)
+        .key("ts").value(static_cast<double>(a.start_ms) * 1000.0, 3)
+        .key("dur").value(static_cast<double>(end_ms - a.start_ms) * 1000.0, 3)
+        .key("args").begin_object()
+        .key("attempt").value(a.attempt)
+        .key("fate").value(a.fate)
+        .end_object()
+        .end_object();
+    if (i + 1 < history.size() && history[i + 1].start_ms > end_ms) {
+      span(1, 0, "serve.retry_backoff",
+           static_cast<double>(end_ms) * 1000.0,
+           static_cast<double>(history[i + 1].start_ms - end_ms) * 1000.0);
+    }
+  }
+
+  // One process row per worker attempt.  A finished attempt left a trace
+  // file; a crashed one left (at most) its flight-recorder ring, whose
+  // begin/end records are reconstructed into spans — open spans are drawn
+  // to the last timestamp the ring saw, which is when the worker died.
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    const long long row = 1000 + attempt;
+    bool have_trace = false;
+    try {
+      const ParsedWorkerTrace t =
+          parse_worker_trace(read_file(trace_spool_path(id, attempt)));
+      if (t.ok) {
+        have_trace = true;
+        meta(row, "worker attempt " + std::to_string(attempt) + " (pid " +
+                      std::to_string(t.pid) + ")");
+        for (const auto& ev : t.events) {
+          span(row, ev.tid, ev.name,
+               static_cast<double>(t.epoch_ns + ev.ts_ns - submit_ns) / 1000.0,
+               static_cast<double>(ev.dur_ns) / 1000.0);
+        }
+      }
+    } catch (const Error&) {
+      // no trace file — fall through to the flight ring
+    }
+    if (have_trace) continue;
+    const obs::FlightSnapshot flight =
+        obs::read_flight(flight_spool_path(id, attempt));
+    if (!flight.valid() || flight.events().empty()) continue;
+    meta(row, "worker attempt " + std::to_string(attempt) +
+                  " (flight recorder, pid " + std::to_string(flight.pid()) +
+                  ")");
+    std::int64_t last_ns = 0;
+    for (const obs::FlightEvent& ev : flight.events())
+      if (ev.ts_ns > last_ns) last_ns = ev.ts_ns;
+    std::vector<std::pair<std::string, std::int64_t>> open;
+    for (const obs::FlightEvent& ev : flight.events()) {
+      if (ev.type == obs::kFlightBegin) {
+        open.emplace_back(ev.name, ev.ts_ns);
+      } else if (ev.type == obs::kFlightEnd) {
+        for (std::size_t i = open.size(); i-- > 0;) {
+          if (open[i].first != ev.name) continue;
+          span(row, 0, ev.name,
+               static_cast<double>(open[i].second - submit_ns) / 1000.0,
+               static_cast<double>(ev.ts_ns - open[i].second) / 1000.0);
+          open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    for (const auto& [name, ts_ns] : open) {
+      span(row, 0, name, static_cast<double>(ts_ns - submit_ns) / 1000.0,
+           static_cast<double>(last_ns - ts_ns) / 1000.0);
+    }
+  }
+
+  w.end_array()
+      .key("displayTimeUnit").value("ms")
+      .key("otherData").begin_object()
+      .key("trace_id").value(hex16(id))
+      .key("job").value(static_cast<unsigned long long>(id))
+      .key("kind").value(to_string(kind))
+      .key("state").value(to_string(state))
+      .key("cached").value(cached)
+      .key("attempts").value(attempts)
+      .end_object()
+      .end_object();
+  return w.str();
 }
 
 void Service::resume_workers() {
@@ -525,7 +773,12 @@ void Service::run_supervised(std::uint64_t id) {
         if (job.wait_ms > stats_.wait_ms_max) stats_.wait_ms_max = job.wait_ms;
         stats_.wait_ms_total += static_cast<double>(job.wait_ms);
         obs::count("serve.wait_ms", job.wait_ms);
+        queue_wait_hist_.record(elapsed_us(job.submitted_at));
       }
+      AttemptRecord rec;
+      rec.attempt = attempt;
+      rec.start_ms = elapsed_ms(job.submitted_at);
+      job.history.push_back(std::move(rec));
       req = job.req;
       deadline_ms = job.req.deadline_ms;
       submitted_at = job.submitted_at;
@@ -546,6 +799,14 @@ void Service::run_supervised(std::uint64_t id) {
     const std::string result_path = result_spool_path(id);
     const std::string ckpt_path = ckpt_spool_path(id);
     remove_if_exists(result_path);
+    WorkerTelemetry telemetry;
+    telemetry.trace_path = trace_spool_path(id, attempt);
+    telemetry.flight_path = flight_spool_path(id, attempt);
+    telemetry.flight_slots = cfg_.flight_slots;
+    // Stale files from a previous incarnation of this (id, attempt) pair
+    // (daemon restart mid-job) must not masquerade as this attempt's story.
+    remove_if_exists(telemetry.trace_path);
+    remove_if_exists(telemetry.flight_path);
 
     // fork() from a multithreaded daemon: the child may only touch state
     // whose locks are guaranteed free.  obs registers a pthread_atfork
@@ -559,7 +820,7 @@ void Service::run_supervised(std::uint64_t id) {
     if (pid == 0) {
       // Child: single-threaded from here (fork drops the siblings).
       run_worker_attempt(req, attempt, result_path, ckpt_path, remaining_ms,
-                         cfg_.checkpoint_every);
+                         cfg_.checkpoint_every, telemetry);
     }
     if (pid < 0) {
       finalize(id, JobOutcome::FailedHonest,
@@ -692,6 +953,7 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
     }
     if (!body.empty()) {
       if (code == kWorkerDone) {
+        record_attempt_end(id, attempt, "ok");
         if (cache_key != 0) cache_insert(cache_key, body);
         finalize(id, attempt > 1 ? JobOutcome::Masked : JobOutcome::Ok,
                  std::move(body),
@@ -703,6 +965,7 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
         return true;
       }
       if (code == kWorkerTruncated) {
+        record_attempt_end(id, attempt, "truncated");
         finalize(id, JobOutcome::DegradedHonest, std::move(body),
                  cancel_requested
                      ? "cancelled: best-so-far architecture returned"
@@ -711,6 +974,7 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
         return true;
       }
       // Bad spec is deterministic — retrying cannot change the verdict.
+      record_attempt_end(id, attempt, "bad-spec");
       finalize(id, JobOutcome::FailedHonest, std::move(body),
                "specification rejected", false);
       return true;
@@ -723,6 +987,10 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
     ++stats_.crashes;
   }
   obs::count("serve.crashes");
+  record_attempt_end(id, attempt,
+                     watchdog_fired
+                         ? "watchdog"
+                         : (cancel_requested ? "cancelled" : "crash"));
   if (cancel_requested) {
     finalize(id, JobOutcome::Cancelled,
              failure_body(kind, "cancelled",
@@ -753,6 +1021,10 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
 
 void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
                        std::string detail, bool keep_spool) {
+  std::vector<std::pair<std::uint64_t, int>> evicted;
+  bool was_running = false;
+  std::uint64_t run_us = 0;
+  std::uint64_t e2e_us = 0;
   {
     util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
@@ -763,7 +1035,10 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
       --stats_.running;
       job.run_ms = elapsed_ms(job.started_at);
       stats_.run_ms_total += static_cast<double>(job.run_ms);
+      was_running = true;
+      run_us = elapsed_us(job.started_at);
     }
+    e2e_us = elapsed_us(job.submitted_at);
     job.state = JobState::Done;
     job.outcome = outcome;
     job.body = std::move(body);
@@ -778,8 +1053,17 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
       case JobOutcome::Cancelled: ++stats_.cancelled; break;
       case JobOutcome::None: break;
     }
-    note_terminal_locked(id);
+    note_terminal_locked(id, &evicted);
   }
+  // Latency distributions count real completions only: a cancelled-while-
+  // queued or failed job would poison the percentiles the bench compares
+  // against client-observed numbers.
+  if (outcome == JobOutcome::Ok || outcome == JobOutcome::Masked ||
+      outcome == JobOutcome::DegradedHonest) {
+    if (was_running) run_hist_.record(run_us);
+    e2e_hist_.record(e2e_us);
+  }
+  cleanup_telemetry(evicted);
   switch (outcome) {
     case JobOutcome::Ok: obs::count("serve.ok"); break;
     case JobOutcome::Masked: obs::count("serve.masked"); break;
@@ -789,11 +1073,44 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
     case JobOutcome::None: break;
   }
   if (!keep_spool) {
+    // Telemetry files (.trace.N / .flight.N) deliberately survive here:
+    // `crusade trace --job` must work on terminal jobs.  They are unlinked
+    // when the job leaves the terminal retention window (cleanup_telemetry).
     remove_if_exists(job_spool_path(id));
     remove_if_exists(ckpt_spool_path(id));
     remove_if_exists(result_spool_path(id));
   }
   done_cv_.notify_all();
+}
+
+void Service::record_attempt_end(std::uint64_t id, int attempt,
+                                 const std::string& fate) {
+  // Attempts that died without producing a result get their story from the
+  // flight-recorder ring — read outside the lock (it mmaps a file).
+  std::vector<std::string> stack;
+  std::vector<std::pair<std::string, long long>> counter_totals;
+  const bool died =
+      fate == "crash" || fate == "watchdog" || fate == "cancelled";
+  if (died) {
+    const obs::FlightSnapshot flight =
+        obs::read_flight(flight_spool_path(id, attempt));
+    if (flight.valid()) {
+      stack = flight.span_stack();
+      counter_totals = flight.counter_totals();
+    }
+  }
+  util::MutexLock lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;  // terminal + evicted
+  Job& job = it->second;
+  for (auto rit = job.history.rbegin(); rit != job.history.rend(); ++rit) {
+    if (rit->attempt != attempt) continue;
+    rit->end_ms = elapsed_ms(job.submitted_at);
+    rit->fate = fate;
+    rit->crash_span_stack = std::move(stack);
+    rit->crash_counters = std::move(counter_totals);
+    return;
+  }
 }
 
 /// Terminal jobs are retained for a bounded window (cfg_.terminal_retain,
@@ -802,13 +1119,30 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
 /// worker-side lookup treats a missing id as "already terminal", so a
 /// supervisor racing a very small retention window degrades to a no-op,
 /// never an exception on a worker thread.
-void Service::note_terminal_locked(std::uint64_t id) {
+void Service::note_terminal_locked(
+    std::uint64_t id,
+    std::vector<std::pair<std::uint64_t, int>>* evicted) {
   terminal_order_.push_back(id);
   while (terminal_order_.size() > cfg_.terminal_retain) {
     const std::uint64_t victim = terminal_order_.front();
     terminal_order_.pop_front();
-    jobs_.erase(victim);
+    const auto it = jobs_.find(victim);
+    if (it != jobs_.end()) {
+      if (evicted != nullptr)
+        evicted->emplace_back(victim, it->second.attempts);
+      jobs_.erase(it);
+    }
     obs::count("serve.terminal_evicted");
+  }
+}
+
+void Service::cleanup_telemetry(
+    const std::vector<std::pair<std::uint64_t, int>>& evicted) const {
+  for (const auto& [id, attempts] : evicted) {
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      remove_if_exists(trace_spool_path(id, attempt));
+      remove_if_exists(flight_spool_path(id, attempt));
+    }
   }
 }
 
@@ -924,6 +1258,16 @@ std::string Service::result_spool_path(std::uint64_t id) const {
   return cfg_.spool_dir + "/jobs/" + std::to_string(id) + ".result";
 }
 
+std::string Service::trace_spool_path(std::uint64_t id, int attempt) const {
+  return cfg_.spool_dir + "/jobs/" + std::to_string(id) + ".trace." +
+         std::to_string(attempt);
+}
+
+std::string Service::flight_spool_path(std::uint64_t id, int attempt) const {
+  return cfg_.spool_dir + "/jobs/" + std::to_string(id) + ".flight." +
+         std::to_string(attempt);
+}
+
 std::string Service::cache_path(std::uint64_t key) const {
   return cfg_.spool_dir + "/cache/" + hex16(key) + ".res";
 }
@@ -961,6 +1305,7 @@ JobStatus Service::snapshot_locked(const Job& job) const {
   s.run_ms = job.state == JobState::Running ? elapsed_ms(job.started_at)
                                             : job.run_ms;
   s.detail = job.detail;
+  s.history = job.history;
   return s;
 }
 

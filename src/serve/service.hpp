@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "serve/protocol.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
@@ -80,6 +81,8 @@ struct ServiceConfig {
   std::size_t terminal_retain = 1024;
   /// Checkpoint cadence inside run/validate workers.
   std::int64_t checkpoint_every = 200;
+  /// Flight-recorder ring capacity per worker attempt (64-byte records).
+  std::uint32_t flight_slots = 256;
   /// Tests: hold workers until resume_workers() so queue order and
   /// admission control can be asserted deterministically.
   bool start_paused = false;
@@ -104,6 +107,23 @@ struct ServiceStats;
 std::string to_json(const JobStatus& status);
 std::string to_json(const ServiceStats& stats);
 
+/// One supervised worker attempt in a job's retry history.  Times are
+/// milliseconds relative to the job's admission.  For attempts that died
+/// without a result (crash, watchdog SIGKILL) the span stack and counter
+/// totals are recovered from the worker's flight-recorder ring — the
+/// forensic record of what the worker was doing when it died.
+struct AttemptRecord {
+  int attempt = 0;  ///< 1-based
+  long start_ms = 0;
+  long end_ms = 0;
+  /// "ok", "truncated", "bad-spec", "crash", "watchdog", or "cancelled".
+  std::string fate;
+  /// Open spans at death, outermost first (crash/watchdog fates only).
+  std::vector<std::string> crash_span_stack;
+  /// Last-seen counter totals at death (crash/watchdog fates only).
+  std::vector<std::pair<std::string, long long>> crash_counters;
+};
+
 /// Point-in-time public view of one job.
 struct JobStatus {
   std::uint64_t id = 0;
@@ -121,6 +141,8 @@ struct JobStatus {
   long wait_ms = 0;  ///< admission -> first fork (queued: so-far)
   long run_ms = 0;   ///< first fork -> terminal
   std::string detail;  ///< failure/cancellation explanation
+  /// Supervised attempts so far, oldest first (empty for cache hits).
+  std::vector<AttemptRecord> history;
 };
 
 /// submit() verdict: exactly one of admitted / busy / rejected is true.
@@ -163,6 +185,12 @@ struct ServiceStats {
   double wait_ms_total = 0;
   double run_ms_total = 0;
   std::int64_t finished = 0;  ///< terminal jobs (denominator for averages)
+  /// Daemon-side latency distributions in microseconds (obs/histogram.hpp):
+  /// admission -> first fork, first fork -> terminal, and admission ->
+  /// terminal (cache hits included in e2e only).
+  obs::HistogramSnapshot queue_wait_us;
+  obs::HistogramSnapshot run_us;
+  obs::HistogramSnapshot e2e_us;
 };
 
 class Service {
@@ -192,6 +220,14 @@ class Service {
   /// with the status + body on terminal.
   bool wait_result(std::uint64_t id, long timeout_ms, JobStatus* status_out,
                    std::string* body_out) CRUSADE_EXCLUDES(mu_);
+  /// Merged Chrome-trace timeline for one job (DESIGN.md §15.2): the
+  /// daemon's queue-wait / attempt / retry-backoff spans on pid 1 plus one
+  /// process row per worker attempt, rebased onto the job's admission time.
+  /// Attempts that finished contribute their serialized trace file;
+  /// attempts that crashed contribute spans reconstructed from their
+  /// flight-recorder ring.  std::nullopt when the id is unknown.
+  std::optional<std::string> job_trace_json(std::uint64_t id) const
+      CRUSADE_EXCLUDES(mu_);
   ServiceStats stats() const CRUSADE_EXCLUDES(mu_);
   int recovered_jobs() const CRUSADE_EXCLUDES(mu_);
 
@@ -221,9 +257,22 @@ class Service {
                         bool watchdog_fired) CRUSADE_EXCLUDES(mu_);
   void finalize(std::uint64_t id, JobOutcome outcome, std::string body,
                 std::string detail, bool keep_spool) CRUSADE_EXCLUDES(mu_);
+  /// Records the end of one supervised attempt in the job's history,
+  /// attaching flight-recorder evidence for attempts that died without a
+  /// result.
+  void record_attempt_end(std::uint64_t id, int attempt,
+                          const std::string& fate) CRUSADE_EXCLUDES(mu_);
   /// Records a job as terminal and evicts the oldest terminal jobs past
-  /// ServiceConfig::terminal_retain.
-  void note_terminal_locked(std::uint64_t id) CRUSADE_REQUIRES(mu_);
+  /// ServiceConfig::terminal_retain.  Evicted ids and their attempt counts
+  /// are appended to `evicted` so the caller can unlink their telemetry
+  /// spool files outside the lock.
+  void note_terminal_locked(
+      std::uint64_t id,
+      std::vector<std::pair<std::uint64_t, int>>* evicted)
+      CRUSADE_REQUIRES(mu_);
+  /// Unlinks the per-attempt trace + flight files of evicted jobs.
+  void cleanup_telemetry(
+      const std::vector<std::pair<std::uint64_t, int>>& evicted) const;
   void cache_insert(std::uint64_t key, const std::string& body)
       CRUSADE_EXCLUDES(mu_);
   void recover_spool() CRUSADE_REQUIRES(mu_);
@@ -231,6 +280,8 @@ class Service {
   std::string job_spool_path(std::uint64_t id) const;
   std::string ckpt_spool_path(std::uint64_t id) const;
   std::string result_spool_path(std::uint64_t id) const;
+  std::string trace_spool_path(std::uint64_t id, int attempt) const;
+  std::string flight_spool_path(std::uint64_t id, int attempt) const;
   std::string cache_path(std::uint64_t key) const;
   long busy_retry_hint_locked() const CRUSADE_REQUIRES(mu_);
   JobStatus snapshot_locked(const Job& job) const CRUSADE_REQUIRES(mu_);
@@ -257,6 +308,11 @@ class Service {
   /// Terminal jobs in completion order; the eviction window for jobs_.
   std::deque<std::uint64_t> terminal_order_ CRUSADE_GUARDED_BY(mu_);
   ServiceStats stats_ CRUSADE_GUARDED_BY(mu_);
+  /// Latency histograms (µs).  Internally atomic — recorded outside mu_ on
+  /// purpose so the hot path never takes the service lock for metrics.
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram run_hist_;
+  obs::Histogram e2e_hist_;
   /// Joined exactly once: stop() claims the vector by swapping it out under
   /// mu_, so concurrent stop() calls (destructor vs. daemon shutdown) can
   /// never both join the same thread.

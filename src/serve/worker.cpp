@@ -13,6 +13,8 @@
 #include "core/crusade.hpp"
 #include "ft/crusade_ft.hpp"
 #include "graph/spec_io.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
 #include "util/atomic_file.hpp"
 #include "util/json_writer.hpp"
 #include "util/run_control.hpp"
@@ -31,6 +33,22 @@ extern "C" void worker_stop_signal(int) {
 }
 
 extern "C" void worker_ignore_signal(int) {}
+
+/// Trace destination for this attempt, set once by run_worker_attempt so
+/// the [[noreturn]] finish() paths deep in the pipeline can flush the
+/// worker's spans without threading telemetry through every signature.
+std::string g_trace_path;  // NOLINT(runtime/string) — worker is short-lived
+int g_trace_attempt = 0;
+
+/// Best-effort trace flush: a full disk or unwritable spool must never
+/// change the job's fate, so every failure is swallowed.
+void flush_worker_trace() {
+  if (g_trace_path.empty()) return;
+  try {
+    atomic_write_file(g_trace_path, worker_trace_text(g_trace_attempt));
+  } catch (...) {
+  }
+}
 
 std::string hex64(std::uint64_t v) {
   char buf[24];
@@ -61,6 +79,9 @@ std::string run_signature(const CrusadeResult& r) {
 
 [[noreturn]] void finish(const std::string& result_path,
                          const std::string& body, int exit_code) {
+  // Trace before result: once the result file exists the supervisor may
+  // classify the attempt, and the trace must already be there to merge.
+  flush_worker_trace();
   // A full spool disk must not look like a worker crash loop: the typed
   // DiskFullError is reported as a bad-spool body-less exit the supervisor
   // maps to failed-honest.
@@ -258,10 +279,27 @@ std::uint64_t arch_fingerprint(const Architecture& arch) {
   return ckpt::fnv1a(w.bytes());
 }
 
+std::string worker_trace_text(int attempt) {
+  std::ostringstream out;
+  out << "CRUSADE-WORKER-TRACE 1 " << ::getpid() << " " << attempt << " "
+      << obs::epoch_ns() << "\n";
+  for (const obs::TraceEvent& ev : obs::events()) {
+    // Taxonomy names (C007) are identifier-safe, so a space-delimited line
+    // with the name last parses unambiguously.
+    out << "E " << ev.ts_ns << " " << ev.dur_ns << " " << ev.tid << " "
+        << ev.name << "\n";
+  }
+  for (const auto& [name, value] : obs::counters()) {
+    out << "C " << value << " " << name << "\n";
+  }
+  return out.str();
+}
+
 void run_worker_attempt(const SubmitRequest& request, int attempt,
                         const std::string& result_path,
                         const std::string& ckpt_path, long deadline_ms,
-                        std::int64_t checkpoint_every) {
+                        std::int64_t checkpoint_every,
+                        const WorkerTelemetry& telemetry) {
   // The child inherited the daemon's signal dispositions and StopHub state;
   // both belong to the parent.  Re-route SIGTERM/SIGINT to THIS job's
   // controller so a cancellation stops exactly this search.
@@ -271,12 +309,32 @@ void run_worker_attempt(const SubmitRequest& request, int attempt,
   std::signal(SIGTERM, worker_stop_signal);
   std::signal(SIGINT, worker_stop_signal);
 
+  // Re-enable obs past the atfork reinit (the child handler swapped in a
+  // fresh, empty registry/sink): from here this worker records its own
+  // spans and counters, flushed to telemetry.trace_path on every finish
+  // path and mirrored into the flight-recorder ring so a SIGKILL still
+  // leaves evidence.
+  if (!telemetry.trace_path.empty() || !telemetry.flight_path.empty()) {
+    obs::reset();
+    obs::set_enabled(true);
+    if (!telemetry.flight_path.empty())
+      obs::arm_flight_recorder(telemetry.flight_path, telemetry.flight_slots);
+    g_trace_path = telemetry.trace_path;
+    g_trace_attempt = attempt;
+  }
+  obs::count("serve.worker.attempts");
+  // Deliberately never closed (every exit below is _exit): its begin record
+  // in the flight ring marks this attempt as in-progress, which is exactly
+  // the evidence the supervisor wants from a crashed worker.
+  obs::Span attempt_span("serve.worker.attempt");
+
   if (request.fault_hang_attempts >= attempt) {
     // Injected stuck worker: ignore the cooperative SIGTERM so only the
     // supervisor's SIGKILL escalation can clear the slot — exactly the
     // failure the watchdog exists for.
     std::signal(SIGTERM, worker_ignore_signal);
     std::signal(SIGINT, worker_ignore_signal);
+    OBS_SPAN("serve.worker.hang");
     while (true) ::usleep(50 * 1000);
   }
 

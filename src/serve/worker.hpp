@@ -38,6 +38,21 @@ enum WorkerExit : int {
   kWorkerInjectedCrash = 99,
 };
 
+/// Per-attempt telemetry destinations (DESIGN.md §15).  Both are optional:
+/// an empty path disables that channel, and no telemetry failure ever
+/// changes a job's fate.
+struct WorkerTelemetry {
+  /// Line-format worker trace (spans + counter totals + the worker's trace
+  /// epoch), written via atomic_write_file just before the result body so
+  /// the supervisor can merge it into the job's Chrome-trace timeline.
+  std::string trace_path;
+  /// mmap'd flight-recorder ring (obs/flight.hpp) armed before any real
+  /// work; survives SIGKILL and carries the crash evidence.
+  std::string flight_path;
+  /// Ring capacity in 64-byte records.
+  std::uint32_t flight_slots = 256;
+};
+
 /// Runs one attempt of `request` to completion in the current process and
 /// _exit()s with a WorkerExit code.  `attempt` is 1-based; `deadline_ms`
 /// is the remaining end-to-end budget (0 = none).  Run/validate jobs
@@ -50,7 +65,16 @@ enum WorkerExit : int {
                                      const std::string& result_path,
                                      const std::string& ckpt_path,
                                      long deadline_ms,
-                                     std::int64_t checkpoint_every);
+                                     std::int64_t checkpoint_every,
+                                     const WorkerTelemetry& telemetry);
+
+/// Serializes the worker-local obs state (trace epoch, completed spans,
+/// counter totals) into the line format the supervisor's trace merge reads:
+///   CRUSADE-WORKER-TRACE 1 <pid> <attempt> <epoch_ns>
+///   E <ts_ns> <dur_ns> <tid> <name>     (one per completed span)
+///   C <value> <name>                    (one per counter)
+/// Exposed for tests; run_worker_attempt writes it on every finish path.
+std::string worker_trace_text(int attempt);
 
 /// FNV-1a of the canonical architecture serialization — the bit-identity
 /// key the soak harness and the serve tests compare across crash/resume

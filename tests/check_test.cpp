@@ -15,9 +15,9 @@ namespace {
 
 TEST(CheckRules, CatalogIsStableAndDocumented) {
   const auto& rules = check_rule_catalog();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   EXPECT_STREQ(rules[0].id, "C000");
-  EXPECT_STREQ(rules[6].id, "C006");
+  EXPECT_STREQ(rules[7].id, "C007");
   for (const CheckRule& rule : rules) {
     EXPECT_NE(std::string(rule.name), "");
     EXPECT_GT(std::string(rule.rationale).size(), 20u) << rule.id;
@@ -192,6 +192,41 @@ TEST(CheckRules, C006DetectsSigactionRegistration) {
       "  sa.sa_handler = on_term;\n"
       "}\n";
   EXPECT_EQ(check_source("src/util/x.cpp", bad).count_id("C006"), 1);
+}
+
+// --- C007: obs name taxonomy ------------------------------------------------
+
+TEST(CheckRules, C007FiresOnUnknownSubsystemAndShapelessNames) {
+  const std::string bad =
+      "void f() {\n"
+      "  obs::count(\"frobnicator.calls\");\n"   // unknown subsystem
+      "  OBS_SPAN(\"setup\");\n"                 // no dot
+      "  obs::record_peak(\"Serve.Depth\", d);\n"  // uppercase
+      "}\n";
+  const auto report = check_source("src/core/x.cpp", bad);
+  EXPECT_EQ(report.count_id("C007"), 3) << report.summary();
+}
+
+TEST(CheckRules, C007SilentOnTaxonomyNames) {
+  const std::string good =
+      "void f() {\n"
+      "  obs::count(\"serve.worker.attempts\");\n"
+      "  OBS_SPAN(\"phase.allocation\");\n"
+      "  obs::Span attempt(\"serve.worker.attempt\");\n"
+      "  obs::record_peak(\"serve.queue_depth_peak\", d);\n"
+      "}\n";
+  EXPECT_EQ(check_source("src/serve/x.cpp", good).count_id("C007"), 0);
+}
+
+TEST(CheckRules, C007IgnoresCommentsAndNonSrcFiles) {
+  const std::string comment_only =
+      "// example: obs::count(\"bogus-name\") would be rejected\n";
+  EXPECT_EQ(check_source("src/obs/x.cpp", comment_only).count_id("C007"), 0);
+  const std::string bad = "obs::count(\"bogus\");\n";
+  // tools/ and tests may fabricate names for fixtures; the taxonomy is a
+  // contract on the library's own telemetry.
+  EXPECT_EQ(check_source("tools/x.cpp", bad).count_id("C007"), 0);
+  EXPECT_EQ(check_source("src/ft/x.cpp", bad).count_id("C007"), 1);
 }
 
 // --- suppressions and C000 --------------------------------------------------

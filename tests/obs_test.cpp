@@ -5,7 +5,12 @@
 // own evaluation tally on a paper example.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -17,8 +22,11 @@
 #include "example_specs.hpp"
 #include "ft/crusade_ft.hpp"
 #include "json_writer.hpp"
+#include "obs/flight.hpp"
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 #include "obs/runstats.hpp"
+#include "util/atomic_file.hpp"
 
 namespace crusade {
 namespace {
@@ -487,6 +495,202 @@ TEST_F(ObsTest, RecordPeakKeepsHighWatermark) {
   obs::set_enabled(false);
   obs::record_peak("test.peak", 100);  // disabled: single relaxed load only
   EXPECT_EQ(obs::counter_value("test.peak"), 9);
+}
+
+// --- histograms ----------------------------------------------------------
+
+TEST(Histogram, BucketSchemeIsExactBelow8AndWithin12PercentAbove) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(obs::histogram_bucket(v), v);
+    EXPECT_EQ(obs::histogram_bucket_lo(v), v);
+    EXPECT_EQ(obs::histogram_bucket_hi(v), v);
+  }
+  // For v >= 8 the bucket bounds bracket v and the upper bound (what
+  // quantile() reports) errs high by at most one sub-bucket: 12.5 %.
+  for (std::uint64_t v = 8; v < (1ull << 40); v = v * 3 + 1) {
+    const std::size_t b = obs::histogram_bucket(v);
+    ASSERT_LT(b, obs::kHistogramBuckets);
+    EXPECT_LE(obs::histogram_bucket_lo(b), v) << v;
+    EXPECT_GE(obs::histogram_bucket_hi(b), v) << v;
+    EXPECT_LE(static_cast<double>(obs::histogram_bucket_hi(b)),
+              1.125 * static_cast<double>(v)) << v;
+  }
+  // Buckets tile the value line: each upper bound is one below the next
+  // bucket's lower bound.
+  for (std::size_t b = 0; b + 1 < obs::kHistogramBuckets; ++b)
+    EXPECT_EQ(obs::histogram_bucket_hi(b) + 1, obs::histogram_bucket_lo(b + 1))
+        << b;
+}
+
+TEST(Histogram, QuantilesErrHighByAtMostOneSubBucket) {
+  obs::Histogram hist;
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.total(), 1000u);
+  EXPECT_EQ(snap.max(), 1000u);
+  // The reported quantile is the upper bound of the bucket holding the true
+  // rank value: never below it, never more than 12.5 % above.
+  const struct { double q; std::uint64_t truth; } cases[] = {
+      {0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000}};
+  for (const auto& c : cases) {
+    const std::uint64_t got = snap.quantile(c.q);
+    EXPECT_GE(got, c.truth) << c.q;
+    EXPECT_LE(static_cast<double>(got), 1.125 * static_cast<double>(c.truth))
+        << c.q;
+  }
+  // Empty histogram: all zeros.
+  const obs::HistogramSnapshot empty = obs::Histogram().snapshot();
+  EXPECT_EQ(empty.total(), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.max(), 0u);
+}
+
+TEST(Histogram, MergeIsCommutative) {
+  obs::Histogram a, b;
+  for (std::uint64_t v = 0; v < 500; ++v) a.record(v * 7);
+  for (std::uint64_t v = 0; v < 300; ++v) b.record(v * v);
+  const obs::HistogramSnapshot ab = a.snapshot().merge(b.snapshot());
+  const obs::HistogramSnapshot ba = b.snapshot().merge(a.snapshot());
+  EXPECT_EQ(ab.total(), 800u);
+  EXPECT_EQ(ab.total(), ba.total());
+  EXPECT_EQ(ab.max(), ba.max());
+  for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i)
+    ASSERT_EQ(ab.bucket_count(i), ba.bucket_count(i)) << i;
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+}
+
+TEST(Histogram, ConcurrentRecordingTotalsExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 10000;
+  obs::Histogram hist;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kRecords; ++i)
+        hist.record(static_cast<std::uint64_t>(t * kRecords + i));
+    });
+  for (std::thread& t : threads) t.join();
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.total(),
+            static_cast<std::uint64_t>(kThreads) * kRecords);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i)
+    bucket_sum += snap.bucket_count(i);
+  EXPECT_EQ(bucket_sum, snap.total());
+  EXPECT_EQ(snap.max(), static_cast<std::uint64_t>(kThreads) * kRecords - 1);
+}
+
+TEST(Histogram, JsonIsStrictAndOrdered) {
+  obs::Histogram hist;
+  for (std::uint64_t v = 1; v <= 200; ++v) hist.record(v);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(snap.to_json()).parse(doc)) << snap.to_json();
+  EXPECT_EQ(doc.at("count").number, 200);
+  EXPECT_LE(doc.at("p50").number, doc.at("p90").number);
+  EXPECT_LE(doc.at("p90").number, doc.at("p99").number);
+  EXPECT_LE(doc.at("p99").number, doc.at("max").number);
+  EXPECT_EQ(doc.at("max").number, 200);
+}
+
+// --- the crash flight recorder -------------------------------------------
+
+class FlightTest : public ObsTest {
+ protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    path_ = "/tmp/crusade_flight_test_" + std::to_string(::getpid()) + ".ring";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    obs::disarm_flight_recorder();
+    std::remove(path_.c_str());
+    ObsTest::TearDown();
+  }
+  std::string path_;
+};
+
+TEST_F(FlightTest, RecordsSpansAndCountersReadableWhileArmed) {
+  ASSERT_TRUE(obs::arm_flight_recorder(path_, 64));
+  obs::count("serve.worker.attempts");
+  obs::count("sched.evals", 5);
+  obs::count("sched.evals", 2);
+  auto open_span = std::make_unique<obs::Span>("serve.worker.attempt");
+  {
+    OBS_SPAN("phase.allocation");
+  }
+  // A second process (the supervisor) reads the same file: MAP_SHARED pages
+  // are visible through the page cache without any flush from the writer.
+  const obs::FlightSnapshot snap = obs::read_flight(path_);
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.pid(), static_cast<std::uint32_t>(::getpid()));
+  const std::vector<std::string> stack = snap.span_stack();
+  ASSERT_EQ(stack.size(), 1u);
+  EXPECT_EQ(stack[0], "serve.worker.attempt");
+  const auto totals = snap.counter_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].first, "sched.evals");
+  EXPECT_EQ(totals[0].second, 7);
+  EXPECT_EQ(totals[1].first, "serve.worker.attempts");
+  EXPECT_EQ(totals[1].second, 1);
+
+  open_span.reset();
+  const obs::FlightSnapshot after = obs::read_flight(path_);
+  EXPECT_TRUE(after.span_stack().empty());
+}
+
+TEST_F(FlightTest, RingWrapKeepsTheNewestRecords) {
+  ASSERT_TRUE(obs::arm_flight_recorder(path_, 8));
+  for (int i = 0; i < 100; ++i) obs::count("serve.attempts");
+  const obs::FlightSnapshot snap = obs::read_flight(path_);
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.total_records(), 100u);
+  ASSERT_EQ(snap.events().size(), 8u);  // only the last ring's worth survive
+  EXPECT_EQ(snap.events().back().value, 100);  // running total, newest last
+  EXPECT_EQ(snap.events().front().value, 93);
+}
+
+TEST_F(FlightTest, SurvivesSigkillMidSpan) {
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // The worker: arm, open a span stack, then die the hard way — no exit
+    // handlers, no flush, exactly what the watchdog does to a hung worker.
+    obs::reset();
+    obs::set_enabled(true);
+    if (!obs::arm_flight_recorder(path_, 64)) ::_exit(2);
+    obs::count("serve.worker.attempts");
+    obs::Span attempt("serve.worker.attempt");
+    obs::Span hang("serve.worker.hang");
+    ::kill(::getpid(), SIGKILL);
+    ::_exit(3);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  const obs::FlightSnapshot snap = obs::read_flight(path_);
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.pid(), static_cast<std::uint32_t>(child));
+  const std::vector<std::string> stack = snap.span_stack();
+  ASSERT_EQ(stack.size(), 2u) << snap.events().size();
+  EXPECT_EQ(stack[0], "serve.worker.attempt");
+  EXPECT_EQ(stack[1], "serve.worker.hang");
+  const auto totals = snap.counter_totals();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].first, "serve.worker.attempts");
+  EXPECT_EQ(totals[0].second, 1);
+}
+
+TEST_F(FlightTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(obs::read_flight("/nonexistent/flight.ring").valid());
+  EXPECT_FALSE(obs::read_flight(path_).valid());  // never created
+  // A file with the wrong magic is rejected, not misparsed.
+  atomic_write_file(path_, std::string(4096, 'x'));
+  EXPECT_FALSE(obs::read_flight(path_).valid());
+  // Arming rejects degenerate slot counts.
+  EXPECT_FALSE(obs::arm_flight_recorder(path_, 0));
+  EXPECT_FALSE(obs::flight_recorder_armed());
 }
 
 }  // namespace

@@ -473,6 +473,100 @@ TEST(ServeServiceTest, WatchdogReapsHungWorker) {
   service.stop(true);
 }
 
+// --- telemetry: flight-recorder forensics & merged job traces ---------------
+
+TEST(ServeServiceTest, WatchdogKillLeavesFlightEvidenceInHistory) {
+  TempSpool spool("serve_test_flight");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.max_attempts = 1;
+  cfg.attempt_timeout_ms = 300;
+  cfg.term_grace_ms = 100;
+  Service service(cfg);
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_hang_attempts = 99;
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id, 30000);
+  EXPECT_EQ(status.outcome, JobOutcome::FailedHonest);
+
+  // The attempt history carries the flight-recorder forensics: the worker
+  // was SIGKILLed inside its hang loop, and the ring (MAP_SHARED, written
+  // back by the kernel) says so even though the process never exited
+  // cleanly.
+  ASSERT_EQ(status.history.size(), 1u);
+  const AttemptRecord& rec = status.history[0];
+  EXPECT_EQ(rec.attempt, 1);
+  EXPECT_EQ(rec.fate, "watchdog");
+  EXPECT_GE(rec.end_ms, rec.start_ms);
+  ASSERT_GE(rec.crash_span_stack.size(), 2u);
+  EXPECT_EQ(rec.crash_span_stack.front(), "serve.worker.attempt");
+  EXPECT_EQ(rec.crash_span_stack.back(), "serve.worker.hang");
+  bool saw_attempt_counter = false;
+  for (const auto& [name, value] : rec.crash_counters)
+    if (name == "serve.worker.attempts") {
+      saw_attempt_counter = true;
+      EXPECT_EQ(value, 1);
+    }
+  EXPECT_TRUE(saw_attempt_counter);
+
+  // The same evidence rides the STATUS JSON envelope (crusade status --json).
+  const std::string json = to_json(status);
+  EXPECT_NE(json.find("\"fate\":\"watchdog\""), std::string::npos) << json;
+  EXPECT_NE(json.find("serve.worker.hang"), std::string::npos) << json;
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, CrashRetriedJobYieldsOneMergedTrace) {
+  TempSpool spool("serve_test_trace");
+  Service service(fast_config(spool.path));
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_crash_attempts = 1;
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id);
+  ASSERT_EQ(status.outcome, JobOutcome::Masked) << status.detail;
+  ASSERT_EQ(status.attempts, 2);
+
+  const auto trace = service.job_trace_json(out.id);
+  ASSERT_TRUE(trace.has_value());
+  // One timeline, three process rows: the daemon plus both worker attempts
+  // — the crashed first attempt reconstructed from its flight ring, the
+  // successful second from its serialized trace file.
+  EXPECT_NE(trace->find("\"name\":\"serve.queue_wait\""), std::string::npos);
+  EXPECT_NE(trace->find("\"name\":\"serve.attempt\""), std::string::npos);
+  EXPECT_NE(trace->find("\"name\":\"serve.retry_backoff\""),
+            std::string::npos);
+  EXPECT_NE(trace->find("\"pid\":1001"), std::string::npos) << *trace;
+  EXPECT_NE(trace->find("\"pid\":1002"), std::string::npos) << *trace;
+  EXPECT_NE(trace->find("serve.worker.attempt"), std::string::npos);
+  EXPECT_NE(trace->find("\"trace_id\""), std::string::npos);
+  // Structurally sound JSON: balanced braces/brackets (the daemon smoke in
+  // check.sh validates the full Chrome schema with a real parser).
+  long depth = 0;
+  for (const char c : *trace) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  // Unknown ids answer nullopt, mirroring STATUS.
+  EXPECT_FALSE(service.job_trace_json(424242).has_value());
+
+  // The daemon-side histograms saw this job: one queue wait, one run, one
+  // end-to-end completion, and the stats JSON embeds their percentiles.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queue_wait_us.total(), 1u);
+  EXPECT_EQ(stats.run_us.total(), 1u);
+  EXPECT_EQ(stats.e2e_us.total(), 1u);
+  EXPECT_GE(stats.e2e_us.max(), stats.run_us.max());
+  const std::string stats_json = to_json(stats);
+  EXPECT_NE(stats_json.find("\"queue_wait_us\":{\"count\":1"),
+            std::string::npos) << stats_json;
+  EXPECT_NE(stats_json.find("\"e2e_us\""), std::string::npos);
+  service.stop(true);
+}
+
 // --- result cache ----------------------------------------------------------
 
 TEST(ServeServiceTest, CacheHitReturnsBitIdenticalBytesInstantly) {

@@ -151,6 +151,104 @@ else
   stage_skip "no python3 or jq for JSON round-trip"
 fi
 
+stage "serve telemetry smoke (4 clients + merged job trace)"
+# Live daemon, four concurrent clients, then one crash-retried synthesis:
+# attempt 1 dies mid-run (its spans come from the flight-recorder ring),
+# attempt 2 resumes and finishes (its spans come from the serialized worker
+# trace).  `crusade trace --job` must merge all of it into one valid Chrome
+# trace-event timeline.
+tele_sock="build-ci/crusaded.tele.sock"
+tele_spool="build-ci/crusaded.tele.spool"
+rm -rf "$tele_spool" "$tele_sock"
+./build-ci/tools/crusaded --socket "$tele_sock" --spool "$tele_spool" \
+  --workers 4 > build-ci/crusaded.tele.log 2>&1 &
+tele_daemon=$!
+for _ in $(seq 50); do
+  [[ -S "$tele_sock" ]] && break
+  sleep 0.1
+done
+./build-ci/tools/crusade generate --tasks 40 --seed 7 \
+  -o build-ci/tele-smoke.spec > /dev/null
+tele_clients=()
+for client in 1 2 3 4; do
+  (
+    for i in $(seq 3); do
+      ./build-ci/tools/crusade submit build-ci/tele-smoke.spec \
+        --socket "$tele_sock" --kind lint --priority "$client" --wait \
+        > /dev/null
+    done
+  ) &
+  tele_clients+=("$!")
+done
+for pid in "${tele_clients[@]}"; do wait "$pid"; done
+tele_submit=$(./build-ci/tools/crusade submit build-ci/tele-smoke.spec \
+  --socket "$tele_sock" --fault-crash 1 --wait)
+tele_id=$(printf '%s' "$tele_submit" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+./build-ci/tools/crusade trace --job "$tele_id" --socket "$tele_sock" \
+  -o build-ci/job-trace.json > /dev/null
+./build-ci/tools/crusade stats --socket "$tele_sock" \
+  > build-ci/tele-stats.json
+./build-ci/tools/crusade shutdown --socket "$tele_sock" > /dev/null
+wait "$tele_daemon"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/job-trace.json build-ci/tele-stats.json <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "empty trace"
+
+# Schema: only complete (X) and metadata (M) events — never an unterminated
+# B — and every X span carries pid/tid/ts/dur.
+by_row = {}
+for e in events:
+    assert e["ph"] in ("X", "M"), f"unexpected phase {e['ph']}: {e}"
+    if e["ph"] == "M":
+        continue
+    assert e["dur"] >= 0 and e["ts"] >= 0, e
+    by_row.setdefault((e["pid"], e["tid"]), []).append(e)
+
+# Process rows: the daemon (pid 1) plus both worker attempts of the
+# crash-retried job (pids 1001 and 1002 — attempt 1 from its flight ring,
+# attempt 2 from its trace file).
+pids = {pid for pid, _ in by_row}
+assert 1 in pids, f"no daemon row in {sorted(pids)}"
+assert {1001, 1002} <= pids, f"expected both attempt rows, got {sorted(pids)}"
+
+names = {e["name"] for e in events if e["ph"] == "X"}
+assert "serve.queue_wait" in names and "serve.attempt" in names, names
+assert "serve.retry_backoff" in names, names
+
+# Spans within one (pid, tid) row must be properly nested or disjoint.
+eps = 0.01  # microsecond rounding slack (ts/dur are printed at 0.001 us)
+for row, spans in by_row.items():
+    spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+    stack = []
+    for e in spans:
+        while stack and stack[-1] <= e["ts"] + eps:
+            stack.pop()
+        end = e["ts"] + e["dur"]
+        assert not stack or end <= stack[-1] + eps, \
+            f"partial overlap in row {row}: {e}"
+        stack.append(end)
+
+stats = json.load(open(sys.argv[2]))
+# Every submission lands in e2e (cache hits included); queue_wait/run only
+# count jobs that actually ran, and identical lint specs hit the cache once
+# the first finishes, so those totals are >= 2 (one lint + the crash job)
+# but race-dependent below 13.
+assert stats["e2e_us"]["count"] >= 13, stats["e2e_us"]  # 12 lints + 1 run
+for key in ("queue_wait_us", "run_us", "e2e_us"):
+    assert stats[key]["count"] >= 2, f"{key}: {stats[key]}"
+    assert stats[key]["p50"] <= stats[key]["p99"] <= stats[key]["max"], stats[key]
+print(f"job trace: {len(events)} events across {len(pids)} process rows, "
+      "properly nested; daemon histograms populated")
+EOF
+  stage_ok
+else
+  stage_skip "no python3 for Chrome trace-event schema validation"
+fi
+
 stage "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json comes from the CI configure above; analyze the
@@ -257,9 +355,19 @@ for i in $(seq 10); do
   ./build-asan/tools/crusade submit build-asan/serve-smoke.spec \
     --socket "$asan_sock" --kind lint --wait > /dev/null
 done
+# Flight-recorder read path: crash attempt 1, let the retry finish, then
+# pull the merged trace — read_flight and job_trace_json both run inside
+# the ASan-instrumented daemon.
+asan_crash=$(./build-asan/tools/crusade submit build-asan/serve-smoke.spec \
+  --socket "$asan_sock" --fault-crash 1 --wait)
+asan_crash_id=$(printf '%s' "$asan_crash" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+./build-asan/tools/crusade trace --job "$asan_crash_id" \
+  --socket "$asan_sock" -o build-asan/job-trace.json > /dev/null
+grep -q '"serve.attempt"' build-asan/job-trace.json
 ./build-asan/tools/crusade shutdown --socket "$asan_sock" > /dev/null
 wait "$asan_daemon"
-echo "serve smoke: 20 jobs served under ASan/UBSan, daemon drained clean"
+echo "serve smoke: 21 jobs served under ASan/UBSan, crash trace merged," \
+  "daemon drained clean"
 stage_ok
 
 stage "UBSan-only configuration (optimized)"

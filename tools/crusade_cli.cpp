@@ -92,6 +92,9 @@ int usage(const char* argv0) {
                "[--seeds <n>] [--wait] [--timeout-ms <n>] [--socket <path>]\n"
                "  %s status [id] [--socket <path>]\n"
                "  %s result <id> [--wait] [--timeout-ms <n>] "
+               "[--trace <out.json>] [--socket <path>]\n"
+               "  %s trace --job <id> [-o <trace.json>] [--socket <path>]\n"
+               "  %s stats [--follow] [--interval-ms <n>] "
                "[--socket <path>]\n"
                "  %s cancel <id> [--socket <path>]\n"
                "  %s shutdown [--hard] [--socket <path>]\n"
@@ -100,7 +103,8 @@ int usage(const char* argv0) {
                "submit/result --wait exit codes: 0 ok/masked, 1 "
                "failed-honest/cancelled, 3 degraded-honest, 4 busy/pending\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0, argv0);
   return 2;
 }
 
@@ -526,11 +530,19 @@ int cmd_survive(int argc, char** argv) {
   return c.clean() ? 0 : 1;
 }
 
+/// `crusade trace --job`: fetch one job's merged cross-process timeline
+/// from the daemon (defined with the other client commands below).
+int cmd_trace_job(const Args& args, char** argv);
+
 /// `crusade trace`: synthesize with tracing enabled, print the phase/counter
 /// table, and write a Chrome trace-event file (default trace.json) that
-/// loads in chrome://tracing or https://ui.perfetto.dev.
+/// loads in chrome://tracing or https://ui.perfetto.dev.  With --job <id>
+/// the trace comes from the crusaded daemon instead: the job's merged
+/// timeline (daemon queue/retry spans + every worker attempt's spans).
 int cmd_trace(int argc, char** argv) {
-  const Args args = Args::parse(argc, argv, {"-o", "--boot-req"});
+  const Args args =
+      Args::parse(argc, argv, {"-o", "--boot-req", "--job", "--socket"});
+  if (args.options.count("--job")) return cmd_trace_job(args, argv);
   if (args.positional.size() != 1) return usage(argv[0]);
   const ResourceLibrary lib = telecom_1999();
   Specification spec = read_specification_file(args.positional[0], lib);
@@ -989,8 +1001,35 @@ int cmd_status(int argc, char** argv) {
   return 0;
 }
 
+/// Fetches a job's merged Chrome-trace timeline from the daemon and writes
+/// it to `out_path`.  Returns 0 on success, the error-mapped exit code
+/// otherwise.
+int fetch_job_trace(const std::string& socket, const std::string& id,
+                    const std::string& out_path, bool quiet) {
+  serve::Request request;
+  request.verb = "TRACE";
+  request.fields["id"] = id;
+  const serve::Response response = serve::Client(socket).call(request);
+  if (!response.ok) return print_error_response(response);
+  atomic_write_file(out_path, response.body + "\n");
+  if (!quiet)
+    std::printf("trace: job %s -> %s (load in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                id.c_str(), out_path.c_str());
+  return 0;
+}
+
+int cmd_trace_job(const Args& args, char** argv) {
+  if (!args.positional.empty()) return usage(argv[0]);
+  const std::string out_path =
+      args.options.count("-o") ? args.options.at("-o") : "trace.json";
+  return fetch_job_trace(socket_option(args), args.options.at("--job"),
+                         out_path, false);
+}
+
 int cmd_result(int argc, char** argv) {
-  const Args args = Args::parse(argc, argv, {"--socket", "--timeout-ms"});
+  const Args args =
+      Args::parse(argc, argv, {"--socket", "--timeout-ms", "--trace"});
   if (args.positional.size() != 1) return usage(argv[0]);
   serve::Request request;
   request.verb = "RESULT";
@@ -1005,7 +1044,39 @@ int cmd_result(int argc, char** argv) {
       serve::Client(socket_option(args)).call(request);
   if (!response.ok) return print_error_response(response);
   std::printf("%s\n", response.body.c_str());
+  if (args.options.count("--trace")) {
+    const int rc = fetch_job_trace(socket_option(args), args.positional[0],
+                                   args.options.at("--trace"), false);
+    if (rc != 0) return rc;
+  }
   return outcome_exit_code(json_string_field(response.body, "outcome"));
+}
+
+/// `crusade stats`: one STATS snapshot, or a streaming view with --follow
+/// (one JSON line per interval — pipe through jq for a live dashboard).
+/// The daemon-side histograms (queue_wait_us / run_us / e2e_us) ride in
+/// every snapshot.
+int cmd_stats(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv, {"--socket", "--interval-ms"});
+  if (!args.positional.empty()) return usage(argv[0]);
+  long interval_ms = 1000;
+  if (args.options.count("--interval-ms"))
+    interval_ms = std::stol(args.options.at("--interval-ms"));
+  if (interval_ms < 10) interval_ms = 10;
+  const bool follow = args.flags.count("--follow") != 0;
+  if (follow) install_stop_handlers();  // first ^C ends the stream cleanly
+  while (true) {
+    serve::Request request;
+    request.verb = "STATS";
+    const serve::Response response =
+        serve::Client(socket_option(args)).call(request);
+    if (!response.ok) return print_error_response(response);
+    std::printf("%s\n", response.body.c_str());
+    std::fflush(stdout);
+    if (!follow || StopHub::instance().signalled()) return 0;
+    ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    if (StopHub::instance().signalled()) return 0;
+  }
 }
 
 int cmd_cancel(int argc, char** argv) {
@@ -1063,6 +1134,7 @@ int main(int argc, char** argv) {
     if (cmd == "submit") return cmd_submit(argc, argv);
     if (cmd == "status") return cmd_status(argc, argv);
     if (cmd == "result") return cmd_result(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "cancel") return cmd_cancel(argc, argv);
     if (cmd == "shutdown") return cmd_shutdown(argc, argv);
   } catch (const Error& e) {
