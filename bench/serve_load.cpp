@@ -12,7 +12,9 @@
 // with CRUSADE_SCALE.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -150,6 +152,52 @@ int main() {
   for (const int qps : {25, 100, 400})
     points.push_back(sweep(service, spec, qps, jobs_per_point, &run_ms_all));
 
+  // Sustained overload: a tight submission loop with no pacing, far above
+  // drain rate, so the bounded queue pushes back constantly.  The contract
+  // under test is the hint itself: every busy rejection must carry a sane
+  // retry_after_ms (neither a stampede-inducing zero nor an absurd hour),
+  // and a client that honors the hint must converge — every job admitted
+  // within a bounded number of polite retries, none abandoned.
+  const int overload_jobs = 80 + static_cast<int>(220 * scale);
+  int overload_busy = 0;
+  int overload_max_tries = 0;
+  long hint_min = std::numeric_limits<long>::max();
+  long hint_max = 0;
+  bool hints_sane = true;
+  bool converged = true;
+  std::vector<std::uint64_t> overload_admitted;
+  for (int i = 0; i < overload_jobs; ++i) {
+    serve::SubmitRequest req;
+    req.kind = serve::JobKind::Lint;
+    req.spec_text = spec + "# overload-" + std::to_string(i) + "\n";
+    int tries = 0;
+    for (; tries < 50; ++tries) {
+      const serve::SubmitOutcome out = service.submit(req);
+      if (!out.busy) {
+        if (out.admitted) overload_admitted.push_back(out.id);
+        break;
+      }
+      ++overload_busy;
+      hint_min = std::min(hint_min, out.retry_after_ms);
+      hint_max = std::max(hint_max, out.retry_after_ms);
+      if (out.retry_after_ms < 10 || out.retry_after_ms > 60000)
+        hints_sane = false;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min<long>(out.retry_after_ms, 250)));
+    }
+    overload_max_tries = std::max(overload_max_tries, tries + 1);
+    if (tries == 50) converged = false;
+  }
+  if (hint_min == std::numeric_limits<long>::max()) hint_min = 0;
+  for (const std::uint64_t id : overload_admitted) {
+    serve::JobStatus status;
+    std::string body;
+    if (service.wait_result(id, 60000, &status, &body))
+      run_ms_all.push_back(static_cast<double>(status.run_ms));
+    else
+      converged = false;
+  }
+
   const serve::ServiceStats stats = service.stats();
   service.stop(true);
 
@@ -205,6 +253,14 @@ int main() {
   }
   std::fprintf(json,
                "  ],\n"
+               "  \"overload\": {\"offered\": %d, \"admitted\": %zu, "
+               "\"busy_rejections\": %d, \"hint_min_ms\": %ld, "
+               "\"hint_max_ms\": %ld, \"max_tries\": %d, "
+               "\"hints_sane\": %s, \"converged\": %s},\n",
+               overload_jobs, overload_admitted.size(), overload_busy,
+               hint_min, hint_max, overload_max_tries,
+               hints_sane ? "true" : "false", converged ? "true" : "false");
+  std::fprintf(json,
                "  \"total_finished\": %lld,\n"
                "  \"total_rejected_busy\": %lld,\n"
                "  \"client_run_p50_ms\": %.2f,\n"
@@ -240,6 +296,12 @@ int main() {
               "p99=%.2f ms (%s)\n",
               daemon_run_p50, daemon_run_p99, client_run_p50, client_run_p99,
               histograms_agree ? "agree" : "DISAGREE");
+  std::printf("  overload: %d offered tight-loop, %zu admitted, %d busy "
+              "pushbacks, hints %ld..%ld ms, max %d tries (%s, %s)\n",
+              overload_jobs, overload_admitted.size(), overload_busy,
+              hint_min, hint_max, overload_max_tries,
+              hints_sane ? "hints sane" : "HINTS INSANE",
+              converged ? "converged" : "DID NOT CONVERGE");
   std::printf("wrote BENCH_serve.json\n");
 
   // Honesty check: every admitted job must have completed, and every
@@ -250,6 +312,15 @@ int main() {
                    p.offered_qps, p.completed, p.rejected_busy, p.submitted);
       return 1;
     }
+  // Overload contract: every busy pushback carried a usable hint, and
+  // honoring the hints admitted every job within the retry cap.
+  if (!hints_sane || !converged) {
+    std::fprintf(stderr,
+                 "overload contract broken: hints %ld..%ld ms, %s\n",
+                 hint_min, hint_max,
+                 converged ? "converged" : "did not converge");
+    return 1;
+  }
   // Second honesty check: the daemon's own histograms must tell the same
   // story as the client's stopwatch.
   if (!histograms_agree) {

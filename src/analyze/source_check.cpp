@@ -45,9 +45,15 @@ const std::vector<CheckRule> kRules = {
      "deadlock on a lock the interrupted thread holds"},
     {"C007", "obs-name-taxonomy",
      "telemetry names are an API: a span/counter literal outside the "
-     "documented dotted taxonomy (phase.*, serve.*, ft.*, ... — see "
+     "documented dotted taxonomy (phase.*, serve.*, chaos.*, ... — see "
      "DESIGN.md §15) silently falls out of trace viewers, stats "
      "dashboards, and flight-recorder triage"},
+    {"C008", "unchecked-syscall-return",
+     "close()/fsync()/fdatasync()/rename() are where the kernel reports "
+     "deferred write-back failures; discarding the return silently loses "
+     "data (cast a deliberate best-effort discard to (void)), and calling "
+     "close()/unlink() before reading errno reports the cleanup's errno "
+     "instead of the original failure's"},
 };
 
 // --- path scoping ----------------------------------------------------------
@@ -339,7 +345,8 @@ struct Engine {
     static const std::regex kName(R"([a-z0-9_]+(?:\.[a-z0-9_]+)+)");
     static const std::set<std::string> kSubsystems = {
         "phase", "alloc",    "sched", "merge",   "interface", "reconfig",
-        "fpga",  "ft",       "sim",   "survive", "serve",     "crusade"};
+        "fpga",  "ft",       "sim",   "survive", "serve",     "crusade",
+        "chaos"};
     for (std::size_t i = 0; i < code.size(); ++i) {
       if (!std::regex_search(code[i], kCall)) continue;
       auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(),
@@ -358,6 +365,33 @@ struct Engine {
                            : std::string("names must be dotted lowercase "
                                          "<subsystem>.<event>")));
       }
+    }
+  }
+
+  /// C008: durability syscalls whose return value is the only place the
+  /// kernel reports a deferred write-back error.  Flags (a) a statement-
+  /// position close/fsync/fdatasync/rename whose result is discarded —
+  /// `(void)` marks a deliberate best-effort discard and is exempt — and
+  /// (b) reading errno later on a line where a close()/unlink() already
+  /// ran to completion (`...);`) and clobbered it.
+  void check_unchecked_syscalls() {
+    static const std::regex kDiscard(
+        R"(^\s*(?:::)?\s*(close|fsync|fdatasync|rename)\s*\(.*\)\s*;\s*$)");
+    static const std::regex kErrnoClobber(
+        R"(\b(close|unlink)\s*\([^;]*\)\s*;.*\berrno\b)");
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(code[i], m, kDiscard))
+        report("C008", static_cast<int>(i) + 1,
+               "return value of " + m[1].str() + "() discarded — a failed " +
+                   m[1].str() +
+                   "() is how the kernel reports lost writes; check it or "
+                   "cast to (void) to mark a deliberate best-effort discard");
+      if (std::regex_search(code[i], m, kErrnoClobber))
+        report("C008", static_cast<int>(i) + 1,
+               "errno read after a completed " + m[1].str() +
+                   "() on the same line — the cleanup call clobbered it; "
+                   "capture errno into a local before cleaning up");
     }
   }
 
@@ -467,6 +501,8 @@ struct Engine {
     }
 
     if (in_library_code(path)) check_obs_names();
+
+    if (in_library_code(path)) check_unchecked_syscalls();
 
     check_signal_handlers();
 

@@ -142,9 +142,22 @@ CrusadeResult Crusade::run() {
     return s;
   };
 
+  // Checkpointing is an optimization, not a correctness requirement: a
+  // checkpoint that cannot be persisted (disk full, I/O error) must not
+  // kill a search that could still finish.  The first failed write is
+  // counted and disables further disk checkpoints for this run — the last
+  // good checkpoint on disk stays valid, and atomic_write_file guarantees
+  // the failure left no partial file behind.
+  bool ckpt_disk_ok = true;
   auto write_checkpoint = [&](const ckpt::Checkpoint& c) {
-    if (!params_.checkpoint.path.empty())
-      ckpt::save_checkpoint(params_.checkpoint.path, c);
+    if (!params_.checkpoint.path.empty() && ckpt_disk_ok) {
+      try {
+        ckpt::save_checkpoint(params_.checkpoint.path, c);
+      } catch (const IoError&) {
+        ckpt_disk_ok = false;
+        obs::count("crusade.ckpt_write_failed", 1);
+      }
+    }
     if (params_.checkpoint.on_write) params_.checkpoint.on_write(c);
   };
 

@@ -8,8 +8,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <cstring>
 #include <map>
+
+#include "util/io_faults.hpp"
 
 namespace crusade::obs {
 
@@ -81,20 +84,29 @@ bool printable_name(const char* name, std::size_t cap, std::size_t* len_out) {
 bool arm_flight_recorder(const std::string& path, std::uint32_t slots) {
   disarm_flight_recorder();
   if (slots == 0 || slots > kMaxSlots) return false;
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
+  // Arming is best-effort by contract (callers degrade to no recorder), so
+  // injected open/ftruncate faults from the chaos seam surface as a false
+  // return, never an exception; EINTR is retried like a real signal.
+  int fd = -1;
+  for (;;) {
+    fd = iofault::xopen(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
   const std::size_t len = sizeof(FlightHeader) +
                           static_cast<std::size_t>(slots) *
                               sizeof(FlightRecord);
-  if (::ftruncate(fd, static_cast<off_t>(len)) != 0) {
-    ::close(fd);
-    ::unlink(path.c_str());
+  while (iofault::xftruncate(fd, static_cast<long long>(len)) != 0) {
+    if (errno == EINTR) continue;
+    (void)::close(fd);
+    (void)::unlink(path.c_str());
     return false;
   }
   void* map = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
+  (void)::close(fd);  // the mapping keeps the file alive
   if (map == MAP_FAILED) {
-    ::unlink(path.c_str());
+    (void)::unlink(path.c_str());
     return false;
   }
   auto* ring = new Ring;
@@ -146,12 +158,12 @@ FlightSnapshot read_flight(const std::string& path) {
   struct stat st{};
   if (::fstat(fd, &st) != 0 ||
       st.st_size < static_cast<off_t>(sizeof(FlightHeader))) {
-    ::close(fd);
+    (void)::close(fd);
     return snap;
   }
   const std::size_t len = static_cast<std::size_t>(st.st_size);
   void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
+  (void)::close(fd);
   if (map == MAP_FAILED) return snap;
   const auto* header = static_cast<const FlightHeader*>(map);
   const std::uint32_t slots = header->slot_count;

@@ -1,6 +1,9 @@
 #include "serve/client.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -9,7 +12,6 @@
 #include <cstring>
 
 #include "util/atomic_file.hpp"
-#include "util/error.hpp"
 
 namespace crusade::serve {
 
@@ -19,9 +21,64 @@ namespace {
 struct Fd {
   int fd = -1;
   ~Fd() {
-    if (fd >= 0) ::close(fd);
+    if (fd >= 0) (void)::close(fd);
   }
 };
+
+void set_io_timeout(int fd, long timeout_ms) {
+  if (timeout_ms <= 0) return;  // 0 = wait forever (explicit opt-in)
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Bounded connect: non-blocking connect + poll, then back to blocking.
+/// A daemon whose accept queue is wedged fails typed instead of hanging
+/// the client in the kernel forever.
+void connect_bounded(int fd, const sockaddr_un& addr, long timeout_ms,
+                     const std::string& socket_path) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int ready =
+        ::poll(&pfd, 1, timeout_ms > 0 ? static_cast<int>(timeout_ms) : -1);
+    if (ready == 0)
+      throw DaemonUnresponsive("client: connect to " + socket_path +
+                                   " timed out after " +
+                                   std::to_string(timeout_ms) + " ms",
+                               ETIMEDOUT);
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (ready < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      errno = soerr != 0 ? soerr : errno;
+      rc = -1;
+    } else {
+      rc = 0;
+    }
+  }
+  if (rc != 0)
+    throw IoError("client: no daemon at " + socket_path +
+                      " (start one with `crusaded`): " + errno_message(errno),
+                  errno);
+  (void)::fcntl(fd, F_SETFL, flags);
+}
+
+bool transient(const Error& e) {
+  // Protocol violations (malformed frames) are not transient: retrying a
+  // daemon that talks garbage only repeats the garbage.
+  if (dynamic_cast<const DaemonUnresponsive*>(&e) != nullptr) return true;
+  return dynamic_cast<const IoError*>(&e) != nullptr;
+}
 
 }  // namespace
 
@@ -35,16 +92,49 @@ Response Client::call(const Request& request) const {
   if (socket_path_.size() >= sizeof addr.sun_path)
     throw Error("client: socket path too long: " + socket_path_);
   std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
-  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0)
-    throw IoError("client: no daemon at " + socket_path_ +
-                      " (start one with `crusaded`): " + errno_message(errno),
-                  errno);
-  write_all(sock.fd, encode_request(request));
+  connect_bounded(sock.fd, addr, cfg_.connect_timeout_ms, socket_path_);
+  set_io_timeout(sock.fd, cfg_.recv_timeout_ms);
   Response response;
-  if (!read_response(sock.fd, &response))
-    throw Error("client: daemon closed the connection without replying");
+  try {
+    write_all(sock.fd, encode_request(request));
+    if (!read_response(sock.fd, &response))
+      throw IoError("client: daemon closed the connection without replying",
+                    ECONNRESET);
+  } catch (const IoError& e) {
+    // SO_RCVTIMEO/SO_SNDTIMEO expiry surfaces as EAGAIN from read/write —
+    // re-type it so callers can distinguish "daemon hung" from "daemon
+    // gone" (only the former is worth the user's patience).
+    if (e.error_number() == EAGAIN || e.error_number() == EWOULDBLOCK)
+      throw DaemonUnresponsive(
+          "client: daemon at " + socket_path_ + " did not reply within " +
+              std::to_string(cfg_.recv_timeout_ms) + " ms",
+          ETIMEDOUT);
+    throw;
+  }
   return response;
+}
+
+Response Client::call_resilient(const Request& request) const {
+  const int tries = cfg_.max_tries < 1 ? 1 : cfg_.max_tries;
+  long backoff = cfg_.retry_base_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return call(request);
+    } catch (const Error& e) {
+      if (attempt >= tries || !transient(e)) throw;
+      // Deterministic jitter (no RNG in the client — C002 discipline):
+      // spread retries by a hash of the attempt number so a herd of
+      // clients retrying the same failure doesn't stampede in lockstep.
+      const long jitter =
+          static_cast<long>((static_cast<unsigned long>(attempt) * 2654435761u) %
+                            257u);
+      long sleep_ms = backoff + jitter;
+      if (sleep_ms > cfg_.retry_cap_ms) sleep_ms = cfg_.retry_cap_ms;
+      ::usleep(static_cast<useconds_t>(sleep_ms) * 1000);
+      backoff = backoff * 2 > cfg_.retry_cap_ms ? cfg_.retry_cap_ms
+                                                : backoff * 2;
+    }
+  }
 }
 
 bool Client::ping() const {

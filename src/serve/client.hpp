@@ -1,30 +1,74 @@
 // Client side of the crusaded socket protocol: one connection per call,
-// blocking, typed errors.  The CLI's submit/status/result/cancel/shutdown
-// commands are thin wrappers over this.
+// bounded waits, typed errors.  The CLI's submit/status/result/cancel/
+// shutdown commands are thin wrappers over this.
+//
+// Resilience contract (DESIGN.md §16.4): every socket operation is bounded
+// by a timeout — a hung daemon surfaces as a typed DaemonUnresponsive
+// error, never a wedged client.  call_resilient() layers capped
+// exponential retry with deterministic jitter on top for transient
+// failures (daemon restarting, socket not yet bound); combined with
+// SubmitRequest::client_nonce idempotency keys, a retried submit after a
+// lost reply attaches to the existing job instead of duplicating work.
 #pragma once
 
 #include <string>
 
 #include "serve/protocol.hpp"
+#include "util/error.hpp"
 
 namespace crusade::serve {
+
+/// The daemon accepted the connection but did not answer inside the
+/// configured timeout (or never finished the handshake).  Distinct from
+/// "no daemon at <path>" — the process is there, it is just not talking.
+class DaemonUnresponsive : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Per-call socket bounds and retry policy.  Defaults favor interactive
+/// CLI use; batch callers raise recv_timeout_ms to cover --wait windows.
+struct ClientConfig {
+  long connect_timeout_ms = 5000;
+  /// Cap on each blocking read; 0 = wait forever (opt-in, never default).
+  long recv_timeout_ms = 30000;
+  /// Total tries for call_resilient (1 = no retry).
+  int max_tries = 1;
+  /// Capped exponential backoff between tries: base * 2^(try-1), plus a
+  /// deterministic jitter derived from the attempt number.
+  long retry_base_ms = 100;
+  long retry_cap_ms = 2000;
+};
 
 class Client {
  public:
   explicit Client(std::string socket_path)
       : socket_path_(std::move(socket_path)) {}
+  Client(std::string socket_path, ClientConfig config)
+      : socket_path_(std::move(socket_path)), cfg_(config) {}
 
   /// Connects, sends one request, reads one response, disconnects.  Throws
-  /// Error when the daemon is unreachable or the reply frame is malformed.
+  /// IoError when the daemon is unreachable, DaemonUnresponsive when a
+  /// bounded wait expires, Error when the reply frame is malformed.
   Response call(const Request& request) const;
+
+  /// call() with up to cfg.max_tries attempts.  Retries only transient
+  /// transport failures (unreachable, unresponsive, connection lost);
+  /// protocol errors and daemon replies — including ERR responses — are
+  /// returned/thrown immediately.  Safe for submits only when the request
+  /// carries an idempotency nonce; the CLI always sets one.
+  Response call_resilient(const Request& request) const;
 
   /// True when a daemon answers a PING on the socket.
   bool ping() const;
 
   const std::string& socket_path() const { return socket_path_; }
+  const ClientConfig& config() const { return cfg_; }
+  void set_config(const ClientConfig& config) { cfg_ = config; }
 
  private:
   std::string socket_path_;
+  ClientConfig cfg_;
 };
 
 }  // namespace crusade::serve

@@ -35,7 +35,7 @@ bool socket_live(const std::string& path) {
   sockaddr_un addr = make_addr(path);
   const bool live =
       ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
-  ::close(fd);
+  (void)::close(fd);
   return live;
 }
 
@@ -70,7 +70,7 @@ Daemon::Daemon(DaemonConfig config)
     if (socket_live(cfg_.socket_path))
       throw Error("serve: a daemon is already listening on " +
                   cfg_.socket_path);
-    ::unlink(cfg_.socket_path.c_str());  // stale socket from a dead daemon
+    (void)::unlink(cfg_.socket_path.c_str());  // stale socket, dead daemon
   }
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -79,23 +79,23 @@ Daemon::Daemon(DaemonConfig config)
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
       0) {
     const int e = errno;
-    ::close(listen_fd_);
+    (void)::close(listen_fd_);
     listen_fd_ = -1;
     throw_io_error("serve: bind " + cfg_.socket_path, e);
   }
   if (::listen(listen_fd_, 64) != 0) {
     const int e = errno;
-    ::close(listen_fd_);
+    (void)::close(listen_fd_);
     listen_fd_ = -1;
-    ::unlink(cfg_.socket_path.c_str());
+    (void)::unlink(cfg_.socket_path.c_str());
     throw_io_error("serve: listen", e);
   }
 }
 
 Daemon::~Daemon() {
   if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    ::unlink(cfg_.socket_path.c_str());
+    (void)::close(listen_fd_);
+    (void)::unlink(cfg_.socket_path.c_str());
   }
   {
     util::MutexLock lk(handlers_mu_);
@@ -156,8 +156,8 @@ void Daemon::run() {
         [this, fd, &handler] { handle_connection(fd, &handler.done); });
   }
 
-  ::close(listen_fd_);
-  ::unlink(cfg_.socket_path.c_str());
+  (void)::close(listen_fd_);
+  (void)::unlink(cfg_.socket_path.c_str());
   listen_fd_ = -1;
   {
     util::MutexLock lk(handlers_mu_);
@@ -191,7 +191,7 @@ void Daemon::handle_connection(int fd, std::atomic<bool>* done) {
     }
     if (request.verb == "SHUTDOWN") break;
   }
-  ::close(fd);
+  (void)::close(fd);
   {
     util::MutexLock lk(handlers_mu_);
     open_fds_.erase(fd);
@@ -220,13 +220,15 @@ Response Daemon::dispatch(const Request& request) {
     }
     if (outcome.shutting_down)
       return err("shutting-down", "the daemon is shutting down");
+    if (outcome.disk_full) return err("disk-full", outcome.error);
     if (!outcome.admitted) return err("bad-request", outcome.error);
 
     const long wait_ms = request.get_long_or("wait_ms", 0);
     tools::JsonWriter w;
     w.begin_object()
         .key("id").value(static_cast<unsigned long long>(outcome.id))
-        .key("cached").value(outcome.cached);
+        .key("cached").value(outcome.cached)
+        .key("duplicate").value(outcome.duplicate);
     if (wait_ms > 0 || outcome.cached) {
       JobStatus status;
       std::string body;

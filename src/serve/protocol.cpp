@@ -196,6 +196,10 @@ Request make_submit_request(const SubmitRequest& submit) {
     r.fields["fault_crash"] = std::to_string(submit.fault_crash_attempts);
   if (submit.fault_hang_attempts > 0)
     r.fields["fault_hang"] = std::to_string(submit.fault_hang_attempts);
+  if (submit.fault_resource_attempts > 0)
+    r.fields["fault_resource"] =
+        std::to_string(submit.fault_resource_attempts);
+  if (!submit.client_nonce.empty()) r.fields["nonce"] = submit.client_nonce;
   r.body = submit.spec_text;
   return r;
 }
@@ -214,6 +218,14 @@ SubmitRequest parse_submit_request(const Request& request) {
       static_cast<int>(request.get_long_or("fault_crash", 0));
   s.fault_hang_attempts =
       static_cast<int>(request.get_long_or("fault_hang", 0));
+  s.fault_resource_attempts =
+      static_cast<int>(request.get_long_or("fault_resource", 0));
+  if (request.has("nonce")) {
+    s.client_nonce = request.get("nonce");
+    if (s.client_nonce.size() > 64)
+      throw Error("protocol: nonce exceeds 64 characters");
+    require_token_safe(s.client_nonce, "nonce");
+  }
   s.spec_text = request.body;
   return s;
 }

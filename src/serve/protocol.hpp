@@ -54,6 +54,14 @@ struct SubmitRequest {
   /// job crash mid-run / hang until the watchdog fires.  0 in production.
   int fault_crash_attempts = 0;
   int fault_hang_attempts = 0;
+  /// First N attempts die as if a resource limit fired (SIGXCPU), driving
+  /// the supervisor's resource-exhausted classification deterministically.
+  int fault_resource_attempts = 0;
+  /// Idempotency nonce: a client-chosen token (<= 64 framing-safe chars,
+  /// empty = none).  The service keys (request fingerprint, nonce) -> job
+  /// id, so a resubmit after a lost reply attaches to the existing job
+  /// instead of duplicating the work.
+  std::string client_nonce;
   std::string spec_text;
 };
 

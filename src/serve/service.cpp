@@ -22,6 +22,7 @@
 #include "serve/worker.hpp"
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/io_faults.hpp"
 #include "util/json_writer.hpp"
 
 namespace crusade::serve {
@@ -83,11 +84,15 @@ std::vector<std::string> list_dir(const std::string& path) {
 }
 
 void remove_if_exists(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+  if (iofault::xunlink(path.c_str()) != 0 && errno != ENOENT) {
     // Best-effort cleanup; a stale spool file is re-scanned (and skipped as
     // already-terminal or re-run idempotently) on the next start.
   }
 }
+
+/// iofault observer -> obs bridge: every injected environment fault shows
+/// up as a chaos.* counter next to the serve.* metrics it perturbs.
+void chaos_obs_bridge(const char* counter_name) { obs::count(counter_name); }
 
 std::string hex16(std::uint64_t v) {
   char buf[24];
@@ -186,6 +191,15 @@ std::string to_json(const ServiceStats& s) {
       .key("crashes").value(static_cast<long long>(s.crashes))
       .key("watchdog_kills").value(static_cast<long long>(s.watchdog_kills))
       .key("recovered").value(static_cast<long long>(s.recovered))
+      .key("resource_exhausted")
+      .value(static_cast<long long>(s.resource_exhausted))
+      .key("rejected_disk").value(static_cast<long long>(s.rejected_disk))
+      .key("duplicates_attached")
+      .value(static_cast<long long>(s.duplicates_attached))
+      .key("cache_evictions").value(static_cast<long long>(s.cache_evictions))
+      .key("spool_quarantined")
+      .value(static_cast<long long>(s.spool_quarantined))
+      .key("disk_used_bytes").value(s.disk_used_bytes)
       .key("queue_depth").value(s.queue_depth)
       .key("queue_peak").value(s.queue_peak)
       .key("running").value(s.running)
@@ -221,6 +235,16 @@ struct Service::Job {
   long wait_ms = 0;
   long run_ms = 0;
   pid_t child_pid = 0;
+  /// Idempotency key this job is registered under (0 = none).
+  std::uint64_t idem_key = 0;
+  /// Attempts that ended in a genuine crash — the denominator for the
+  /// crash budget.  Resource-exhausted deaths deliberately do not count.
+  int crash_attempts = 0;
+  /// A previous attempt died on a governed rlimit: the next one runs with
+  /// a capped search budget, and its completion is degraded-honest.
+  bool reduced_budget = false;
+  /// Which limit fired, for the diagnosis ("RLIMIT_CPU (cpu seconds)"...).
+  std::string resource_limit;
   std::string body;
   std::string detail;
   std::vector<AttemptRecord> history;
@@ -228,7 +252,9 @@ struct Service::Job {
 
 struct Service::CacheEntry {
   std::string body;
-  std::list<std::uint64_t>::iterator lru_pos;
+  /// Wall time the original job spent computing this answer — the price of
+  /// losing the entry, which is exactly the eviction order.
+  long long cost_ms = 0;
 };
 
 Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
@@ -239,6 +265,20 @@ Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   make_dirs(cfg_.spool_dir);
   make_dir(cfg_.spool_dir + "/jobs");
   make_dir(cfg_.spool_dir + "/cache");
+  // Chaos plan: config seed wins; otherwise the CRUSADE_CHAOS environment
+  // variable (seed[:rate]) arms the same process-global plan.  The observer
+  // bridge makes every injection visible as a chaos.* counter.  Armed
+  // before recovery on purpose — a spool rescued under injected faults is
+  // the scenario the quarantine paths exist for.
+  iofault::set_observer(&chaos_obs_bridge);
+  if (cfg_.chaos_seed != 0) {
+    iofault::Plan plan;
+    plan.seed = cfg_.chaos_seed;
+    plan.rate = cfg_.chaos_rate;
+    iofault::arm(plan);
+  } else if (const char* env = std::getenv("CRUSADE_CHAOS")) {
+    iofault::arm_from_env(env);
+  }
   // Hold mu_ through recovery and worker creation: freshly spawned workers
   // block on their first lock until construction finishes, so none can
   // observe a half-recovered spool.
@@ -259,7 +299,9 @@ Service::~Service() { stop(false); }
 /// Throws Error (propagating the parse failure) for run/validate/survive
 /// specs that do not parse.
 std::uint64_t Service::compute_cache_key(const SubmitRequest& req) const {
-  if (req.fault_crash_attempts > 0 || req.fault_hang_attempts > 0) return 0;
+  if (req.fault_crash_attempts > 0 || req.fault_hang_attempts > 0 ||
+      req.fault_resource_attempts > 0)
+    return 0;
   std::uint64_t base = 0;
   if (req.kind == JobKind::Lint) {
     base = ckpt::fnv1a(req.spec_text);
@@ -277,6 +319,23 @@ std::uint64_t Service::compute_cache_key(const SubmitRequest& req) const {
     mix += ":s" + std::to_string(req.survive_seeds);
   const std::uint64_t key = ckpt::fnv1a(mix);
   return key == 0 ? 1 : key;
+}
+
+/// The idempotency key binds the request's content fingerprint to the
+/// client-chosen nonce: the same client retrying the same request maps to
+/// the same key, while two clients submitting identical specs with
+/// different nonces stay distinct jobs.  Fault-injected requests have
+/// cache_key 0 and fall back to the raw spec hash, so chaos tests can
+/// exercise the attach path too.
+std::uint64_t Service::compute_idem_key(const SubmitRequest& req,
+                                        std::uint64_t cache_key) {
+  if (req.client_nonce.empty()) return 0;
+  const std::uint64_t base =
+      cache_key != 0 ? cache_key : ckpt::fnv1a(req.spec_text);
+  const std::string mix = std::string(to_string(req.kind)) + ":" +
+                          hex16(base) + ":n:" + req.client_nonce;
+  const std::uint64_t k = ckpt::fnv1a(mix);
+  return k == 0 ? 1 : k;
 }
 
 SubmitOutcome Service::submit(const SubmitRequest& request) {
@@ -297,6 +356,8 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
     return out;
   }
 
+  const std::uint64_t idem = compute_idem_key(request, key);
+
   std::uint64_t id = 0;
   {
     util::MutexLock lk(mu_);
@@ -306,15 +367,33 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
       out.shutting_down = true;
       return out;
     }
+    // Idempotent attach comes before every other verdict — including the
+    // busy check: a client retrying a lost reply must reach its existing
+    // job even when the queue has since filled up.
+    if (idem != 0) {
+      const auto dup = idem_to_job_.find(idem);
+      if (dup != idem_to_job_.end()) {
+        if (jobs_.count(dup->second) != 0) {
+          ++stats_.duplicates_attached;
+          obs::count("serve.duplicates_attached");
+          out.admitted = true;
+          out.duplicate = true;
+          out.id = dup->second;
+          return out;
+        }
+        idem_to_job_.erase(dup);  // job evicted from retention: stale
+      }
+    }
     if (key != 0) {
       const auto hit = cache_.find(key);
       if (hit != cache_.end()) {
-        cache_lru_.splice(cache_lru_.begin(), cache_lru_, hit->second.lru_pos);
         id = next_id_++;
         Job& job = jobs_[id];
         job.id = id;
         job.req = request;
         job.cache_key = key;
+        job.idem_key = idem;
+        if (idem != 0) idem_to_job_[idem] = id;
         job.state = JobState::Done;
         job.outcome = JobOutcome::Ok;
         job.cached = true;
@@ -346,11 +425,27 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
       out.retry_after_ms = busy_retry_hint_locked();
       return out;
     }
+    // Disk budget: the spool write below needs roughly the spec plus frame
+    // overhead.  Pressure first reclaims the cheapest-to-recompute cache
+    // entries (self-healing); only when the cache is dry and the budget
+    // still cannot fit the job is the submit refused — typed and honest.
+    const long long need =
+        static_cast<long long>(request.spec_text.size()) + 512;
+    if (!evict_cache_for_space_locked(need)) {
+      ++stats_.rejected_disk;
+      obs::count("serve.rejected_disk");
+      out.disk_full = true;
+      out.error = "disk budget exhausted: " + std::to_string(disk_used_) +
+                  " of " + std::to_string(cfg_.disk_budget_bytes) +
+                  " bytes in use and nothing left to evict";
+      return out;
+    }
     id = next_id_++;
     Job& job = jobs_[id];
     job.id = id;
     job.req = request;
     job.cache_key = key;
+    job.idem_key = idem;
     job.submitted_at = Clock::now();
 
     // Spool BEFORE the job becomes visible to workers (queue_ insert +
@@ -370,6 +465,7 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
       out.error = std::string("spool write failed: ") + e.what();
       return out;
     }
+    if (idem != 0) idem_to_job_[idem] = id;
     queue_.insert({-static_cast<long long>(request.priority), id});
     stats_.queue_depth = static_cast<int>(queue_.size());
     if (stats_.queue_depth > stats_.queue_peak)
@@ -749,6 +845,7 @@ void Service::run_supervised(std::uint64_t id) {
     SubmitRequest req;
     int attempt = 0;
     long deadline_ms = 0;
+    bool reduced_budget = false;
     Clock::time_point submitted_at;
     {
       util::MutexLock lk(mu_);
@@ -781,6 +878,7 @@ void Service::run_supervised(std::uint64_t id) {
       job.history.push_back(std::move(rec));
       req = job.req;
       deadline_ms = job.req.deadline_ms;
+      reduced_budget = job.reduced_budget;
       submitted_at = job.submitted_at;
     }
 
@@ -798,15 +896,20 @@ void Service::run_supervised(std::uint64_t id) {
     obs::count("serve.attempts");
     const std::string result_path = result_spool_path(id);
     const std::string ckpt_path = ckpt_spool_path(id);
-    remove_if_exists(result_path);
+    remove_spool_file(result_path);
     WorkerTelemetry telemetry;
     telemetry.trace_path = trace_spool_path(id, attempt);
     telemetry.flight_path = flight_spool_path(id, attempt);
     telemetry.flight_slots = cfg_.flight_slots;
     // Stale files from a previous incarnation of this (id, attempt) pair
     // (daemon restart mid-job) must not masquerade as this attempt's story.
-    remove_if_exists(telemetry.trace_path);
-    remove_if_exists(telemetry.flight_path);
+    remove_spool_file(telemetry.trace_path);
+    remove_spool_file(telemetry.flight_path);
+    WorkerLimits limits;
+    limits.address_space_mb = cfg_.limit_as_mb;
+    limits.cpu_seconds = cfg_.limit_cpu_s;
+    limits.file_size_mb = cfg_.limit_fsize_mb;
+    limits.reduced_budget = reduced_budget;
 
     // fork() from a multithreaded daemon: the child may only touch state
     // whose locks are guaranteed free.  obs registers a pthread_atfork
@@ -820,7 +923,7 @@ void Service::run_supervised(std::uint64_t id) {
     if (pid == 0) {
       // Child: single-threaded from here (fork drops the siblings).
       run_worker_attempt(req, attempt, result_path, ckpt_path, remaining_ms,
-                         cfg_.checkpoint_every, telemetry);
+                         cfg_.checkpoint_every, telemetry, limits);
     }
     if (pid < 0) {
       finalize(id, JobOutcome::FailedHonest,
@@ -885,6 +988,13 @@ void Service::run_supervised(std::uint64_t id) {
     }
     if (watchdog_fired) obs::count("serve.watchdog_kills");
 
+    // Ledger: whatever the attempt left on disk (result, checkpoint,
+    // telemetry) now counts against the disk budget.
+    track_file(result_path);
+    track_file(ckpt_path);
+    track_file(telemetry.trace_path);
+    track_file(telemetry.flight_path);
+
     if (classify_attempt(id, attempt, wait_status, watchdog_fired)) return;
 
     // Retry with capped exponential backoff; a cancellation or hard stop
@@ -930,6 +1040,9 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
   bool cancel_requested = false;
   std::uint64_t cache_key = 0;
   JobKind kind = JobKind::Run;
+  bool reduced_budget = false;
+  std::string resource_limit;
+  Clock::time_point started_at{};
   {
     util::MutexLock lk(mu_);
     const auto it = jobs_.find(id);
@@ -938,6 +1051,9 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
     cancel_requested = job.cancel_requested;
     cache_key = job.cache_key;
     kind = job.req.kind;
+    reduced_budget = job.reduced_budget;
+    resource_limit = job.resource_limit;
+    started_at = job.started_at;
   }
 
   if (exited && (code == kWorkerDone || code == kWorkerTruncated ||
@@ -954,7 +1070,18 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
     if (!body.empty()) {
       if (code == kWorkerDone) {
         record_attempt_end(id, attempt, "ok");
-        if (cache_key != 0) cache_insert(cache_key, body);
+        if (reduced_budget) {
+          // The answer exists only because the search was capped after a
+          // resource death: honest about the reduced quality, with the
+          // limit named, and never cached as the canonical answer.
+          finalize(id, JobOutcome::DegradedHonest, std::move(body),
+                   "completed at reduced search budget after exceeding " +
+                       resource_limit,
+                   false);
+          return true;
+        }
+        if (cache_key != 0)
+          cache_insert(cache_key, body, elapsed_ms(started_at));
         finalize(id, attempt > 1 ? JobOutcome::Masked : JobOutcome::Ok,
                  std::move(body),
                  attempt > 1 ? "recovered after " +
@@ -981,10 +1108,52 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
     }
   }
 
+  // Resource-exhausted deaths are their own class, distinct from crashes:
+  // the worker did nothing wrong, the environment's governance said no.
+  // One retry at a reduced search budget; a second death is failed-honest
+  // with the limit named.  Never burned against the crash budget.
+  const bool signaled = wait_status >= 0 && WIFSIGNALED(wait_status);
+  const int sig = signaled ? WTERMSIG(wait_status) : 0;
+  const bool resource =
+      !watchdog_fired && !cancel_requested &&
+      ((exited && code == kWorkerResource) ||
+       (signaled && (sig == SIGXCPU || sig == SIGXFSZ)));
+  if (resource) {
+    const char* limit = sig == SIGXFSZ   ? "RLIMIT_FSIZE (file size)"
+                        : sig == SIGXCPU ? "RLIMIT_CPU (cpu seconds)"
+                                         : "RLIMIT_AS (address space)";
+    bool retry_reduced = false;
+    {
+      util::MutexLock lk(mu_);
+      ++stats_.resource_exhausted;
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) return true;  // terminal + evicted
+      it->second.resource_limit = limit;
+      if (!it->second.reduced_budget) {
+        it->second.reduced_budget = true;
+        retry_reduced = true;
+      }
+    }
+    obs::count("serve.resource_exhausted");
+    record_attempt_end(id, attempt, "resource");
+    if (retry_reduced) return false;
+    finalize(id, JobOutcome::FailedHonest,
+             failure_body(kind, "resource-exhausted",
+                          std::string("worker exceeded ") + limit +
+                              " twice (the second attempt already ran at a "
+                              "reduced search budget)",
+                          attempt),
+             std::string("resource-exhausted: ") + limit, false);
+    return true;
+  }
+
   // Crash (signal, unexpected exception, injected fault, lost body).
+  int crash_attempts = attempt;
   {
     util::MutexLock lk(mu_);
     ++stats_.crashes;
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) crash_attempts = ++it->second.crash_attempts;
   }
   obs::count("serve.crashes");
   record_attempt_end(id, attempt,
@@ -998,20 +1167,19 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
              "cancelled; worker produced no result", false);
     return true;
   }
-  if (attempt >= cfg_.max_attempts) {
+  if (crash_attempts >= cfg_.max_attempts) {
     std::string how;
     if (exited)
       how = "worker exited with code " + std::to_string(code);
-    else if (wait_status >= 0 && WIFSIGNALED(wait_status))
-      how = std::string("worker killed by signal ") +
-            std::to_string(WTERMSIG(wait_status));
+    else if (signaled)
+      how = std::string("worker killed by signal ") + std::to_string(sig);
     else
       how = "worker lost";
     if (watchdog_fired) how += " (watchdog)";
     finalize(id, JobOutcome::FailedHonest,
              failure_body(kind, "crash-budget",
-                          how + " after " + std::to_string(attempt) +
-                              " attempt(s)",
+                          how + " after " + std::to_string(crash_attempts) +
+                              " crashed attempt(s)",
                           attempt),
              how, false);
     return true;
@@ -1076,9 +1244,9 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
     // Telemetry files (.trace.N / .flight.N) deliberately survive here:
     // `crusade trace --job` must work on terminal jobs.  They are unlinked
     // when the job leaves the terminal retention window (cleanup_telemetry).
-    remove_if_exists(job_spool_path(id));
-    remove_if_exists(ckpt_spool_path(id));
-    remove_if_exists(result_spool_path(id));
+    remove_spool_file(job_spool_path(id));
+    remove_spool_file(ckpt_spool_path(id));
+    remove_spool_file(result_spool_path(id));
   }
   done_cv_.notify_all();
 }
@@ -1128,6 +1296,14 @@ void Service::note_terminal_locked(
     terminal_order_.pop_front();
     const auto it = jobs_.find(victim);
     if (it != jobs_.end()) {
+      if (it->second.idem_key != 0) {
+        // Drop the idempotency mapping with the job: a later resubmit with
+        // the same nonce becomes a fresh admission, which is the contract
+        // (attachment only works while the job is queryable).
+        const auto idem = idem_to_job_.find(it->second.idem_key);
+        if (idem != idem_to_job_.end() && idem->second == victim)
+          idem_to_job_.erase(idem);
+      }
       if (evicted != nullptr)
         evicted->emplace_back(victim, it->second.attempts);
       jobs_.erase(it);
@@ -1137,65 +1313,161 @@ void Service::note_terminal_locked(
 }
 
 void Service::cleanup_telemetry(
-    const std::vector<std::pair<std::uint64_t, int>>& evicted) const {
+    const std::vector<std::pair<std::uint64_t, int>>& evicted) {
   for (const auto& [id, attempts] : evicted) {
     for (int attempt = 1; attempt <= attempts; ++attempt) {
-      remove_if_exists(trace_spool_path(id, attempt));
-      remove_if_exists(flight_spool_path(id, attempt));
+      remove_spool_file(trace_spool_path(id, attempt));
+      remove_spool_file(flight_spool_path(id, attempt));
     }
   }
 }
 
-void Service::cache_insert(std::uint64_t key, const std::string& body) {
+void Service::cache_insert(std::uint64_t key, const std::string& body,
+                           long cost_ms) {
   std::vector<std::uint64_t> evicted;
+  bool persist = true;
   {
     util::MutexLock lk(mu_);
     if (cfg_.cache_capacity == 0) return;
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_pos);
-      return;
-    }
-    cache_lru_.push_front(key);
-    cache_[key] = CacheEntry{body, cache_lru_.begin()};
+    if (cache_.count(key) != 0) return;  // cost pinned at first insert
+    cache_[key] = CacheEntry{body, cost_ms};
+    cache_by_cost_.insert({static_cast<long long>(cost_ms), key});
+    // Capacity pressure evicts by cost-to-recompute, cheapest first — the
+    // entry whose loss costs the least wall time to repair.  The entry
+    // just inserted is a legal victim: a cheap answer does not get to
+    // displace an expensive one.
     while (cache_.size() > cfg_.cache_capacity) {
-      const std::uint64_t victim = cache_lru_.back();
-      cache_lru_.pop_back();
+      const auto cheapest = cache_by_cost_.begin();
+      const std::uint64_t victim = cheapest->second;
+      cache_by_cost_.erase(cheapest);
       cache_.erase(victim);
       evicted.push_back(victim);
+      ++stats_.cache_evictions;
+      obs::count("serve.cache_evictions");
     }
+    // Disk pressure: if even cache self-eviction cannot make the entry fit
+    // under the budget, keep it in memory only (hits still work this
+    // incarnation) and skip the persist.
+    if (cache_.count(key) != 0 &&
+        !evict_cache_for_space_locked(static_cast<long long>(body.size()) +
+                                      64))
+      persist = false;
   }
   obs::count("serve.cache_inserts");
+  for (const std::uint64_t victim : evicted) {
+    remove_spool_file(cache_path(victim));
+    remove_spool_file(cache_path(victim) + ".meta");
+    if (victim == key) persist = false;
+  }
+  if (!persist) {
+    obs::count("serve.cache_persist_skipped");
+    return;
+  }
   // Persist outside the lock; a full disk costs only the persistence (the
-  // in-memory entry still serves hits this incarnation).
+  // in-memory entry still serves hits this incarnation).  The .meta
+  // sidecar carries the recompute cost so eviction order survives a
+  // restart.
   try {
     atomic_write_file(cache_path(key), body);
+    track_file(cache_path(key));
+    atomic_write_file(cache_path(key) + ".meta",
+                      "cost_ms=" + std::to_string(cost_ms) + "\n");
+    track_file(cache_path(key) + ".meta");
   } catch (const Error&) {
     obs::count("serve.cache_persist_failures");
   }
-  for (const std::uint64_t victim : evicted)
-    remove_if_exists(cache_path(victim));
+}
+
+void Service::track_file(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return;
+  util::MutexLock lk(mu_);
+  track_file_locked(path, static_cast<long long>(st.st_size));
+}
+
+void Service::track_file_locked(const std::string& path, long long bytes) {
+  long long& slot = disk_files_[path];
+  disk_used_ += bytes - slot;
+  slot = bytes;
+  stats_.disk_used_bytes = disk_used_;
+}
+
+void Service::remove_spool_file(const std::string& path) {
+  {
+    util::MutexLock lk(mu_);
+    const auto it = disk_files_.find(path);
+    if (it != disk_files_.end()) {
+      disk_used_ -= it->second;
+      disk_files_.erase(it);
+      stats_.disk_used_bytes = disk_used_;
+    }
+  }
+  if (iofault::xunlink(path.c_str()) != 0 && errno != ENOENT) {
+    // The bytes stay on disk but leave the ledger — temporary accounting
+    // drift that the recovery rescan corrects on the next start.
+    obs::count("serve.spool_unlink_failures");
+  }
+}
+
+bool Service::evict_cache_for_space_locked(long long need) {
+  if (cfg_.disk_budget_bytes <= 0) return true;
+  while (disk_used_ + need > cfg_.disk_budget_bytes &&
+         !cache_by_cost_.empty()) {
+    const std::uint64_t victim = cache_by_cost_.begin()->second;
+    cache_by_cost_.erase(cache_by_cost_.begin());
+    cache_.erase(victim);
+    ++stats_.cache_evictions;
+    obs::count("serve.cache_evictions");
+    // Untrack + unlink inline (under mu_, like spool_job): the admission
+    // decision that triggered this needs the bytes actually reclaimed.
+    for (const std::string& path :
+         {cache_path(victim), cache_path(victim) + ".meta"}) {
+      const auto it = disk_files_.find(path);
+      if (it != disk_files_.end()) {
+        disk_used_ -= it->second;
+        disk_files_.erase(it);
+      }
+      (void)iofault::xunlink(path.c_str());
+    }
+  }
+  stats_.disk_used_bytes = disk_used_;
+  return disk_used_ + need <= cfg_.disk_budget_bytes;
 }
 
 void Service::recover_spool() {
-  // Cache first: <16-hex-key>.res files, oldest names evicted if over
-  // capacity (names sort deterministically; LRU order is lost across a
-  // restart, which only costs eviction precision).
+  // Cache first: <16-hex-key>.res files with an optional .res.meta sidecar
+  // carrying the recompute cost (cost_ms=N), so cost-aware eviction order
+  // survives a restart.  Entries without a sidecar recover with cost 0 —
+  // first in line for eviction, which is the safe default.
   for (const std::string& name : list_dir(cfg_.spool_dir + "/cache")) {
     if (name.size() != 20 || name.substr(16) != ".res") continue;
+    const std::string path = cfg_.spool_dir + "/cache/" + name;
     const std::uint64_t key =
         std::strtoull(name.substr(0, 16).c_str(), nullptr, 16);
     if (key == 0) continue;
     if (cache_.size() >= cfg_.cache_capacity) {
-      remove_if_exists(cfg_.spool_dir + "/cache/" + name);
+      remove_if_exists(path);
+      remove_if_exists(path + ".meta");
       continue;
     }
     try {
-      const std::string body = read_file(cfg_.spool_dir + "/cache/" + name);
-      cache_lru_.push_front(key);
-      cache_[key] = CacheEntry{body, cache_lru_.begin()};
+      const std::string body = read_file(path);
+      long long cost_ms = 0;
+      try {
+        const std::string meta = read_file(path + ".meta");
+        if (meta.rfind("cost_ms=", 0) == 0)
+          cost_ms = std::strtoll(meta.c_str() + 8, nullptr, 10);
+        track_file_locked(path + ".meta",
+                          static_cast<long long>(meta.size()));
+      } catch (const Error&) {
+        // no sidecar (older spool, injected read fault): costless entry
+      }
+      track_file_locked(path, static_cast<long long>(body.size()));
+      cache_[key] = CacheEntry{body, cost_ms};
+      cache_by_cost_.insert({cost_ms, key});
     } catch (const Error&) {
-      remove_if_exists(cfg_.spool_dir + "/cache/" + name);
+      remove_if_exists(path);
+      remove_if_exists(path + ".meta");
     }
   }
 
@@ -1224,26 +1496,51 @@ void Service::recover_spool() {
       } catch (const Error&) {
         job.cache_key = 0;  // ran before, so run again; just never cache it
       }
+      // Re-register the idempotency mapping: a client resubmitting across
+      // the daemon restart still attaches to its recovered job.
+      job.idem_key = compute_idem_key(job.req, job.cache_key);
+      if (job.idem_key != 0) idem_to_job_[job.idem_key] = id;
       queue_.insert({-static_cast<long long>(job.req.priority), id});
       if (id > max_id) max_id = id;
       ++recovered_;
       ++stats_.recovered;
       obs::count("serve.recovered");
     } catch (const Error&) {
-      ::rename(path.c_str(), (path + ".corrupt").c_str());
+      // Quarantine, never delete: the corrupt bytes are the evidence.  A
+      // failed rename (injected EIO) leaves the file for the next start to
+      // retry — recovery of the remaining entries continues either way.
+      if (iofault::xrename(path.c_str(), (path + ".corrupt").c_str()) == 0) {
+        ++stats_.spool_quarantined;
+        obs::count("serve.spool_quarantined");
+      } else {
+        obs::count("serve.quarantine_rename_failures");
+      }
     }
   }
   if (max_id >= next_id_) next_id_ = max_id + 1;
   stats_.queue_depth = static_cast<int>(queue_.size());
   if (stats_.queue_depth > stats_.queue_peak)
     stats_.queue_peak = stats_.queue_depth;
+
+  // Disk ledger: everything sitting in the job spool counts against the
+  // budget from the first instant — spooled jobs, checkpoints, telemetry
+  // of retained terminal jobs, quarantined corpses.
+  for (const std::string& name : list_dir(cfg_.spool_dir + "/jobs")) {
+    const std::string path = cfg_.spool_dir + "/jobs/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0)
+      track_file_locked(path, static_cast<long long>(st.st_size));
+  }
 }
 
 void Service::spool_job(const Job& job) {
   Request frame = make_submit_request(job.req);
   frame.verb = "JOB";
   frame.fields["id"] = std::to_string(job.id);
-  atomic_write_file(job_spool_path(job.id), encode_request(frame));
+  const std::string bytes = encode_request(frame);
+  atomic_write_file(job_spool_path(job.id), bytes);
+  track_file_locked(job_spool_path(job.id),
+                    static_cast<long long>(bytes.size()));
 }
 
 std::string Service::job_spool_path(std::uint64_t id) const {

@@ -22,7 +22,9 @@
 //    daemon restart and is re-admitted on construction.  A job is spooled
 //    before it ever becomes visible to a worker: admission acknowledged
 //    implies crash-durable.
-//  * Bounded retention everywhere: the cache is LRU-capped, and terminal
+//  * Bounded retention everywhere: the cache is capped and evicts the
+//    cheapest-to-recompute entry first (an expensive synthesis result
+//    outlives any number of cheap lint answers), and terminal
 //    jobs (with their result bodies) are kept for the last terminal_retain
 //    completions, then forgotten oldest-first — a long-lived daemon's
 //    memory never grows with its lifetime.
@@ -71,8 +73,10 @@ struct ServiceConfig {
   /// SIGTERM -> SIGKILL escalation window for workers that ignore the
   /// cooperative stop.
   long term_grace_ms = 1000;
-  /// Result-cache entry bound; least-recently-used entries (and their
-  /// spool files) are evicted past it.
+  /// Result-cache entry bound; past it the cheapest-to-recompute entries
+  /// (by the wall time the original run took) are evicted first, spool
+  /// files included — re-linting costs milliseconds, re-synthesizing does
+  /// not.
   std::size_t cache_capacity = 256;
   /// Terminal-job retention bound (>= 1): finished jobs (and their result
   /// bodies) stay queryable until this many newer jobs have finished, then
@@ -83,6 +87,24 @@ struct ServiceConfig {
   std::int64_t checkpoint_every = 200;
   /// Flight-recorder ring capacity per worker attempt (64-byte records).
   std::uint32_t flight_slots = 256;
+  /// Per-attempt worker resource limits, applied with setrlimit in the
+  /// child before any real work (0 = unlimited).  A worker that trips one
+  /// is classified resource-exhausted — retried once at a reduced search
+  /// budget, never charged to the crash budget.
+  long limit_as_mb = 0;     ///< RLIMIT_AS, mebibytes
+  long limit_cpu_s = 0;     ///< RLIMIT_CPU soft limit, seconds
+  long limit_fsize_mb = 0;  ///< RLIMIT_FSIZE, mebibytes
+  /// Byte quota over everything the service puts on disk (job spool,
+  /// checkpoints, results, telemetry, result cache); 0 = unbounded.  When
+  /// an admission would exceed it, the cheapest-to-recompute cache entries
+  /// are evicted first (self-healing); if that is not enough the submit is
+  /// rejected with a typed disk-full outcome.
+  long long disk_budget_bytes = 0;
+  /// Deterministic environment-fault injection (util/io_faults.hpp): a
+  /// non-zero seed arms the process-global plan at construction.  When the
+  /// seed is 0 the CRUSADE_CHAOS environment variable is consulted instead.
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0.05;
   /// Tests: hold workers until resume_workers() so queue order and
   /// admission control can be asserted deterministically.
   bool start_paused = false;
@@ -116,7 +138,8 @@ struct AttemptRecord {
   int attempt = 0;  ///< 1-based
   long start_ms = 0;
   long end_ms = 0;
-  /// "ok", "truncated", "bad-spec", "crash", "watchdog", or "cancelled".
+  /// "ok", "truncated", "bad-spec", "crash", "watchdog", "cancelled", or
+  /// "resource" (died on a governed rlimit — retried at reduced budget).
   std::string fate;
   /// Open spans at death, outermost first (crash/watchdog fates only).
   std::vector<std::string> crash_span_stack;
@@ -153,6 +176,10 @@ struct SubmitOutcome {
   bool busy = false;
   bool shutting_down = false;
   long retry_after_ms = 0;
+  /// The disk budget is exhausted and evicting every cache entry still
+  /// could not make room to spool the job durably.  Typed and honest: the
+  /// job was never admitted, nothing was written.
+  bool disk_full = false;
   /// Bad request (unparseable spec for run/validate/survive, spool write
   /// failure): the message says why.  No job was created.
   std::string error;
@@ -160,6 +187,10 @@ struct SubmitOutcome {
   /// The result cache already held the canonical answer; the job is
   /// immediately terminal and result_body(id) returns the original bytes.
   bool cached = false;
+  /// The request's idempotency key (spec fingerprint + client nonce)
+  /// matched a live job: id refers to that existing job and no new work
+  /// was admitted.  A resubmit after a lost reply lands here.
+  bool duplicate = false;
 };
 
 /// Monotonic service counters (see also the serve.* obs counters).
@@ -178,6 +209,19 @@ struct ServiceStats {
   std::int64_t crashes = 0;
   std::int64_t watchdog_kills = 0;
   std::int64_t recovered = 0;
+  /// Worker deaths classified as a governed rlimit (SIGXCPU, SIGXFSZ,
+  /// bad_alloc under RLIMIT_AS) — distinct from crashes by design.
+  std::int64_t resource_exhausted = 0;
+  /// Submissions rejected because the disk budget could not admit them.
+  std::int64_t rejected_disk = 0;
+  /// Resubmits attached to an existing job via their idempotency key.
+  std::int64_t duplicates_attached = 0;
+  /// Cache entries evicted (capacity or disk-budget pressure).
+  std::int64_t cache_evictions = 0;
+  /// Corrupt spool entries renamed aside at recovery.
+  std::int64_t spool_quarantined = 0;
+  /// Current bytes of spool + cache + telemetry the ledger tracks.
+  long long disk_used_bytes = 0;
   int queue_depth = 0;
   int queue_peak = 0;
   int running = 0;
@@ -252,6 +296,10 @@ class Service {
   /// survive), 0 = never cache.  Throws Error when the spec does not parse
   /// (except lint, which keys on the raw text).
   std::uint64_t compute_cache_key(const SubmitRequest& request) const;
+  /// Idempotency key: request fingerprint + client nonce; 0 when the
+  /// request carries no nonce (idempotent attach disabled).
+  static std::uint64_t compute_idem_key(const SubmitRequest& request,
+                                        std::uint64_t cache_key);
   /// Classifies one reaped attempt; returns true when the job is terminal.
   bool classify_attempt(std::uint64_t id, int attempt, int wait_status,
                         bool watchdog_fired) CRUSADE_EXCLUDES(mu_);
@@ -272,11 +320,27 @@ class Service {
       CRUSADE_REQUIRES(mu_);
   /// Unlinks the per-attempt trace + flight files of evicted jobs.
   void cleanup_telemetry(
-      const std::vector<std::pair<std::uint64_t, int>>& evicted) const;
-  void cache_insert(std::uint64_t key, const std::string& body)
+      const std::vector<std::pair<std::uint64_t, int>>& evicted)
       CRUSADE_EXCLUDES(mu_);
+  /// Inserts a canonical result keyed by `key`, remembering its
+  /// cost-to-recompute (the job's wall time) so disk/capacity pressure
+  /// evicts the cheapest entries first.
+  void cache_insert(std::uint64_t key, const std::string& body, long cost_ms)
+      CRUSADE_EXCLUDES(mu_);
+  /// Disk-budget ledger.  track_file stats `path` and records its size
+  /// (replacing any previous record for the same path); remove_spool_file
+  /// untracks and unlinks.  The ledger is rebuilt by scanning the spool at
+  /// recovery, so unlink failures only cost temporary accounting drift.
+  void track_file(const std::string& path) CRUSADE_EXCLUDES(mu_);
+  void track_file_locked(const std::string& path, long long bytes)
+      CRUSADE_REQUIRES(mu_);
+  void remove_spool_file(const std::string& path) CRUSADE_EXCLUDES(mu_);
+  /// Evicts cheapest-to-recompute cache entries until `need` more bytes fit
+  /// under the disk budget (or the cache is empty).  Returns true when the
+  /// budget can now admit `need` bytes.
+  bool evict_cache_for_space_locked(long long need) CRUSADE_REQUIRES(mu_);
   void recover_spool() CRUSADE_REQUIRES(mu_);
-  void spool_job(const Job& job);
+  void spool_job(const Job& job) CRUSADE_REQUIRES(mu_);
   std::string job_spool_path(std::uint64_t id) const;
   std::string ckpt_spool_path(std::uint64_t id) const;
   std::string result_spool_path(std::uint64_t id) const;
@@ -304,7 +368,18 @@ class Service {
   /// nothing today, but crusade-check C001 enforces the habit in the
   /// decision-making subsystems).
   std::unordered_map<std::uint64_t, CacheEntry> cache_ CRUSADE_GUARDED_BY(mu_);
-  std::list<std::uint64_t> cache_lru_ CRUSADE_GUARDED_BY(mu_);  ///< front = MRU
+  /// Eviction order: (cost_ms, key) ascending, so pressure always reclaims
+  /// the entry that is cheapest to recompute.
+  std::set<std::pair<long long, std::uint64_t>> cache_by_cost_
+      CRUSADE_GUARDED_BY(mu_);
+  /// Keyed lookups only — idempotency key -> live job id.
+  std::unordered_map<std::uint64_t, std::uint64_t> idem_to_job_
+      CRUSADE_GUARDED_BY(mu_);
+  /// Keyed lookups only — disk ledger: tracked spool/cache/telemetry file
+  /// -> last recorded byte size; disk_used_ is the running sum.
+  std::unordered_map<std::string, long long> disk_files_
+      CRUSADE_GUARDED_BY(mu_);
+  long long disk_used_ CRUSADE_GUARDED_BY(mu_) = 0;
   /// Terminal jobs in completion order; the eviction window for jobs_.
   std::deque<std::uint64_t> terminal_order_ CRUSADE_GUARDED_BY(mu_);
   ServiceStats stats_ CRUSADE_GUARDED_BY(mu_);

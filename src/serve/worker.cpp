@@ -1,10 +1,13 @@
 #include "serve/worker.hpp"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <new>
 #include <sstream>
 
 #include "analyze/analyzer.hpp"
@@ -93,6 +96,34 @@ std::string run_signature(const CrusadeResult& r) {
   ::_exit(exit_code);
 }
 
+/// Per-attempt resource governance (DESIGN.md §16).  Best-effort by design:
+/// a kernel that refuses a limit (container policy, already-lower hard cap)
+/// must not turn into a job failure, so errors are swallowed — the worker
+/// simply runs ungoverned, exactly as if the limit were 0.
+void apply_limits(const WorkerLimits& limits) {
+  const auto set = [](int resource, rlim_t soft, rlim_t hard) {
+    struct rlimit rl;
+    rl.rlim_cur = soft;
+    rl.rlim_max = hard;
+    (void)::setrlimit(resource, &rl);
+  };
+  if (limits.address_space_mb > 0) {
+    const rlim_t bytes =
+        static_cast<rlim_t>(limits.address_space_mb) << 20;
+    set(RLIMIT_AS, bytes, bytes);
+  }
+  if (limits.cpu_seconds > 0) {
+    // Soft limit delivers SIGXCPU (classifiable); the hard limit two
+    // seconds later delivers SIGKILL if the worker somehow survives it.
+    const rlim_t soft = static_cast<rlim_t>(limits.cpu_seconds);
+    set(RLIMIT_CPU, soft, soft + 2);
+  }
+  if (limits.file_size_mb > 0) {
+    const rlim_t bytes = static_cast<rlim_t>(limits.file_size_mb) << 20;
+    set(RLIMIT_FSIZE, bytes, bytes);
+  }
+}
+
 std::string error_body(JobKind kind, const char* klass,
                        const std::string& message, int attempt) {
   tools::JsonWriter w;
@@ -122,6 +153,8 @@ std::string error_body(JobKind kind, const char* klass,
     AnalyzeOptions analyze_options;
     analyze_options.source = &source;
     report = analyze_specification(spec, lib, analyze_options);
+  } catch (const std::bad_alloc&) {
+    ::_exit(kWorkerResource);
   } catch (const Error& e) {
     report.diagnostics.push_back(parse_error_diagnostic(e));
   }
@@ -145,7 +178,8 @@ std::string error_body(JobKind kind, const char* klass,
                                 const std::string& ckpt_path,
                                 long deadline_ms,
                                 std::int64_t checkpoint_every,
-                                RunController& control) {
+                                RunController& control,
+                                const WorkerLimits& limits) {
   const ResourceLibrary lib = telecom_1999();
   Specification spec;
   try {
@@ -162,6 +196,16 @@ std::string error_body(JobKind kind, const char* klass,
   params.control = &control;
   params.checkpoint.path = ckpt_path;
   params.checkpoint.every_evals = checkpoint_every;
+  if (limits.reduced_budget) {
+    // Resource-exhausted retry: a previous attempt died on a governed
+    // limit, so this one trades answer quality for survival — cap the
+    // schedule-evaluation and merge budgets at values that finish in a
+    // fraction of the default search.  The supervisor surfaces the result
+    // degraded-honest and never caches it.
+    params.alloc.max_iterations = 4096;
+    params.merge.budget = 64;
+    obs::count("serve.worker.reduced_budget");
+  }
   if (request.fault_crash_attempts >= attempt) {
     // Injected mid-job crash for the supervision tests: die right after the
     // first on-trajectory checkpoint lands on disk, so the retry has real
@@ -196,6 +240,10 @@ std::string error_body(JobKind kind, const char* klass,
   CrusadeResult r;
   try {
     r = Crusade(spec, lib, params).run();
+  } catch (const std::bad_alloc&) {
+    // RLIMIT_AS exhausted: building an error body would also allocate, so
+    // report through the body-less resource exit code.
+    ::_exit(kWorkerResource);
   } catch (const Error&) {
     ::_exit(kWorkerException);  // unexpected: crash-isolated, retried
   }
@@ -223,7 +271,8 @@ std::string error_body(JobKind kind, const char* klass,
 
 [[noreturn]] void run_survive(const SubmitRequest& request, int attempt,
                               const std::string& result_path,
-                              long deadline_ms, RunController& control) {
+                              long deadline_ms, RunController& control,
+                              const WorkerLimits& limits) {
   const ResourceLibrary lib = telecom_1999();
   Specification spec;
   try {
@@ -239,11 +288,19 @@ std::string error_body(JobKind kind, const char* klass,
   params.base.control = &control;
   params.survive_check = true;
   params.survive_seeds = request.survive_seeds;
+  if (limits.reduced_budget) {
+    params.base.alloc.max_iterations = 4096;
+    params.base.merge.budget = 64;
+    params.survive_seeds = std::max(1, request.survive_seeds / 2);
+    obs::count("serve.worker.reduced_budget");
+  }
   if (deadline_ms > 0) control.set_deadline_ms(deadline_ms);
 
   CrusadeFtResult r;
   try {
     r = CrusadeFt(spec, lib, params).run();
+  } catch (const std::bad_alloc&) {
+    ::_exit(kWorkerResource);
   } catch (const Error&) {
     ::_exit(kWorkerException);
   }
@@ -299,7 +356,8 @@ void run_worker_attempt(const SubmitRequest& request, int attempt,
                         const std::string& result_path,
                         const std::string& ckpt_path, long deadline_ms,
                         std::int64_t checkpoint_every,
-                        const WorkerTelemetry& telemetry) {
+                        const WorkerTelemetry& telemetry,
+                        const WorkerLimits& limits) {
   // The child inherited the daemon's signal dispositions and StopHub state;
   // both belong to the parent.  Re-route SIGTERM/SIGINT to THIS job's
   // controller so a cancellation stops exactly this search.
@@ -328,6 +386,18 @@ void run_worker_attempt(const SubmitRequest& request, int attempt,
   // the evidence the supervisor wants from a crashed worker.
   obs::Span attempt_span("serve.worker.attempt");
 
+  apply_limits(limits);
+
+  if (request.fault_resource_attempts >= attempt) {
+    // Injected resource-limit death: the real RLIMIT_AS path is
+    // environment-dependent (sanitizer shadow memory reserves terabytes of
+    // address space), so tests drive the classification through the same
+    // signal a tripped RLIMIT_CPU would deliver.
+    OBS_SPAN("serve.worker.fault_resource");
+    ::raise(SIGXCPU);
+    ::_exit(kWorkerResource);  // SIGXCPU ignored/blocked: same class
+  }
+
   if (request.fault_hang_attempts >= attempt) {
     // Injected stuck worker: ignore the cooperative SIGTERM so only the
     // supervisor's SIGKILL escalation can clear the slot — exactly the
@@ -342,11 +412,12 @@ void run_worker_attempt(const SubmitRequest& request, int attempt,
     case JobKind::Lint:
       run_lint(request, attempt, result_path);
     case JobKind::Survive:
-      run_survive(request, attempt, result_path, deadline_ms, control);
+      run_survive(request, attempt, result_path, deadline_ms, control,
+                  limits);
     case JobKind::Run:
     case JobKind::Validate:
       run_synthesis(request, attempt, result_path, ckpt_path, deadline_ms,
-                    checkpoint_every, control);
+                    checkpoint_every, control, limits);
   }
   ::_exit(kWorkerException);  // unreachable: every kind above is noreturn
 }

@@ -34,6 +34,11 @@ enum WorkerExit : int {
   kWorkerBadSpec = 4,
   /// An unexpected exception escaped the pipeline; no body.  Retryable.
   kWorkerException = 70,
+  /// The attempt ran out of a governed resource (std::bad_alloc under
+  /// RLIMIT_AS); no body.  The supervisor classifies this — like a SIGXCPU
+  /// or SIGXFSZ death — as resource-exhausted: retried once at a reduced
+  /// search budget, never charged to the crash budget.
+  kWorkerResource = 71,
   /// Injected fault (SubmitRequest::fault_crash_attempts) fired.
   kWorkerInjectedCrash = 99,
 };
@@ -53,6 +58,21 @@ struct WorkerTelemetry {
   std::uint32_t flight_slots = 256;
 };
 
+/// Per-attempt resource governance, applied with setrlimit before any real
+/// work (0 = unlimited).  A worker that trips a limit dies with SIGXCPU /
+/// SIGXFSZ / kWorkerResource and the supervisor classifies the death as
+/// resource-exhausted.
+struct WorkerLimits {
+  long address_space_mb = 0;  ///< RLIMIT_AS, mebibytes
+  long cpu_seconds = 0;       ///< RLIMIT_CPU (soft; hard = soft + 2)
+  long file_size_mb = 0;      ///< RLIMIT_FSIZE, mebibytes
+  /// Resource-exhausted retry: cap the search budget (allocation
+  /// evaluations, merge reschedules, survive seeds) so the retry finishes
+  /// inside the limit that killed the previous attempt.  The result is
+  /// surfaced degraded-honest and never cached.
+  bool reduced_budget = false;
+};
+
 /// Runs one attempt of `request` to completion in the current process and
 /// _exit()s with a WorkerExit code.  `attempt` is 1-based; `deadline_ms`
 /// is the remaining end-to-end budget (0 = none).  Run/validate jobs
@@ -66,7 +86,8 @@ struct WorkerTelemetry {
                                      const std::string& ckpt_path,
                                      long deadline_ms,
                                      std::int64_t checkpoint_every,
-                                     const WorkerTelemetry& telemetry);
+                                     const WorkerTelemetry& telemetry,
+                                     const WorkerLimits& limits = {});
 
 /// Serializes the worker-local obs state (trace epoch, completed spans,
 /// counter totals) into the line format the supervisor's trace merge reads:

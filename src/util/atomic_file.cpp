@@ -5,11 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
 
 #include "util/error.hpp"
+#include "util/io_faults.hpp"
 
 namespace crusade {
 
@@ -45,27 +43,35 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
   // The temp file must live in the same directory: rename(2) is only atomic
   // within one filesystem, and a sibling keeps it so.  The pid suffix keeps
   // concurrent writers (soak harness children, daemon workers) from
-  // clobbering each other's in-flight temporaries.
+  // clobbering each other's in-flight temporaries.  All syscalls go through
+  // the iofault seam so a seeded chaos plan can exercise every failure
+  // branch below deterministically.
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_io_error("atomic write: cannot create " + tmp, errno);
+  int fd = -1;
+  for (;;) {
+    fd = iofault::xopen(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) break;
+    if (errno == EINTR) continue;
+    throw_io_error("atomic write: cannot create " + tmp, errno);
+  }
 
   // Every failure past this point unlinks the temporary first: a full disk
   // (ENOSPC surfaces at write, fsync, or close time depending on the
   // filesystem) must never leave a partial spool/cache entry behind, and
   // the typed DiskFullError tells the caller which failure this was.
+  // errno is saved before the cleanup calls, which may clobber it.
   auto fail = [&](const std::string& step) {
     const int err = errno;
-    ::close(fd);
-    ::unlink(tmp.c_str());
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
     throw_io_error("atomic write: " + step + " " + tmp, err);
   };
 
   const char* data = contents.data();
   std::size_t left = contents.size();
   while (left > 0) {
-    const ssize_t n = ::write(fd, data, left);
+    const ssize_t n = iofault::xwrite(fd, data, left);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail("cannot write");
@@ -76,15 +82,18 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
   // fsync BEFORE rename: otherwise the rename can reach disk ahead of the
   // data and a crash exposes an empty (torn) file under the final name —
   // exactly the artifact this helper exists to rule out.
-  if (::fsync(fd) != 0) fail("cannot fsync");
-  if (::close(fd) != 0) {
+  while (iofault::xfsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    fail("cannot fsync");
+  }
+  if (iofault::xclose(fd) != 0) {
     const int err = errno;
-    ::unlink(tmp.c_str());
+    (void)::unlink(tmp.c_str());
     throw_io_error("atomic write: cannot close " + tmp, err);
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (iofault::xrename(tmp.c_str(), path.c_str()) != 0) {
     const int err = errno;
-    ::unlink(tmp.c_str());
+    (void)::unlink(tmp.c_str());
     throw_io_error("atomic write: cannot rename " + tmp + " -> " + path, err);
   }
   // Persist the directory entry so the rename itself survives a power
@@ -94,25 +103,42 @@ void atomic_write_file(const std::string& path, const std::string& contents) {
   // caller believes the entry durable and it is not.
   const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
-    if (::fsync(dfd) != 0) {
+    while (iofault::xfsync(dfd) != 0) {
+      if (errno == EINTR) continue;
       const int err = errno;
-      ::close(dfd);
+      (void)::close(dfd);
       if (is_disk_full_errno(err) || err == EIO)
         throw_io_error("atomic write: cannot fsync directory " + dir_of(path),
                        err);
       return;  // e.g. EINVAL on filesystems that reject directory fsync
     }
-    ::close(dfd);
+    (void)::close(dfd);
   }
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) throw Error("cannot read " + path);
-  return buf.str();
+  int fd = -1;
+  for (;;) {
+    fd = iofault::xopen(path.c_str(), O_RDONLY, 0);
+    if (fd >= 0) break;
+    if (errno == EINTR) continue;
+    throw_io_error("cannot open " + path, errno);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = iofault::xread(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      (void)::close(fd);
+      throw_io_error("cannot read " + path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  (void)::close(fd);
+  return out;
 }
 
 }  // namespace crusade

@@ -35,8 +35,8 @@ bool is_disk_full_errno(int err);
 /// the message is `what` + ": " + errno_message(err).
 [[noreturn]] void throw_io_error(const std::string& what, int err);
 
-/// Reads a whole file into a string.  Throws Error when the file cannot be
-/// opened or read.
+/// Reads a whole file into a string.  Throws a typed IoError (DiskFullError
+/// for ENOSPC/EDQUOT) when the file cannot be opened or read.
 std::string read_file(const std::string& path);
 
 }  // namespace crusade

@@ -1,0 +1,269 @@
+#include "util/io_faults.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+
+namespace crusade::iofault {
+
+namespace {
+
+constexpr unsigned kAllKinds = (1u << kKindCount) - 1u;
+
+constexpr unsigned bit(Kind kind) { return 1u << static_cast<unsigned>(kind); }
+
+// Process-global plan.  Individual atomics instead of a mutex: the hot
+// path (disarmed) is one relaxed load, and arming happens before workers
+// fork, never concurrently with traffic that must observe a coherent
+// plan mid-swap.
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_seed{0};
+// rate pre-scaled to a 64-bit threshold so the hot path compares two
+// integers instead of converting to double.
+std::atomic<std::uint64_t> g_threshold{0};
+std::atomic<unsigned> g_kinds{kAllKinds};
+std::atomic<std::uint64_t> g_index{0};
+std::atomic<std::uint64_t> g_counts[kKindCount] = {};
+std::atomic<std::uint64_t> g_total{0};
+std::atomic<Observer> g_observer{nullptr};
+
+// EINTR storms are a burst: the drawn call and its next retries on the
+// same thread keep returning EINTR until the burst drains, then one call
+// is guaranteed injection-free so retry loops always make progress, even
+// at rate 1.0.
+thread_local int t_eintr_left = 0;
+thread_local bool t_skip_next = false;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void note(Kind kind) {
+  g_counts[static_cast<unsigned>(kind)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  g_total.fetch_add(1, std::memory_order_relaxed);
+  const Observer fn = g_observer.load(std::memory_order_acquire);
+  if (fn != nullptr) fn(kind_counter_name(kind));
+}
+
+/// One deterministic draw.  `allowed` masks the kinds meaningful for the
+/// calling op; returns true and sets *out when this call should inject.
+bool draw(unsigned allowed, Kind* out) {
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  if (t_eintr_left > 0 && (allowed & bit(Kind::Eintr)) != 0) {
+    --t_eintr_left;
+    if (t_eintr_left == 0) t_skip_next = true;
+    note(Kind::Eintr);
+    *out = Kind::Eintr;
+    return true;
+  }
+  if (t_skip_next) {
+    t_skip_next = false;
+    return false;
+  }
+  allowed &= g_kinds.load(std::memory_order_relaxed);
+  if (allowed == 0) return false;
+  const std::uint64_t idx = g_index.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t roll =
+      splitmix64(g_seed.load(std::memory_order_relaxed) + idx);
+  if (roll >= g_threshold.load(std::memory_order_relaxed)) return false;
+  // Pick uniformly among the allowed kinds with an independent hash.
+  unsigned n = 0;
+  Kind choices[kKindCount];
+  for (unsigned k = 0; k < kKindCount; ++k)
+    if ((allowed & (1u << k)) != 0) choices[n++] = static_cast<Kind>(k);
+  const Kind kind = choices[splitmix64(roll) % n];
+  if (kind == Kind::Eintr) t_eintr_left = 2;
+  note(kind);
+  *out = kind;
+  return true;
+}
+
+}  // namespace
+
+const char* kind_counter_name(Kind kind) {
+  switch (kind) {
+    case Kind::Enospc: return "chaos.injected.enospc";
+    case Kind::Eio: return "chaos.injected.eio";
+    case Kind::Eintr: return "chaos.injected.eintr";
+    case Kind::ShortWrite: return "chaos.injected.short_write";
+    case Kind::FsyncFail: return "chaos.injected.fsync";
+    case Kind::RenameFail: return "chaos.injected.rename";
+    case Kind::TornRename: return "chaos.injected.torn";
+  }
+  return "chaos.injected.unknown";
+}
+
+void arm(const Plan& plan) {
+  if (plan.rate <= 0) {
+    disarm();
+    return;
+  }
+  g_seed.store(plan.seed, std::memory_order_relaxed);
+  const double clamped = plan.rate >= 1.0 ? 1.0 : plan.rate;
+  g_threshold.store(
+      clamped >= 1.0
+          ? ~0ULL
+          : static_cast<std::uint64_t>(
+                clamped * 18446744073709551616.0 /* 2^64 */),
+      std::memory_order_relaxed);
+  g_kinds.store(plan.kinds & kAllKinds, std::memory_order_relaxed);
+  g_index.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() { g_armed.store(false, std::memory_order_release); }
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+bool arm_from_env(const char* value) {
+  if (value == nullptr || *value == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long seed = std::strtoull(value, &end, 10);
+  if (errno != 0 || end == value) return false;
+  double rate = 0.05;
+  if (*end == ':') {
+    const char* rate_text = end + 1;
+    rate = std::strtod(rate_text, &end);
+    if (end == rate_text || *end != '\0') return false;
+  } else if (*end != '\0') {
+    return false;
+  }
+  if (!(rate > 0) || rate > 1.0) return false;
+  Plan plan;
+  plan.seed = static_cast<std::uint64_t>(seed);
+  plan.rate = rate;
+  arm(plan);
+  return true;
+}
+
+Counters counters() {
+  Counters out;
+  for (unsigned k = 0; k < kKindCount; ++k)
+    out.injected[k] = g_counts[k].load(std::memory_order_relaxed);
+  out.total = g_total.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_counters() {
+  for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+  g_total.store(0, std::memory_order_relaxed);
+}
+
+void set_observer(Observer fn) {
+  g_observer.store(fn, std::memory_order_release);
+}
+
+int xopen(const char* path, int flags, unsigned mode) {
+  Kind kind;
+  const unsigned allowed =
+      ((flags & O_CREAT) != 0 ? bit(Kind::Enospc) : 0u) | bit(Kind::Eio) |
+      bit(Kind::Eintr);
+  if (draw(allowed, &kind)) {
+    errno = kind == Kind::Enospc ? ENOSPC : kind == Kind::Eio ? EIO : EINTR;
+    return -1;
+  }
+  return ::open(path, flags, static_cast<mode_t>(mode));
+}
+
+ssize_t xread(int fd, void* buf, std::size_t count) {
+  Kind kind;
+  if (draw(bit(Kind::Eio) | bit(Kind::Eintr), &kind)) {
+    errno = kind == Kind::Eio ? EIO : EINTR;
+    return -1;
+  }
+  return ::read(fd, buf, count);
+}
+
+ssize_t xwrite(int fd, const void* buf, std::size_t count) {
+  Kind kind;
+  const unsigned allowed = bit(Kind::Enospc) | bit(Kind::Eio) |
+                           bit(Kind::Eintr) | bit(Kind::ShortWrite);
+  if (draw(allowed, &kind)) {
+    switch (kind) {
+      case Kind::Enospc: errno = ENOSPC; return -1;
+      case Kind::Eio: errno = EIO; return -1;
+      case Kind::Eintr: errno = EINTR; return -1;
+      case Kind::ShortWrite:
+        if (count > 1) return ::write(fd, buf, count / 2);
+        break;  // a 1-byte write cannot be shortened; fall through
+      default: break;
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+int xfsync(int fd) {
+  Kind kind;
+  if (draw(bit(Kind::FsyncFail) | bit(Kind::Eintr), &kind)) {
+    errno = kind == Kind::Eintr ? EINTR : EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int xclose(int fd) {
+  Kind kind;
+  if (draw(bit(Kind::Eio), &kind)) {
+    // A real failing close still releases the descriptor (POSIX leaves the
+    // fd state unspecified, Linux always closes); mirroring that keeps
+    // chaos from ever leaking fds into long-lived daemons.
+    (void)::close(fd);
+    errno = EIO;
+    return -1;
+  }
+  return ::close(fd);
+}
+
+int xrename(const char* from, const char* to) {
+  Kind kind;
+  if (draw(bit(Kind::RenameFail) | bit(Kind::TornRename), &kind)) {
+    if (kind == Kind::RenameFail) {
+      errno = EIO;
+      return -1;
+    }
+    // Crash-with-torn-write: the power went out after the rename's
+    // directory entry reached disk but before the data did.  Truncate the
+    // source to half, then let the rename "succeed" — the reader of the
+    // final name must detect the torn image (CRC, decode failure) and
+    // quarantine it, never trust it.
+    struct stat st;
+    if (::stat(from, &st) == 0 && st.st_size > 1) {
+      const int tfd = ::open(from, O_WRONLY);
+      if (tfd >= 0) {
+        (void)::ftruncate(tfd, st.st_size / 2);
+        (void)::close(tfd);
+      }
+    }
+    return ::rename(from, to);
+  }
+  return ::rename(from, to);
+}
+
+int xunlink(const char* path) {
+  Kind kind;
+  if (draw(bit(Kind::Eio), &kind)) {
+    errno = EIO;
+    return -1;
+  }
+  return ::unlink(path);
+}
+
+int xftruncate(int fd, long long length) {
+  Kind kind;
+  if (draw(bit(Kind::Enospc) | bit(Kind::Eio) | bit(Kind::Eintr), &kind)) {
+    errno = kind == Kind::Enospc ? ENOSPC : kind == Kind::Eio ? EIO : EINTR;
+    return -1;
+  }
+  return ::ftruncate(fd, static_cast<off_t>(length));
+}
+
+}  // namespace crusade::iofault

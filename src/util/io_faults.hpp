@@ -1,0 +1,116 @@
+// Deterministic environment-fault injection seam for filesystem syscalls.
+//
+// Every filesystem syscall that matters for crash-safety — the atomic_file
+// temp/fsync/rename dance, spool and result-cache maintenance, checkpoint
+// writes, the flight-recorder backing file — goes through the x*() wrappers
+// below instead of calling libc directly.  Disarmed (the default) each
+// wrapper is a tail call into the real syscall with zero added branches
+// beyond one relaxed atomic load.  Armed with a seeded Plan, each call
+// consults a deterministic draw sequence (splitmix64 over seed + call
+// index) and may inject:
+//
+//   ENOSPC / EIO        open, write, ftruncate fail with the classic
+//                       disk-integrity errnos
+//   EINTR storm         the call and its next few retries return EINTR,
+//                       exercising callers' retry loops
+//   short write         write() accepts only half the buffer, exercising
+//                       callers' partial-write loops
+//   fsync failure       fsync reports EIO/ENOSPC (data may not be durable)
+//   rename failure      rename fails without renaming
+//   crash-with-torn-    the rename *source* is truncated to half its size
+//   write               before a successful rename — the on-disk image a
+//                       power loss mid-write leaves behind, surfacing at
+//                       the final name so CRC/quarantine paths must fire
+//
+// Close is special: an injected close failure still closes the descriptor
+// first (as a real failing close does), so no caller ever leaks an fd
+// because of chaos.  Unlink can fail with EIO without unlinking.
+//
+// Injections are counted per kind (counters()) and reported through an
+// optional observer callback; the serve layer bridges the observer to
+// obs::count so injections appear as `chaos.*` counters in metrics and the
+// flight recorder.  util cannot depend on obs (obs links util), hence the
+// indirection.
+//
+// The plan is process-global and fork-inherited: a daemon that arms chaos
+// passes it to every forked worker attempt, and the draw sequence in each
+// process continues deterministically from the inherited counter.  Arming
+// from the environment (`CRUSADE_CHAOS=<seed>[:<rate>]`) lets tools and
+// soak scripts inject faults without a config surface.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crusade::iofault {
+
+/// Fault kinds the plan can inject.  Values index counters() and the
+/// Plan::kinds bitmask (bit `1u << kind`).
+enum class Kind : unsigned {
+  Enospc = 0,
+  Eio = 1,
+  Eintr = 2,
+  ShortWrite = 3,
+  FsyncFail = 4,
+  RenameFail = 5,
+  TornRename = 6,
+};
+inline constexpr unsigned kKindCount = 7;
+
+/// Canonical counter name for a kind ("chaos.injected.enospc", ...).
+const char* kind_counter_name(Kind kind);
+
+/// A seeded fault plan.  `rate` is the per-call injection probability in
+/// [0, 1]; `kinds` masks which fault kinds may fire (default: all).  The
+/// draw sequence is a pure function of (seed, per-process call index), so
+/// a campaign replayed with the same seed and call order injects the same
+/// faults.
+struct Plan {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  unsigned kinds = (1u << kKindCount) - 1u;
+};
+
+/// Installs `plan` process-wide and resets the draw index.  rate <= 0
+/// disarms.  Not async-signal-safe; arm before spawning workers.
+void arm(const Plan& plan);
+
+/// Removes any armed plan; wrappers revert to pass-through.
+void disarm();
+
+/// True when a plan with rate > 0 is installed.
+bool armed();
+
+/// Parses `value` as "<seed>[:<rate>]" (the CRUSADE_CHAOS format; rate
+/// defaults to 0.05) and arms the plan.  Returns false without arming on a
+/// malformed value, empty value, or rate outside (0, 1].
+bool arm_from_env(const char* value);
+
+/// Per-kind injection counts since the last reset, plus the total.
+struct Counters {
+  std::uint64_t injected[kKindCount] = {};
+  std::uint64_t total = 0;
+};
+Counters counters();
+void reset_counters();
+
+/// Observer called once per injection with the canonical counter name;
+/// the serve layer installs a bridge to obs::count here.  Pass nullptr to
+/// remove.  The callback runs on the injecting thread and must be cheap
+/// and reentrancy-free.
+using Observer = void (*)(const char* counter_name);
+void set_observer(Observer fn);
+
+// ---- the seam: drop-in wrappers for the faultable syscalls -------------
+int xopen(const char* path, int flags, unsigned mode);
+ssize_t xread(int fd, void* buf, std::size_t count);
+ssize_t xwrite(int fd, const void* buf, std::size_t count);
+int xfsync(int fd);
+int xclose(int fd);
+int xrename(const char* from, const char* to);
+int xunlink(const char* path);
+int xftruncate(int fd, long long length);
+
+}  // namespace crusade::iofault

@@ -15,9 +15,10 @@ namespace {
 
 TEST(CheckRules, CatalogIsStableAndDocumented) {
   const auto& rules = check_rule_catalog();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 9u);
   EXPECT_STREQ(rules[0].id, "C000");
   EXPECT_STREQ(rules[7].id, "C007");
+  EXPECT_STREQ(rules[8].id, "C008");
   for (const CheckRule& rule : rules) {
     EXPECT_NE(std::string(rule.name), "");
     EXPECT_GT(std::string(rule.rationale).size(), 20u) << rule.id;
@@ -227,6 +228,58 @@ TEST(CheckRules, C007IgnoresCommentsAndNonSrcFiles) {
   // contract on the library's own telemetry.
   EXPECT_EQ(check_source("tools/x.cpp", bad).count_id("C007"), 0);
   EXPECT_EQ(check_source("src/ft/x.cpp", bad).count_id("C007"), 1);
+}
+
+// --- C008: unchecked durability-syscall returns -----------------------------
+
+TEST(CheckRules, C008FiresOnDiscardedCloseAndFsync) {
+  const std::string bad =
+      "void f(int fd, const std::string& a, const std::string& b) {\n"
+      "  fsync(fd);\n"
+      "  ::close(fd);\n"
+      "  rename(a.c_str(), b.c_str());\n"
+      "}\n";
+  const auto report = check_source("src/util/x.cpp", bad);
+  EXPECT_EQ(report.count_id("C008"), 3) << report.summary();
+}
+
+TEST(CheckRules, C008FiresOnErrnoAfterSameLineClose) {
+  // close() completed (statement position), then errno is read: the
+  // original failure's errno is gone.
+  const std::string bad =
+      "void f(int fd) {\n"
+      "  (void)::close(fd); throw_io_error(\"write\", errno);\n"
+      "}\n";
+  EXPECT_EQ(check_source("src/serve/x.cpp", bad).count_id("C008"), 1);
+}
+
+TEST(CheckRules, C008SilentOnCheckedAndVoidCastForms) {
+  const std::string good =
+      "void f(int fd, const std::string& a, const std::string& b) {\n"
+      "  if (::fsync(fd) != 0) throw_io_error(\"fsync\", errno);\n"
+      "  const int rc = ::close(fd);\n"
+      "  (void)::close(rc);\n"  // deliberate best-effort discard
+      "  if (::rename(a.c_str(), b.c_str()) != 0)\n"
+      "    throw_io_error(\"rename\", errno);\n"
+      "  const int e = errno;\n"  // captured before cleanup: fine
+      "  (void)::unlink(a.c_str());\n"
+      "}\n";
+  const auto report = check_source("src/util/x.cpp", good);
+  EXPECT_EQ(report.count_id("C008"), 0) << report.summary();
+}
+
+TEST(CheckRules, C008ScopedToLibraryCodeAndHonorsAllow) {
+  const std::string bad = "void f(int fd) {\n  close(fd);\n}\n";
+  EXPECT_EQ(check_source("tools/x.cpp", bad).count_id("C008"), 0);
+  EXPECT_EQ(check_source("src/obs/x.cpp", bad).count_id("C008"), 1);
+  const std::string allowed =
+      "void f(int fd) {\n"
+      "  // check-allow(C008): fd is read-only, close cannot lose data\n"
+      "  close(fd);\n"
+      "}\n";
+  const auto report = check_source("src/obs/x.cpp", allowed);
+  EXPECT_EQ(report.errors(), 0) << report.summary();
+  EXPECT_EQ(report.suppressions(), 1);
 }
 
 // --- suppressions and C000 --------------------------------------------------

@@ -15,8 +15,10 @@
 #include "ckpt/serialize.hpp"
 #include "core/crusade.hpp"
 #include "example_specs.hpp"
+#include "obs/obs.hpp"
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/io_faults.hpp"
 #include "util/run_control.hpp"
 
 namespace crusade {
@@ -438,6 +440,55 @@ TEST(AnytimeTest, ExpiredDeadlineBehavesLikeStop) {
   const CrusadeResult r = run_once(base_station_spec(lib()), params);
   EXPECT_TRUE(r.stopped);
   EXPECT_FALSE(r.arch.pes.empty());
+}
+
+TEST(CheckpointTest, InjectedEnospcDuringCheckpointsNeverKillsTheRun) {
+  // Arm the environment-fault seam so every disk checkpoint write fails
+  // with ENOSPC.  The driver must latch disk checkpointing off after the
+  // first failure (counting crusade.ckpt_write_failed), keep feeding the
+  // in-process on_write observer, and finish bit-identical to a fault-free
+  // run: a full disk degrades durability, never correctness.
+  const Specification spec = base_station_spec(lib());
+
+  CrusadeParams clean;
+  clean.checkpoint.every_evals = 1;
+  const CrusadeResult want = Crusade(spec, lib(), clean).run();
+
+  TempFile ckpt_path("ckpt_chaos");
+  const bool obs_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::reset();
+  iofault::Plan plan;
+  plan.seed = 77;
+  plan.rate = 1.0;
+  plan.kinds = 1u << static_cast<unsigned>(iofault::Kind::Enospc);
+  iofault::arm(plan);
+
+  CrusadeParams faulty;
+  faulty.checkpoint.path = ckpt_path.path;
+  faulty.checkpoint.every_evals = 1;
+  int observed = 0;
+  faulty.checkpoint.on_write = [&](const ckpt::Checkpoint&) { ++observed; };
+  const CrusadeResult got = Crusade(spec, lib(), faulty).run();
+
+  iofault::disarm();
+  const auto injected = iofault::counters();
+  iofault::reset_counters();
+  const std::int64_t failed = obs::counter_value("crusade.ckpt_write_failed");
+  obs::reset();
+  obs::set_enabled(obs_was_enabled);
+
+  // The faults really fired, exactly one write failure was latched, and
+  // the observer kept seeing every policy-scheduled checkpoint.
+  EXPECT_GT(injected.total, 0u);
+  EXPECT_EQ(failed, 1);
+  EXPECT_GT(observed, 0);
+  // No checkpoint file survived (nothing partial, nothing stale) ...
+  EXPECT_THROW(read_file(ckpt_path.path), Error);
+  // ... and the search was untouched by the disk's misbehaviour.
+  EXPECT_EQ(arch_bytes(got.arch), arch_bytes(want.arch));
+  EXPECT_EQ(got.stats.sched_evals, want.stats.sched_evals);
+  EXPECT_EQ(got.cost.total(), want.cost.total());
 }
 
 TEST(AnytimeTest, UntriggeredControlChangesNothing) {

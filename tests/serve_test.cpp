@@ -3,16 +3,27 @@
 // truncation to best-so-far, supervised crash retry with checkpoint resume,
 // watchdog escalation, the crash-budget failed-honest path, result-cache
 // bit-identity, spool-backed restart recovery, cancellation of queued and
-// running jobs, daemon+client socket round-trips, and the 100-job mixed
-// crash campaign the acceptance criteria name: zero lost, zero duplicated,
-// every job terminal with an honest outcome.
+// running jobs, daemon+client socket round-trips, the 100-job mixed
+// crash campaign (zero lost, zero duplicated, every job terminal with an
+// honest outcome), and the chaos surface from DESIGN.md §16: worker
+// resource governance, idempotency nonces, client timeout bounds, torn
+// spool quarantine, disk budget, cost-aware cache eviction, and the
+// 210-scenario seeded environment-fault campaign.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -26,7 +37,10 @@
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "tgff/generator.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/io_faults.hpp"
+#include "util/rng.hpp"
 
 namespace crusade::serve {
 namespace {
@@ -774,6 +788,557 @@ TEST(ServeServiceTest, HundredJobCampaignZeroLostZeroDuplicated) {
   EXPECT_EQ(stats.finished, kJobs);
   EXPECT_GE(stats.crashes, expect_crashers);
   EXPECT_GE(stats.retries, expect_crashers);
+}
+
+// --- worker resource governance ---------------------------------------------
+
+TEST(ServeServiceTest, ResourceDeathRetriedAtReducedBudgetDegradedHonest) {
+  TempSpool spool("serve_test_rsrc");
+  Service service(fast_config(spool.path));
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_resource_attempts = 1;  // first attempt dies on SIGXCPU
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted) << out.error;
+  const JobStatus status = wait_terminal(service, out.id);
+
+  // Resource exhaustion is NOT a crash: one retry at reduced budget, and
+  // the answer is honest about both the cap and which limit fired.
+  ASSERT_EQ(status.outcome, JobOutcome::DegradedHonest) << status.detail;
+  EXPECT_EQ(status.attempts, 2);
+  EXPECT_NE(status.detail.find("reduced search budget"), std::string::npos)
+      << status.detail;
+  EXPECT_NE(status.detail.find("RLIMIT_CPU (cpu seconds)"),
+            std::string::npos)
+      << status.detail;
+  ASSERT_GE(status.history.size(), 1u);
+  EXPECT_EQ(status.history[0].fate, "resource");
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.resource_exhausted, 1);
+  EXPECT_EQ(stats.crashes, 0);  // never charged to the crash budget
+  EXPECT_EQ(stats.failed_honest, 0);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, SecondResourceDeathFailsHonestWithLimitNamed) {
+  TempSpool spool("serve_test_rsrc2");
+  Service service(fast_config(spool.path));
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Run);
+  req.fault_resource_attempts = 99;  // every attempt dies on the limit
+  const SubmitOutcome out = service.submit(req);
+  ASSERT_TRUE(out.admitted);
+  const JobStatus status = wait_terminal(service, out.id);
+
+  ASSERT_EQ(status.outcome, JobOutcome::FailedHonest);
+  EXPECT_EQ(status.attempts, 2);  // exactly one reduced-budget retry
+  EXPECT_NE(status.detail.find("resource-exhausted"), std::string::npos);
+  EXPECT_NE(status.detail.find("RLIMIT_CPU (cpu seconds)"),
+            std::string::npos);
+  const std::string body = *service.result_body(out.id);
+  EXPECT_NE(body.find("resource-exhausted"), std::string::npos) << body;
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.resource_exhausted, 2);
+  EXPECT_EQ(stats.crashes, 0);
+  EXPECT_EQ(stats.failed_honest, 1);
+  service.stop(true);
+}
+
+// --- idempotency keys --------------------------------------------------------
+
+TEST(ServeServiceTest, NonceResubmitAttachesToExistingJob) {
+  TempSpool spool("serve_test_idem");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.start_paused = true;  // the first submit stays live and queued
+  Service service(cfg);
+
+  SubmitRequest req = make_request(quickstart_text(), JobKind::Lint);
+  req.client_nonce = "retry-token-1";
+  const SubmitOutcome first = service.submit(req);
+  ASSERT_TRUE(first.admitted);
+  EXPECT_FALSE(first.duplicate);
+
+  // The wire-level story: the reply was lost, the client resubmits with
+  // the same nonce — it must attach, not duplicate the work.
+  const SubmitOutcome again = service.submit(req);
+  ASSERT_TRUE(again.admitted);
+  EXPECT_TRUE(again.duplicate);
+  EXPECT_EQ(again.id, first.id);
+  EXPECT_EQ(service.stats().duplicates_attached, 1);
+
+  // A different nonce is a different intent: fresh job.
+  SubmitRequest other = req;
+  other.client_nonce = "retry-token-2";
+  const SubmitOutcome fresh = service.submit(other);
+  ASSERT_TRUE(fresh.admitted);
+  EXPECT_FALSE(fresh.duplicate);
+  EXPECT_NE(fresh.id, first.id);
+
+  // No nonce, same spec: also a fresh job (idempotency is opt-in).
+  SubmitRequest plain = make_request(quickstart_text(), JobKind::Lint);
+  const SubmitOutcome anon = service.submit(plain);
+  ASSERT_TRUE(anon.admitted);
+  EXPECT_FALSE(anon.duplicate);
+  EXPECT_NE(anon.id, first.id);
+
+  service.resume_workers();
+  wait_terminal(service, first.id);
+  wait_terminal(service, fresh.id);
+  wait_terminal(service, anon.id);
+
+  // Even after the job went terminal, the same nonce still attaches to it
+  // while it is retained — the late retry reads the finished result.
+  const SubmitOutcome late = service.submit(req);
+  ASSERT_TRUE(late.admitted);
+  EXPECT_TRUE(late.duplicate);
+  EXPECT_EQ(late.id, first.id);
+  EXPECT_TRUE(service.result_body(late.id).has_value());
+  service.stop(true);
+}
+
+// --- client resilience -------------------------------------------------------
+
+TEST(ServeClientTest, SilentDaemonSurfacesTypedDaemonUnresponsive) {
+  // A socket that accepts connections but never answers: the pathological
+  // wedged daemon.  The client must fail typed within its bound, never
+  // hang `crusade submit --wait` forever.
+  TempSpool spool("serve_test_silent");
+  const std::string sock = spool.path + ".sock";
+  (void)::unlink(sock.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(sock.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+
+  ClientConfig ccfg;
+  ccfg.connect_timeout_ms = 2000;
+  ccfg.recv_timeout_ms = 150;
+  Client client(sock, ccfg);
+  Request ping;
+  ping.verb = "PING";
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    client.call(ping);
+    FAIL() << "silent daemon did not time out";
+  } catch (const DaemonUnresponsive& e) {
+    EXPECT_EQ(e.error_number(), ETIMEDOUT);
+    EXPECT_NE(std::string(e.what()).find("did not reply"),
+              std::string::npos)
+        << e.what();
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  EXPECT_LT(elapsed.count(), 5000) << "timeout not bounded";
+
+  // call_resilient retries the transient failure, then rethrows typed.
+  ClientConfig rcfg = ccfg;
+  rcfg.max_tries = 2;
+  rcfg.retry_base_ms = 10;
+  rcfg.retry_cap_ms = 50;
+  client.set_config(rcfg);
+  EXPECT_THROW(client.call_resilient(ping), DaemonUnresponsive);
+
+  (void)::close(listener);
+  (void)::unlink(sock.c_str());
+}
+
+// --- chaos: injected environment faults --------------------------------------
+
+/// RAII cleanup so no test can leak an armed fault plan into its neighbours.
+struct ChaosGuard {
+  ~ChaosGuard() {
+    iofault::disarm();
+    iofault::reset_counters();
+  }
+};
+
+TEST(ServeChaosTest, TornSpoolWriteQuarantinedOnRecovery) {
+  ChaosGuard guard;
+  TempSpool spool("serve_test_torn");
+  std::uint64_t torn_id = 0;
+  {
+    ServiceConfig cfg = fast_config(spool.path);
+    cfg.start_paused = true;
+    Service service(cfg);
+    // Every rename during this submit is torn: the job file reaches its
+    // final name half-written — the exact on-disk image of a power loss.
+    iofault::Plan plan;
+    plan.seed = 3;
+    plan.rate = 1.0;
+    plan.kinds = 1u << static_cast<unsigned>(iofault::Kind::TornRename);
+    iofault::arm(plan);
+    const SubmitOutcome out =
+        service.submit(make_request(quickstart_text(), JobKind::Lint));
+    iofault::disarm();
+    ASSERT_TRUE(out.admitted);  // the write "succeeded" — that is the trap
+    torn_id = out.id;
+    EXPECT_GE(iofault::counters().injected[static_cast<unsigned>(
+                  iofault::Kind::TornRename)],
+              1u);
+    service.stop(false);  // hard stop: the torn file is all that remains
+  }
+
+  // Recovery must detect the torn frame, quarantine it with the evidence
+  // intact, and keep serving — never re-admit garbage, never crash.
+  Service service(fast_config(spool.path));
+  EXPECT_EQ(service.recovered_jobs(), 0);
+  EXPECT_EQ(service.stats().spool_quarantined, 1);
+  EXPECT_FALSE(service.status(torn_id).has_value());
+  const std::string corrupt =
+      spool.path + "/jobs/" + std::to_string(torn_id) + ".job.corrupt";
+  EXPECT_NO_THROW((void)read_file(corrupt)) << "quarantine evidence missing";
+
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  ASSERT_TRUE(out.admitted);
+  wait_terminal(service, out.id);
+  service.stop(true);
+}
+
+// --- disk budget and cost-aware cache ----------------------------------------
+
+TEST(ServeServiceTest, DiskBudgetExhaustionIsATypedRejection) {
+  TempSpool spool("serve_test_diskfull");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.disk_budget_bytes = 1024;  // smaller than any spooled submit
+  Service service(cfg);
+  const SubmitOutcome out =
+      service.submit(make_request(quickstart_text(), JobKind::Lint));
+  EXPECT_FALSE(out.admitted);
+  EXPECT_TRUE(out.disk_full);
+  EXPECT_FALSE(out.busy);
+  EXPECT_NE(out.error.find("disk budget exhausted"), std::string::npos)
+      << out.error;
+  EXPECT_EQ(service.stats().rejected_disk, 1);
+
+  // Nothing was written: the jobs spool holds no file for the reject.
+  DIR* d = ::opendir((spool.path + "/jobs").c_str());
+  ASSERT_NE(d, nullptr);
+  int files = 0;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") ++files;
+  }
+  ::closedir(d);
+  EXPECT_EQ(files, 0);
+  service.stop(true);
+}
+
+TEST(ServeServiceTest, CacheEvictsCheapestToRecomputeNotOldest) {
+  TempSpool spool("serve_test_costcache");
+  ServiceConfig cfg = fast_config(spool.path);
+  cfg.cache_capacity = 1;
+  Service service(cfg);
+
+  // Expensive entry first: a full synthesis run.
+  const SubmitOutcome costly =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(costly.admitted);
+  wait_terminal(service, costly.id);
+
+  // Cheap entry second: a parse-only lint.  LRU would now evict the older
+  // (expensive) run entry; cost-aware eviction drops the cheap newcomer,
+  // because re-linting costs milliseconds and re-synthesizing does not.
+  const SubmitOutcome cheap =
+      service.submit(make_request(quickstart_text() + "\n# lint variant\n",
+                                  JobKind::Lint));
+  ASSERT_TRUE(cheap.admitted);
+  wait_terminal(service, cheap.id);
+  EXPECT_GE(service.stats().cache_evictions, 1);
+
+  const SubmitOutcome run_again =
+      service.submit(make_request(quickstart_text(), JobKind::Run));
+  ASSERT_TRUE(run_again.admitted);
+  EXPECT_TRUE(run_again.cached) << "expensive entry was evicted";
+  const SubmitOutcome lint_again = service.submit(
+      make_request(quickstart_text() + "\n# lint variant\n", JobKind::Lint));
+  ASSERT_TRUE(lint_again.admitted);
+  EXPECT_FALSE(lint_again.cached) << "cheap entry was retained";
+  wait_terminal(service, run_again.id);
+  wait_terminal(service, lint_again.id);
+  service.stop(true);
+}
+
+// --- the seeded chaos campaign (acceptance criteria) -------------------------
+
+struct ChaosScenario {
+  int index = 0;
+  JobKind kind = JobKind::Lint;
+  int priority = 0;
+  long deadline_ms = 0;
+  int fault_crash = 0;
+  int fault_resource = 0;
+  bool nonce_resubmit = false;
+
+  bool operator==(const ChaosScenario& o) const {
+    return index == o.index && kind == o.kind && priority == o.priority &&
+           deadline_ms == o.deadline_ms && fault_crash == o.fault_crash &&
+           fault_resource == o.fault_resource &&
+           nonce_resubmit == o.nonce_resubmit;
+  }
+};
+
+/// The campaign plan is a pure function of its seed: same seed, same
+/// scenarios, bit for bit.  The test builds it twice and asserts equality
+/// before running anything — the whole campaign replays from one number.
+std::vector<ChaosScenario> build_chaos_plan(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<ChaosScenario> plan;
+  plan.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ChaosScenario s;
+    s.index = i;
+    const double kind_roll = rng.uniform();
+    if (kind_roll < 0.78) s.kind = JobKind::Lint;
+    else if (kind_roll < 0.86) s.kind = JobKind::Validate;
+    else if (kind_roll < 0.94) s.kind = JobKind::Run;
+    else s.kind = JobKind::Survive;
+    s.priority = static_cast<int>(rng.uniform_int(0, 2));
+    if (rng.chance(0.10))
+      s.deadline_ms = 1 + static_cast<long>(rng.uniform_int(0, 4));
+    if (rng.chance(0.12)) s.fault_crash = 1;
+    else if (rng.chance(0.08)) s.fault_resource = 1;
+    s.nonce_resubmit = rng.chance(0.15);
+    plan.push_back(s);
+  }
+  return plan;
+}
+
+TEST(ServeChaosTest, SeededCampaignZeroLostZeroDuplicatedAllHonest) {
+  constexpr std::uint64_t kSeed = 20260808;
+  constexpr int kScenarios = 210;
+  const std::vector<ChaosScenario> plan = build_chaos_plan(kSeed, kScenarios);
+  ASSERT_TRUE(plan == build_chaos_plan(kSeed, kScenarios))
+      << "campaign plan is not reproducible from its seed";
+
+  ChaosGuard guard;
+  TempSpool spool("serve_test_chaoscamp");
+  ServiceConfig base = fast_config(spool.path);
+  base.workers = 4;
+  base.queue_capacity = 16;  // small on purpose: bursts must hit busy
+  base.term_grace_ms = 200;
+  base.attempt_timeout_ms = 30000;
+
+  const auto spec_for = [&](int i) {
+    return quickstart_text() + "\n# chaos scenario " + std::to_string(i) +
+           "\n";
+  };
+  const auto request_for = [&](const ChaosScenario& s) {
+    SubmitRequest req;
+    req.kind = s.kind;
+    req.spec_text = spec_for(s.index);
+    req.priority = s.priority;
+    req.deadline_ms = s.deadline_ms;
+    req.fault_crash_attempts = s.fault_crash;
+    req.fault_resource_attempts = s.fault_resource;
+    req.survive_seeds = 2;
+    if (s.nonce_resubmit)
+      req.client_nonce = "chaos-" + std::to_string(s.index);
+    return req;
+  };
+
+  // Job ids are unique within one service incarnation (recovery preserves
+  // ids, so the counter restarts past the surviving jobs — terminal ids
+  // from before the crash may be reissued).  Uniqueness is asserted per
+  // incarnation.
+  std::set<std::uint64_t> ids1;
+  std::set<std::uint64_t> ids2;
+  int honest_rejections = 0;  // typed spool/bad rejections under chaos
+  int busy_gave_up = 0;
+  int duplicates = 0;
+
+  // Submit with the busy contract honoured: every rejection's hint must be
+  // sane, and sleeping it must converge instead of stampeding.
+  const auto submit_with_retry = [&](Service& service,
+                                     const SubmitRequest& req)
+      -> SubmitOutcome {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const SubmitOutcome out = service.submit(req);
+      if (!out.busy) return out;
+      EXPECT_GE(out.retry_after_ms, 10);
+      EXPECT_LE(out.retry_after_ms, 60000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<long>(out.retry_after_ms, 100)));
+    }
+    SubmitOutcome gave_up;
+    gave_up.busy = true;
+    return gave_up;
+  };
+
+  const auto run_slice = [&](Service& service, int begin, int end,
+                             std::map<std::uint64_t, int>* admitted,
+                             std::set<std::uint64_t>* ids) {
+    for (int i = begin; i < end; ++i) {
+      const ChaosScenario& s = plan[static_cast<std::size_t>(i)];
+      const SubmitRequest req = request_for(s);
+      const SubmitOutcome out = submit_with_retry(service, req);
+      if (out.busy) {
+        ++busy_gave_up;
+        continue;
+      }
+      if (!out.admitted) {
+        // Injected environment faults make some spools fail — but every
+        // such failure is typed and says why.  Silence is the only bug.
+        EXPECT_FALSE(out.error.empty()) << "scenario " << i;
+        ++honest_rejections;
+        continue;
+      }
+      if (!out.duplicate && !out.cached) {
+        EXPECT_TRUE(ids->insert(out.id).second)
+            << "scenario " << i << " reused id " << out.id;
+      }
+      admitted->emplace(out.id, i);
+      if (s.nonce_resubmit) {
+        // Lost-reply retry: same request, same nonce — must attach.
+        const SubmitOutcome re = service.submit(req);
+        if (re.admitted) {
+          EXPECT_TRUE(re.duplicate) << "scenario " << i;
+          EXPECT_EQ(re.id, out.id) << "scenario " << i;
+          if (re.duplicate) ++duplicates;
+        }
+      }
+    }
+  };
+
+  // Checks every admitted job of one incarnation: terminal jobs must carry
+  // an honest outcome and a result body; still-queued ids are returned as
+  // the parked set the next incarnation must account for.
+  const auto audit = [&](Service& service,
+                         const std::map<std::uint64_t, int>& admitted)
+      -> std::vector<std::uint64_t> {
+    std::vector<std::uint64_t> parked;
+    for (const auto& [id, scenario] : admitted) {
+      const auto status = service.status(id);
+      if (!status.has_value()) {
+        ADD_FAILURE() << "job " << id << " vanished";
+        continue;
+      }
+      if (status->state != JobState::Done) {
+        parked.push_back(id);
+        continue;
+      }
+      EXPECT_NE(status->outcome, JobOutcome::None) << "job " << id;
+      if (status->outcome == JobOutcome::FailedHonest ||
+          status->outcome == JobOutcome::DegradedHonest) {
+        EXPECT_FALSE(status->detail.empty()) << "job " << id;
+      }
+      EXPECT_TRUE(service.result_body(id).has_value()) << "job " << id;
+    }
+    return parked;
+  };
+
+  // --- incarnation 1: 140 scenarios under low-rate chaos, then a hard stop
+  std::vector<std::uint64_t> parked;
+  std::map<std::uint64_t, int> admitted1;
+  {
+    ServiceConfig cfg = base;
+    cfg.chaos_seed = kSeed;  // armed through the config, as crusaded does
+    cfg.chaos_rate = 0.02;
+    Service service(cfg);
+    ASSERT_TRUE(iofault::armed());
+    run_slice(service, 0, 140, &admitted1, &ids1);
+    service.stop(false);  // hard stop mid-flight: park whatever is queued
+    parked = audit(service, admitted1);
+  }
+  EXPECT_GT(iofault::counters().total, 0u) << "chaos never actually fired";
+
+  // --- incarnation 2: recovery with chaos still armed, then the rest
+  std::map<std::uint64_t, int> admitted2;
+  std::size_t ids2_new = 0;
+  {
+    ServiceConfig cfg = base;
+    cfg.chaos_seed = kSeed + 1;
+    cfg.chaos_rate = 0.02;
+    Service service(cfg);
+    const long long quarantined = service.stats().spool_quarantined;
+
+    // Every parked id either came back or was quarantined with evidence —
+    // nothing simply vanished.
+    int lost = 0;
+    for (const std::uint64_t id : parked)
+      if (!service.status(id).has_value()) ++lost;
+    EXPECT_LE(lost, quarantined)
+        << "jobs disappeared without quarantine evidence";
+    std::size_t seeded = 0;
+    for (const std::uint64_t id : parked)
+      if (service.status(id).has_value()) {
+        admitted2.emplace(id, -1);
+        ids2.insert(id);  // survivors keep their ids: new ids must differ
+        ++seeded;
+      }
+
+    run_slice(service, 140, kScenarios, &admitted2, &ids2);
+    ids2_new = ids2.size() - seeded;
+
+    // Calm the environment and drain everything to terminal.
+    iofault::disarm();
+    for (const auto& [id, scenario] : admitted2)
+      wait_terminal(service, id, 120000);
+    EXPECT_TRUE(audit(service, admitted2).empty());
+
+    // Bit-identical cached answers: resubmitting a completed fault-free
+    // scenario verbatim serves the original bytes.
+    int verified_cached = 0;
+    for (const auto& [id, scenario] : admitted2) {
+      if (verified_cached >= 3) break;
+      if (scenario < 0) continue;
+      const ChaosScenario& s = plan[static_cast<std::size_t>(scenario)];
+      if (s.fault_crash != 0 || s.fault_resource != 0 || s.nonce_resubmit)
+        continue;
+      const auto status = service.status(id);
+      if (!status.has_value() || status->outcome != JobOutcome::Ok) continue;
+      const std::string original = *service.result_body(id);
+      const SubmitOutcome re = service.submit(request_for(s));
+      ASSERT_TRUE(re.admitted);
+      EXPECT_TRUE(re.cached) << "scenario " << scenario;
+      EXPECT_EQ(*service.result_body(re.id), original)
+          << "scenario " << scenario << " not bit-identical";
+      ++verified_cached;
+    }
+    EXPECT_GT(verified_cached, 0);
+
+    service.stop(true);
+  }
+
+  // --- corpus invariants across both incarnations
+  // The campaign really exercised the mixed fates it was built from.
+  EXPECT_GT(static_cast<int>(ids1.size() + ids2_new), 150);
+  EXPECT_GT(duplicates, 0);
+  EXPECT_EQ(busy_gave_up, 0) << "honouring retry_after_ms did not converge";
+
+  // An injected unlink failure can leave a terminal job's frame on disk —
+  // the documented drift that "the recovery rescan corrects on the next
+  // start".  Hold the service to that promise: a third, calm incarnation
+  // re-admits every orphan frame, we drain them, and only then must the
+  // spool be truly clean (quarantined evidence is the one sanctioned
+  // leftover).
+  const auto job_frames = [&] {
+    std::vector<std::uint64_t> frames;
+    DIR* d = ::opendir((spool.path + "/jobs").c_str());
+    EXPECT_NE(d, nullptr);
+    if (d == nullptr) return frames;
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.size() > 4 && name.substr(name.size() - 4) == ".job")
+        frames.push_back(std::strtoull(name.c_str(), nullptr, 10));
+    }
+    ::closedir(d);
+    return frames;
+  };
+  const std::vector<std::uint64_t> orphans = job_frames();
+  {
+    Service service(base);  // chaos_seed = 0: a calm environment
+    EXPECT_EQ(service.recovered_jobs(), static_cast<int>(orphans.size()));
+    for (const std::uint64_t id : orphans) wait_terminal(service, id, 120000);
+    service.stop(true);
+  }
+  EXPECT_TRUE(job_frames().empty()) << "orphan frames survived a calm restart";
 }
 
 // --- daemon + client over the socket ---------------------------------------

@@ -2,13 +2,22 @@
 // integer math and the table formatter.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 
 #include <set>
+#include <utility>
+#include <string>
+#include <vector>
 
 #include "util/atomic_file.hpp"
 #include "util/error.hpp"
+#include "util/io_faults.hpp"
 #include "util/math.hpp"
 #include "util/periodic.hpp"
 #include "util/run_control.hpp"
@@ -275,6 +284,234 @@ TEST(IoErrorTest, CarriesErrnoAndClassifiesDiskFull) {
   // DiskFullError remains catchable as the general classes.
   EXPECT_THROW(throw_io_error("x", ENOSPC), IoError);
   EXPECT_THROW(throw_io_error("x", ENOSPC), Error);
+}
+
+// --- iofault: the deterministic environment-fault seam ----------------------
+
+std::vector<std::string> g_observed_injections;
+void record_injection(const char* name) {
+  g_observed_injections.push_back(name);
+}
+
+/// The plan is process-global and the EINTR burst is thread-local, so every
+/// test starts from a drained, disarmed seam and leaves it that way.
+class IoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { drain(); }
+  void TearDown() override {
+    iofault::set_observer(nullptr);
+    drain();
+  }
+
+  /// Flushes any EINTR-burst residue left on this thread by a previous
+  /// armed sequence: with a negligible rate no new faults fire, but the
+  /// burst path still drains (it runs before the roll).
+  static void drain() {
+    iofault::Plan p;
+    p.seed = 1;
+    p.rate = 1e-18;
+    iofault::arm(p);
+    char b;
+    for (int i = 0; i < 4; ++i) (void)iofault::xread(-1, &b, 0);
+    iofault::disarm();
+    iofault::reset_counters();
+  }
+
+  /// Runs `n` xwrite calls against /dev/null and records (rc, errno) — the
+  /// observable injection sequence.
+  static std::vector<std::pair<long, int>> record_sequence(
+      std::uint64_t seed, double rate, int n) {
+    iofault::Plan p;
+    p.seed = seed;
+    p.rate = rate;
+    iofault::arm(p);
+    const int fd = ::open("/dev/null", O_WRONLY);
+    EXPECT_GE(fd, 0);
+    std::vector<std::pair<long, int>> out;
+    const char buf[8] = {};
+    for (int i = 0; i < n; ++i) {
+      errno = 0;
+      const long rc = static_cast<long>(iofault::xwrite(fd, buf, sizeof buf));
+      out.emplace_back(rc, errno);
+    }
+    (void)::close(fd);
+    iofault::disarm();
+    return out;
+  }
+};
+
+TEST_F(IoFaultTest, DisarmedWrappersPassThrough) {
+  EXPECT_FALSE(iofault::armed());
+  char tmpl[] = "/tmp/crusade_iofault_fXXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(iofault::xwrite(fd, "abc", 3), 3);
+  EXPECT_EQ(iofault::xfsync(fd), 0);
+  EXPECT_EQ(iofault::xclose(fd), 0);
+  EXPECT_EQ(iofault::counters().total, 0u);
+  (void)::unlink(tmpl);
+}
+
+TEST_F(IoFaultTest, SameSeedSameCallOrderReplaysTheSameFaults) {
+  const auto a = record_sequence(42, 0.5, 64);
+  drain();  // burst residue from run 1 must not leak into run 2
+  const auto b = record_sequence(42, 0.5, 64);
+  EXPECT_EQ(a, b);
+  // And the seed matters: a different seed gives a different storm.
+  drain();
+  const auto c = record_sequence(43, 0.5, 64);
+  EXPECT_NE(a, c);
+  // At rate 0.5 over 64 calls, some injections certainly fired.
+  int faults = 0;
+  for (const auto& [rc, err] : a)
+    if (rc < 0 || rc == 4) ++faults;  // 4 = short write of an 8-byte buffer
+  EXPECT_GT(faults, 0);
+}
+
+TEST_F(IoFaultTest, EintrBurstAlwaysLeavesRoomForProgress) {
+  // Rate 1.0, EINTR only: the nastiest storm.  The burst guarantee (one
+  // injection-free call after each burst) means a plain retry loop still
+  // terminates.
+  iofault::Plan p;
+  p.seed = 7;
+  p.rate = 1.0;
+  p.kinds = 1u << static_cast<unsigned>(iofault::Kind::Eintr);
+  iofault::arm(p);
+  const int fd = ::open("/dev/null", O_RDONLY);
+  ASSERT_GE(fd, 0);
+  char buf[4];
+  int tries = 0;
+  long rc = -1;
+  while (tries < 100) {
+    ++tries;
+    rc = static_cast<long>(iofault::xread(fd, buf, sizeof buf));
+    if (rc >= 0 || errno != EINTR) break;
+  }
+  iofault::disarm();
+  (void)::close(fd);
+  EXPECT_EQ(rc, 0);       // /dev/null reads EOF — the call went through
+  EXPECT_LE(tries, 5);    // burst of 3 + the guaranteed-clean call
+  EXPECT_GE(iofault::counters().injected[static_cast<unsigned>(
+                iofault::Kind::Eintr)],
+            3u);
+}
+
+TEST_F(IoFaultTest, ArmFromEnvParsesSeedAndOptionalRate) {
+  EXPECT_TRUE(iofault::arm_from_env("123"));
+  EXPECT_TRUE(iofault::armed());
+  iofault::disarm();
+  EXPECT_TRUE(iofault::arm_from_env("123:0.5"));
+  EXPECT_TRUE(iofault::armed());
+  iofault::disarm();
+  for (const char* bad : {"", "abc", "12:", "12:abc", "12:0", "12:-1",
+                          "12:1.5", "12:0.5x", "12x"}) {
+    EXPECT_FALSE(iofault::arm_from_env(bad)) << "'" << bad << "' accepted";
+  }
+  EXPECT_FALSE(iofault::arm_from_env(nullptr));
+}
+
+TEST_F(IoFaultTest, CountersAndObserverSeeEveryInjection) {
+  g_observed_injections.clear();
+  iofault::set_observer(record_injection);
+  iofault::Plan p;
+  p.seed = 9;
+  p.rate = 1.0;
+  p.kinds = 1u << static_cast<unsigned>(iofault::Kind::Enospc);
+  iofault::arm(p);
+  const int fd = ::open("/dev/null", O_WRONLY);
+  ASSERT_GE(fd, 0);
+  errno = 0;
+  EXPECT_EQ(iofault::xwrite(fd, "abcd", 4), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  iofault::disarm();
+  (void)::close(fd);
+  const auto counts = iofault::counters();
+  EXPECT_EQ(counts.injected[static_cast<unsigned>(iofault::Kind::Enospc)],
+            1u);
+  EXPECT_EQ(counts.total, 1u);
+  ASSERT_EQ(g_observed_injections.size(), 1u);
+  EXPECT_EQ(g_observed_injections[0], "chaos.injected.enospc");
+}
+
+TEST_F(IoFaultTest, InjectedCloseFailureStillReleasesTheDescriptor) {
+  iofault::Plan p;
+  p.seed = 11;
+  p.rate = 1.0;
+  p.kinds = 1u << static_cast<unsigned>(iofault::Kind::Eio);
+  iofault::arm(p);
+  const int fd = ::open("/dev/null", O_WRONLY);
+  ASSERT_GE(fd, 0);
+  errno = 0;
+  EXPECT_EQ(iofault::xclose(fd), -1);
+  EXPECT_EQ(errno, EIO);
+  iofault::disarm();
+  // The fd must already be gone — chaos never leaks descriptors.
+  errno = 0;
+  EXPECT_EQ(::close(fd), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST_F(IoFaultTest, TornRenameSurfacesAHalfWrittenFileAtTheFinalName) {
+  char tmpl[] = "/tmp/crusade_iofault_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string src = dir + "/src", dst = dir + "/dst";
+  atomic_write_file(src, "0123456789ABCDEF");  // 16 bytes, seam disarmed
+  iofault::Plan p;
+  p.seed = 13;
+  p.rate = 1.0;
+  p.kinds = 1u << static_cast<unsigned>(iofault::Kind::TornRename);
+  iofault::arm(p);
+  EXPECT_EQ(iofault::xrename(src.c_str(), dst.c_str()), 0);
+  iofault::disarm();
+  const std::string torn = read_file(dst);
+  EXPECT_EQ(torn, "01234567");  // truncated to half: a torn image
+  (void)::unlink(dst.c_str());
+  (void)::rmdir(dir.c_str());
+}
+
+TEST_F(IoFaultTest, AtomicWriteNeverLeavesAPartialFinalFile) {
+  // Under every fault kind except the (intentionally corrupting) torn
+  // rename, atomic_write_file either succeeds with the full payload at the
+  // final name or throws with the final name untouched.
+  char tmpl[] = "/tmp/crusade_iofault_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const unsigned all_but_torn =
+      ((1u << iofault::kKindCount) - 1u) &
+      ~(1u << static_cast<unsigned>(iofault::Kind::TornRename));
+  int wrote = 0, failed = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const std::string path = dir + "/f" + std::to_string(seed);
+    const std::string payload(1024, static_cast<char>('a' + seed % 26));
+    iofault::Plan p;
+    p.seed = seed;
+    p.rate = 0.3;
+    p.kinds = all_but_torn;
+    iofault::arm(p);
+    bool threw = false;
+    try {
+      atomic_write_file(path, payload);
+    } catch (const Error&) {
+      threw = true;
+    }
+    iofault::disarm();
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) {
+      EXPECT_EQ(read_file(path), payload) << "seed " << seed;
+      ++wrote;
+    } else {
+      EXPECT_TRUE(threw) << "seed " << seed
+                         << ": no file and no error — a silent loss";
+      ++failed;
+    }
+    (void)::unlink(path.c_str());
+    drain();  // burst residue must not couple consecutive seeds
+  }
+  // At rate 0.3 both fates occur across 24 seeds.
+  EXPECT_GT(wrote, 0);
+  EXPECT_GT(failed, 0);
+  (void)::rmdir(dir.c_str());
 }
 
 // --- StopHub routing (multi-job signal handling) ---------------------------

@@ -17,10 +17,15 @@
 #      mutated-spec and fault-replay paths are where memory bugs would hide)
 #  10. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
 #      the Debug ASan build can miss) + entire test suite + survive campaign
-#  11. TSan configuration: serve_test (the one multi-threaded subsystem)
-#      plus a live `crusaded` daemon driven by a `crusade submit` loop —
-#      races between the supervisor, workers, and socket handlers surface
-#      here, not in the single-threaded suites
+#  11. chaos soak: the seeded environment-fault campaign (ServeChaosTest +
+#      IoFaultTest) under ASan/UBSan, plus tools/chaos_soak.sh driving a
+#      live daemon with --chaos across seeds, plus the chaos availability
+#      bench with BENCH_chaos.json round-tripped through a strict parser
+#  12. TSan configuration: serve_test (the one multi-threaded subsystem,
+#      including the seeded chaos campaign) plus a live `crusaded` daemon
+#      driven by a `crusade submit` loop — races between the supervisor,
+#      workers, and socket handlers surface here, not in the
+#      single-threaded suites
 #
 # Every stage reports OK or an explicit "SKIPPED (<missing tool>)" line and
 # lands in the final summary table.  Nothing is ever skipped silently.
@@ -370,6 +375,48 @@ echo "serve smoke: 21 jobs served under ASan/UBSan, crash trace merged," \
   "daemon drained clean"
 stage_ok
 
+stage "chaos soak (seeded env-fault campaign under ASan/UBSan)"
+# The 210-scenario seeded campaign and the io_faults unit suite re-run
+# under ASan/UBSan: injected ENOSPC/EIO/torn-rename paths are exactly
+# where a missed errno or a use-after-close would hide.  Then the live
+# daemon gets the same treatment across seeds via chaos_soak.sh.
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-asan/tests/serve_test --gtest_filter='ServeChaosTest.*' \
+  > /dev/null
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ./build-asan/tests/util_test --gtest_filter='IoFaultTest.*' > /dev/null
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  tools/chaos_soak.sh build-asan --seeds 2
+stage_ok
+
+stage "chaos availability bench (BENCH_chaos.json parse-back)"
+(cd build-ci && CRUSADE_SCALE=0.25 ./bench/chaos_availability > /dev/null)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/BENCH_chaos.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "chaos_availability", doc
+assert doc["honest"], "availability books do not balance"
+sweep = doc["sweep"]
+assert len(sweep) >= 4, sweep
+calm = sweep[0]
+assert calm["fault_rate"] == 0 and calm["goodput"] == 1.0, calm
+for p in sweep:
+    total = (p["good"] + p["degraded"] + p["failed"] + p["rejected_typed"]
+             + p["busy"])
+    assert total == p["submitted"], p
+    if p["fault_rate"] > 0:
+        assert p["injected_faults"] > 0, p
+    assert p["p50_ms"] <= p["p99_ms"], p
+print(f'BENCH_chaos.json: {len(sweep)} fault rates, goodput '
+      f'{sweep[-1]["goodput"]:.3f} at rate {sweep[-1]["fault_rate"]}, '
+      'books balance (python3)')
+EOF
+  stage_ok
+else
+  stage_skip "no python3 for BENCH_chaos.json parse-back"
+fi
+
 stage "UBSan-only configuration (optimized)"
 cmake --preset ubsan
 cmake --build --preset ubsan -j "$(nproc)"
@@ -387,6 +434,8 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target serve_test crusaded
 # die_after_fork=0: the service forks worker attempts from a process that
 # legitimately runs supervisor threads; the forked child execs no threads.
+# serve_test includes the seeded chaos campaign (ServeChaosTest), so the
+# injected-fault paths run under TSan here as well.
 TSAN_OPTIONS="halt_on_error=1 die_after_fork=0" ./build-tsan/tests/serve_test
 stage_ok
 

@@ -89,7 +89,8 @@ int usage(const char* argv0) {
                "  %s profiles\n"
                "  %s submit <file.spec> [--kind run|lint|validate|survive] "
                "[--priority <n>] [--deadline-ms <n>] [--no-reconfig] "
-               "[--seeds <n>] [--wait] [--timeout-ms <n>] [--socket <path>]\n"
+               "[--seeds <n>] [--wait] [--timeout-ms <n>] [--socket <path>] "
+               "[--nonce <token>] [--retries <n>] [--recv-timeout-ms <n>]\n"
                "  %s status [id] [--socket <path>]\n"
                "  %s result <id> [--wait] [--timeout-ms <n>] "
                "[--trace <out.json>] [--socket <path>]\n"
@@ -943,7 +944,8 @@ int cmd_submit(int argc, char** argv) {
   const Args args = Args::parse(
       argc, argv,
       {"--kind", "--priority", "--deadline-ms", "--seeds", "--timeout-ms",
-       "--socket", "--fault-crash", "--fault-hang"});
+       "--socket", "--fault-crash", "--fault-hang", "--fault-resource",
+       "--nonce", "--retries", "--recv-timeout-ms"});
   if (args.positional.size() != 1) return usage(argv[0]);
 
   serve::SubmitRequest submit;
@@ -962,6 +964,22 @@ int cmd_submit(int argc, char** argv) {
     submit.fault_crash_attempts = std::stoi(args.options.at("--fault-crash"));
   if (args.options.count("--fault-hang"))
     submit.fault_hang_attempts = std::stoi(args.options.at("--fault-hang"));
+  if (args.options.count("--fault-resource"))
+    submit.fault_resource_attempts =
+        std::stoi(args.options.at("--fault-resource"));
+  // Idempotency nonce: user-chosen (stable across invocations, so a shell
+  // retry loop attaches to the same job) or auto-generated per invocation
+  // (so call_resilient's own retries after a lost reply never duplicate
+  // work, while separate submits stay separate jobs).
+  if (args.options.count("--nonce")) {
+    submit.client_nonce = args.options.at("--nonce");
+  } else {
+    submit.client_nonce =
+        "cli-" + std::to_string(::getpid()) + "-" +
+        std::to_string(std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count());
+  }
   {
     std::ifstream in(args.positional[0]);
     if (!in) throw Error("cannot open " + args.positional[0]);
@@ -971,15 +989,26 @@ int cmd_submit(int argc, char** argv) {
   }
 
   serve::Request request = serve::make_submit_request(submit);
+  long wait_ms = 0;
   if (args.flags.count("--wait")) {
-    long timeout_ms = 600000;
+    wait_ms = 600000;
     if (args.options.count("--timeout-ms"))
-      timeout_ms = std::stol(args.options.at("--timeout-ms"));
-    request.fields["wait_ms"] = std::to_string(timeout_ms);
+      wait_ms = std::stol(args.options.at("--timeout-ms"));
+    request.fields["wait_ms"] = std::to_string(wait_ms);
   }
 
+  // Bounded waits: the socket read must outlast the daemon-side wait, so a
+  // hung daemon is a typed DaemonUnresponsive error after the window — a
+  // wedged `crusade submit --wait` is never possible.
+  serve::ClientConfig ccfg;
+  ccfg.recv_timeout_ms = wait_ms + 10000;
+  if (args.options.count("--recv-timeout-ms"))
+    ccfg.recv_timeout_ms = std::stol(args.options.at("--recv-timeout-ms"));
+  if (args.options.count("--retries"))
+    ccfg.max_tries = std::stoi(args.options.at("--retries"));
+
   const serve::Response response =
-      serve::Client(socket_option(args)).call(request);
+      serve::Client(socket_option(args), ccfg).call_resilient(request);
   if (!response.ok) return print_error_response(response);
   std::printf("%s\n", response.body.c_str());
   if (!args.flags.count("--wait")) return 0;

@@ -3,7 +3,8 @@
 //   crusaded [--socket <path>] [--spool <dir>] [--workers <n>]
 //            [--queue-cap <n>] [--max-attempts <n>] [--cache-cap <n>]
 //            [--checkpoint-every <evals>] [--attempt-timeout-ms <n>]
-//            [--obs]
+//            [--limit-as-mb <n>] [--limit-cpu-s <n>] [--limit-fsize-mb <n>]
+//            [--disk-budget-mb <n>] [--chaos <seed[:rate]>] [--obs]
 //
 // Accepts submit/status/result/cancel jobs from `crusade submit` and
 // friends over a local socket.  Every job attempt runs in a supervised
@@ -33,7 +34,9 @@ int usage() {
                "usage: crusaded [--socket <path>] [--spool <dir>] "
                "[--workers <n>] [--queue-cap <n>] [--max-attempts <n>] "
                "[--cache-cap <n>] [--checkpoint-every <evals>] "
-               "[--attempt-timeout-ms <n>] [--obs]\n");
+               "[--attempt-timeout-ms <n>] [--limit-as-mb <n>] "
+               "[--limit-cpu-s <n>] [--limit-fsize-mb <n>] "
+               "[--disk-budget-mb <n>] [--chaos <seed[:rate]>] [--obs]\n");
   return 2;
 }
 
@@ -75,6 +78,29 @@ int main(int argc, char** argv) {
       cfg.service.checkpoint_every = std::atol(value());
     else if (a == "--attempt-timeout-ms")
       cfg.service.attempt_timeout_ms = std::atol(value());
+    else if (a == "--limit-as-mb") cfg.service.limit_as_mb = std::atol(value());
+    else if (a == "--limit-cpu-s") cfg.service.limit_cpu_s = std::atol(value());
+    else if (a == "--limit-fsize-mb")
+      cfg.service.limit_fsize_mb = std::atol(value());
+    else if (a == "--disk-budget-mb")
+      cfg.service.disk_budget_bytes = std::atoll(value()) * (1ll << 20);
+    else if (a == "--chaos") {
+      // Same format as CRUSADE_CHAOS: seed[:rate].  Parsed here only to
+      // fail fast on garbage; the Service arms the plan from the config.
+      const std::string spec = value();
+      const std::size_t colon = spec.find(':');
+      cfg.service.chaos_seed =
+          std::strtoull(spec.substr(0, colon).c_str(), nullptr, 10);
+      if (colon != std::string::npos)
+        cfg.service.chaos_rate = std::atof(spec.c_str() + colon + 1);
+      if (cfg.service.chaos_seed == 0 || cfg.service.chaos_rate <= 0.0 ||
+          cfg.service.chaos_rate > 1.0) {
+        std::fprintf(stderr,
+                     "error: --chaos wants <seed[:rate]> with seed > 0 and "
+                     "rate in (0, 1]\n");
+        return 2;
+      }
+    }
     else if (a == "--obs") obs_on = true;
     else return usage();
   }
