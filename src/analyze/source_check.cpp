@@ -54,6 +54,11 @@ const std::vector<CheckRule> kRules = {
      "data (cast a deliberate best-effort discard to (void)), and calling "
      "close()/unlink() before reading errno reports the cleanup's errno "
      "instead of the original failure's"},
+    {"C009", "unframed-disk-write",
+     "a serve/ckpt artifact written via bare atomic_write_file carries no "
+     "magic, version, or CRC, so a reader cannot reject a foreign, stale, "
+     "or torn file after a crash; every durable byte goes through "
+     "diskfmt::write_framed_file (magic + version + crc32 + length header)"},
 };
 
 // --- path scoping ----------------------------------------------------------
@@ -84,6 +89,13 @@ bool in_timing_code(const std::string& path) {
 
 bool is_atomic_file_impl(const std::string& path) {
   return path.find("src/util/atomic_file.") != std::string::npos;
+}
+
+/// C009 scope: the subsystems whose files are re-read after a crash and so
+/// must be self-describing (magic/version/CRC framed).
+bool in_durable_code(const std::string& path) {
+  return path.find("src/serve/") != std::string::npos ||
+         path.find("src/ckpt/") != std::string::npos;
 }
 
 bool in_library_code(const std::string& path) {
@@ -346,7 +358,7 @@ struct Engine {
     static const std::set<std::string> kSubsystems = {
         "phase", "alloc",    "sched", "merge",   "interface", "reconfig",
         "fpga",  "ft",       "sim",   "survive", "serve",     "crusade",
-        "chaos"};
+        "chaos", "disk"};
     for (std::size_t i = 0; i < code.size(); ++i) {
       if (!std::regex_search(code[i], kCall)) continue;
       auto begin = std::sregex_iterator(raw[i].begin(), raw[i].end(),
@@ -503,6 +515,15 @@ struct Engine {
     if (in_library_code(path)) check_obs_names();
 
     if (in_library_code(path)) check_unchecked_syscalls();
+
+    if (in_durable_code(path)) {
+      static const std::regex kBareWrite(R"(\batomic_write_file\s*\()");
+      scan_token_rule("C009", kBareWrite,
+                      "bare atomic_write_file in durable-format code — frame "
+                      "the payload with diskfmt::write_framed_file so a "
+                      "reader can reject torn or foreign files by "
+                      "magic/version/CRC");
+    }
 
     check_signal_handlers();
 

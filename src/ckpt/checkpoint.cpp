@@ -2,6 +2,7 @@
 
 #include "ckpt/serialize.hpp"
 #include "util/atomic_file.hpp"
+#include "util/disk_format.hpp"
 #include "util/error.hpp"
 
 namespace crusade::ckpt {
@@ -9,7 +10,24 @@ namespace crusade::ckpt {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'K', 'P', 'T'};
-constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
+constexpr std::size_t kHeaderBytes = diskfmt::kHeaderBytes;
+
+/// Serializes the checkpoint payload (everything after the framed header).
+std::string checkpoint_payload(const Checkpoint& c) {
+  BinWriter payload;
+  payload.u8(static_cast<std::uint8_t>(c.stage));
+  payload.u64(c.spec_hash);
+  write_architecture(payload, c.arch);
+  payload.vec_u8(c.placed);
+  payload.i64(c.sched_evals);
+  payload.i32(c.clusters_with_misses);
+  payload.i64(c.committed_tardiness);
+  payload.i64(c.committed_estimate);
+  payload.i32(c.committed_failures);
+  write_merge_report(payload, c.merge_report);
+  write_run_stats(payload, c.stats);
+  return payload.bytes();
+}
 
 }  // namespace
 
@@ -23,30 +41,9 @@ const char* to_string(Stage stage) {
 }
 
 std::string encode_checkpoint(const Checkpoint& c) {
-  BinWriter payload;
-  payload.u8(static_cast<std::uint8_t>(c.stage));
-  payload.u64(c.spec_hash);
-  write_architecture(payload, c.arch);
-  payload.vec_u8(c.placed);
-  payload.i64(c.sched_evals);
-  payload.i32(c.clusters_with_misses);
-  payload.i64(c.committed_tardiness);
-  payload.i64(c.committed_estimate);
-  payload.i32(c.committed_failures);
-  write_merge_report(payload, c.merge_report);
-  write_run_stats(payload, c.stats);
-
-  BinWriter file;
-  file.u8(static_cast<std::uint8_t>(kMagic[0]));
-  file.u8(static_cast<std::uint8_t>(kMagic[1]));
-  file.u8(static_cast<std::uint8_t>(kMagic[2]));
-  file.u8(static_cast<std::uint8_t>(kMagic[3]));
-  file.u32(kCheckpointVersion);
-  file.u32(crc32(payload.bytes()));
-  file.u64(payload.bytes().size());
-  std::string out = file.bytes();
-  out += payload.bytes();
-  return out;
+  // diskfmt::frame writes the identical magic/version/CRC/length header the
+  // hand-rolled encoder always produced — ckpt_test pins the bytes.
+  return diskfmt::frame(kMagic, kCheckpointVersion, checkpoint_payload(c));
 }
 
 Checkpoint decode_checkpoint(const std::string& bytes,
@@ -95,7 +92,8 @@ Checkpoint decode_checkpoint(const std::string& bytes,
 }
 
 void save_checkpoint(const std::string& path, const Checkpoint& c) {
-  atomic_write_file(path, encode_checkpoint(c));
+  diskfmt::write_framed_file(path, kMagic, kCheckpointVersion,
+                             checkpoint_payload(c));
 }
 
 Checkpoint load_checkpoint(const std::string& path,

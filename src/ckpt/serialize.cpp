@@ -1,8 +1,8 @@
 #include "ckpt/serialize.hpp"
 
-#include <array>
 #include <bit>
 
+#include "util/disk_format.hpp"
 #include "util/error.hpp"
 
 namespace crusade::ckpt {
@@ -123,20 +123,9 @@ std::vector<char> BinReader::vec_u8() {
 // --- hashes ---------------------------------------------------------------
 
 std::uint32_t crc32(const std::string& bytes) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xffffffffu;
-  for (char ch : bytes)
-    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
-  return crc ^ 0xffffffffu;
+  // One CRC implementation for the whole tree: the framed-header helper
+  // owns it (util/disk_format.hpp), checkpoints delegate.
+  return diskfmt::crc32(bytes);
 }
 
 std::uint64_t fnv1a(const std::string& bytes) {

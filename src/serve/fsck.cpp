@@ -1,0 +1,532 @@
+#include "serve/fsck.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "ckpt/serialize.hpp"
+#include "serve/durable.hpp"
+#include "serve/protocol.hpp"
+#include "util/atomic_file.hpp"
+#include "util/disk_format.hpp"
+#include "util/error.hpp"
+#include "util/io_faults.hpp"
+#include "util/json_writer.hpp"
+
+namespace crusade::serve {
+
+namespace {
+
+std::vector<std::string> scan_dir(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void make_dir_quiet(const std::string& path) {
+  (void)::mkdir(path.c_str(), 0755);
+}
+
+long long file_size(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<long long>(st.st_size);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// "123.job" -> 123; 0 when the name does not start with a positive number.
+std::uint64_t leading_id(const std::string& name) {
+  if (name.empty() || name[0] < '0' || name[0] > '9') return 0;
+  return std::strtoull(name.c_str(), nullptr, 10);
+}
+
+bool is_hex16_res(const std::string& name) {
+  if (name.size() != 20 || name.substr(16) != ".res") return false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = name[i];
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+/// Journal-visible lifecycle of one job id, folded from replay.
+struct JournalState {
+  bool admitted = false;
+  bool terminal = false;
+  bool evicted = false;
+  JournalRecord term;  ///< last Terminal record (kind/outcome/fnv)
+  std::uint8_t kind = 0;
+};
+
+std::string tombstone_body(std::uint8_t kind, const char* klass,
+                           const std::string& message, int attempts) {
+  const std::uint8_t max_kind =
+      static_cast<std::uint8_t>(JobKind::Survive);
+  const JobKind k =
+      kind <= max_kind ? static_cast<JobKind>(kind) : JobKind::Run;
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("kind").value(to_string(k))
+      .key("error").value(message)
+      .key("error_class").value(klass)
+      .key("attempts").value(attempts)
+      .end_object();
+  return w.str();
+}
+
+/// Stateful helper so every repair records its outcome uniformly and a
+/// chaos-refused repair degrades to "repair-failed", never a throw.
+class Scrub {
+ public:
+  Scrub(std::string spool, bool repair, FsckReport* report)
+      : spool_(std::move(spool)), repair_(repair), report_(report) {}
+
+  const std::string& spool() const { return spool_; }
+  bool repairing() const { return repair_; }
+
+  FsckItem& add(FsckFinding finding, std::uint64_t id,
+                const std::string& path) {
+    FsckItem item;
+    item.finding = finding;
+    item.id = id;
+    item.path = path;
+    item.bytes = file_size(path);
+    item.action = "detected";
+    report_->items.push_back(std::move(item));
+    return report_->items.back();
+  }
+
+  void did_repair(FsckItem& item, const std::string& action) {
+    item.action = action;
+    ++report_->repairs;
+  }
+
+  void failed(FsckItem& item, const std::string& what) {
+    item.action = "repair-failed: " + what;
+    ++report_->repair_failures;
+  }
+
+  /// rename aside as evidence; true when the rename stuck.
+  bool quarantine(FsckItem& item) {
+    if (!repair_) return false;
+    const std::string to = item.path + ".corrupt";
+    if (iofault::xrename(item.path.c_str(), to.c_str()) == 0) {
+      did_repair(item, "quarantined");
+      ++report_->quarantines;
+      return true;
+    }
+    failed(item, "rename to " + to + ": " + errno_message(errno));
+    return false;
+  }
+
+  bool remove(FsckItem& item) {
+    if (!repair_) return false;
+    if (iofault::xunlink(item.path.c_str()) == 0 || errno == ENOENT) {
+      did_repair(item, "removed");
+      return true;
+    }
+    failed(item, "unlink: " + errno_message(errno));
+    return false;
+  }
+
+ private:
+  std::string spool_;
+  bool repair_;
+  FsckReport* report_;
+};
+
+}  // namespace
+
+const char* to_string(FsckFinding finding) {
+  switch (finding) {
+    case FsckFinding::TornJournalTail: return "torn-journal-tail";
+    case FsckFinding::CorruptJournal: return "corrupt-journal";
+    case FsckFinding::CorruptSpoolEntry: return "corrupt-spool-entry";
+    case FsckFinding::OrphanSpoolEntry: return "orphan-spool-entry";
+    case FsckFinding::StaleSpoolEntry: return "stale-spool-entry";
+    case FsckFinding::CorruptResult: return "corrupt-result";
+    case FsckFinding::OrphanResult: return "orphan-result";
+    case FsckFinding::MissingResult: return "missing-result";
+    case FsckFinding::LostSpoolEntry: return "lost-spool-entry";
+    case FsckFinding::CorruptCacheEntry: return "corrupt-cache-entry";
+    case FsckFinding::TempDebris: return "temp-debris";
+    case FsckFinding::LedgerDrift: return "ledger-drift";
+  }
+  return "?";
+}
+
+int FsckReport::count(FsckFinding finding) const {
+  int n = 0;
+  for (const FsckItem& item : items)
+    if (item.finding == finding) ++n;
+  return n;
+}
+
+std::string FsckReport::to_json() const {
+  tools::JsonWriter w;
+  w.begin_object()
+      .key("clean").value(clean())
+      .key("findings").value(static_cast<long long>(items.size()))
+      .key("repairs").value(repairs)
+      .key("quarantines").value(quarantines)
+      .key("repair_failures").value(repair_failures)
+      .key("journal_records").value(static_cast<long long>(journal_records))
+      .key("disk_bytes").value(disk_bytes)
+      .key("counts").begin_object();
+  for (unsigned f = 0; f < kFsckFindingCount; ++f) {
+    const FsckFinding finding = static_cast<FsckFinding>(f);
+    const int n = count(finding);
+    if (n > 0) w.key(to_string(finding)).value(n);
+  }
+  w.end_object().key("items").begin_array();
+  for (const FsckItem& item : items) {
+    w.begin_object()
+        .key("finding").value(to_string(item.finding))
+        .key("id").value(static_cast<unsigned long long>(item.id))
+        .key("path").value(item.path)
+        .key("action").value(item.action)
+        .key("bytes").value(item.bytes)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+FsckReport fsck_spool(const std::string& spool_dir, bool repair) {
+  FsckReport report;
+  Scrub scrub(spool_dir, repair, &report);
+  make_dir_quiet(spool_dir);
+  const std::string jobs_dir = spool_dir + "/jobs";
+  const std::string cache_dir = spool_dir + "/cache";
+  const std::string results_dir = spool_dir + "/results";
+  const std::string journal_dir = spool_dir + "/journal";
+  for (const std::string& dir :
+       {jobs_dir, cache_dir, results_dir, journal_dir})
+    make_dir_quiet(dir);
+  const std::string journal_path = journal_dir + "/wal";
+
+  // --- 1. journal: replay the valid prefix, repair the tail -------------
+  JournalReplay replayed = Journal::replay(journal_path);
+  report.journal_records = replayed.records.size();
+  if (!replayed.missing && !replayed.header_error.empty()) {
+    FsckItem& item =
+        scrub.add(FsckFinding::CorruptJournal, 0, journal_path);
+    item.action = "detected: " + replayed.header_error;
+    if (repair) {
+      if (Journal::rewrite(journal_path, {}))
+        scrub.did_repair(item, "rebuilt empty (spool + results re-adopted "
+                               "below)");
+      else
+        scrub.failed(item, "rewrite: " + errno_message(errno));
+    }
+    replayed.records.clear();
+  } else if (replayed.torn_tail) {
+    FsckItem& item =
+        scrub.add(FsckFinding::TornJournalTail, 0, journal_path);
+    if (repair) {
+      if (Journal::truncate_tail(journal_path, replayed.valid_bytes))
+        scrub.did_repair(item, "truncated at byte " +
+                                   std::to_string(replayed.valid_bytes));
+      else
+        scrub.failed(item, "truncate: " + errno_message(errno));
+    }
+  }
+
+  std::map<std::uint64_t, JournalState> journal_state;
+  for (const JournalRecord& rec : replayed.records) {
+    JournalState& state = journal_state[rec.id];
+    switch (rec.type) {
+      case JournalRecordType::Admitted:
+        state.admitted = true;
+        state.kind = rec.kind;
+        break;
+      case JournalRecordType::AttemptStarted:
+        break;
+      case JournalRecordType::Terminal:
+        state.terminal = true;
+        state.evicted = false;
+        state.term = rec;
+        state.kind = rec.kind;
+        break;
+      case JournalRecordType::ResultEvicted:
+        state.evicted = true;
+        break;
+    }
+  }
+
+  // Records fsck itself must append (adoptions, tombstone terminals).
+  std::vector<JournalRecord> adoptions;
+
+  // --- 2. durable results: CRC + journal fingerprint --------------------
+  std::set<std::uint64_t> valid_results;
+  for (const std::string& name : scan_dir(results_dir)) {
+    if (!ends_with(name, ".res")) continue;
+    const std::uint64_t id = leading_id(name);
+    const std::string path = results_dir + "/" + name;
+    if (id == 0) continue;  // classified by the recount sweep below
+    std::string raw;
+    bool whole = false;
+    DurableResult result;
+    try {
+      raw = read_file(path);
+      result = decode_durable_result(
+          diskfmt::unframe(raw, kDurableResultMagic, kDurableResultVersion)
+              .payload);
+      whole = result.id == id;
+    } catch (const Error&) {
+      whole = false;
+    }
+    const auto js = journal_state.find(id);
+    const bool have_terminal = js != journal_state.end() && js->second.terminal;
+    if (!whole) {
+      FsckItem& item = scrub.add(FsckFinding::CorruptResult, id, path);
+      scrub.quarantine(item);
+      continue;
+    }
+    const std::uint64_t fnv = ckpt::fnv1a(raw);
+    if (have_terminal && js->second.term.result_fnv != 0 &&
+        js->second.term.result_fnv != fnv) {
+      FsckItem& item = scrub.add(FsckFinding::CorruptResult, id, path);
+      item.action = "detected: journal fingerprint mismatch";
+      scrub.quarantine(item);
+      continue;
+    }
+    valid_results.insert(id);
+    if (!have_terminal) {
+      // The result file is the truth the journal lost (crash between the
+      // result write and the terminal append): adopt it.
+      FsckItem& item = scrub.add(FsckFinding::OrphanResult, id, path);
+      if (repair) {
+        JournalRecord rec;
+        rec.type = JournalRecordType::Terminal;
+        rec.id = id;
+        rec.kind = static_cast<std::uint8_t>(result.kind);
+        rec.outcome = static_cast<std::uint8_t>(result.outcome);
+        rec.attempts = static_cast<std::uint32_t>(
+            result.attempts < 0 ? 0 : result.attempts);
+        rec.result_fnv = fnv;
+        adoptions.push_back(rec);
+        scrub.did_repair(item, "adopted");
+      }
+      JournalState& state = journal_state[id];
+      state.terminal = true;
+      state.evicted = false;
+      state.kind = static_cast<std::uint8_t>(result.kind);
+    }
+  }
+
+  // --- 3. job spool: frame validity, staleness, journal membership ------
+  std::set<std::uint64_t> live_jobs;
+  for (const std::string& name : scan_dir(jobs_dir)) {
+    if (!ends_with(name, ".job")) continue;
+    const std::string path = jobs_dir + "/" + name;
+    std::uint64_t id = 0;
+    std::string raw;
+    try {
+      raw = read_file(path);
+      const Request frame = decode_frame(
+          diskfmt::unframe(raw, kSpoolJobMagic, kSpoolJobVersion).payload);
+      if (frame.verb != "JOB") throw Error("spool: not a JOB frame");
+      id = static_cast<std::uint64_t>(frame.get_long("id"));
+      if (id == 0) throw Error("spool: bad id");
+    } catch (const Error&) {
+      FsckItem& item = scrub.add(FsckFinding::CorruptSpoolEntry, id, path);
+      scrub.quarantine(item);
+      continue;
+    }
+    if (valid_results.count(id) != 0 ||
+        (journal_state.count(id) != 0 && journal_state[id].terminal)) {
+      // The job already finished; a leftover frame re-admitted would
+      // execute it a second time.
+      FsckItem& item = scrub.add(FsckFinding::StaleSpoolEntry, id, path);
+      if (scrub.remove(item)) {
+        // Its worker scratch is stale with it (telemetry stays: traces of
+        // retained terminal jobs are queryable on purpose).
+        const std::string stem = jobs_dir + "/" + std::to_string(id);
+        (void)iofault::xunlink((stem + ".ckpt").c_str());
+        (void)iofault::xunlink((stem + ".result").c_str());
+      }
+      continue;
+    }
+    live_jobs.insert(id);
+    if (journal_state.count(id) == 0 || !journal_state[id].admitted) {
+      FsckItem& item = scrub.add(FsckFinding::OrphanSpoolEntry, id, path);
+      if (repair) {
+        JournalRecord rec;
+        rec.type = JournalRecordType::Admitted;
+        rec.id = id;
+        rec.spec_fnv = ckpt::fnv1a(raw);
+        adoptions.push_back(rec);
+        scrub.did_repair(item, "adopted");
+      }
+      journal_state[id].admitted = true;
+    }
+  }
+
+  // --- 4. journal promises with nothing behind them ---------------------
+  for (auto& [id, state] : journal_state) {
+    if (state.terminal && !state.evicted && valid_results.count(id) == 0) {
+      // The terminal bytes are gone (lost write, quarantined above).  An
+      // honest tombstone beats both silence and fabrication.
+      const std::string path =
+          results_dir + "/" + std::to_string(id) + ".res";
+      FsckItem& item = scrub.add(FsckFinding::MissingResult, id, path);
+      if (repair) {
+        DurableResult tomb;
+        tomb.id = id;
+        tomb.kind = state.kind <= static_cast<std::uint8_t>(JobKind::Survive)
+                        ? static_cast<JobKind>(state.kind)
+                        : JobKind::Run;
+        tomb.outcome = JobOutcome::FailedHonest;
+        tomb.attempts = static_cast<int>(state.term.attempts);
+        tomb.detail =
+            std::string("durable result lost; journal recorded outcome ") +
+            "\"" +
+            to_string(state.term.outcome <=
+                              static_cast<std::uint8_t>(JobOutcome::Cancelled)
+                          ? static_cast<JobOutcome>(state.term.outcome)
+                          : JobOutcome::None) +
+            "\" but the result file is gone (tombstone written by fsck)";
+        tomb.body = tombstone_body(state.kind, "fsck-result-lost",
+                                   tomb.detail, tomb.attempts);
+        try {
+          diskfmt::write_framed_file(path, kDurableResultMagic,
+                                     kDurableResultVersion,
+                                     encode_durable_result(tomb));
+          scrub.did_repair(item, "tombstone");
+          valid_results.insert(id);
+          JournalRecord rec = state.term;
+          rec.type = JournalRecordType::Terminal;
+          rec.id = id;
+          rec.outcome = static_cast<std::uint8_t>(JobOutcome::FailedHonest);
+          rec.result_fnv = 0;
+          adoptions.push_back(rec);
+        } catch (const Error& e) {
+          scrub.failed(item, e.what());
+        }
+      }
+    } else if (state.admitted && !state.terminal &&
+               live_jobs.count(id) == 0 && valid_results.count(id) == 0) {
+      // Admitted, never finished, and the spool frame is gone (torn write
+      // quarantined, or injected unlink ate it): the work is lost and the
+      // client deserves to hear that from status(), not a not-found.
+      const std::string path =
+          results_dir + "/" + std::to_string(id) + ".res";
+      FsckItem& item = scrub.add(FsckFinding::LostSpoolEntry, id, path);
+      if (repair) {
+        DurableResult tomb;
+        tomb.id = id;
+        tomb.kind = state.kind <= static_cast<std::uint8_t>(JobKind::Survive)
+                        ? static_cast<JobKind>(state.kind)
+                        : JobKind::Run;
+        tomb.outcome = JobOutcome::FailedHonest;
+        tomb.detail =
+            "spool entry lost before execution (quarantined or missing); "
+            "failed-honest tombstone written by fsck";
+        tomb.body = tombstone_body(state.kind, "fsck-lost-job", tomb.detail,
+                                   0);
+        try {
+          diskfmt::write_framed_file(path, kDurableResultMagic,
+                                     kDurableResultVersion,
+                                     encode_durable_result(tomb));
+          scrub.did_repair(item, "tombstone");
+          valid_results.insert(id);
+          JournalRecord rec;
+          rec.type = JournalRecordType::Terminal;
+          rec.id = id;
+          rec.kind = state.kind;
+          rec.outcome = static_cast<std::uint8_t>(JobOutcome::FailedHonest);
+          adoptions.push_back(rec);
+        } catch (const Error& e) {
+          scrub.failed(item, e.what());
+        }
+      }
+    }
+  }
+
+  // --- 5. result cache: advisory, so corrupt entries are just removed ---
+  for (const std::string& name : scan_dir(cache_dir)) {
+    if (!ends_with(name, ".res") || !is_hex16_res(name)) continue;
+    const std::string path = cache_dir + "/" + name;
+    try {
+      const diskfmt::Unframed entry = diskfmt::read_framed_file(
+          path, kCacheEntryMagic, kCacheEntryVersion);
+      ckpt::BinReader r(entry.payload);
+      (void)r.u64();  // cost_ms
+      (void)r.str();  // body
+      if (!r.at_end()) throw Error("cache entry: trailing bytes");
+    } catch (const Error&) {
+      FsckItem& item = scrub.add(FsckFinding::CorruptCacheEntry, 0, path);
+      scrub.remove(item);
+    }
+  }
+
+  // --- 6. append the adopted truths to the (repaired) journal -----------
+  if (repair && !adoptions.empty()) {
+    Journal journal;
+    if (journal.open(journal_path)) {
+      for (const JournalRecord& rec : adoptions)
+        if (journal.append(rec) == 0) {
+          FsckItem& item =
+              scrub.add(FsckFinding::CorruptJournal, rec.id, journal_path);
+          scrub.failed(item, "adoption append");
+        }
+    }
+  }
+
+  // --- 7. debris + recount: every byte classified, the rest flagged -----
+  const auto classify_dir = [&](const std::string& dir,
+                                auto&& attributable) {
+    for (const std::string& name : scan_dir(dir)) {
+      const std::string path = dir + "/" + name;
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+      if (name.find(".tmp.") != std::string::npos) {
+        FsckItem& item = scrub.add(FsckFinding::TempDebris, 0, path);
+        if (!scrub.remove(item)) report.disk_bytes += item.bytes;
+        continue;
+      }
+      report.disk_bytes += static_cast<long long>(st.st_size);
+      if (!attributable(name)) {
+        FsckItem& item = scrub.add(FsckFinding::LedgerDrift, 0, path);
+        item.action = "charged";
+      }
+    }
+  };
+  classify_dir(jobs_dir, [](const std::string& name) {
+    return leading_id(name) != 0;
+  });
+  classify_dir(results_dir, [](const std::string& name) {
+    return leading_id(name) != 0;
+  });
+  classify_dir(cache_dir, [](const std::string& name) {
+    return is_hex16_res(name) ||
+           (ends_with(name, ".corrupt") &&
+            is_hex16_res(name.substr(0, name.size() - 8)));
+  });
+  classify_dir(journal_dir, [](const std::string& name) {
+    return name == "wal";
+  });
+  classify_dir(spool_dir, [](const std::string&) { return false; });
+
+  return report;
+}
+
+}  // namespace crusade::serve

@@ -1,0 +1,86 @@
+// Boot-time spool integrity scrub (DESIGN.md §17.3).
+//
+// fsck_spool replays the write-ahead journal against the world it claims
+// to describe — job spool, durable result store, result cache, disk ledger
+// — and reconciles every disagreement with a typed, counted verdict:
+//
+//   torn-journal-tail    truncated at the last whole record
+//   corrupt-journal      unreadable header: rebuilt empty, then re-adopted
+//   corrupt-spool-entry  .job fails frame/CRC/parse: quarantined (.corrupt)
+//   orphan-spool-entry   .job the journal never admitted: adopted
+//   stale-spool-entry    .job whose job already has a durable result:
+//                        removed (re-running it would duplicate execution)
+//   corrupt-result       result file fails CRC or its journal fingerprint:
+//                        quarantined
+//   orphan-result        result without a terminal record: adopted
+//   missing-result       terminal record, no result file, no eviction
+//                        record: failed-honest tombstone written (the
+//                        original bytes are gone; fsck never fabricates)
+//   lost-spool-entry     admitted, never terminal, no spool file left:
+//                        failed-honest tombstone written
+//   corrupt-cache-entry  cache entry fails frame/CRC: removed (advisory)
+//   temp-debris          atomic-write temp leftovers: removed
+//   ledger-drift         bytes no classified artifact explains: charged to
+//                        the recount and flagged
+//
+// Every repair goes through the iofault seam, so fsck itself is
+// chaos-survivable: an injected ENOSPC/EIO/torn rename turns the item's
+// action into "repair-failed: ..." and the scrub continues — it never
+// throws out of fsck_spool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crusade::serve {
+
+enum class FsckFinding : std::uint8_t {
+  TornJournalTail,
+  CorruptJournal,
+  CorruptSpoolEntry,
+  OrphanSpoolEntry,
+  StaleSpoolEntry,
+  CorruptResult,
+  OrphanResult,
+  MissingResult,
+  LostSpoolEntry,
+  CorruptCacheEntry,
+  TempDebris,
+  LedgerDrift,
+};
+inline constexpr unsigned kFsckFindingCount = 12;
+const char* to_string(FsckFinding finding);
+
+struct FsckItem {
+  FsckFinding finding = FsckFinding::TornJournalTail;
+  std::uint64_t id = 0;    ///< job id when the finding names one, else 0
+  std::string path;        ///< file the finding is about (journal, .job, ...)
+  std::string action;      ///< "truncated", "quarantined", "adopted",
+                           ///< "removed", "tombstone", "charged",
+                           ///< "detected" (repair=false), or
+                           ///< "repair-failed: <why>"
+  long long bytes = 0;     ///< size of the file involved (forensics)
+};
+
+struct FsckReport {
+  std::vector<FsckItem> items;
+  /// Valid records replayed from the journal (pre-repair).
+  std::uint64_t journal_records = 0;
+  /// Actual bytes on disk under the spool after repairs — the authoritative
+  /// recount the service's disk ledger is reset to.
+  long long disk_bytes = 0;
+  int repairs = 0;           ///< actions that changed the world and stuck
+  int quarantines = 0;       ///< subset of repairs that renamed evidence aside
+  int repair_failures = 0;   ///< repairs the (possibly chaos-armed) fs refused
+  int count(FsckFinding finding) const;
+  bool clean() const { return items.empty(); }
+  std::string to_json() const;
+};
+
+/// Scrubs `spool_dir` (created if missing).  repair=false classifies only —
+/// every item's action is "detected" and nothing on disk changes.  Never
+/// throws; an unusable spool directory yields a report whose items say so.
+FsckReport fsck_spool(const std::string& spool_dir, bool repair);
+
+}  // namespace crusade::serve

@@ -19,8 +19,11 @@
 #include "graph/spec_io.hpp"
 #include "obs/flight.hpp"
 #include "obs/obs.hpp"
+#include "serve/durable.hpp"
+#include "serve/fsck.hpp"
 #include "serve/worker.hpp"
 #include "util/atomic_file.hpp"
+#include "util/disk_format.hpp"
 #include "util/error.hpp"
 #include "util/io_faults.hpp"
 #include "util/json_writer.hpp"
@@ -199,6 +202,21 @@ std::string to_json(const ServiceStats& s) {
       .key("cache_evictions").value(static_cast<long long>(s.cache_evictions))
       .key("spool_quarantined")
       .value(static_cast<long long>(s.spool_quarantined))
+      .key("results_persisted")
+      .value(static_cast<long long>(s.results_persisted))
+      .key("results_recovered")
+      .value(static_cast<long long>(s.results_recovered))
+      .key("result_persist_failures")
+      .value(static_cast<long long>(s.result_persist_failures))
+      .key("journal_append_failures")
+      .value(static_cast<long long>(s.journal_append_failures))
+      .key("fsck_findings").value(static_cast<long long>(s.fsck_findings))
+      .key("fsck_repairs").value(static_cast<long long>(s.fsck_repairs))
+      .key("spool_reconciled")
+      .value(static_cast<long long>(s.spool_reconciled))
+      .key("quarantine_evicted")
+      .value(static_cast<long long>(s.quarantine_evicted))
+      .key("ledger_drift_bytes").value(s.ledger_drift_bytes)
       .key("disk_used_bytes").value(s.disk_used_bytes)
       .key("queue_depth").value(s.queue_depth)
       .key("queue_peak").value(s.queue_peak)
@@ -265,6 +283,9 @@ Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   make_dirs(cfg_.spool_dir);
   make_dir(cfg_.spool_dir + "/jobs");
   make_dir(cfg_.spool_dir + "/cache");
+  make_dir(cfg_.spool_dir + "/results");
+  make_dir(cfg_.spool_dir + "/journal");
+  journal_ = std::make_unique<Journal>();
   // Chaos plan: config seed wins; otherwise the CRUSADE_CHAOS environment
   // variable (seed[:rate]) arms the same process-global plan.  The observer
   // bridge makes every injection visible as a chaos.* counter.  Armed
@@ -284,6 +305,31 @@ Service::Service(ServiceConfig config) : cfg_(std::move(config)) {
   // observe a half-recovered spool.
   util::MutexLock lk(mu_);
   paused_ = cfg_.start_paused;
+  // Boot-time fsck before anything trusts the spool: replay the journal
+  // against the world, truncate torn tails, quarantine corruption, adopt
+  // orphans, tombstone lost work.  Runs under the chaos plan armed above —
+  // fsck surviving injected faults is part of its contract.
+  const FsckReport scrub = fsck_spool(cfg_.spool_dir, /*repair=*/true);
+  stats_.fsck_findings = static_cast<std::int64_t>(scrub.items.size());
+  stats_.fsck_repairs = scrub.repairs;
+  stats_.spool_quarantined += scrub.quarantines;
+  if (!scrub.items.empty())
+    obs::count("serve.fsck_findings",
+               static_cast<long long>(scrub.items.size()));
+  if (scrub.repairs > 0) obs::count("serve.fsck_repairs", scrub.repairs);
+  // A stale frame fsck removed IS a reconciliation: the job's terminal
+  // answer already survives on disk and re-running it would duplicate
+  // execution.  Count it with recover_spool's own reconciliations so
+  // "recovered + reconciled == frames on disk at boot" holds.
+  const int stale = scrub.count(FsckFinding::StaleSpoolEntry);
+  if (stale > 0) {
+    stats_.spool_reconciled += stale;
+    obs::count("serve.spool_reconciled", stale);
+  }
+  if (scrub.quarantines > 0)
+    obs::count("serve.spool_quarantined", scrub.quarantines);
+  if (scrub.repair_failures > 0)
+    obs::count("serve.fsck_repair_failures", scrub.repair_failures);
   recover_spool();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
@@ -404,6 +450,9 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
         ++stats_.finished;
         ++stats_.completed_ok;
         const Clock::time_point submitted_at = job.submitted_at;
+        // Every terminal transition is durable — cache hits included, so a
+        // restart answers `result <id>` for them bit-identically too.
+        persist_terminal_locked(job);
         std::vector<std::pair<std::uint64_t, int>> evicted;
         note_terminal_locked(id, &evicted);
         lk.unlock();
@@ -464,6 +513,17 @@ SubmitOutcome Service::submit(const SubmitRequest& request) {
       obs::count("serve.rejected_bad");
       out.error = std::string("spool write failed: ") + e.what();
       return out;
+    }
+    // Journal the admission after the spool write: replay treats the spool
+    // frame as the truth and fsck adopts any frame the journal missed, so
+    // the failure window (spooled, then crashed before this append) heals.
+    {
+      JournalRecord rec;
+      rec.type = JournalRecordType::Admitted;
+      rec.id = id;
+      rec.kind = static_cast<std::uint8_t>(request.kind);
+      rec.spec_fnv = ckpt::fnv1a(request.spec_text);
+      journal_append_locked(rec);
     }
     if (idem != 0) idem_to_job_[idem] = id;
     queue_.insert({-static_cast<long long>(request.priority), id});
@@ -712,8 +772,10 @@ std::optional<std::string> Service::job_trace_json(std::uint64_t id) const {
     const long long row = 1000 + attempt;
     bool have_trace = false;
     try {
-      const ParsedWorkerTrace t =
-          parse_worker_trace(read_file(trace_spool_path(id, attempt)));
+      const ParsedWorkerTrace t = parse_worker_trace(
+          diskfmt::read_framed_file(trace_spool_path(id, attempt),
+                                    kWorkerTraceMagic, kWorkerTraceVersion)
+              .payload);
       if (t.ok) {
         have_trace = true;
         meta(row, "worker attempt " + std::to_string(attempt) + " (pid " +
@@ -876,6 +938,13 @@ void Service::run_supervised(std::uint64_t id) {
       rec.attempt = attempt;
       rec.start_ms = elapsed_ms(job.submitted_at);
       job.history.push_back(std::move(rec));
+      {
+        JournalRecord jrec;
+        jrec.type = JournalRecordType::AttemptStarted;
+        jrec.id = id;
+        jrec.attempt = static_cast<std::uint32_t>(attempt);
+        journal_append_locked(jrec);
+      }
       req = job.req;
       deadline_ms = job.req.deadline_ms;
       reduced_budget = job.reduced_budget;
@@ -1060,7 +1129,13 @@ bool Service::classify_attempt(std::uint64_t id, int attempt, int wait_status,
                  code == kWorkerBadSpec)) {
     std::string body;
     try {
-      body = read_file(result_path);
+      // The worker writes a framed CRSB blob; a torn or corrupt frame
+      // (partial write raced by SIGKILL, injected fault) fails the CRC here
+      // and is treated exactly like a missing body below — retried, never
+      // half-parsed into a fabricated result.
+      body = diskfmt::read_framed_file(result_path, kResultBlobMagic,
+                                       kResultBlobVersion)
+                 .payload;
     } catch (const Error&) {
       // The exit code promised a body but there is none (lost in a race
       // with SIGKILL, spool wiped): treat as a crash so the retry budget
@@ -1212,6 +1287,10 @@ void Service::finalize(std::uint64_t id, JobOutcome outcome, std::string body,
     job.body = std::move(body);
     job.detail = std::move(detail);
     job.finish_seq = ++finish_seq_;
+    // Durable-then-visible: the framed result file + journal Terminal
+    // record land before done_cv_ wakes any waiter, so an acknowledgment a
+    // client ever observes is already restart-durable.
+    persist_terminal_locked(job);
     ++stats_.finished;
     switch (outcome) {
       case JobOutcome::Ok: ++stats_.completed_ok; break;
@@ -1308,6 +1387,12 @@ void Service::note_terminal_locked(
         evicted->emplace_back(victim, it->second.attempts);
       jobs_.erase(it);
     }
+    // Journal the retention eviction so fsck knows the missing result file
+    // is policy, not loss — no tombstone for a deliberately dropped answer.
+    JournalRecord rec;
+    rec.type = JournalRecordType::ResultEvicted;
+    rec.id = victim;
+    journal_append_locked(rec);
     obs::count("serve.terminal_evicted");
   }
 }
@@ -1315,6 +1400,9 @@ void Service::note_terminal_locked(
 void Service::cleanup_telemetry(
     const std::vector<std::pair<std::uint64_t, int>>& evicted) {
   for (const auto& [id, attempts] : evicted) {
+    // The durable result leaves retention with the job (its ResultEvicted
+    // journal record was appended under mu_ in note_terminal_locked).
+    remove_spool_file(durable_result_path(id));
     for (int attempt = 1; attempt <= attempts; ++attempt) {
       remove_spool_file(trace_spool_path(id, attempt));
       remove_spool_file(flight_spool_path(id, attempt));
@@ -1356,7 +1444,6 @@ void Service::cache_insert(std::uint64_t key, const std::string& body,
   obs::count("serve.cache_inserts");
   for (const std::uint64_t victim : evicted) {
     remove_spool_file(cache_path(victim));
-    remove_spool_file(cache_path(victim) + ".meta");
     if (victim == key) persist = false;
   }
   if (!persist) {
@@ -1364,15 +1451,17 @@ void Service::cache_insert(std::uint64_t key, const std::string& body,
     return;
   }
   // Persist outside the lock; a full disk costs only the persistence (the
-  // in-memory entry still serves hits this incarnation).  The .meta
-  // sidecar carries the recompute cost so eviction order survives a
-  // restart.
+  // in-memory entry still serves hits this incarnation).  One framed CCHE
+  // file carries cost + body together — no sidecar to tear apart from its
+  // entry — so cost-aware eviction order survives a restart and a torn
+  // write fails the CRC instead of recovering a half-truth.
   try {
-    atomic_write_file(cache_path(key), body);
+    ckpt::BinWriter w;
+    w.u64(static_cast<std::uint64_t>(cost_ms < 0 ? 0 : cost_ms));
+    w.str(body);
+    diskfmt::write_framed_file(cache_path(key), kCacheEntryMagic,
+                               kCacheEntryVersion, w.bytes());
     track_file(cache_path(key));
-    atomic_write_file(cache_path(key) + ".meta",
-                      "cost_ms=" + std::to_string(cost_ms) + "\n");
-    track_file(cache_path(key) + ".meta");
   } catch (const Error&) {
     obs::count("serve.cache_persist_failures");
   }
@@ -1420,25 +1509,23 @@ bool Service::evict_cache_for_space_locked(long long need) {
     obs::count("serve.cache_evictions");
     // Untrack + unlink inline (under mu_, like spool_job): the admission
     // decision that triggered this needs the bytes actually reclaimed.
-    for (const std::string& path :
-         {cache_path(victim), cache_path(victim) + ".meta"}) {
-      const auto it = disk_files_.find(path);
-      if (it != disk_files_.end()) {
-        disk_used_ -= it->second;
-        disk_files_.erase(it);
-      }
-      (void)iofault::xunlink(path.c_str());
+    const std::string path = cache_path(victim);
+    const auto it = disk_files_.find(path);
+    if (it != disk_files_.end()) {
+      disk_used_ -= it->second;
+      disk_files_.erase(it);
     }
+    (void)iofault::xunlink(path.c_str());
   }
   stats_.disk_used_bytes = disk_used_;
   return disk_used_ + need <= cfg_.disk_budget_bytes;
 }
 
 void Service::recover_spool() {
-  // Cache first: <16-hex-key>.res files with an optional .res.meta sidecar
-  // carrying the recompute cost (cost_ms=N), so cost-aware eviction order
-  // survives a restart.  Entries without a sidecar recover with cost 0 —
-  // first in line for eviction, which is the safe default.
+  // Cache first: framed CCHE entries carry the recompute cost and the body
+  // together — no sidecar to tear apart from its entry, and a torn write
+  // fails the CRC instead of recovering a half-truth.  The cache is
+  // advisory, so anything unreadable is simply removed.
   for (const std::string& name : list_dir(cfg_.spool_dir + "/cache")) {
     if (name.size() != 20 || name.substr(16) != ".res") continue;
     const std::string path = cfg_.spool_dir + "/cache/" + name;
@@ -1447,45 +1534,120 @@ void Service::recover_spool() {
     if (key == 0) continue;
     if (cache_.size() >= cfg_.cache_capacity) {
       remove_if_exists(path);
-      remove_if_exists(path + ".meta");
       continue;
     }
     try {
-      const std::string body = read_file(path);
-      long long cost_ms = 0;
-      try {
-        const std::string meta = read_file(path + ".meta");
-        if (meta.rfind("cost_ms=", 0) == 0)
-          cost_ms = std::strtoll(meta.c_str() + 8, nullptr, 10);
-        track_file_locked(path + ".meta",
-                          static_cast<long long>(meta.size()));
-      } catch (const Error&) {
-        // no sidecar (older spool, injected read fault): costless entry
-      }
-      track_file_locked(path, static_cast<long long>(body.size()));
-      cache_[key] = CacheEntry{body, cost_ms};
+      const diskfmt::Unframed entry =
+          diskfmt::read_framed_file(path, kCacheEntryMagic,
+                                    kCacheEntryVersion);
+      ckpt::BinReader r(entry.payload);
+      const long long cost_ms = static_cast<long long>(r.u64());
+      std::string body = r.str();
+      if (!r.at_end()) throw Error("cache entry: trailing bytes");
+      cache_[key] = CacheEntry{std::move(body), cost_ms};
       cache_by_cost_.insert({cost_ms, key});
     } catch (const Error&) {
       remove_if_exists(path);
-      remove_if_exists(path + ".meta");
     }
   }
 
-  // Jobs: every *.job file is a wire-format frame of the original SUBMIT
-  // plus the assigned id; re-admit each one.  Their checkpoints (if any)
-  // make the resume cheap.  A corrupt spool entry is renamed aside, never
-  // silently deleted and never allowed to block recovery of the rest.
+  // Durable results: reload terminal jobs so status/result answer across
+  // the restart — bit-identical bytes, zero re-execution.  fsck already
+  // swept corruption, but the chaos plan can strike this re-read too:
+  // anything unreadable now is quarantined as evidence, exactly like a
+  // corrupt job frame.
   std::uint64_t max_id = 0;
+  std::vector<DurableResult> loaded;
+  std::unordered_map<std::uint64_t, std::uint64_t> result_fnv;
+  for (const std::string& name : list_dir(cfg_.spool_dir + "/results")) {
+    if (name.size() < 5 || name.substr(name.size() - 4) != ".res") continue;
+    const std::string path = cfg_.spool_dir + "/results/" + name;
+    try {
+      const std::string raw = read_file(path);
+      DurableResult r = decode_durable_result(
+          diskfmt::unframe(raw, kDurableResultMagic, kDurableResultVersion)
+              .payload);
+      if (r.id == 0 || jobs_.count(r.id) != 0)
+        throw Error("results: bad or duplicate id");
+      result_fnv[r.id] = ckpt::fnv1a(raw);
+      loaded.push_back(std::move(r));
+    } catch (const Error&) {
+      if (iofault::xrename(path.c_str(), (path + ".corrupt").c_str()) == 0) {
+        ++stats_.spool_quarantined;
+        obs::count("serve.spool_quarantined");
+      } else {
+        obs::count("serve.quarantine_rename_failures");
+      }
+    }
+  }
+  std::sort(loaded.begin(), loaded.end(),
+            [](const DurableResult& a, const DurableResult& b) {
+              return a.finish_seq != b.finish_seq
+                         ? a.finish_seq < b.finish_seq
+                         : a.id < b.id;
+            });
+  // Retention crosses the restart: only the newest terminal_retain results
+  // stay queryable, the rest leave now (files included).
+  if (loaded.size() > cfg_.terminal_retain) {
+    const std::size_t drop = loaded.size() - cfg_.terminal_retain;
+    for (std::size_t i = 0; i < drop; ++i) {
+      remove_if_exists(durable_result_path(loaded[i].id));
+      result_fnv.erase(loaded[i].id);
+      obs::count("serve.terminal_evicted");
+    }
+    loaded.erase(loaded.begin(),
+                 loaded.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  for (DurableResult& r : loaded) {
+    Job& job = jobs_[r.id];
+    job.id = r.id;
+    job.req.kind = r.kind;
+    job.req.priority = r.priority;
+    job.state = JobState::Done;
+    job.outcome = r.outcome;
+    job.attempts = r.attempts;
+    job.cached = r.cached;
+    job.finish_seq = r.finish_seq;
+    job.wait_ms = r.wait_ms;
+    job.run_ms = r.run_ms;
+    job.detail = std::move(r.detail);
+    job.body = std::move(r.body);
+    job.history = std::move(r.history);
+    terminal_order_.push_back(r.id);
+    if (r.finish_seq > finish_seq_) finish_seq_ = r.finish_seq;
+    if (r.id > max_id) max_id = r.id;
+    ++stats_.results_recovered;
+    obs::count("serve.results_recovered");
+  }
+
+  // Jobs: every *.job file is a framed CJOB wrapping the original SUBMIT
+  // wire frame plus the assigned id.  A frame whose job already has a
+  // durable terminal result is RECONCILED — removed, never re-admitted:
+  // it is the leftover of the crash window between the terminal persist
+  // and the spool cleanup, and re-running it would duplicate execution.
+  // Everything else is re-admitted; corrupt entries are renamed aside,
+  // never silently deleted and never allowed to block the rest.
   for (const std::string& name : list_dir(cfg_.spool_dir + "/jobs")) {
     if (name.size() < 5 || name.substr(name.size() - 4) != ".job") continue;
     const std::string path = cfg_.spool_dir + "/jobs/" + name;
     try {
-      const Request frame = decode_frame(read_file(path));
+      const Request frame = decode_frame(
+          diskfmt::unframe(read_file(path), kSpoolJobMagic, kSpoolJobVersion)
+              .payload);
       if (frame.verb != "JOB") throw Error("spool: not a JOB frame");
       const std::uint64_t id =
           static_cast<std::uint64_t>(frame.get_long("id"));
-      if (id == 0 || jobs_.count(id) != 0)
-        throw Error("spool: bad or duplicate id");
+      if (id == 0) throw Error("spool: bad id");
+      if (jobs_.count(id) != 0) {
+        if (jobs_[id].state != JobState::Done)
+          throw Error("spool: duplicate id");
+        remove_if_exists(path);
+        remove_if_exists(ckpt_spool_path(id));
+        remove_if_exists(result_spool_path(id));
+        ++stats_.spool_reconciled;
+        obs::count("serve.spool_reconciled");
+        continue;
+      }
       Job& job = jobs_[id];
       job.id = id;
       job.req = parse_submit_request(frame);
@@ -1522,25 +1684,169 @@ void Service::recover_spool() {
   if (stats_.queue_depth > stats_.queue_peak)
     stats_.queue_peak = stats_.queue_depth;
 
-  // Disk ledger: everything sitting in the job spool counts against the
-  // budget from the first instant — spooled jobs, checkpoints, telemetry
-  // of retained terminal jobs, quarantined corpses.
-  for (const std::string& name : list_dir(cfg_.spool_dir + "/jobs")) {
-    const std::string path = cfg_.spool_dir + "/jobs/" + name;
-    struct stat st;
-    if (::stat(path.c_str(), &st) == 0)
-      track_file_locked(path, static_cast<long long>(st.st_size));
+  // Quarantine retention: .corrupt evidence is bounded, oldest evicted
+  // first past the cap.  The survivors stay charged to the ledger below.
+  std::vector<std::pair<long long, std::string>> corpses;
+  for (const char* sub : {"/jobs", "/cache", "/results"}) {
+    for (const std::string& name : list_dir(cfg_.spool_dir + sub)) {
+      if (name.size() < 8 || name.substr(name.size() - 8) != ".corrupt")
+        continue;
+      const std::string path = cfg_.spool_dir + sub + "/" + name;
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0)
+        corpses.emplace_back(static_cast<long long>(st.st_mtime), path);
+    }
   }
+  if (corpses.size() > cfg_.quarantine_retain) {
+    std::sort(corpses.begin(), corpses.end());
+    const std::size_t drop = corpses.size() - cfg_.quarantine_retain;
+    for (std::size_t i = 0; i < drop; ++i) {
+      if (iofault::xunlink(corpses[i].second.c_str()) == 0 ||
+          errno == ENOENT) {
+        ++stats_.quarantine_evicted;
+        obs::count("serve.quarantine_evicted");
+      }
+    }
+  }
+
+  // Compact the journal to the live set — one Admitted per queued job, one
+  // Terminal per retained result — then open it for this incarnation's
+  // appends.  A failed rewrite keeps the old (already fsck-repaired)
+  // journal; a failed open runs this incarnation journal-less, counted.
+  std::vector<JournalRecord> live;
+  for (const auto& [id, job] : jobs_) {
+    JournalRecord rec;
+    rec.id = id;
+    rec.kind = static_cast<std::uint8_t>(job.req.kind);
+    if (job.state == JobState::Done) {
+      rec.type = JournalRecordType::Terminal;
+      rec.outcome = static_cast<std::uint8_t>(job.outcome);
+      rec.attempts =
+          static_cast<std::uint32_t>(job.attempts < 0 ? 0 : job.attempts);
+      const auto fnv = result_fnv.find(id);
+      rec.result_fnv = fnv != result_fnv.end() ? fnv->second : 0;
+    } else {
+      rec.type = JournalRecordType::Admitted;
+      rec.spec_fnv = ckpt::fnv1a(job.req.spec_text);
+    }
+    live.push_back(rec);
+  }
+  if (!Journal::rewrite(journal_path(), live))
+    obs::count("serve.journal_compact_failures");
+  if (!journal_->open(journal_path()))
+    obs::count("serve.journal_open_failures");
+
+  // The ledger recount is the last word: actual bytes on disk, with
+  // anything unattributable surfaced as drift.
+  recount_disk_locked();
 }
 
 void Service::spool_job(const Job& job) {
   Request frame = make_submit_request(job.req);
   frame.verb = "JOB";
   frame.fields["id"] = std::to_string(job.id);
-  const std::string bytes = encode_request(frame);
-  atomic_write_file(job_spool_path(job.id), bytes);
+  const std::string payload = encode_request(frame);
+  diskfmt::write_framed_file(job_spool_path(job.id), kSpoolJobMagic,
+                             kSpoolJobVersion, payload);
   track_file_locked(job_spool_path(job.id),
-                    static_cast<long long>(bytes.size()));
+                    diskfmt::framed_size(payload.size()));
+}
+
+void Service::journal_append_locked(const JournalRecord& record) {
+  const std::uint64_t size = journal_->append(record);
+  if (size == 0) {
+    ++stats_.journal_append_failures;
+    obs::count("serve.journal_append_failures");
+    return;
+  }
+  track_file_locked(journal_path(), static_cast<long long>(size));
+}
+
+void Service::persist_terminal_locked(Job& job) {
+  DurableResult r;
+  r.id = job.id;
+  r.kind = job.req.kind;
+  r.outcome = job.outcome;
+  r.priority = job.req.priority;
+  r.attempts = job.attempts;
+  r.cached = job.cached;
+  r.finish_seq = job.finish_seq;
+  r.wait_ms = job.wait_ms;
+  r.run_ms = job.run_ms;
+  r.detail = job.detail;
+  r.body = job.body;
+  r.history = job.history;
+  const std::string payload = encode_durable_result(r);
+  const std::string path = durable_result_path(job.id);
+  std::uint64_t fnv = 0;
+  // Budget first (cache entries are the pressure valve), then persist.  A
+  // result that cannot be made durable is counted and still served from
+  // memory this incarnation — honest degradation; the next boot's fsck
+  // writes the tombstone story from the journal's Terminal record.
+  if (evict_cache_for_space_locked(diskfmt::framed_size(payload.size()))) {
+    try {
+      const std::string framed =
+          diskfmt::frame(kDurableResultMagic, kDurableResultVersion, payload);
+      diskfmt::write_framed_file(path, kDurableResultMagic,
+                                 kDurableResultVersion, payload);
+      track_file_locked(path, static_cast<long long>(framed.size()));
+      fnv = ckpt::fnv1a(framed);
+      ++stats_.results_persisted;
+      obs::count("serve.results_persisted");
+    } catch (const Error&) {
+      ++stats_.result_persist_failures;
+      obs::count("serve.result_persist_failures");
+    }
+  } else {
+    ++stats_.result_persist_failures;
+    obs::count("serve.result_persist_failures");
+  }
+  JournalRecord rec;
+  rec.type = JournalRecordType::Terminal;
+  rec.id = job.id;
+  rec.kind = static_cast<std::uint8_t>(job.req.kind);
+  rec.outcome = static_cast<std::uint8_t>(job.outcome);
+  rec.attempts =
+      static_cast<std::uint32_t>(job.attempts < 0 ? 0 : job.attempts);
+  rec.result_fnv = fnv;
+  journal_append_locked(rec);
+}
+
+void Service::recount_disk_locked() {
+  disk_files_.clear();
+  disk_used_ = 0;
+  long long drift = 0;
+  const auto digits_id = [](const std::string& name) {
+    return !name.empty() && name[0] >= '0' && name[0] <= '9';
+  };
+  const auto hex_res = [](const std::string& name) {
+    std::string stem = name;
+    if (stem.size() > 8 && stem.substr(stem.size() - 8) == ".corrupt")
+      stem = stem.substr(0, stem.size() - 8);
+    if (stem.size() != 20 || stem.substr(16) != ".res") return false;
+    for (std::size_t i = 0; i < 16; ++i) {
+      const char c = stem[i];
+      if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+    }
+    return true;
+  };
+  const struct { const char* sub; int shape; } dirs[] = {
+      {"/jobs", 0}, {"/results", 0}, {"/cache", 1}, {"/journal", 2}};
+  for (const auto& d : dirs) {
+    const std::string dir = cfg_.spool_dir + d.sub;
+    for (const std::string& name : list_dir(dir)) {
+      const std::string path = dir + "/" + name;
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+      track_file_locked(path, static_cast<long long>(st.st_size));
+      const bool known = d.shape == 0   ? digits_id(name)
+                         : d.shape == 1 ? hex_res(name)
+                                        : name == "wal";
+      if (!known) drift += static_cast<long long>(st.st_size);
+    }
+  }
+  stats_.ledger_drift_bytes = drift;
+  if (drift > 0) obs::count("disk.ledger_drift", drift);
 }
 
 std::string Service::job_spool_path(std::uint64_t id) const {
@@ -1567,6 +1873,14 @@ std::string Service::flight_spool_path(std::uint64_t id, int attempt) const {
 
 std::string Service::cache_path(std::uint64_t key) const {
   return cfg_.spool_dir + "/cache/" + hex16(key) + ".res";
+}
+
+std::string Service::durable_result_path(std::uint64_t id) const {
+  return cfg_.spool_dir + "/results/" + std::to_string(id) + ".res";
+}
+
+std::string Service::journal_path() const {
+  return cfg_.spool_dir + "/journal/wal";
 }
 
 /// Honest retry-after: (queued ahead / workers + 1) slots times the average

@@ -41,6 +41,7 @@
 #include <deque>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -94,6 +95,10 @@ struct ServiceConfig {
   long limit_as_mb = 0;     ///< RLIMIT_AS, mebibytes
   long limit_cpu_s = 0;     ///< RLIMIT_CPU soft limit, seconds
   long limit_fsize_mb = 0;  ///< RLIMIT_FSIZE, mebibytes
+  /// Quarantined (.corrupt) evidence files kept per spool, oldest evicted
+  /// first past the cap at recovery.  Quarantines are charged to the disk
+  /// ledger like everything else — evidence is bounded, never unbounded.
+  std::size_t quarantine_retain = 32;
   /// Byte quota over everything the service puts on disk (job spool,
   /// checkpoints, results, telemetry, result cache); 0 = unbounded.  When
   /// an admission would exceed it, the cheapest-to-recompute cache entries
@@ -220,6 +225,28 @@ struct ServiceStats {
   std::int64_t cache_evictions = 0;
   /// Corrupt spool entries renamed aside at recovery.
   std::int64_t spool_quarantined = 0;
+  /// Terminal results made durable (framed CRES files under results/).
+  std::int64_t results_persisted = 0;
+  /// Durable results reloaded at startup — terminal jobs answering
+  /// status/result across the restart without re-execution.
+  std::int64_t results_recovered = 0;
+  /// Terminal results that could not be persisted (disk full, injected
+  /// fault): the in-memory answer still serves this incarnation, honestly.
+  std::int64_t result_persist_failures = 0;
+  /// Journal appends that did not reach durability (torn tail truncated at
+  /// the next boot's fsck).
+  std::int64_t journal_append_failures = 0;
+  /// Boot-time fsck verdicts for this incarnation.
+  std::int64_t fsck_findings = 0;
+  std::int64_t fsck_repairs = 0;
+  /// Spool frames removed at recovery because the job already had a durable
+  /// terminal result — the zero-duplicate-execution reconciliation.
+  std::int64_t spool_reconciled = 0;
+  /// Quarantined evidence files evicted oldest-first past quarantine_retain.
+  std::int64_t quarantine_evicted = 0;
+  /// Bytes the startup recount could not attribute to any known artifact —
+  /// the disk.ledger_drift correction.
+  long long ledger_drift_bytes = 0;
   /// Current bytes of spool + cache + telemetry the ledger tracks.
   long long disk_used_bytes = 0;
   int queue_depth = 0;
@@ -236,6 +263,9 @@ struct ServiceStats {
   obs::HistogramSnapshot run_us;
   obs::HistogramSnapshot e2e_us;
 };
+
+class Journal;
+struct JournalRecord;
 
 class Service {
  public:
@@ -341,12 +371,28 @@ class Service {
   bool evict_cache_for_space_locked(long long need) CRUSADE_REQUIRES(mu_);
   void recover_spool() CRUSADE_REQUIRES(mu_);
   void spool_job(const Job& job) CRUSADE_REQUIRES(mu_);
+  /// Appends one record to the write-ahead journal, tracking the journal's
+  /// growth in the disk ledger.  A failed append (torn tail, disk full,
+  /// journal-less incarnation) is counted and the service keeps going —
+  /// durability accounting degrades, the service never wedges.
+  void journal_append_locked(const JournalRecord& record)
+      CRUSADE_REQUIRES(mu_);
+  /// Durable-then-visible: writes the job's terminal answer as a framed
+  /// CRES file and journals the Terminal record, BEFORE the caller
+  /// publishes the in-memory state.  Persist failures are counted and the
+  /// in-memory answer still serves this incarnation.
+  void persist_terminal_locked(Job& job) CRUSADE_REQUIRES(mu_);
+  /// Rebuilds the disk ledger from the actual bytes on disk; unattributable
+  /// bytes surface as stats_.ledger_drift_bytes + disk.ledger_drift.
+  void recount_disk_locked() CRUSADE_REQUIRES(mu_);
   std::string job_spool_path(std::uint64_t id) const;
   std::string ckpt_spool_path(std::uint64_t id) const;
   std::string result_spool_path(std::uint64_t id) const;
   std::string trace_spool_path(std::uint64_t id, int attempt) const;
   std::string flight_spool_path(std::uint64_t id, int attempt) const;
   std::string cache_path(std::uint64_t key) const;
+  std::string durable_result_path(std::uint64_t id) const;
+  std::string journal_path() const;
   long busy_retry_hint_locked() const CRUSADE_REQUIRES(mu_);
   JobStatus snapshot_locked(const Job& job) const CRUSADE_REQUIRES(mu_);
   /// work_cv_ predicates (annotated helpers, not lambdas — see
@@ -382,6 +428,10 @@ class Service {
   long long disk_used_ CRUSADE_GUARDED_BY(mu_) = 0;
   /// Terminal jobs in completion order; the eviction window for jobs_.
   std::deque<std::uint64_t> terminal_order_ CRUSADE_GUARDED_BY(mu_);
+  /// Write-ahead journal (serve/durable.hpp).  Appended under mu_ only, so
+  /// journal order agrees with the in-memory transition order.  unique_ptr
+  /// because durable.hpp needs this header's types.
+  std::unique_ptr<Journal> journal_ CRUSADE_GUARDED_BY(mu_);
   ServiceStats stats_ CRUSADE_GUARDED_BY(mu_);
   /// Latency histograms (µs).  Internally atomic — recorded outside mu_ on
   /// purpose so the hot path never takes the service lock for metrics.

@@ -18,7 +18,9 @@
 #include "graph/spec_io.hpp"
 #include "obs/flight.hpp"
 #include "obs/obs.hpp"
-#include "util/atomic_file.hpp"
+#include "serve/durable.hpp"
+#include "util/disk_format.hpp"
+#include "util/error.hpp"
 #include "util/json_writer.hpp"
 #include "util/run_control.hpp"
 
@@ -48,7 +50,9 @@ int g_trace_attempt = 0;
 void flush_worker_trace() {
   if (g_trace_path.empty()) return;
   try {
-    atomic_write_file(g_trace_path, worker_trace_text(g_trace_attempt));
+    diskfmt::write_framed_file(g_trace_path, kWorkerTraceMagic,
+                               kWorkerTraceVersion,
+                               worker_trace_text(g_trace_attempt));
   } catch (...) {
   }
 }
@@ -87,9 +91,12 @@ std::string run_signature(const CrusadeResult& r) {
   flush_worker_trace();
   // A full spool disk must not look like a worker crash loop: the typed
   // DiskFullError is reported as a bad-spool body-less exit the supervisor
-  // maps to failed-honest.
+  // maps to failed-honest.  The CRSB frame means a torn write (SIGKILL
+  // mid-rename, injected fault) fails the supervisor's CRC check instead
+  // of classifying half a body.
   try {
-    atomic_write_file(result_path, body);
+    diskfmt::write_framed_file(result_path, kResultBlobMagic,
+                               kResultBlobVersion, body);
   } catch (const Error&) {
     ::_exit(kWorkerException);
   }

@@ -15,10 +15,11 @@ namespace {
 
 TEST(CheckRules, CatalogIsStableAndDocumented) {
   const auto& rules = check_rule_catalog();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 10u);
   EXPECT_STREQ(rules[0].id, "C000");
   EXPECT_STREQ(rules[7].id, "C007");
   EXPECT_STREQ(rules[8].id, "C008");
+  EXPECT_STREQ(rules[9].id, "C009");
   for (const CheckRule& rule : rules) {
     EXPECT_NE(std::string(rule.name), "");
     EXPECT_GT(std::string(rule.rationale).size(), 20u) << rule.id;
@@ -278,6 +279,48 @@ TEST(CheckRules, C008ScopedToLibraryCodeAndHonorsAllow) {
       "  close(fd);\n"
       "}\n";
   const auto report = check_source("src/obs/x.cpp", allowed);
+  EXPECT_EQ(report.errors(), 0) << report.summary();
+  EXPECT_EQ(report.suppressions(), 1);
+}
+
+// --- C009: unframed durable writes in serve/ckpt ----------------------------
+
+TEST(CheckRules, C009FiresOnBareAtomicWriteInDurableCode) {
+  const std::string bad =
+      "void f(const std::string& path, const std::string& body) {\n"
+      "  atomic_write_file(path, body);\n"
+      "}\n";
+  EXPECT_EQ(check_source("src/serve/x.cpp", bad).count_id("C009"), 1);
+  EXPECT_EQ(check_source("src/ckpt/x.cpp", bad).count_id("C009"), 1);
+}
+
+TEST(CheckRules, C009SilentOnFramedWriterAndOutsideScope) {
+  const std::string framed =
+      "void f(const std::string& path, const std::string& body) {\n"
+      "  diskfmt::write_framed_file(path, kMagic, 1, body);\n"
+      "}\n";
+  EXPECT_EQ(check_source("src/serve/x.cpp", framed).count_id("C009"), 0);
+  // Outside the durable-format subsystems the raw helper stays legal.
+  const std::string bare =
+      "void f(const std::string& path, const std::string& body) {\n"
+      "  atomic_write_file(path, body);\n"
+      "}\n";
+  EXPECT_EQ(check_source("src/util/x.cpp", bare).count_id("C009"), 0);
+  EXPECT_EQ(check_source("tools/x.cpp", bare).count_id("C009"), 0);
+  // Comment mentions never fire — only code lines do.
+  const std::string comment =
+      "// journal is written via atomic_write_file(path, body)\n"
+      "void f() {}\n";
+  EXPECT_EQ(check_source("src/serve/x.cpp", comment).count_id("C009"), 0);
+}
+
+TEST(CheckRules, C009HonorsReasonedAllow) {
+  const std::string allowed =
+      "void f(const std::string& path, const std::string& body) {\n"
+      "  // check-allow(C009): debug dump, never re-read after a crash\n"
+      "  atomic_write_file(path, body);\n"
+      "}\n";
+  const auto report = check_source("src/ckpt/x.cpp", allowed);
   EXPECT_EQ(report.errors(), 0) << report.summary();
   EXPECT_EQ(report.suppressions(), 1);
 }

@@ -135,6 +135,101 @@ for seed in $(seq 1 "$seeds"); do
   total_typed_failures=$((total_typed_failures + typed_failures))
 done
 
+# --- restart storm: durability across repeated SIGKILL ----------------------
+# One spool, $storm_cycles kill -9/restart cycles.  The contract (DESIGN.md
+# §17.4): no job ever admitted goes missing, and any job that reached a
+# terminal state keeps answering `crusade status <id>` / `result <id>` with
+# BIT-IDENTICAL bytes in every later incarnation — re-execution would change
+# them, so identity doubles as the zero-duplicate-execution proof.
+storm_cycles=3
+sock="$workdir/storm.sock"
+spool="$workdir/storm.spool"
+log="$workdir/storm.log"
+snap="$workdir/storm-snap"
+rm -rf "$sock" "$spool" "$snap"
+mkdir -p "$snap"
+: > "$workdir/storm.ids"
+: > "$workdir/storm.terminal"
+echo "--- restart storm: $storm_cycles SIGKILL/restart cycles on one spool"
+for cycle in $(seq 1 "$storm_cycles"); do
+  rm -f "$sock"
+  "$crusaded" --socket "$sock" --spool "$spool" --workers 2 \
+    >> "$log" 2>&1 &
+  daemon=$!
+  wait_socket "$sock"
+
+  # Zero lost: every id ever admitted still answers after the crash.
+  while read -r id; do
+    [[ -n "$id" ]] || continue
+    if ! "$crusade" status "$id" --socket "$sock" > /dev/null 2>&1; then
+      echo "chaos_soak.sh: storm cycle $cycle LOST job $id" >&2
+      kill -9 "$daemon" 2> /dev/null || true
+      exit 1
+    fi
+  done < "$workdir/storm.ids"
+
+  # Zero duplicated: terminal answers are bit-identical across the restart.
+  while read -r id; do
+    [[ -n "$id" ]] || continue
+    "$crusade" status "$id" --socket "$sock" > "$snap/$id.status.now"
+    "$crusade" result "$id" --socket "$sock" > "$snap/$id.result.now"
+    for kind in status result; do
+      if ! cmp -s "$snap/$id.$kind" "$snap/$id.$kind.now"; then
+        echo "chaos_soak.sh: storm cycle $cycle: job $id $kind CHANGED" \
+          "across restart (duplicate execution?)" >&2
+        diff "$snap/$id.$kind" "$snap/$id.$kind.now" >&2 || true
+        kill -9 "$daemon" 2> /dev/null || true
+        exit 1
+      fi
+    done
+  done < "$workdir/storm.terminal"
+
+  # Two jobs drained to terminal (snapshotted), one left mid-flight for the
+  # crash to interrupt.
+  for i in 1 2; do
+    out=$("$crusade" submit "$spec" --socket "$sock" --kind lint \
+      --wait 2>&1)
+    id=$(printf '%s' "$out" | sed -n 's/^{"id":\([0-9]*\).*/\1/p' \
+      | head -1)
+    if [[ -z "$id" ]]; then
+      echo "chaos_soak.sh: storm cycle $cycle submit $i gave no id: $out" >&2
+      kill -9 "$daemon" 2> /dev/null || true
+      exit 1
+    fi
+    echo "$id" >> "$workdir/storm.ids"
+    echo "$id" >> "$workdir/storm.terminal"
+    "$crusade" status "$id" --socket "$sock" > "$snap/$id.status"
+    "$crusade" result "$id" --socket "$sock" > "$snap/$id.result"
+  done
+  out=$("$crusade" submit "$spec" --socket "$sock" 2>&1) || true
+  id=$(printf '%s' "$out" | sed -n 's/^{"id":\([0-9]*\).*/\1/p' \
+    | head -1)
+  [[ -n "$id" ]] && echo "$id" >> "$workdir/storm.ids"
+
+  kill -9 "$daemon" 2> /dev/null || true
+  wait "$daemon" 2> /dev/null || true
+done
+
+# Final calm incarnation drains the survivors and shuts down cleanly.
+rm -f "$sock"
+"$crusaded" --socket "$sock" --spool "$spool" --workers 2 >> "$log" 2>&1 &
+daemon=$!
+wait_socket "$sock"
+storm_jobs=$(sort -u "$workdir/storm.ids" | wc -l)
+while read -r id; do
+  [[ -n "$id" ]] || continue
+  if ! timeout 120 "$crusade" result "$id" --socket "$sock" --wait \
+    > /dev/null 2>&1; then
+    echo "chaos_soak.sh: storm survivor $id never reached terminal" >&2
+    kill -9 "$daemon" 2> /dev/null || true
+    exit 1
+  fi
+done < <(sort -u "$workdir/storm.ids")
+"$crusade" shutdown --socket "$sock" > /dev/null
+wait "$daemon" || true
+echo "    storm: $storm_jobs jobs across $storm_cycles kill/restart cycles," \
+  "zero lost, terminal answers bit-identical"
+
 echo "chaos_soak.sh PASS: $seeds seeds, $total_jobs jobs under injected" \
   "faults, $total_typed_failures typed failures, zero silent losses, zero" \
-  "wedges, every restart recovered clean"
+  "wedges, every restart recovered clean, restart storm bit-identical"

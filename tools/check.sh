@@ -12,16 +12,23 @@
 #      random points and asserts resumed runs finish bit-identical
 #   7. survivability smoke: fixed-seed `crusade survive` campaign run twice,
 #      JSON byte-identical, strict parse-back (0 FT-LIE, transients cross-PE)
-#   8. ASan/UBSan configuration build + entire test suite
-#   9. fault-injection harness + survive campaign under ASan/UBSan (the
+#   8. boot-time fsck smoke: `crusaded --fsck` over a deliberately corrupted
+#      spool — dry-run classifies without touching disk, the repair pass
+#      quarantines with evidence, and a second scrub converges clean
+#   9. ASan/UBSan configuration build + entire test suite
+#  10. fault-injection harness + survive campaign under ASan/UBSan (the
 #      mutated-spec and fault-replay paths are where memory bugs would hide)
-#  10. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
+#  11. UBSan-only configuration (RelWithDebInfo: optimizer-exposed UB that
 #      the Debug ASan build can miss) + entire test suite + survive campaign
-#  11. chaos soak: the seeded environment-fault campaign (ServeChaosTest +
+#  12. chaos soak: the seeded environment-fault campaign (ServeChaosTest +
 #      IoFaultTest) under ASan/UBSan, plus tools/chaos_soak.sh driving a
-#      live daemon with --chaos across seeds, plus the chaos availability
-#      bench with BENCH_chaos.json round-tripped through a strict parser
-#  12. TSan configuration: serve_test (the one multi-threaded subsystem,
+#      live daemon with --chaos across seeds (including the restart storm),
+#      plus the chaos availability bench with BENCH_chaos.json round-tripped
+#      through a strict parser
+#  13. recovery-time bench: dirty-spool restarts across growing populations,
+#      BENCH_recovery.json parse-back asserts every boot recovered all
+#      terminal answers and parked frames (the honesty gate)
+#  14. TSan configuration: serve_test (the one multi-threaded subsystem,
 #      including the seeded chaos campaign) plus a live `crusaded` daemon
 #      driven by a `crusade submit` loop — races between the supervisor,
 #      workers, and socket handlers surface here, not in the
@@ -314,6 +321,56 @@ else
   stage_skip "no python3 for strict parse-back"
 fi
 
+stage "boot-time fsck smoke (crusaded --fsck on a corrupted spool)"
+# Seed a spool with a garbage frame and temp debris, then hold --fsck to
+# its contract: dry-run classifies without mutating anything, the repair
+# pass quarantines the frame (keeping the evidence) and clears the debris,
+# and a second scrub converges — no finding ever survives two repairs.
+fsck_spool="build-ci/fsck-smoke.spool"
+rm -rf "$fsck_spool"
+mkdir -p "$fsck_spool/jobs" "$fsck_spool/results"
+printf 'this is not a framed job' > "$fsck_spool/jobs/8.job"
+printf 'torn half-write' > "$fsck_spool/jobs/.tmp.123"
+./build-ci/tools/crusaded --fsck --dry-run --spool "$fsck_spool" \
+  > build-ci/fsck-dry.json
+[[ -f "$fsck_spool/jobs/8.job" && -f "$fsck_spool/jobs/.tmp.123" ]] || {
+  echo "fsck --dry-run mutated the spool" >&2
+  exit 1
+}
+./build-ci/tools/crusaded --fsck --spool "$fsck_spool" \
+  > build-ci/fsck-repair.json
+[[ ! -e "$fsck_spool/jobs/8.job" && ! -e "$fsck_spool/jobs/.tmp.123" ]] || {
+  echo "fsck repair left the corruption in place" >&2
+  exit 1
+}
+ls "$fsck_spool"/jobs/*.corrupt > /dev/null  # quarantine evidence retained
+./build-ci/tools/crusaded --fsck --spool "$fsck_spool" \
+  > build-ci/fsck-rescrub.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/fsck-dry.json build-ci/fsck-repair.json \
+    build-ci/fsck-rescrub.json <<'EOF'
+import json, sys
+dry, rep, again = (json.load(open(p)) for p in sys.argv[1:4])
+assert not dry["clean"] and dry["findings"] >= 2, dry
+assert dry["repairs"] == 0 and dry["quarantines"] == 0, dry
+assert dry["counts"].get("corrupt-spool-entry") == 1, dry["counts"]
+assert dry["counts"].get("temp-debris") == 1, dry["counts"]
+assert rep["quarantines"] == 1 and rep["repair_failures"] == 0, rep
+assert rep["repairs"] >= 1, rep
+# Convergence: the rescrub may recount the quarantine evidence into the
+# ledger (ledger-drift is accounting, not damage) but finds no corruption.
+residual = {k: v for k, v in again["counts"].items() if k != "ledger-drift"}
+assert not residual and again["repair_failures"] == 0, again
+print(f'fsck smoke: {dry["findings"]} findings classified, '
+      f'{rep["quarantines"]} quarantined with evidence, rescrub converged '
+      '(python3)')
+EOF
+  stage_ok
+else
+  echo "fsck smoke: repair + convergence verified by file state (no python3)"
+  stage_skip "no python3 for fsck report parse-back"
+fi
+
 if [[ "$fast" == 1 ]]; then
   echo "check.sh: CI suite green (sanitizer pass skipped: --fast)"
   exit 0
@@ -415,6 +472,36 @@ EOF
   stage_ok
 else
   stage_skip "no python3 for BENCH_chaos.json parse-back"
+fi
+
+stage "recovery-time bench (BENCH_recovery.json parse-back)"
+(cd build-ci && CRUSADE_SCALE=0.1 ./bench/recovery_time > /dev/null)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-ci/BENCH_recovery.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "recovery_time", doc
+assert doc["honest"], "a timed boot lost work"
+sweep = doc["sweep"]
+assert len(sweep) >= 3, sweep
+for p in sweep:
+    assert p["honest"], p
+    assert p["results_recovered"] == p["terminal"], p
+    assert p["frames_recovered"] == p["parked"], p
+    assert p["fsck_ms"] > 0 and p["recover_ms"] > 0, p
+    assert p["disk_bytes"] > 0, p
+# Populations grow 4x per point; the spool the boot must scan grows with
+# them, so scanned bytes must be strictly monotone.
+sizes = [p["disk_bytes"] for p in sweep]
+assert sizes == sorted(sizes) and sizes[0] < sizes[-1], sizes
+print(f'BENCH_recovery.json: {len(sweep)} populations up to '
+      f'{sweep[-1]["terminal"]} terminal + {sweep[-1]["parked"]} parked, '
+      f'full recovery {sweep[-1]["recover_ms"]:.1f} ms, every boot honest '
+      '(python3)')
+EOF
+  stage_ok
+else
+  stage_skip "no python3 for BENCH_recovery.json parse-back"
 fi
 
 stage "UBSan-only configuration (optimized)"

@@ -5,6 +5,12 @@
 //            [--checkpoint-every <evals>] [--attempt-timeout-ms <n>]
 //            [--limit-as-mb <n>] [--limit-cpu-s <n>] [--limit-fsize-mb <n>]
 //            [--disk-budget-mb <n>] [--chaos <seed[:rate]>] [--obs]
+//            [--fsck [--dry-run]]
+//
+// --fsck runs the boot-time spool scrub standalone (replay the journal,
+// reconcile spool/results/cache, repair or quarantine every inconsistency),
+// prints the typed report as JSON, and exits without serving.  --dry-run
+// classifies only.  Exit 0 unless a repair failed.
 //
 // Accepts submit/status/result/cancel jobs from `crusade submit` and
 // friends over a local socket.  Every job attempt runs in a supervised
@@ -22,6 +28,7 @@
 
 #include "obs/obs.hpp"
 #include "serve/daemon.hpp"
+#include "serve/fsck.hpp"
 #include "util/error.hpp"
 #include "util/run_control.hpp"
 
@@ -36,7 +43,8 @@ int usage() {
                "[--cache-cap <n>] [--checkpoint-every <evals>] "
                "[--attempt-timeout-ms <n>] [--limit-as-mb <n>] "
                "[--limit-cpu-s <n>] [--limit-fsize-mb <n>] "
-               "[--disk-budget-mb <n>] [--chaos <seed[:rate]>] [--obs]\n");
+               "[--disk-budget-mb <n>] [--chaos <seed[:rate]>] [--obs] "
+               "[--fsck [--dry-run]]\n");
   return 2;
 }
 
@@ -54,6 +62,8 @@ int main(int argc, char** argv) {
   cfg.socket_path = "/tmp/crusaded.sock";
   cfg.service.spool_dir = "/tmp/crusaded.spool";
   bool obs_on = false;
+  bool fsck_only = false;
+  bool fsck_dry_run = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -102,7 +112,20 @@ int main(int argc, char** argv) {
       }
     }
     else if (a == "--obs") obs_on = true;
+    else if (a == "--fsck") fsck_only = true;
+    else if (a == "--dry-run") fsck_dry_run = true;
     else return usage();
+  }
+  if (fsck_dry_run && !fsck_only) return usage();
+
+  if (fsck_only) {
+    // Standalone scrub: same code path the daemon runs before recovery,
+    // minus the recovery.  The report is the contract — machine-readable,
+    // one typed verdict per inconsistency.
+    const serve::FsckReport report =
+        serve::fsck_spool(cfg.service.spool_dir, /*repair=*/!fsck_dry_run);
+    std::printf("%s\n", report.to_json().c_str());
+    return report.repair_failures > 0 ? 1 : 0;
   }
 
   if (obs_on) obs::set_enabled(true);
